@@ -1,0 +1,359 @@
+// Command compoundsim runs the full Oahu compound-threat case study
+// and regenerates the paper's evaluation figures (6-11) and Table I.
+//
+// Usage:
+//
+//	compoundsim [-fig N] [-realizations N] [-seed S] [-csv] [-table1]
+//
+// Without -fig it evaluates every figure. -csv emits machine-readable
+// rows instead of terminal tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compoundthreat/internal/analysis"
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/report"
+	"compoundthreat/internal/seismic"
+	"compoundthreat/internal/surge"
+	"compoundthreat/internal/terrain"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "compoundsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("compoundsim", flag.ContinueOnError)
+	figID := fs.Int("fig", 0, "evaluate a single figure (6-11); 0 = all")
+	realizations := fs.Int("realizations", 1000, "hurricane realizations")
+	seed := fs.Int64("seed", 0, "ensemble seed override (0 = calibrated default)")
+	csv := fs.Bool("csv", false, "emit CSV instead of tables")
+	table1 := fs.Bool("table1", false, "also print Table I")
+	rates := fs.Bool("rates", false, "also print per-asset flood probabilities")
+	power := fs.String("power", "", "run an attacker-power sweep for one configuration (e.g. 6-6) instead of figures")
+	extended := fs.Bool("extended", false, "evaluate the extended configuration family (adds 4, 4-4, 3+3+3+3) instead of figures")
+	downtime := fs.Bool("downtime", false, "report expected downtime per hurricane event instead of figures")
+	summary := fs.Bool("summary", false, "print the dominant-state matrix instead of figures")
+	quake := fs.Bool("quake", false, "use the earthquake hazard (south-flank fault) instead of the hurricane")
+	fragilityBeta := fs.Float64("fragility", 0, "replace the 0.5 m threshold with a lognormal fragility curve of this dispersion (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *quake {
+		return runQuake(*realizations, *seed)
+	}
+
+	gen, err := hazard.NewGenerator(terrain.NewOahu(), surge.DefaultParams(), assets.Oahu())
+	if err != nil {
+		return err
+	}
+	cfg := hazard.OahuScenario()
+	cfg.Realizations = *realizations
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	fmt.Fprintf(os.Stderr, "generating %d hurricane realizations...\n", cfg.Realizations)
+	ensemble, err := gen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	cs, err := analysis.NewCaseStudy(ensemble)
+	if err != nil {
+		return err
+	}
+
+	if *table1 {
+		if err := report.WriteTableI(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if *rates {
+		if err := printRates(ensemble); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if *power != "" {
+		return runPowerSweep(ensemble, *power, *csv)
+	}
+	if *extended {
+		return runExtended(ensemble, *csv)
+	}
+	if *downtime {
+		return runDowntime(ensemble)
+	}
+	if *summary {
+		return runSummary(ensemble)
+	}
+	if *fragilityBeta > 0 {
+		return runFragility(ensemble, *fragilityBeta)
+	}
+
+	figures := analysis.PaperFigures()
+	if *figID != 0 {
+		f, err := analysis.FigureByID(*figID)
+		if err != nil {
+			return err
+		}
+		figures = []analysis.Figure{f}
+	}
+	for _, f := range figures {
+		res, err := cs.EvaluateFigure(f)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			if err := report.WriteFigureCSV(os.Stdout, res); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := report.WriteFigure(os.Stdout, res); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runExtended evaluates the extended configuration family (Babay et
+// al.'s wider architecture set) under every threat scenario, with
+// AlohaNAP as the second data center of "3+3+3+3".
+func runExtended(e *hazard.Ensemble, csv bool) error {
+	configs, err := topology.ExtendedConfigs(topology.ExtendedPlacement{
+		Placement: topology.Placement{
+			Primary:    assets.HonoluluCC,
+			Second:     assets.Kahe,
+			DataCenter: assets.DRFortress,
+		},
+		SecondDataCenter: assets.AlohaNAP,
+	})
+	if err != nil {
+		return err
+	}
+	for fi, scenario := range threat.Scenarios() {
+		outcomes, err := analysis.RunConfigs(e, configs, scenario)
+		if err != nil {
+			return err
+		}
+		res := analysis.FigureResult{
+			Figure: analysis.Figure{
+				ID:       100 + fi,
+				Title:    fmt.Sprintf("Extended Configurations, %s (Honolulu + Kahe + DRFortress + AlohaNAP)", scenario),
+				Scenario: scenario,
+			},
+			Outcomes: outcomes,
+		}
+		if csv {
+			if err := report.WriteFigureCSV(os.Stdout, res); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := report.WriteFigure(os.Stdout, res); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runFragility re-evaluates the summary matrix with a lognormal
+// fragility curve (median at the paper's 0.5 m threshold) instead of
+// the hard threshold, for sensitivity analysis on the failure
+// criterion.
+func runFragility(e *hazard.Ensemble, beta float64) error {
+	fe, err := hazard.NewFragilityEnsemble(e, hazard.Fragility{
+		MedianMeters: e.Config().FloodThresholdMeters,
+		Beta:         beta,
+	}, nil, 1)
+	if err != nil {
+		return err
+	}
+	fr := report.FailureRates{Title: fmt.Sprintf("Per-asset failure probability (fragility beta=%.2f)", beta)}
+	for _, id := range []string{
+		assets.HonoluluCC, assets.Waiau, assets.Kahe, assets.DRFortress, assets.AlohaNAP,
+	} {
+		rate, err := fe.FailureRate(id)
+		if err != nil {
+			return err
+		}
+		fr.Rows = append(fr.Rows, report.FailureRate{AssetID: id, Probability: rate})
+	}
+	if err := report.WriteFailureRates(os.Stdout, fr); err != nil {
+		return err
+	}
+	fmt.Println()
+	configs, err := topology.StandardConfigs(topology.Placement{
+		Primary:    assets.HonoluluCC,
+		Second:     assets.Waiau,
+		DataCenter: assets.DRFortress,
+	})
+	if err != nil {
+		return err
+	}
+	matrix, err := analysis.RunMatrix(fe, configs)
+	if err != nil {
+		return err
+	}
+	return report.WriteMatrix(os.Stdout, matrix)
+}
+
+// runQuake runs the compound-threat analysis on the earthquake hazard:
+// per-asset failure rates and the dominant-state matrix, for both
+// placements. Earthquakes correlate failures by distance from the
+// fault, not by shore exposure, so the hurricane-safe Kahe placement
+// is no longer automatically safe.
+func runQuake(realizations int, seed int64) error {
+	inv := assets.Oahu()
+	cfg := seismic.OahuScenario()
+	cfg.Realizations = realizations
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	fmt.Fprintf(os.Stderr, "generating %d earthquake realizations...\n", cfg.Realizations)
+	ensemble, err := seismic.Generate(cfg, inv)
+	if err != nil {
+		return err
+	}
+	fr := report.FailureRates{Title: "Per-asset earthquake failure probability"}
+	for _, id := range []string{
+		assets.HonoluluCC, assets.Waiau, assets.Kahe, assets.DRFortress, assets.AlohaNAP,
+	} {
+		rate, err := ensemble.FailureRate(id)
+		if err != nil {
+			return err
+		}
+		fr.Rows = append(fr.Rows, report.FailureRate{AssetID: id, Probability: rate})
+	}
+	if err := report.WriteFailureRates(os.Stdout, fr); err != nil {
+		return err
+	}
+	fmt.Println()
+	for _, placement := range []topology.Placement{
+		{Primary: assets.HonoluluCC, Second: assets.Waiau, DataCenter: assets.DRFortress},
+		{Primary: assets.HonoluluCC, Second: assets.Kahe, DataCenter: assets.DRFortress},
+	} {
+		configs, err := topology.StandardConfigs(placement)
+		if err != nil {
+			return err
+		}
+		matrix, err := analysis.RunMatrix(ensemble, configs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("placement: %s + %s + %s\n", placement.Primary, placement.Second, placement.DataCenter)
+		if err := report.WriteMatrix(os.Stdout, matrix); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runSummary prints the dominant-state matrix across configurations
+// and scenarios.
+func runSummary(e *hazard.Ensemble) error {
+	configs, err := topology.StandardConfigs(topology.Placement{
+		Primary:    assets.HonoluluCC,
+		Second:     assets.Waiau,
+		DataCenter: assets.DRFortress,
+	})
+	if err != nil {
+		return err
+	}
+	matrix, err := analysis.RunMatrix(e, configs)
+	if err != nil {
+		return err
+	}
+	return report.WriteMatrix(os.Stdout, matrix)
+}
+
+// runDowntime reports expected downtime per hurricane event for the
+// standard configurations under every scenario.
+func runDowntime(e *hazard.Ensemble) error {
+	configs, err := topology.StandardConfigs(topology.Placement{
+		Primary:    assets.HonoluluCC,
+		Second:     assets.Waiau,
+		DataCenter: assets.DRFortress,
+	})
+	if err != nil {
+		return err
+	}
+	model := analysis.DefaultDowntimeModel()
+	for _, scenario := range threat.Scenarios() {
+		outcomes, err := analysis.RunDowntimeConfigs(e, configs, scenario, model)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteDowntime(os.Stdout, outcomes); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runPowerSweep traces the configuration's profile as attacker success
+// probability grows (the paper's SVII realistic-attacker question).
+func runPowerSweep(e *hazard.Ensemble, configName string, csv bool) error {
+	configs, err := topology.StandardConfigs(topology.Placement{
+		Primary:    assets.HonoluluCC,
+		Second:     assets.Waiau,
+		DataCenter: assets.DRFortress,
+	})
+	if err != nil {
+		return err
+	}
+	var cfg topology.Config
+	found := false
+	for _, c := range configs {
+		if c.Name == configName {
+			cfg, found = c, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown configuration %q", configName)
+	}
+	points, err := analysis.RunPowerSweep(analysis.PowerSweepRequest{
+		Ensemble:   e,
+		Config:     cfg,
+		Capability: threat.HurricaneIntrusionIsolation.Capability(),
+		Successes:  []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1},
+		Seed:       1,
+	})
+	if err != nil {
+		return err
+	}
+	if csv {
+		return report.WritePowerSweepCSV(os.Stdout, cfg.Name, points)
+	}
+	return report.WritePowerSweep(os.Stdout, cfg.Name, points)
+}
+
+func printRates(e *hazard.Ensemble) error {
+	fr := report.FailureRates{}
+	for _, id := range []string{
+		assets.HonoluluCC, assets.Waiau, assets.Kahe, assets.DRFortress, assets.AlohaNAP,
+	} {
+		rate, err := e.FailureRate(id)
+		if err != nil {
+			return err
+		}
+		fr.Rows = append(fr.Rows, report.FailureRate{AssetID: id, Probability: rate})
+	}
+	return report.WriteFailureRates(os.Stdout, fr)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests in -short mode")
+	}
+	dir := t.TempDir()
+	modes := [][]string{
+		{"-assets"},
+		{"-track", "3"},
+		{"-realizations", "50"},
+		{"-realizations", "50", "-storm", "grazing"},
+		{"-realizations", "50", "-correlate", "honolulu-cc,waiau-plant"},
+		{"-realizations", "20", "-o", filepath.Join(dir, "e.json"), "-ocsv", filepath.Join(dir, "e.csv")},
+		{"-map"},
+		{"-map-realization", "3"},
+	}
+	for _, args := range modes {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	for _, f := range []string{"e.json", "e.csv"} {
+		if fi, err := os.Stat(filepath.Join(dir, f)); err != nil || fi.Size() == 0 {
+			t.Errorf("output file %s missing or empty", f)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	bad := [][]string{
+		{"-storm", "nope"},
+		{"-realizations", "50", "-correlate", "only-one"},
+		{"-realizations", "0"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/geo"
+	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/mesh"
+	"compoundthreat/internal/surge"
+	"compoundthreat/internal/terrain"
+	"compoundthreat/internal/wind"
+)
+
+// Map rendering: an ASCII view of the island, its assets (the paper's
+// Figure 4), and — when a realization is selected — the inundation
+// field of that storm.
+//
+//	~  open water          .  dry land
+//	=  surge above 1 m     +  wet coastal land (inundation <= 0.5 m)
+//	X  flooded land (> 0.5 m above ground)
+//	A-Z asset markers (legend printed below the map)
+const (
+	mapCols = 100
+	mapRows = 36
+)
+
+// renderMap draws the region with assets overlaid; tr may be nil (no
+// storm, topology only).
+func renderMap(w io.Writer, tm *terrain.Model, m *mesh.Mesh, solver *surge.Solver,
+	inv *assets.Inventory, tr *wind.Track) error {
+
+	minPt, maxPt := tm.Coastline().Bounds()
+	pad := 8000.0
+	minPt = minPt.Sub(geo.XY{X: pad, Y: pad})
+	maxPt = maxPt.Add(geo.XY{X: pad, Y: pad})
+	dx := (maxPt.X - minPt.X) / mapCols
+	dy := (maxPt.Y - minPt.Y) / mapRows
+
+	// Cell centers, row 0 at the north edge.
+	points := make([]geo.XY, 0, mapCols*mapRows)
+	for row := 0; row < mapRows; row++ {
+		for col := 0; col < mapCols; col++ {
+			points = append(points, geo.XY{
+				X: minPt.X + (float64(col)+0.5)*dx,
+				Y: maxPt.Y - (float64(row)+0.5)*dy,
+			})
+		}
+	}
+	var field []float64
+	if tr != nil {
+		field = solver.Field(tr, points)
+	}
+
+	grid := make([][]byte, mapRows)
+	for row := range grid {
+		grid[row] = make([]byte, mapCols)
+		for col := range grid[row] {
+			i := row*mapCols + col
+			p := points[i]
+			// Classify through the mesh (nearest discretization node).
+			nodes := m.Nearest(p, 1, nil)
+			var ch byte = '~'
+			land := len(nodes) > 0 && nodes[0].Class != mesh.Offshore && tm.IsLand(p)
+			switch {
+			case land && field != nil:
+				depth := field[i] - tm.ElevationAt(p)
+				switch {
+				case depth > hazard.DefaultFloodThresholdMeters:
+					ch = 'X'
+				case depth > 0:
+					ch = '+'
+				default:
+					ch = '.'
+				}
+			case land:
+				ch = '.'
+			case field != nil && field[i] > 1:
+				ch = '='
+			}
+			grid[row][col] = ch
+		}
+	}
+
+	// Overlay assets with letters.
+	proj := tm.Projection()
+	marker := byte('A')
+	var legend []string
+	for _, a := range inv.All() {
+		p := proj.ToXY(a.Location)
+		col := int((p.X - minPt.X) / dx)
+		row := int((maxPt.Y - p.Y) / dy)
+		if row < 0 || row >= mapRows || col < 0 || col >= mapCols {
+			continue
+		}
+		grid[row][col] = marker
+		legend = append(legend, fmt.Sprintf("%c=%s", marker, a.ID))
+		if marker == 'Z' {
+			break
+		}
+		marker++
+	}
+
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("\nlegend: ~ water  = surge>1m  . dry land  + wet  X flooded (>0.5m)\n")
+	for i := 0; i < len(legend); i += 4 {
+		end := i + 4
+		if end > len(legend) {
+			end = len(legend)
+		}
+		b.WriteString("  " + strings.Join(legend[i:end], "  ") + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

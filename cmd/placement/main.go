@@ -1,0 +1,87 @@
+// Command placement runs the control-site placement study: it ranks
+// candidate second-site / data-center choices by the resulting
+// operational profile, answering the paper's §VII question and
+// reproducing its Waiau-to-Kahe comparison.
+//
+// Usage:
+//
+//	placement [-scenario both] [-realizations N] [-pairs] [-top K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/placement"
+	"compoundthreat/internal/surge"
+	"compoundthreat/internal/terrain"
+	"compoundthreat/internal/threat"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "placement:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("placement", flag.ContinueOnError)
+	scenarioName := fs.String("scenario", "both", "threat scenario: hurricane, intrusion, isolation, or both")
+	realizations := fs.Int("realizations", 1000, "hurricane realizations")
+	pairs := fs.Bool("pairs", false, "search (second, data center) pairs instead of second site only")
+	top := fs.Int("top", 10, "show the top K candidates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scenario, err := threat.ParseScenario(*scenarioName)
+	if err != nil {
+		return err
+	}
+	inv := assets.Oahu()
+	gen, err := hazard.NewGenerator(terrain.NewOahu(), surge.DefaultParams(), inv)
+	if err != nil {
+		return err
+	}
+	cfg := hazard.OahuScenario()
+	cfg.Realizations = *realizations
+	fmt.Fprintf(os.Stderr, "generating %d realizations...\n", cfg.Realizations)
+	ensemble, err := gen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	req := placement.Request{
+		Ensemble:  ensemble,
+		Inventory: inv,
+		Primary:   assets.HonoluluCC,
+		Scenario:  scenario,
+	}
+	var candidates []placement.Candidate
+	if *pairs {
+		candidates, err = placement.SearchPairs(req)
+	} else {
+		candidates, err = placement.SearchSecondSite(req, assets.DRFortress)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("placement study: primary=%s scenario=%q config=6+6+6\n",
+		assets.HonoluluCC, scenario)
+	fmt.Printf("%-4s %-16s %-16s %8s  %s\n", "rank", "second", "datacenter", "green", "profile")
+	for i, c := range candidates {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%-4d %-16s %-16s %7.1f%%  %s\n",
+			i+1, c.Placement.Second, c.Placement.DataCenter,
+			100*c.Outcome.Profile.Probability(opstate.Green), c.Outcome.Profile)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests in -short mode")
+	}
+	modes := [][]string{
+		{"-realizations", "50", "-scenario", "hurricane"},
+		{"-realizations", "50", "-scenario", "both", "-pairs", "-top", "3"},
+	}
+	for _, args := range modes {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	if err := run([]string{"-scenario", "nope"}); err == nil {
+		t.Error("bad scenario should fail")
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunConfigsAndScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests in -short mode")
+	}
+	cases := [][]string{
+		{"-config", "2", "-scenario", "intrusion"},
+		{"-config", "6-6", "-scenario", "both", "-flood", "primary"},
+		{"-config", "3+3+3+3", "-scenario", "isolation"},
+		{"-config", "6", "-scenario", "isolation", "-attack-end", "60s"},
+		{"-config", "2-2", "-scenario", "hurricane", "-flood", "all", "-restore", "50s"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	bad := [][]string{
+		{"-config", "nope"},
+		{"-scenario", "tsunami"},
+		{"-flood", "everything"},
+		{"-config", "2", "-flood", "primary+second"}, // "2" has one site
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package compoundthreat
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API end to end on a small
+// ensemble: build the case study, evaluate a figure, render it.
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study generation in -short mode")
+	}
+	cs, err := NewOahuCaseStudy(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := FigureByID(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cs.EvaluateFigure(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 5 {
+		t.Fatalf("outcomes = %d, want 5", len(res.Outcomes))
+	}
+	var sb strings.Builder
+	if err := WriteFigure(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig. 6") {
+		t.Errorf("rendered figure missing title:\n%s", sb.String())
+	}
+	var csv strings.Builder
+	if err := WriteFigureCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "figure,config") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestFacadeAttack(t *testing.T) {
+	configs, err := StandardConfigs(Placement{
+		Primary: HonoluluCC, Second: Waiau, DataCenter: DRFortress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WorstCaseAttack(configs[0], []bool{false}, HurricaneIntrusion.Capability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != Gray {
+		t.Errorf("attack on '2' = %v, want gray", res.State)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	configs, err := StandardConfigs(Placement{
+		Primary: HonoluluCC, Second: Waiau, DataCenter: DRFortress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := configs[0] // "2"
+	res, err := SimulateSCADA(cfg, SimulationScenario{
+		Flooded: []bool{false},
+	}, DefaultSimulationParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != Green {
+		t.Errorf("baseline simulation = %v, want green", res.State)
+	}
+}
+
+func TestFacadeOahuData(t *testing.T) {
+	inv := OahuAssets()
+	if inv.Len() < 20 {
+		t.Errorf("Oahu inventory = %d assets", inv.Len())
+	}
+	tm := OahuTerrain()
+	if tm.Name() != "Oahu" {
+		t.Errorf("terrain name = %q", tm.Name())
+	}
+	if got := OahuScenario().Realizations; got != 1000 {
+		t.Errorf("Oahu ensemble size = %d, want 1000", got)
+	}
+	if len(Scenarios()) != 4 {
+		t.Error("want 4 threat scenarios")
+	}
+}

@@ -1,0 +1,125 @@
+package compoundthreat_test
+
+import (
+	"fmt"
+	"log"
+
+	compoundthreat "compoundthreat"
+)
+
+// ExampleWorstCaseAttack shows the paper's worst-case attacker against
+// the "6+6+6" configuration with the primary site already flooded: the
+// attacker isolates the second control center, leaving only the data
+// center — fewer than the two sites the architecture needs.
+func ExampleWorstCaseAttack() {
+	configs, err := compoundthreat.StandardConfigs(compoundthreat.Placement{
+		Primary:    compoundthreat.HonoluluCC,
+		Second:     compoundthreat.Waiau,
+		DataCenter: compoundthreat.DRFortress,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := configs[4] // "6+6+6"
+	flooded := []bool{true, false, false}
+	res, err := compoundthreat.WorstCaseAttack(
+		cfg, flooded, compoundthreat.HurricaneIsolation.Capability())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("state:", res.State)
+	fmt.Println("isolated sites:", res.Plan.IsolatedSites)
+	// Output:
+	// state: red
+	// isolated sites: [1]
+}
+
+// ExampleStandardConfigs lists the paper's five configurations.
+func ExampleStandardConfigs() {
+	configs, err := compoundthreat.StandardConfigs(compoundthreat.Placement{
+		Primary:    compoundthreat.HonoluluCC,
+		Second:     compoundthreat.Waiau,
+		DataCenter: compoundthreat.DRFortress,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range configs {
+		fmt.Printf("%-8s %-18s replicas=%d\n", c.Name, c.Arch, c.TotalReplicas())
+	}
+	// Output:
+	// 2        single-site        replicas=2
+	// 2-2      primary-backup     replicas=4
+	// 6        single-site        replicas=6
+	// 6-6      primary-backup     replicas=12
+	// 6+6+6    active-replication replicas=18
+}
+
+// ExampleScenarios shows each threat scenario's attacker capability.
+func ExampleScenarios() {
+	for _, sc := range compoundthreat.Scenarios() {
+		cap := sc.Capability()
+		fmt.Printf("%-46s intrusions=%d isolations=%d\n", sc, cap.Intrusions, cap.Isolations)
+	}
+	// Output:
+	// Hurricane                                      intrusions=0 isolations=0
+	// Hurricane + Server Intrusion                   intrusions=1 isolations=0
+	// Hurricane + Site Isolation                     intrusions=0 isolations=1
+	// Hurricane + Server Intrusion + Site Isolation  intrusions=1 isolations=1
+}
+
+// ExampleSimulateSCADA runs the "2-2" configuration as a live system
+// with its primary control center isolated by the attacker: the cold
+// backup restores operation after the activation delay, which the
+// measured classification reports as orange.
+func ExampleSimulateSCADA() {
+	configs, err := compoundthreat.StandardConfigs(compoundthreat.Placement{
+		Primary:    compoundthreat.HonoluluCC,
+		Second:     compoundthreat.Waiau,
+		DataCenter: compoundthreat.DRFortress,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := configs[1] // "2-2"
+	res, err := compoundthreat.SimulateSCADA(cfg, compoundthreat.SimulationScenario{
+		Flooded:  []bool{false, false},
+		Isolated: []int{0},
+	}, compoundthreat.DefaultSimulationParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("measured state:", res.State)
+	// Output:
+	// measured state: orange
+}
+
+// ExampleWithDependencies shows infrastructure interdependency: a
+// control center that requires a telecom hub fails whenever the hub
+// does, even if the site itself stays dry.
+func ExampleWithDependencies() {
+	cfg := compoundthreat.OahuScenario()
+	cfg.Realizations = 4
+	base, err := compoundthreat.NewEnsembleFromDepths(cfg,
+		[]string{"cc", "telecom"},
+		[][]float64{
+			{0, 0}, // calm
+			{0, 2}, // telecom floods
+			{2, 0}, // control center floods
+			{0, 0}, // calm
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	deps, err := compoundthreat.WithDependencies(base, compoundthreat.DependencyMap{
+		"cc": {"telecom"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, _ := base.FailureRate("cc")
+	effective, _ := deps.FailureRate("cc")
+	fmt.Printf("direct: %.2f effective: %.2f\n", direct, effective)
+	// Output:
+	// direct: 0.25 effective: 0.50
+}

@@ -1,0 +1,134 @@
+// Customtopology: apply the compound-threat framework to a region of
+// your own. This example builds a fictional island ("Kaimana") with a
+// shallow exposed south shore and a sheltered interior, places three
+// candidate control sites, generates a hurricane ensemble, and
+// compares the five standard SCADA configurations under the full
+// compound threat.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	compoundthreat "compoundthreat"
+	"compoundthreat/internal/geo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("customtopology: ")
+
+	tm, inv, err := buildRegion()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A Category-2 storm track passing south of the island, with the
+	// same perturbation structure as the Oahu study.
+	ensembleCfg := compoundthreat.OahuScenario()
+	ensembleCfg.Realizations = 300
+	ensembleCfg.Base.ReferencePoint = geo.Point{Lat: 18.62, Lon: -160.78}
+	ensemble, err := compoundthreat.GenerateEnsemble(
+		tm, compoundthreat.DefaultSurgeParams(), inv, ensembleCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range inv.ControlSiteCandidates() {
+		rate, err := ensemble.FailureRate(a.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("P(%s floods) = %.1f%%\n", a.ID, 100*rate)
+	}
+	fmt.Println()
+
+	// Analyze the standard configurations under the severest scenario.
+	configs, err := compoundthreat.StandardConfigs(compoundthreat.Placement{
+		Primary: "south-cc", Second: "north-cc", DataCenter: "inland-dc",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcomes, err := compoundthreat.AnalyzeConfigs(
+		ensemble, configs, compoundthreat.HurricaneIntrusionIsolation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := compoundthreat.FigureResult{
+		Figure: compoundthreat.Figure{
+			ID:    99,
+			Title: "Operational Profiles on Kaimana (full compound threat)",
+		},
+		Outcomes: outcomes,
+	}
+	if err := compoundthreat.WriteFigure(os.Stdout, res); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildRegion defines the fictional island and its assets.
+func buildRegion() (*compoundthreat.TerrainModel, *compoundthreat.Inventory, error) {
+	tm, err := compoundthreat.NewTerrain(compoundthreat.TerrainConfig{
+		Name:   "Kaimana",
+		Origin: geo.Point{Lat: 19.0, Lon: -160.5},
+		Coastline: []geo.Point{
+			{Lat: 18.88, Lon: -160.70},
+			{Lat: 18.86, Lon: -160.50},
+			{Lat: 18.90, Lon: -160.32},
+			{Lat: 19.05, Lon: -160.28},
+			{Lat: 19.14, Lon: -160.42},
+			{Lat: 19.12, Lon: -160.62},
+			{Lat: 19.00, Lon: -160.72},
+		},
+		CoastalRampSlope:        0.004,
+		CoastalPlainWidthMeters: 3000,
+		InlandSlope:             0.025,
+		OffshoreSlope:           0.02,
+		Shelves: []compoundthreat.Shelf{{
+			// A shallow reef shelf makes the south shore surge-prone.
+			Name:         "SouthReef",
+			Center:       geo.Point{Lat: 18.85, Lon: -160.50},
+			RadiusMeters: 15000,
+			SlopeFactor:  0.35,
+		}},
+		Zones: []compoundthreat.Zone{{
+			// The southern lowlands flood as one unit.
+			Name:         "SouthLowlands",
+			Center:       geo.Point{Lat: 18.90, Lon: -160.50},
+			RadiusMeters: 9000,
+		}},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	inv, err := compoundthreat.NewInventory([]compoundthreat.Asset{
+		{
+			ID: "south-cc", Name: "South Shore Control Center", Type: compoundthreat.ControlCenterAsset,
+			Location:              geo.Point{Lat: 18.872, Lon: -160.50},
+			GroundElevationMeters: 0.5,
+			ControlSiteCandidate:  true,
+		},
+		{
+			ID: "north-cc", Name: "North Coast Plant", Type: compoundthreat.PowerPlantAsset,
+			Location:              geo.Point{Lat: 19.11, Lon: -160.45},
+			GroundElevationMeters: 7.0,
+			ControlSiteCandidate:  true,
+		},
+		{
+			ID: "inland-dc", Name: "Inland Data Center", Type: compoundthreat.DataCenterAsset,
+			Location:              geo.Point{Lat: 19.00, Lon: -160.50},
+			GroundElevationMeters: 40.0,
+			ControlSiteCandidate:  true,
+		},
+		{
+			ID: "harbor-sub", Name: "Harbor Substation", Type: compoundthreat.SubstationAsset,
+			Location:              geo.Point{Lat: 18.88, Lon: -160.45},
+			GroundElevationMeters: 2.0,
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tm, inv, nil
+}

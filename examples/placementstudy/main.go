@@ -1,0 +1,88 @@
+// Placementstudy: reproduce the paper's §VII finding — moving the
+// second control center from Waiau to Kahe dramatically improves
+// resilience because Kahe's flooding is uncorrelated with Honolulu's —
+// and then answer the paper's open question by searching every
+// candidate placement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	compoundthreat "compoundthreat"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("placementstudy: ")
+
+	cs, err := compoundthreat.NewOahuCaseStudy(500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ensemble := cs.Ensemble()
+
+	// Part 1: the paper's Waiau vs Kahe comparison for "6-6" under
+	// hurricane + server intrusion (Figures 7 vs 11).
+	fmt.Println("part 1: second control center comparison ('6-6', hurricane + intrusion)")
+	for _, second := range []string{compoundthreat.Waiau, compoundthreat.Kahe} {
+		configs, err := compoundthreat.StandardConfigs(compoundthreat.Placement{
+			Primary:    compoundthreat.HonoluluCC,
+			Second:     second,
+			DataCenter: compoundthreat.DRFortress,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, cfg := range configs {
+			if cfg.Name != "6-6" {
+				continue
+			}
+			o, err := compoundthreat.Analyze(ensemble, cfg, compoundthreat.HurricaneIntrusion)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  backup at %-14s -> %s\n", second, o.Profile)
+		}
+	}
+	fmt.Println()
+
+	// Part 2: the paper's open question — search every candidate
+	// second site with DRFortress fixed, for "6+6+6" under the full
+	// compound threat.
+	fmt.Println("part 2: ranked second sites ('6+6+6', full compound threat)")
+	candidates, err := compoundthreat.SearchSecondSites(compoundthreat.PlacementRequest{
+		Ensemble:  ensemble,
+		Inventory: compoundthreat.OahuAssets(),
+		Primary:   compoundthreat.HonoluluCC,
+		Scenario:  compoundthreat.HurricaneIntrusionIsolation,
+	}, compoundthreat.DRFortress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, c := range candidates {
+		fmt.Printf("  %d. %-16s score=%.3f  %s\n",
+			i+1, c.Placement.Second, c.Score, c.Outcome.Profile)
+	}
+	fmt.Println()
+
+	// Part 3: full (second, data center) pair search under hurricane
+	// only — where placement makes "6+6+6" perfectly available.
+	fmt.Println("part 3: best (second, data center) pairs ('6+6+6', hurricane only)")
+	pairs, err := compoundthreat.SearchPlacements(compoundthreat.PlacementRequest{
+		Ensemble:  ensemble,
+		Inventory: compoundthreat.OahuAssets(),
+		Primary:   compoundthreat.HonoluluCC,
+		Scenario:  compoundthreat.Hurricane,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, c := range pairs {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d. second=%-16s dc=%-16s score=%.3f\n",
+			i+1, c.Placement.Second, c.Placement.DataCenter, c.Score)
+	}
+}

@@ -1,0 +1,3 @@
+module compoundthreat
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package analysis is the paper's primary contribution: the
+// data-centric compound-threat analysis pipeline of Figure 5.
+//
+// For every hurricane realization in an ensemble, the pipeline derives
+// the post-natural-disaster system state (which control sites are
+// flooded), applies the worst-case cyberattack for the chosen threat
+// scenario, evaluates the resulting operational state (Table I), and
+// aggregates outcome probabilities over the ensemble.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+
+	"compoundthreat/internal/attack"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/stats"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// DisasterEnsemble is the disaster-agnostic view of a realization
+// ensemble: the analysis pipeline only needs to know, per realization,
+// which assets the disaster took out. hazard.Ensemble (hurricanes) and
+// seismic.Ensemble (earthquakes) both satisfy it.
+type DisasterEnsemble interface {
+	// Size returns the number of realizations.
+	Size() int
+	// FailureVector returns, for realization r, the failed flags for
+	// the given asset IDs in order.
+	FailureVector(r int, assetIDs []string) ([]bool, error)
+	// FailureRate returns the fraction of realizations in which the
+	// asset fails.
+	FailureRate(assetID string) (float64, error)
+}
+
+// Outcome is the result of analyzing one configuration under one
+// threat scenario.
+type Outcome struct {
+	// Config is the analyzed SCADA configuration.
+	Config topology.Config
+	// Scenario is the threat scenario applied.
+	Scenario threat.Scenario
+	// Profile is the distribution of operational states over the
+	// ensemble.
+	Profile *stats.Profile
+}
+
+// Run analyzes one configuration under one scenario across the whole
+// ensemble.
+func Run(e DisasterEnsemble, cfg topology.Config, scenario threat.Scenario) (Outcome, error) {
+	if e == nil {
+		return Outcome{}, errors.New("analysis: nil ensemble")
+	}
+	if !scenario.Valid() {
+		return Outcome{}, fmt.Errorf("analysis: invalid scenario %d", int(scenario))
+	}
+	if err := cfg.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	siteAssets := make([]string, len(cfg.Sites))
+	for i, s := range cfg.Sites {
+		siteAssets[i] = s.AssetID
+	}
+	cap := scenario.Capability()
+	profile := stats.NewProfile()
+	for r := 0; r < e.Size(); r++ {
+		flooded, err := e.FailureVector(r, siteAssets)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("analysis: %s realization %d: %w", cfg.Name, r, err)
+		}
+		res, err := attack.WorstCase(cfg, flooded, cap)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("analysis: %s realization %d: %w", cfg.Name, r, err)
+		}
+		profile.Add(res.State)
+	}
+	return Outcome{Config: cfg, Scenario: scenario, Profile: profile}, nil
+}
+
+// RunConfigs analyzes several configurations under one scenario.
+func RunConfigs(e DisasterEnsemble, configs []topology.Config, scenario threat.Scenario) ([]Outcome, error) {
+	if len(configs) == 0 {
+		return nil, errors.New("analysis: no configurations")
+	}
+	out := make([]Outcome, 0, len(configs))
+	for _, cfg := range configs {
+		o, err := Run(e, cfg, scenario)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// RunMatrix analyzes every configuration under every scenario,
+// returning results keyed by scenario in the paper's presentation
+// order.
+func RunMatrix(e DisasterEnsemble, configs []topology.Config) (map[threat.Scenario][]Outcome, error) {
+	out := make(map[threat.Scenario][]Outcome, len(threat.Scenarios()))
+	for _, sc := range threat.Scenarios() {
+		res, err := RunConfigs(e, configs, sc)
+		if err != nil {
+			return nil, err
+		}
+		out[sc] = res
+	}
+	return out, nil
+}
+
+// SiteFailureProbability returns the fraction of realizations in which
+// the asset hosting a site floods — the per-site disaster marginal the
+// discussion in §VI-A is built on.
+func SiteFailureProbability(e DisasterEnsemble, assetID string) (float64, error) {
+	if e == nil {
+		return 0, errors.New("analysis: nil ensemble")
+	}
+	return e.FailureRate(assetID)
+}
+
+// StateProbabilities flattens an outcome into per-state probabilities
+// in severity order (green, orange, red, gray).
+func StateProbabilities(o Outcome) []float64 {
+	out := make([]float64, 0, 4)
+	for _, s := range opstate.States() {
+		out = append(out, o.Profile.Probability(s))
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+func TestRunDowntimeHurricaneOnly(t *testing.T) {
+	e := syntheticEnsemble(t)
+	m := DefaultDowntimeModel()
+	// "2" at p: red (flooded) in 3/10 realizations -> 0.3 * FloodRepair.
+	o, err := RunDowntime(e, topology.NewConfig2("p"), threat.Hurricane, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(0.3 * float64(m.FloodRepair))
+	if o.ExpectedDowntime != want {
+		t.Errorf("expected downtime = %v, want %v", o.ExpectedDowntime, want)
+	}
+	if o.Downtime.Max != m.FloodRepair.Seconds() {
+		t.Errorf("max downtime = %v s, want %v s", o.Downtime.Max, m.FloodRepair.Seconds())
+	}
+	if o.Downtime.Min != 0 {
+		t.Errorf("min downtime = %v, want 0", o.Downtime.Min)
+	}
+}
+
+func TestRunDowntimeCauseAttribution(t *testing.T) {
+	e := syntheticEnsemble(t)
+	m := DefaultDowntimeModel()
+
+	// "6" + isolation: red in every realization, but the cause differs:
+	// realizations 7-9 are flooded (repair), 0-6 are isolation-only
+	// (attack outage).
+	o, err := RunDowntime(e, topology.NewConfig6("p"), threat.HurricaneIsolation, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration((0.7*m.AttackOutage.Seconds() + 0.3*m.FloodRepair.Seconds()) * float64(time.Second))
+	if diff := o.ExpectedDowntime - want; diff > time.Second || diff < -time.Second {
+		t.Errorf("expected downtime = %v, want ~%v", o.ExpectedDowntime, want)
+	}
+
+	// "2" + intrusion: gray in 7/10 (incident response), red-flooded in
+	// 3/10 (repair).
+	o, err = RunDowntime(e, topology.NewConfig2("p"), threat.HurricaneIntrusion, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = time.Duration((0.7*m.IncidentResponse.Seconds() + 0.3*m.FloodRepair.Seconds()) * float64(time.Second))
+	if diff := o.ExpectedDowntime - want; diff > time.Second || diff < -time.Second {
+		t.Errorf("expected downtime = %v, want ~%v", o.ExpectedDowntime, want)
+	}
+}
+
+func TestRunDowntimeOrangeUsesActivation(t *testing.T) {
+	e := syntheticEnsemble(t)
+	m := DefaultDowntimeModel()
+	// "2-2" hurricane: orange only in realization 7 (p floods, s up).
+	o, err := RunDowntime(e, topology.NewConfig22("p", "s"), threat.Hurricane, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration((0.1*m.ColdActivation.Seconds() + 0.2*m.FloodRepair.Seconds()) * float64(time.Second))
+	if diff := o.ExpectedDowntime - want; diff > time.Second || diff < -time.Second {
+		t.Errorf("expected downtime = %v, want ~%v", o.ExpectedDowntime, want)
+	}
+}
+
+func TestDowntimeRanksArchitectures(t *testing.T) {
+	// Under the full compound threat, expected downtime must rank:
+	// 6+6+6 < 6-6 < 2 (gray incident response) ... with the synthetic
+	// ensemble's flood pattern.
+	e := syntheticEnsemble(t)
+	m := DefaultDowntimeModel()
+	get := func(cfg topology.Config) time.Duration {
+		o, err := RunDowntime(e, cfg, threat.HurricaneIntrusionIsolation, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.ExpectedDowntime
+	}
+	d666 := get(topology.NewConfig666("p", "s", "d"))
+	d66 := get(topology.NewConfig66("p", "s"))
+	d2 := get(topology.NewConfig2("p"))
+	if !(d666 < d66 && d66 < d2) {
+		t.Errorf("downtime ranking violated: 6+6+6=%v, 6-6=%v, 2=%v", d666, d66, d2)
+	}
+}
+
+func TestRunDowntimeValidation(t *testing.T) {
+	e := syntheticEnsemble(t)
+	cfg := topology.NewConfig2("p")
+	m := DefaultDowntimeModel()
+	if _, err := RunDowntime(nil, cfg, threat.Hurricane, m); err == nil {
+		t.Error("nil ensemble should error")
+	}
+	if _, err := RunDowntime(e, cfg, threat.Scenario(0), m); err == nil {
+		t.Error("invalid scenario should error")
+	}
+	bad := m
+	bad.FloodRepair = -time.Hour
+	if _, err := RunDowntime(e, cfg, threat.Hurricane, bad); err == nil {
+		t.Error("negative model duration should error")
+	}
+	badCfg := cfg
+	badCfg.Name = ""
+	if _, err := RunDowntime(e, badCfg, threat.Hurricane, m); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := RunDowntimeConfigs(e, nil, threat.Hurricane, m); err == nil {
+		t.Error("no configs should error")
+	}
+	outs, err := RunDowntimeConfigs(e, []topology.Config{cfg}, threat.Hurricane, m)
+	if err != nil || len(outs) != 1 {
+		t.Errorf("RunDowntimeConfigs = %v, %v", outs, err)
+	}
+}

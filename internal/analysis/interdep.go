@@ -1,0 +1,123 @@
+package analysis
+
+// Infrastructure interdependency: the paper's related work ([18]-[20],
+// e.g. Laprie et al.'s electricity-communications interdependency
+// modeling) observes that SCADA sites depend on other infrastructure —
+// notably telecom — that the same disaster can take out. A
+// DependentEnsemble overlays a dependency map on any disaster
+// ensemble: an asset is effectively failed when it fails directly OR
+// any asset it (transitively) depends on fails. A shared telecom hub
+// is then a common-mode failure that geographic diversity of the
+// control sites alone cannot fix.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DependencyMap lists, per asset ID, the support assets it requires to
+// operate (e.g. a control center requiring a telecom hub).
+type DependencyMap map[string][]string
+
+// DependentEnsemble wraps a DisasterEnsemble with interdependencies.
+// It satisfies DisasterEnsemble itself, so dependent analyses compose.
+type DependentEnsemble struct {
+	base DisasterEnsemble
+	// closure[id] is the transitively resolved support set (excluding
+	// id itself), sorted for determinism.
+	closure map[string][]string
+}
+
+// WithDependencies overlays the dependency map on the ensemble. It
+// rejects dependency cycles.
+func WithDependencies(base DisasterEnsemble, deps DependencyMap) (*DependentEnsemble, error) {
+	if base == nil {
+		return nil, errors.New("analysis: nil base ensemble")
+	}
+	closure := make(map[string][]string, len(deps))
+	for id := range deps {
+		seen := map[string]bool{}
+		if err := resolve(id, id, deps, seen); err != nil {
+			return nil, err
+		}
+		delete(seen, id)
+		set := make([]string, 0, len(seen))
+		for d := range seen {
+			set = append(set, d)
+		}
+		sort.Strings(set)
+		closure[id] = set
+	}
+	return &DependentEnsemble{base: base, closure: closure}, nil
+}
+
+// resolve walks the dependency graph from root, collecting every
+// reachable support asset into seen and rejecting cycles back to root.
+func resolve(root, id string, deps DependencyMap, seen map[string]bool) error {
+	if seen[id] {
+		return nil
+	}
+	seen[id] = true
+	for _, d := range deps[id] {
+		if d == root {
+			return fmt.Errorf("analysis: dependency cycle through %q", root)
+		}
+		if err := resolve(root, d, deps, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Size returns the number of realizations.
+func (de *DependentEnsemble) Size() int { return de.base.Size() }
+
+// FailureVector returns effective failures: direct failure or the
+// failure of any (transitive) support asset.
+func (de *DependentEnsemble) FailureVector(r int, assetIDs []string) ([]bool, error) {
+	out := make([]bool, len(assetIDs))
+	for i, id := range assetIDs {
+		f, err := de.failed(r, id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func (de *DependentEnsemble) failed(r int, id string) (bool, error) {
+	group := append([]string{id}, de.closure[id]...)
+	vec, err := de.base.FailureVector(r, group)
+	if err != nil {
+		return false, err
+	}
+	for _, f := range vec {
+		if f {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// FailureRate returns the effective failure rate of the asset.
+func (de *DependentEnsemble) FailureRate(assetID string) (float64, error) {
+	var n int
+	for r := 0; r < de.base.Size(); r++ {
+		f, err := de.failed(r, assetID)
+		if err != nil {
+			return 0, err
+		}
+		if f {
+			n++
+		}
+	}
+	return float64(n) / float64(de.base.Size()), nil
+}
+
+// Dependencies returns the resolved (transitive) support set of an
+// asset, sorted.
+func (de *DependentEnsemble) Dependencies(assetID string) []string {
+	return append([]string(nil), de.closure[assetID]...)
+}

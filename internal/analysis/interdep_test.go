@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// interdepEnsemble: 10 realizations over assets p, s, telecom.
+//
+//   - realizations 0-6: nothing fails
+//   - realization 7: telecom fails (p and s physically fine)
+//   - realizations 8-9: p fails directly
+func interdepEnsemble(t *testing.T) *hazard.Ensemble {
+	t.Helper()
+	cfg := hazard.OahuScenario()
+	cfg.Realizations = 10
+	rows := make([][]float64, 10)
+	for r := range rows {
+		rows[r] = []float64{0, 0, 0}
+	}
+	rows[7][2] = 1                // telecom
+	rows[8][0], rows[9][0] = 1, 1 // p
+	e, err := hazard.NewEnsembleFromDepths(cfg, []string{"p", "s", "telecom"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestWithDependenciesRates(t *testing.T) {
+	e := interdepEnsemble(t)
+	de, err := WithDependencies(e, DependencyMap{
+		"p": {"telecom"},
+		"s": {"telecom"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de.Size() != 10 {
+		t.Errorf("Size = %d", de.Size())
+	}
+	// p: direct failures (2) + telecom failure (1) = 0.3.
+	rate, err := de.FailureRate("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0.3 {
+		t.Errorf("effective P(p fails) = %v, want 0.3", rate)
+	}
+	// s: only via telecom = 0.1.
+	rate, err = de.FailureRate("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0.1 {
+		t.Errorf("effective P(s fails) = %v, want 0.1", rate)
+	}
+	// telecom itself: unchanged.
+	rate, err = de.FailureRate("telecom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0.1 {
+		t.Errorf("P(telecom fails) = %v, want 0.1", rate)
+	}
+}
+
+func TestSharedDependencyDefeatsDiversity(t *testing.T) {
+	// A "2-2" whose primary and backup share a telecom hub: when the
+	// hub fails, geographic diversity does not help — both sites are
+	// effectively down (red), exactly the interdependency literature's
+	// point.
+	e := interdepEnsemble(t)
+	de, err := WithDependencies(e, DependencyMap{
+		"p": {"telecom"},
+		"s": {"telecom"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Run(de, topology.NewConfig22("p", "s"), threat.Hurricane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Realization 7: both sites lose comms -> red. Realizations 8-9: p
+	// direct, s fine -> orange.
+	if got := o.Profile.Probability(opstate.Red); got != 0.1 {
+		t.Errorf("P(red) = %v, want 0.1 (shared-hub realization)", got)
+	}
+	if got := o.Profile.Probability(opstate.Orange); got != 0.2 {
+		t.Errorf("P(orange) = %v, want 0.2", got)
+	}
+
+	// Without the shared dependency the hub failure is harmless.
+	plain, err := Run(e, topology.NewConfig22("p", "s"), threat.Hurricane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.Profile.Probability(opstate.Red); got != 0 {
+		t.Errorf("plain P(red) = %v, want 0", got)
+	}
+}
+
+func TestTransitiveDependencies(t *testing.T) {
+	e := interdepEnsemble(t)
+	// p -> s -> telecom: p fails whenever telecom does.
+	de, err := WithDependencies(e, DependencyMap{
+		"p": {"s"},
+		"s": {"telecom"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := de.Dependencies("p")
+	if len(deps) != 2 || deps[0] != "s" || deps[1] != "telecom" {
+		t.Errorf("transitive deps of p = %v, want [s telecom]", deps)
+	}
+	rate, err := de.FailureRate("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0.3 {
+		t.Errorf("transitive effective rate = %v, want 0.3", rate)
+	}
+}
+
+func TestDependencyCycleRejected(t *testing.T) {
+	e := interdepEnsemble(t)
+	_, err := WithDependencies(e, DependencyMap{
+		"p": {"s"},
+		"s": {"p"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle should be rejected, got %v", err)
+	}
+	// Self-dependency is a cycle too.
+	_, err = WithDependencies(e, DependencyMap{"p": {"p"}})
+	if err == nil {
+		t.Error("self-dependency should be rejected")
+	}
+	if _, err := WithDependencies(nil, nil); err == nil {
+		t.Error("nil base should be rejected")
+	}
+}
+
+func TestDependentEnsembleUnknownAsset(t *testing.T) {
+	e := interdepEnsemble(t)
+	de, err := WithDependencies(e, DependencyMap{"p": {"nope"}})
+	if err != nil {
+		t.Fatal(err) // construction succeeds; failure surfaces on use
+	}
+	if _, err := de.FailureRate("p"); err == nil {
+		t.Error("unknown support asset should surface an error")
+	}
+	if _, err := de.FailureVector(0, []string{"nope"}); err == nil {
+		t.Error("unknown asset should error")
+	}
+}

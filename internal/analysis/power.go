@@ -1,0 +1,99 @@
+package analysis
+
+// Attacker-power sweep: the §VII extension. Instead of the binary
+// worst-case attacker, sweep the per-attempt success probability from
+// 0 (hurricane only) to 1 (the paper's worst case) and trace how each
+// configuration's operational profile degrades.
+
+import (
+	"errors"
+	"fmt"
+
+	"compoundthreat/internal/attack"
+	"compoundthreat/internal/stats"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// PowerPoint is one point of an attacker-power sweep.
+type PowerPoint struct {
+	// Success is the per-attempt success probability (applied to both
+	// intrusion and isolation attempts).
+	Success float64
+	// Profile aggregates outcomes over realizations and attack trials.
+	Profile *stats.Profile
+}
+
+// PowerSweepRequest parameterizes a sweep.
+type PowerSweepRequest struct {
+	// Ensemble is the disaster realization ensemble.
+	Ensemble DisasterEnsemble
+	// Config is the configuration under study.
+	Config topology.Config
+	// Capability is the attacker's attempt budget.
+	Capability threat.Capability
+	// Successes are the probability grid points (each in [0, 1]).
+	Successes []float64
+	// TrialsPerRealization is how many attack-randomness draws to run
+	// per hurricane realization (default 1).
+	TrialsPerRealization int
+	// Seed drives the attack randomness.
+	Seed int64
+}
+
+func (r PowerSweepRequest) validate() error {
+	switch {
+	case r.Ensemble == nil:
+		return errors.New("analysis: nil ensemble")
+	case len(r.Successes) == 0:
+		return errors.New("analysis: no sweep points")
+	case r.TrialsPerRealization < 0:
+		return errors.New("analysis: negative trials")
+	}
+	for _, s := range r.Successes {
+		if s < 0 || s > 1 {
+			return fmt.Errorf("analysis: success probability %v out of [0, 1]", s)
+		}
+	}
+	return r.Config.Validate()
+}
+
+// RunPowerSweep evaluates the configuration across the success grid.
+func RunPowerSweep(req PowerSweepRequest) ([]PowerPoint, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	trials := req.TrialsPerRealization
+	if trials == 0 {
+		trials = 1
+	}
+	siteAssets := make([]string, len(req.Config.Sites))
+	for i, s := range req.Config.Sites {
+		siteAssets[i] = s.AssetID
+	}
+	out := make([]PowerPoint, 0, len(req.Successes))
+	for pi, success := range req.Successes {
+		power := attack.Power{
+			Capability:       req.Capability,
+			IntrusionSuccess: success,
+			IsolationSuccess: success,
+		}
+		profile := stats.NewProfile()
+		for r := 0; r < req.Ensemble.Size(); r++ {
+			flooded, err := req.Ensemble.FailureVector(r, siteAssets)
+			if err != nil {
+				return nil, err
+			}
+			// Seed per (point, realization) so points are independent
+			// and runs reproducible.
+			seed := req.Seed + int64(pi)*1e9 + int64(r)
+			p, err := attack.ProfileUnderPower(req.Config, flooded, power, trials, seed)
+			if err != nil {
+				return nil, err
+			}
+			profile.Merge(p)
+		}
+		out = append(out, PowerPoint{Success: success, Profile: profile})
+	}
+	return out, nil
+}

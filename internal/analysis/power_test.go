@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"testing"
+
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+func TestRunPowerSweepEndpoints(t *testing.T) {
+	e := syntheticEnsemble(t)
+	cfg := topology.NewConfig2("p")
+	points, err := RunPowerSweep(PowerSweepRequest{
+		Ensemble:   e,
+		Config:     cfg,
+		Capability: threat.HurricaneIntrusion.Capability(),
+		Successes:  []float64{0, 1},
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	// Success 0 == hurricane only: green 0.7 / red 0.3.
+	if got := points[0].Profile.Probability(opstate.Green); got != 0.7 {
+		t.Errorf("p=0: P(green) = %v, want 0.7", got)
+	}
+	// Success 1 == worst case: gray 0.7 / red 0.3.
+	if got := points[1].Profile.Probability(opstate.Gray); got != 0.7 {
+		t.Errorf("p=1: P(gray) = %v, want 0.7", got)
+	}
+}
+
+func TestRunPowerSweepMonotone(t *testing.T) {
+	e := syntheticEnsemble(t)
+	cfg := topology.NewConfig2("p")
+	points, err := RunPowerSweep(PowerSweepRequest{
+		Ensemble:             e,
+		Config:               cfg,
+		Capability:           threat.HurricaneIntrusion.Capability(),
+		Successes:            []float64{0, 0.25, 0.5, 0.75, 1},
+		TrialsPerRealization: 200,
+		Seed:                 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGray := -1.0
+	for _, pt := range points {
+		gray := pt.Profile.Probability(opstate.Gray)
+		if gray < prevGray-0.03 {
+			t.Errorf("gray mass decreased with power at p=%v: %v -> %v", pt.Success, prevGray, gray)
+		}
+		prevGray = gray
+		// Every profile is a full distribution over the ensemble.
+		if pt.Profile.Total() != e.Size()*200 {
+			t.Errorf("p=%v: total = %d, want %d", pt.Success, pt.Profile.Total(), e.Size()*200)
+		}
+	}
+	// The midpoint must lie strictly between the endpoints.
+	mid := points[2].Profile.Probability(opstate.Gray)
+	if mid <= 0.05 || mid >= 0.65 {
+		t.Errorf("p=0.5: P(gray) = %v, want strictly interior", mid)
+	}
+}
+
+func TestRunPowerSweepValidation(t *testing.T) {
+	e := syntheticEnsemble(t)
+	cfg := topology.NewConfig2("p")
+	tests := []struct {
+		name string
+		req  PowerSweepRequest
+	}{
+		{"nil ensemble", PowerSweepRequest{Config: cfg, Successes: []float64{1}}},
+		{"no points", PowerSweepRequest{Ensemble: e, Config: cfg}},
+		{
+			"out of range",
+			PowerSweepRequest{Ensemble: e, Config: cfg, Successes: []float64{1.5}},
+		},
+		{
+			"negative trials",
+			PowerSweepRequest{Ensemble: e, Config: cfg, Successes: []float64{1}, TrialsPerRealization: -1},
+		},
+		{
+			"bad config",
+			PowerSweepRequest{Ensemble: e, Config: topology.Config{}, Successes: []float64{1}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := RunPowerSweep(tt.req); err == nil {
+				t.Error("RunPowerSweep should fail")
+			}
+		})
+	}
+}

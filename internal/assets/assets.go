@@ -1,0 +1,148 @@
+// Package assets defines the power-grid asset inventory: control
+// centers, data centers, power plants, and substations with their
+// geographic locations and surveyed ground elevations. The shipped Oahu
+// inventory mirrors the topology in the paper's Figure 4.
+package assets
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"compoundthreat/internal/geo"
+)
+
+// Type classifies a power asset.
+type Type int
+
+// Asset types.
+const (
+	ControlCenter Type = iota + 1
+	DataCenter
+	PowerPlant
+	Substation
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case ControlCenter:
+		return "control-center"
+	case DataCenter:
+		return "data-center"
+	case PowerPlant:
+		return "power-plant"
+	case Substation:
+		return "substation"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Asset is one power-grid asset.
+type Asset struct {
+	// ID is a stable, unique, kebab-case identifier.
+	ID string `json:"id"`
+	// Name is the human-readable asset name.
+	Name string `json:"name"`
+	// Type classifies the asset.
+	Type Type `json:"type"`
+	// Location is the asset's geodetic position.
+	Location geo.Point `json:"location"`
+	// GroundElevationMeters is the surveyed ground elevation above mean
+	// sea level (used against inundation depth).
+	GroundElevationMeters float64 `json:"groundElevationMeters"`
+	// ControlSiteCandidate marks assets that can host SCADA masters or
+	// replicas (control centers, data centers, and major plants with
+	// control rooms).
+	ControlSiteCandidate bool `json:"controlSiteCandidate"`
+}
+
+// validate reports the first problem with the asset.
+func (a Asset) validate() error {
+	switch {
+	case a.ID == "":
+		return errors.New("assets: asset needs an ID")
+	case a.Name == "":
+		return fmt.Errorf("assets: asset %q needs a name", a.ID)
+	case a.Type < ControlCenter || a.Type > Substation:
+		return fmt.Errorf("assets: asset %q has unknown type %d", a.ID, int(a.Type))
+	case !a.Location.Valid():
+		return fmt.Errorf("assets: asset %q has invalid location %v", a.ID, a.Location)
+	}
+	return nil
+}
+
+// Inventory is an immutable set of assets keyed by ID.
+type Inventory struct {
+	assets []Asset
+	byID   map[string]int
+}
+
+// NewInventory builds an inventory, rejecting duplicate or invalid
+// assets.
+func NewInventory(list []Asset) (*Inventory, error) {
+	if len(list) == 0 {
+		return nil, errors.New("assets: empty inventory")
+	}
+	inv := &Inventory{
+		assets: make([]Asset, len(list)),
+		byID:   make(map[string]int, len(list)),
+	}
+	copy(inv.assets, list)
+	for i, a := range inv.assets {
+		if err := a.validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := inv.byID[a.ID]; dup {
+			return nil, fmt.Errorf("assets: duplicate asset ID %q", a.ID)
+		}
+		inv.byID[a.ID] = i
+	}
+	return inv, nil
+}
+
+// Len returns the number of assets.
+func (inv *Inventory) Len() int { return len(inv.assets) }
+
+// All returns a copy of all assets, sorted by ID.
+func (inv *Inventory) All() []Asset {
+	out := make([]Asset, len(inv.assets))
+	copy(out, inv.assets)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the asset with the given ID.
+func (inv *Inventory) ByID(id string) (Asset, bool) {
+	i, ok := inv.byID[id]
+	if !ok {
+		return Asset{}, false
+	}
+	return inv.assets[i], true
+}
+
+// OfType returns all assets of the given type, sorted by ID.
+func (inv *Inventory) OfType(t Type) []Asset {
+	var out []Asset
+	for _, a := range inv.assets {
+		if a.Type == t {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ControlSiteCandidates returns all assets that can host control sites,
+// sorted by ID.
+func (inv *Inventory) ControlSiteCandidates() []Asset {
+	var out []Asset
+	for _, a := range inv.assets {
+		if a.ControlSiteCandidate {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,220 @@
+package assets
+
+import (
+	"strings"
+	"testing"
+
+	"compoundthreat/internal/geo"
+)
+
+func sampleAssets() []Asset {
+	return []Asset{
+		{
+			ID: "cc-1", Name: "Control Center 1", Type: ControlCenter,
+			Location:             geo.Point{Lat: 21.3, Lon: -157.9},
+			ControlSiteCandidate: true,
+		},
+		{
+			ID: "sub-1", Name: "Substation 1", Type: Substation,
+			Location: geo.Point{Lat: 21.4, Lon: -157.8},
+		},
+		{
+			ID: "dc-1", Name: "Data Center 1", Type: DataCenter,
+			Location:             geo.Point{Lat: 21.35, Lon: -158.0},
+			ControlSiteCandidate: true,
+		},
+	}
+}
+
+func TestNewInventoryValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func([]Asset) []Asset
+		wantErr string
+	}{
+		{"valid", func(a []Asset) []Asset { return a }, ""},
+		{"empty", func(a []Asset) []Asset { return nil }, "empty"},
+		{
+			"duplicate id",
+			func(a []Asset) []Asset { a[1].ID = a[0].ID; return a },
+			"duplicate",
+		},
+		{
+			"missing id",
+			func(a []Asset) []Asset { a[0].ID = ""; return a },
+			"ID",
+		},
+		{
+			"missing name",
+			func(a []Asset) []Asset { a[0].Name = ""; return a },
+			"name",
+		},
+		{
+			"bad type",
+			func(a []Asset) []Asset { a[0].Type = 0; return a },
+			"type",
+		},
+		{
+			"bad location",
+			func(a []Asset) []Asset { a[0].Location = geo.Point{Lat: 95}; return a },
+			"location",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewInventory(tt.mutate(sampleAssets()))
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("NewInventory: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("NewInventory err = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestInventoryLookups(t *testing.T) {
+	inv, err := NewInventory(sampleAssets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Len() != 3 {
+		t.Errorf("Len = %d, want 3", inv.Len())
+	}
+	a, ok := inv.ByID("sub-1")
+	if !ok || a.Name != "Substation 1" {
+		t.Errorf("ByID(sub-1) = %v, %v", a, ok)
+	}
+	if _, ok := inv.ByID("nope"); ok {
+		t.Error("ByID(nope) should miss")
+	}
+	if got := inv.OfType(ControlCenter); len(got) != 1 || got[0].ID != "cc-1" {
+		t.Errorf("OfType(ControlCenter) = %v", got)
+	}
+	if got := inv.ControlSiteCandidates(); len(got) != 2 {
+		t.Errorf("ControlSiteCandidates = %d, want 2", len(got))
+	}
+	all := inv.All()
+	if len(all) != 3 {
+		t.Fatalf("All = %d, want 3", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Error("All not sorted by ID")
+		}
+	}
+}
+
+func TestInventoryDefensiveCopy(t *testing.T) {
+	list := sampleAssets()
+	inv, err := NewInventory(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list[0].Name = "mutated"
+	if a, _ := inv.ByID("cc-1"); a.Name == "mutated" {
+		t.Error("inventory aliased caller slice")
+	}
+	out := inv.All()
+	out[0].Name = "mutated again"
+	if a, _ := inv.ByID(out[0].ID); a.Name == "mutated again" {
+		t.Error("All exposed internal state")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	tests := []struct {
+		t    Type
+		want string
+	}{
+		{ControlCenter, "control-center"},
+		{DataCenter, "data-center"},
+		{PowerPlant, "power-plant"},
+		{Substation, "substation"},
+		{Type(9), "Type(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.t), got, tt.want)
+		}
+	}
+}
+
+func TestOahuValid(t *testing.T) {
+	if _, err := NewInventory(oahuAssets); err != nil {
+		t.Fatalf("Oahu inventory invalid: %v", err)
+	}
+}
+
+func TestOahuWellKnownAssets(t *testing.T) {
+	inv := Oahu()
+	wellKnown := []struct {
+		id       string
+		typ      Type
+		maxElev  float64
+		minElev  float64
+		hostSite bool
+	}{
+		{HonoluluCC, ControlCenter, 3, 0, true},
+		{Waiau, PowerPlant, 2, 0, true},
+		{Kahe, PowerPlant, 15, 5, true},
+		{DRFortress, DataCenter, 10, 3, true},
+		{AlohaNAP, DataCenter, 50, 10, true},
+	}
+	for _, w := range wellKnown {
+		a, ok := inv.ByID(w.id)
+		if !ok {
+			t.Fatalf("missing well-known asset %q", w.id)
+		}
+		if a.Type != w.typ {
+			t.Errorf("%s type = %v, want %v", w.id, a.Type, w.typ)
+		}
+		if a.GroundElevationMeters < w.minElev || a.GroundElevationMeters > w.maxElev {
+			t.Errorf("%s elevation = %v, want in [%v, %v]", w.id, a.GroundElevationMeters, w.minElev, w.maxElev)
+		}
+		if a.ControlSiteCandidate != w.hostSite {
+			t.Errorf("%s ControlSiteCandidate = %v", w.id, a.ControlSiteCandidate)
+		}
+	}
+}
+
+func TestOahuExposureOrdering(t *testing.T) {
+	// The paper's geography: Honolulu and Waiau are low-lying; Kahe and
+	// the data centers sit clearly higher. This ordering is what the
+	// case-study results depend on.
+	inv := Oahu()
+	get := func(id string) Asset {
+		a, ok := inv.ByID(id)
+		if !ok {
+			t.Fatalf("missing %q", id)
+		}
+		return a
+	}
+	hon, wai := get(HonoluluCC), get(Waiau)
+	kahe, drf := get(Kahe), get(DRFortress)
+	if hon.GroundElevationMeters > 2 || wai.GroundElevationMeters > 2 {
+		t.Error("Honolulu and Waiau should both be low-lying (below 2 m)")
+	}
+	if kahe.GroundElevationMeters <= hon.GroundElevationMeters+3 {
+		t.Error("Kahe should be well above Honolulu")
+	}
+	if drf.GroundElevationMeters <= hon.GroundElevationMeters+2 {
+		t.Error("DRFortress should be well above Honolulu")
+	}
+}
+
+func TestOahuInventorySize(t *testing.T) {
+	inv := Oahu()
+	if inv.Len() < 20 {
+		t.Errorf("Oahu inventory has %d assets, want >= 20 (Figure 4 scale)", inv.Len())
+	}
+	if subs := inv.OfType(Substation); len(subs) < 10 {
+		t.Errorf("Oahu inventory has %d substations, want >= 10", len(subs))
+	}
+	if plants := inv.OfType(PowerPlant); len(plants) < 4 {
+		t.Errorf("Oahu inventory has %d plants, want >= 4", len(plants))
+	}
+}

@@ -1,0 +1,147 @@
+package assets
+
+import "compoundthreat/internal/geo"
+
+// Well-known Oahu asset IDs used throughout the case study.
+const (
+	HonoluluCC = "honolulu-cc"
+	Waiau      = "waiau-plant"
+	Kahe       = "kahe-plant"
+	DRFortress = "drfortress-dc"
+	AlohaNAP   = "alohanap-dc"
+)
+
+// oahuAssets is the curated Oahu power-asset inventory (Figure 4 of the
+// paper). Locations are real-world approximate coordinates; ground
+// elevations are curated survey values chosen to reflect each site's
+// true exposure class (low-lying south-shore sites, the elevated
+// leeward Kahe site, inland data centers).
+var oahuAssets = []Asset{
+	{
+		ID: HonoluluCC, Name: "Honolulu Control Center", Type: ControlCenter,
+		Location:              geo.Point{Lat: 21.3100, Lon: -157.8600},
+		GroundElevationMeters: 1.0,
+		ControlSiteCandidate:  true,
+	},
+	{
+		ID: Waiau, Name: "Waiau Power Plant", Type: PowerPlant,
+		Location:              geo.Point{Lat: 21.3810, Lon: -157.9630},
+		GroundElevationMeters: 1.1,
+		ControlSiteCandidate:  true,
+	},
+	{
+		ID: Kahe, Name: "Kahe Power Plant", Type: PowerPlant,
+		Location:              geo.Point{Lat: 21.3550, Lon: -158.1280},
+		GroundElevationMeters: 9.0,
+		ControlSiteCandidate:  true,
+	},
+	{
+		ID: DRFortress, Name: "DRFortress Data Center", Type: DataCenter,
+		Location:              geo.Point{Lat: 21.3520, Lon: -157.9300},
+		GroundElevationMeters: 6.0,
+		ControlSiteCandidate:  true,
+	},
+	{
+		ID: AlohaNAP, Name: "AlohaNAP Data Center", Type: DataCenter,
+		Location:              geo.Point{Lat: 21.3350, Lon: -158.0850},
+		GroundElevationMeters: 30.0,
+		ControlSiteCandidate:  true,
+	},
+	{
+		ID: "kalaeloa-plant", Name: "Kalaeloa Generating Station", Type: PowerPlant,
+		Location:              geo.Point{Lat: 21.3050, Lon: -158.0800},
+		GroundElevationMeters: 4.0,
+	},
+	{
+		ID: "cip-plant", Name: "Campbell Industrial Park Generating Station", Type: PowerPlant,
+		Location:              geo.Point{Lat: 21.3000, Lon: -158.0900},
+		GroundElevationMeters: 4.0,
+	},
+	{
+		ID: "honolulu-plant", Name: "Honolulu Generating Station", Type: PowerPlant,
+		Location:              geo.Point{Lat: 21.3100, Lon: -157.8650},
+		GroundElevationMeters: 2.0,
+	},
+	{
+		ID: "archer-sub", Name: "Archer Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.3050, Lon: -157.8550},
+		GroundElevationMeters: 4.0,
+	},
+	{
+		ID: "iwilei-sub", Name: "Iwilei Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.3150, Lon: -157.8700},
+		GroundElevationMeters: 3.0,
+	},
+	{
+		ID: "school-st-sub", Name: "School Street Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.3200, Lon: -157.8650},
+		GroundElevationMeters: 5.0,
+	},
+	{
+		ID: "kamoku-sub", Name: "Kamoku Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.2800, Lon: -157.8200},
+		GroundElevationMeters: 3.0,
+	},
+	{
+		ID: "pukele-sub", Name: "Pukele Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.2900, Lon: -157.8000},
+		GroundElevationMeters: 40.0,
+	},
+	{
+		ID: "koolau-sub", Name: "Koolau Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.3800, Lon: -157.7900},
+		GroundElevationMeters: 60.0,
+	},
+	{
+		ID: "halawa-sub", Name: "Halawa Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.3700, Lon: -157.9200},
+		GroundElevationMeters: 20.0,
+	},
+	{
+		ID: "makalapa-sub", Name: "Makalapa Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.3500, Lon: -157.9400},
+		GroundElevationMeters: 4.0,
+	},
+	{
+		ID: "ewa-nui-sub", Name: "Ewa Nui Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.3300, Lon: -158.0300},
+		GroundElevationMeters: 5.0,
+	},
+	{
+		ID: "wahiawa-sub", Name: "Wahiawa Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.5000, Lon: -158.0200},
+		GroundElevationMeters: 260.0,
+	},
+	{
+		ID: "waialua-sub", Name: "Waialua Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.5770, Lon: -158.1200},
+		GroundElevationMeters: 6.0,
+	},
+	{
+		ID: "kahuku-sub", Name: "Kahuku Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.6800, Lon: -157.9500},
+		GroundElevationMeters: 8.0,
+	},
+	{
+		ID: "koolauloa-sub", Name: "Koolauloa Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.6200, Lon: -157.9200},
+		GroundElevationMeters: 12.0,
+	},
+	{
+		ID: "kailua-sub", Name: "Kailua Substation", Type: Substation,
+		Location:              geo.Point{Lat: 21.3950, Lon: -157.7400},
+		GroundElevationMeters: 5.0,
+	},
+}
+
+// Oahu returns the Oahu power-asset inventory. The inventory is static
+// and validated by the package tests, so construction cannot fail at
+// run time.
+func Oahu() *Inventory {
+	inv, err := NewInventory(oahuAssets)
+	if err != nil {
+		// Unreachable for the static dataset; guarded by TestOahuValid.
+		panic("assets: invalid built-in Oahu inventory: " + err.Error())
+	}
+	return inv
+}

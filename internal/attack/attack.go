@@ -1,0 +1,210 @@
+// Package attack implements the paper's worst-case cyberattacker
+// (§V-B): an adversary that observes the post-hurricane system state
+// and targets site isolations and server intrusions to cause the
+// maximum possible damage.
+//
+// Two implementations are provided. WorstCase is the paper's efficient
+// greedy algorithm:
+//
+//  1. If the attacker can compromise enough servers to compromise
+//     system safety, it does so.
+//  2. Otherwise it isolates sites in priority order: primary control
+//     center (if still functioning), then the backup/second control
+//     center, then data centers.
+//  3. Any remaining intrusion budget is spent on servers in functioning
+//     sites.
+//
+// WorstCaseExhaustive enumerates every combination of targets and keeps
+// the worst outcome; the package tests assert the two always agree on
+// the resulting operational state, which is the paper's optimality
+// claim for this threat model and these architectures.
+package attack
+
+import (
+	"fmt"
+
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// Plan records the attacker's chosen actions.
+type Plan struct {
+	// IsolatedSites lists the site indices targeted by isolation.
+	IsolatedSites []int
+	// IntrusionsPerSite counts compromised servers per site index.
+	IntrusionsPerSite []int
+}
+
+// Result is the outcome of the worst-case attack.
+type Result struct {
+	// State is the resulting operational state.
+	State opstate.State
+	// Final is the complete post-attack system state.
+	Final opstate.SystemState
+	// Plan is what the attacker did.
+	Plan Plan
+}
+
+// validateInputs checks the shared preconditions of both attackers.
+func validateInputs(cfg topology.Config, flooded []bool, cap threat.Capability) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if err := cap.Validate(); err != nil {
+		return err
+	}
+	if len(flooded) != len(cfg.Sites) {
+		return fmt.Errorf("attack: flooded vector has %d sites, config %q has %d",
+			len(flooded), cfg.Name, len(cfg.Sites))
+	}
+	return nil
+}
+
+// WorstCase runs the paper's greedy worst-case attack against the
+// post-disaster state and returns the resulting operational state.
+func WorstCase(cfg topology.Config, flooded []bool, cap threat.Capability) (Result, error) {
+	if err := validateInputs(cfg, flooded, cap); err != nil {
+		return Result{}, err
+	}
+	n := len(cfg.Sites)
+	st := opstate.NewSystemState(n)
+	copy(st.Flooded, flooded)
+	plan := Plan{IntrusionsPerSite: make([]int, n)}
+
+	// Rule 1: compromise safety if possible. Safety falls when more
+	// than f servers in functional (non-flooded, non-isolated) sites
+	// are compromised; the attacker simply refrains from isolating the
+	// sites it intrudes.
+	need := cfg.IntrusionsTolerated + 1
+	if cap.Intrusions >= need && placeIntrusions(cfg, st, plan.IntrusionsPerSite, need) {
+		return finish(cfg, st, plan)
+	}
+	// Placement failed or budget too small: undo any partial placement.
+	for i := range plan.IntrusionsPerSite {
+		plan.IntrusionsPerSite[i] = 0
+		st.Intrusions[i] = 0
+	}
+
+	// Rule 2: isolate the most valuable functioning sites first. Sites
+	// are already in priority order (primary, backup/second, data
+	// centers).
+	remaining := cap.Isolations
+	for i := 0; i < n && remaining > 0; i++ {
+		if st.SiteFunctional(i) {
+			st.Isolated[i] = true
+			plan.IsolatedSites = append(plan.IsolatedSites, i)
+			remaining--
+		}
+	}
+
+	// Rule 3: spend the intrusion budget on servers in functioning
+	// sites, reducing the number of correct servers as much as possible.
+	placeIntrusions(cfg, st, plan.IntrusionsPerSite, cap.Intrusions)
+
+	return finish(cfg, st, plan)
+}
+
+// placeIntrusions greedily places up to budget intrusions into
+// functional sites (respecting per-site replica counts), updating both
+// the state and the plan. It reports whether the full budget was
+// placed.
+func placeIntrusions(cfg topology.Config, st opstate.SystemState, perSite []int, budget int) bool {
+	for i := range cfg.Sites {
+		if budget == 0 {
+			break
+		}
+		if !st.SiteFunctional(i) {
+			continue
+		}
+		room := cfg.Sites[i].Replicas - st.Intrusions[i]
+		take := min(room, budget)
+		st.Intrusions[i] += take
+		perSite[i] += take
+		budget -= take
+	}
+	return budget == 0
+}
+
+func finish(cfg topology.Config, st opstate.SystemState, plan Plan) (Result, error) {
+	state, err := opstate.Evaluate(cfg, st)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{State: state, Final: st, Plan: plan}, nil
+}
+
+// WorstCaseExhaustive enumerates every combination of site isolations
+// (within budget) and intrusion placements (within budget and per-site
+// replica limits) and returns the worst resulting operational state.
+// It exists to verify the greedy attacker's optimality; its cost grows
+// exponentially with sites and budgets.
+func WorstCaseExhaustive(cfg topology.Config, flooded []bool, cap threat.Capability) (Result, error) {
+	if err := validateInputs(cfg, flooded, cap); err != nil {
+		return Result{}, err
+	}
+	n := len(cfg.Sites)
+
+	var best *Result
+	consider := func(isolated []bool, intrusions []int) error {
+		st := opstate.NewSystemState(n)
+		copy(st.Flooded, flooded)
+		copy(st.Isolated, isolated)
+		copy(st.Intrusions, intrusions)
+		state, err := opstate.Evaluate(cfg, st)
+		if err != nil {
+			return err
+		}
+		if best == nil || state.Worse(best.State) {
+			plan := Plan{IntrusionsPerSite: append([]int(nil), intrusions...)}
+			for i, iso := range isolated {
+				if iso {
+					plan.IsolatedSites = append(plan.IsolatedSites, i)
+				}
+			}
+			best = &Result{State: state, Final: st, Plan: plan}
+		}
+		return nil
+	}
+
+	isolated := make([]bool, n)
+	intrusions := make([]int, n)
+	var iterIntrusions func(site, budget int) error
+	iterIntrusions = func(site, budget int) error {
+		if site == n {
+			return consider(isolated, intrusions)
+		}
+		maxHere := min(budget, cfg.Sites[site].Replicas)
+		for k := 0; k <= maxHere; k++ {
+			intrusions[site] = k
+			if err := iterIntrusions(site+1, budget-k); err != nil {
+				return err
+			}
+		}
+		intrusions[site] = 0
+		return nil
+	}
+	var iterIsolations func(site, budget int) error
+	iterIsolations = func(site, budget int) error {
+		if site == n {
+			return iterIntrusions(0, cap.Intrusions)
+		}
+		// Not isolating this site.
+		if err := iterIsolations(site+1, budget); err != nil {
+			return err
+		}
+		// Isolating it, if budget remains.
+		if budget > 0 {
+			isolated[site] = true
+			if err := iterIsolations(site+1, budget-1); err != nil {
+				return err
+			}
+			isolated[site] = false
+		}
+		return nil
+	}
+	if err := iterIsolations(0, cap.Isolations); err != nil {
+		return Result{}, err
+	}
+	return *best, nil
+}

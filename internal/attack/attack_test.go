@@ -1,0 +1,257 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+func standardConfigs(t *testing.T) []topology.Config {
+	t.Helper()
+	configs, err := topology.ExtendedConfigs(topology.ExtendedPlacement{
+		Placement:        topology.Placement{Primary: "p", Second: "s", DataCenter: "d"},
+		SecondDataCenter: "d2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return configs
+}
+
+// allFloodCombos enumerates every flooded/not-flooded combination for n
+// sites.
+func allFloodCombos(n int) [][]bool {
+	var out [][]bool
+	for mask := 0; mask < 1<<n; mask++ {
+		f := make([]bool, n)
+		for i := 0; i < n; i++ {
+			f[i] = mask&(1<<i) != 0
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// TestGreedyMatchesExhaustive is the paper's §V-B optimality claim: for
+// the five architectures and the compound threat model, the greedy
+// attacker achieves the same (worst) operational state as exhaustive
+// enumeration — for every flood outcome and every capability up to two
+// intrusions and two isolations.
+func TestGreedyMatchesExhaustive(t *testing.T) {
+	for _, cfg := range standardConfigs(t) {
+		for _, flooded := range allFloodCombos(len(cfg.Sites)) {
+			for intr := 0; intr <= 2; intr++ {
+				for isol := 0; isol <= 2; isol++ {
+					cap := threat.Capability{Intrusions: intr, Isolations: isol}
+					greedy, err := WorstCase(cfg, flooded, cap)
+					if err != nil {
+						t.Fatalf("WorstCase(%s, %v, %+v): %v", cfg.Name, flooded, cap, err)
+					}
+					exhaustive, err := WorstCaseExhaustive(cfg, flooded, cap)
+					if err != nil {
+						t.Fatalf("WorstCaseExhaustive(%s, %v, %+v): %v", cfg.Name, flooded, cap, err)
+					}
+					if greedy.State != exhaustive.State {
+						t.Errorf("%s flooded=%v cap=%+v: greedy=%v exhaustive=%v",
+							cfg.Name, flooded, cap, greedy.State, exhaustive.State)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMoreAttackerPowerNeverHelpsDefender: increasing either budget can
+// never yield a strictly better (less severe) worst-case state.
+func TestMoreAttackerPowerNeverHelpsDefender(t *testing.T) {
+	for _, cfg := range standardConfigs(t) {
+		for _, flooded := range allFloodCombos(len(cfg.Sites)) {
+			prevByIsol := make(map[int]opstate.State)
+			for intr := 0; intr <= 2; intr++ {
+				for isol := 0; isol <= 2; isol++ {
+					res, err := WorstCase(cfg, flooded, threat.Capability{Intrusions: intr, Isolations: isol})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if prev, ok := prevByIsol[isol]; ok && prev.Worse(res.State) {
+						t.Errorf("%s flooded=%v: intr %d->%d at isol=%d improved state %v->%v",
+							cfg.Name, flooded, intr-1, intr, isol, prev, res.State)
+					}
+					prevByIsol[isol] = res.State
+				}
+			}
+		}
+	}
+}
+
+func TestPaperScenarioOutcomes(t *testing.T) {
+	// Spot-check the qualitative per-configuration outcomes the paper
+	// reports for each threat scenario when no site is flooded.
+	configs := standardConfigs(t)
+	byName := map[string]topology.Config{}
+	for _, c := range configs {
+		byName[c.Name] = c
+	}
+	noFlood := func(c topology.Config) []bool { return make([]bool, len(c.Sites)) }
+
+	tests := []struct {
+		config   string
+		scenario threat.Scenario
+		want     opstate.State
+	}{
+		// Hurricane only, nothing flooded: everyone green.
+		{"2", threat.Hurricane, opstate.Green},
+		{"2-2", threat.Hurricane, opstate.Green},
+		{"6", threat.Hurricane, opstate.Green},
+		{"6-6", threat.Hurricane, opstate.Green},
+		{"6+6+6", threat.Hurricane, opstate.Green},
+		// Server intrusion (Fig. 7): non-intrusion-tolerant configs go
+		// gray; intrusion-tolerant ones stay green.
+		{"2", threat.HurricaneIntrusion, opstate.Gray},
+		{"2-2", threat.HurricaneIntrusion, opstate.Gray},
+		{"6", threat.HurricaneIntrusion, opstate.Green},
+		{"6-6", threat.HurricaneIntrusion, opstate.Green},
+		{"6+6+6", threat.HurricaneIntrusion, opstate.Green},
+		// Site isolation (Fig. 8): single-site configs go red,
+		// primary-backup orange, 6+6+6 rides through.
+		{"2", threat.HurricaneIsolation, opstate.Red},
+		{"2-2", threat.HurricaneIsolation, opstate.Orange},
+		{"6", threat.HurricaneIsolation, opstate.Red},
+		{"6-6", threat.HurricaneIsolation, opstate.Orange},
+		{"6+6+6", threat.HurricaneIsolation, opstate.Green},
+		// Both (Fig. 9).
+		{"2", threat.HurricaneIntrusionIsolation, opstate.Gray},
+		{"2-2", threat.HurricaneIntrusionIsolation, opstate.Gray},
+		{"6", threat.HurricaneIntrusionIsolation, opstate.Red},
+		{"6-6", threat.HurricaneIntrusionIsolation, opstate.Orange},
+		{"6+6+6", threat.HurricaneIntrusionIsolation, opstate.Green},
+	}
+	for _, tt := range tests {
+		t.Run(tt.config+"/"+tt.scenario.String(), func(t *testing.T) {
+			cfg := byName[tt.config]
+			res, err := WorstCase(cfg, noFlood(cfg), tt.scenario.Capability())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.State != tt.want {
+				t.Errorf("state = %v, want %v", res.State, tt.want)
+			}
+		})
+	}
+}
+
+func TestFloodedServersCannotBeIntruded(t *testing.T) {
+	// Paper §VI-B: when the hurricane floods every control site, the
+	// attack cannot succeed — red, not gray.
+	cfg := topology.NewConfig22("p", "b")
+	res, err := WorstCase(cfg, []bool{true, true}, threat.Capability{Intrusions: 1, Isolations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != opstate.Red {
+		t.Errorf("all-flooded 2-2 under full attack = %v, want red", res.State)
+	}
+	for i, k := range res.Final.Intrusions {
+		if k != 0 {
+			t.Errorf("intrusion placed at flooded site %d", i)
+		}
+	}
+}
+
+func TestIsolationPriorityOrder(t *testing.T) {
+	// With one isolation and nothing flooded, the attacker must target
+	// the primary (site 0) first.
+	cfg := topology.NewConfig666("p", "s", "d")
+	res, err := WorstCase(cfg, []bool{false, false, false}, threat.Capability{Isolations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan.IsolatedSites) != 1 || res.Plan.IsolatedSites[0] != 0 {
+		t.Errorf("isolated sites = %v, want [0]", res.Plan.IsolatedSites)
+	}
+	// With the primary already flooded, the second control center is
+	// next in priority.
+	res, err = WorstCase(cfg, []bool{true, false, false}, threat.Capability{Isolations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan.IsolatedSites) != 1 || res.Plan.IsolatedSites[0] != 1 {
+		t.Errorf("isolated sites with flooded primary = %v, want [1]", res.Plan.IsolatedSites)
+	}
+	if res.State != opstate.Red {
+		t.Errorf("6+6+6 with flooded primary + isolated second = %v, want red", res.State)
+	}
+}
+
+func TestRuleOneCompromisesSafetyWhenPossible(t *testing.T) {
+	// Two intrusions against "6": enough to break f=1, so gray even if
+	// an isolation is also available (gray is terminal).
+	cfg := topology.NewConfig6("p")
+	res, err := WorstCase(cfg, []bool{false}, threat.Capability{Intrusions: 2, Isolations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != opstate.Gray {
+		t.Errorf("state = %v, want gray", res.State)
+	}
+	if got := res.Final.Intrusions[0]; got != 2 {
+		t.Errorf("intrusions at site 0 = %d, want 2", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := topology.NewConfig2("p")
+	if _, err := WorstCase(cfg, []bool{false, false}, threat.Capability{}); err == nil {
+		t.Error("mismatched flooded vector should error")
+	}
+	if _, err := WorstCase(cfg, []bool{false}, threat.Capability{Intrusions: -1}); err == nil {
+		t.Error("negative capability should error")
+	}
+	bad := cfg
+	bad.Name = ""
+	if _, err := WorstCase(bad, []bool{false}, threat.Capability{}); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := WorstCaseExhaustive(cfg, []bool{false, false}, threat.Capability{}); err == nil {
+		t.Error("exhaustive with mismatched flooded vector should error")
+	}
+}
+
+func TestRandomizedConfigsGreedyMatchesExhaustive(t *testing.T) {
+	// Randomized sweep over non-standard (but valid) configurations to
+	// probe the greedy attacker beyond the paper's five architectures.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var cfg topology.Config
+		switch rng.Intn(3) {
+		case 0:
+			cfg = topology.NewConfig6("p")
+		case 1:
+			cfg = topology.NewConfig66("p", "b")
+		default:
+			cfg = topology.NewConfig666("p", "s", "d")
+			// Vary the site quorum requirement.
+			cfg.MinActiveSites = 2 + rng.Intn(2)
+		}
+		flooded := make([]bool, len(cfg.Sites))
+		for i := range flooded {
+			flooded[i] = rng.Intn(3) == 0
+		}
+		cap := threat.Capability{Intrusions: rng.Intn(4), Isolations: rng.Intn(3)}
+		greedy, err := WorstCase(cfg, flooded, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive, err := WorstCaseExhaustive(cfg, flooded, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.State != exhaustive.State {
+			t.Errorf("trial %d: %s (minActive=%d) flooded=%v cap=%+v: greedy=%v exhaustive=%v",
+				trial, cfg.Name, cfg.MinActiveSites, flooded, cap, greedy.State, exhaustive.State)
+		}
+	}
+}

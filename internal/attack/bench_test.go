@@ -1,0 +1,47 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+func BenchmarkWorstCase(b *testing.B) {
+	cfg := topology.NewConfig666("p", "s", "d")
+	flooded := []bool{true, false, false}
+	cap := threat.Capability{Intrusions: 1, Isolations: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := WorstCase(cfg, flooded, cap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorstCaseExhaustive(b *testing.B) {
+	cfg := topology.NewConfig666("p", "s", "d")
+	flooded := []bool{true, false, false}
+	cap := threat.Capability{Intrusions: 2, Isolations: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := WorstCaseExhaustive(cfg, flooded, cap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorstCaseProbabilistic(b *testing.B) {
+	cfg := topology.NewConfig66("p", "s")
+	flooded := []bool{false, false}
+	p := Power{
+		Capability:       threat.Capability{Intrusions: 1, Isolations: 1},
+		IntrusionSuccess: 0.5, IsolationSuccess: 0.5,
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WorstCaseProbabilistic(cfg, flooded, p, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package attack
+
+// Probabilistic attacker model: the paper's §VII notes that the
+// worst-case attacker "may give the attacker more power than they are
+// likely to have in practice" and leaves realistic attacker modeling
+// as future work. This file implements that extension: every intrusion
+// and isolation the worst-case attacker would attempt succeeds only
+// with a given probability, and outcomes are aggregated over the
+// attack randomness.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/stats"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// Power models a realistic attacker: attempt budgets with per-attempt
+// success probabilities.
+type Power struct {
+	// Capability is the attempt budget (what the attacker tries).
+	Capability threat.Capability
+	// IntrusionSuccess is the probability an attempted server
+	// intrusion succeeds.
+	IntrusionSuccess float64
+	// IsolationSuccess is the probability an attempted site isolation
+	// succeeds.
+	IsolationSuccess float64
+}
+
+// Validate reports the first problem found.
+func (p Power) Validate() error {
+	if err := p.Capability.Validate(); err != nil {
+		return err
+	}
+	if p.IntrusionSuccess < 0 || p.IntrusionSuccess > 1 {
+		return errors.New("attack: IntrusionSuccess must be in [0, 1]")
+	}
+	if p.IsolationSuccess < 0 || p.IsolationSuccess > 1 {
+		return errors.New("attack: IsolationSuccess must be in [0, 1]")
+	}
+	return nil
+}
+
+// WorstCaseProbabilistic runs the worst-case targeting policy with
+// probabilistic attempt outcomes: the attacker plans like the greedy
+// worst-case attacker, but each planned action succeeds with its
+// configured probability. rng drives the attempt outcomes.
+//
+// Planning happens against the full-success plan (the attacker aims at
+// the most valuable targets), then failures thin the executed plan.
+// This mirrors an attacker who commits resources to the best targets
+// without knowing which attempts will land.
+func WorstCaseProbabilistic(cfg topology.Config, flooded []bool, p Power, rng *rand.Rand) (Result, error) {
+	if err := validateInputs(cfg, flooded, p.Capability); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if rng == nil {
+		return Result{}, errors.New("attack: nil rng")
+	}
+	planned, err := WorstCase(cfg, flooded, p.Capability)
+	if err != nil {
+		return Result{}, err
+	}
+
+	n := len(cfg.Sites)
+	st := opstate.NewSystemState(n)
+	copy(st.Flooded, flooded)
+	plan := Plan{IntrusionsPerSite: make([]int, n)}
+	for _, site := range planned.Plan.IsolatedSites {
+		if rng.Float64() < p.IsolationSuccess {
+			st.Isolated[site] = true
+			plan.IsolatedSites = append(plan.IsolatedSites, site)
+		}
+	}
+	for site, k := range planned.Plan.IntrusionsPerSite {
+		for j := 0; j < k; j++ {
+			if rng.Float64() < p.IntrusionSuccess {
+				st.Intrusions[site]++
+				plan.IntrusionsPerSite[site]++
+			}
+		}
+	}
+	return finish(cfg, st, plan)
+}
+
+// ProfileUnderPower aggregates the probabilistic attacker over trials
+// attack-randomness draws for one post-disaster state.
+func ProfileUnderPower(cfg topology.Config, flooded []bool, p Power, trials int, seed int64) (*stats.Profile, error) {
+	if trials <= 0 {
+		return nil, errors.New("attack: trials must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	profile := stats.NewProfile()
+	for t := 0; t < trials; t++ {
+		res, err := WorstCaseProbabilistic(cfg, flooded, p, rng)
+		if err != nil {
+			return nil, fmt.Errorf("attack: trial %d: %w", t, err)
+		}
+		profile.Add(res.State)
+	}
+	return profile, nil
+}

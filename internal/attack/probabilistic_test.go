@@ -1,0 +1,147 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+func fullPower(cap threat.Capability) Power {
+	return Power{Capability: cap, IntrusionSuccess: 1, IsolationSuccess: 1}
+}
+
+func TestProbabilisticAtFullPowerMatchesWorstCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range standardConfigs(t) {
+		for _, flooded := range allFloodCombos(len(cfg.Sites)) {
+			for _, sc := range threat.Scenarios() {
+				want, err := WorstCase(cfg, flooded, sc.Capability())
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := WorstCaseProbabilistic(cfg, flooded, fullPower(sc.Capability()), rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.State != want.State {
+					t.Errorf("%s %v flooded=%v: probabilistic(1.0)=%v, worst-case=%v",
+						cfg.Name, sc, flooded, got.State, want.State)
+				}
+			}
+		}
+	}
+}
+
+func TestProbabilisticAtZeroPowerMatchesHurricaneOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := topology.NewConfig22("p", "b")
+	zero := Power{
+		Capability:       threat.Capability{Intrusions: 1, Isolations: 1},
+		IntrusionSuccess: 0, IsolationSuccess: 0,
+	}
+	for _, flooded := range allFloodCombos(2) {
+		want, err := WorstCase(cfg, flooded, threat.Capability{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := WorstCaseProbabilistic(cfg, flooded, zero, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State != want.State {
+			t.Errorf("flooded=%v: probabilistic(0.0)=%v, hurricane-only=%v",
+				flooded, got.State, want.State)
+		}
+	}
+}
+
+func TestProfileUnderPowerInterpolates(t *testing.T) {
+	// For "2" with an intrusion attempt succeeding 30% of the time and
+	// the control center up: gray with p=0.3, green with p=0.7.
+	cfg := topology.NewConfig2("p")
+	p := Power{
+		Capability:       threat.Capability{Intrusions: 1},
+		IntrusionSuccess: 0.3,
+	}
+	profile, err := ProfileUnderPower(cfg, []bool{false}, p, 10000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gray := profile.Probability(opstate.Gray)
+	if gray < 0.27 || gray > 0.33 {
+		t.Errorf("P(gray) = %v, want ~0.30", gray)
+	}
+	green := profile.Probability(opstate.Green)
+	if green < 0.67 || green > 0.73 {
+		t.Errorf("P(green) = %v, want ~0.70", green)
+	}
+}
+
+func TestProfileUnderPowerMonotoneInPower(t *testing.T) {
+	// More attacker power can only shift mass toward worse states.
+	cfg := topology.NewConfig66("p", "b")
+	flooded := []bool{false, false}
+	cap := threat.Capability{Intrusions: 1, Isolations: 1}
+	prevOrange := -1.0
+	for _, ps := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		p := Power{Capability: cap, IntrusionSuccess: ps, IsolationSuccess: ps}
+		profile, err := ProfileUnderPower(cfg, flooded, p, 4000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// "6-6" with both sites up: isolation success converts green to
+		// orange; intrusions are tolerated. Orange mass must not shrink
+		// as power grows (sampling tolerance 2%).
+		orange := profile.Probability(opstate.Orange)
+		if orange < prevOrange-0.02 {
+			t.Errorf("orange mass decreased with power: %v -> %v at p=%v", prevOrange, orange, ps)
+		}
+		prevOrange = orange
+		if gray := profile.Probability(opstate.Gray); gray != 0 {
+			t.Errorf("p=%v: gray=%v, want 0 (one intrusion tolerated)", ps, gray)
+		}
+	}
+}
+
+func TestProbabilisticValidation(t *testing.T) {
+	cfg := topology.NewConfig2("p")
+	rng := rand.New(rand.NewSource(1))
+	bad := Power{Capability: threat.Capability{Intrusions: 1}, IntrusionSuccess: 2}
+	if _, err := WorstCaseProbabilistic(cfg, []bool{false}, bad, rng); err == nil {
+		t.Error("success probability > 1 should error")
+	}
+	bad.IntrusionSuccess = -0.5
+	if _, err := WorstCaseProbabilistic(cfg, []bool{false}, bad, rng); err == nil {
+		t.Error("negative success probability should error")
+	}
+	if _, err := WorstCaseProbabilistic(cfg, []bool{false}, fullPower(threat.Capability{}), nil); err == nil {
+		t.Error("nil rng should error")
+	}
+	if _, err := WorstCaseProbabilistic(cfg, []bool{false, false}, fullPower(threat.Capability{}), rng); err == nil {
+		t.Error("mismatched flooded vector should error")
+	}
+	if _, err := ProfileUnderPower(cfg, []bool{false}, fullPower(threat.Capability{}), 0, 1); err == nil {
+		t.Error("zero trials should error")
+	}
+}
+
+func TestProbabilisticDeterministicWithSeed(t *testing.T) {
+	cfg := topology.NewConfig2("p")
+	p := Power{Capability: threat.Capability{Intrusions: 1}, IntrusionSuccess: 0.5}
+	a, err := ProfileUnderPower(cfg, []bool{false}, p, 1000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProfileUnderPower(cfg, []bool{false}, p, 1000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range opstate.States() {
+		if a.Count(s) != b.Count(s) {
+			t.Fatalf("same seed gave different profiles: %v vs %v", a, b)
+		}
+	}
+}

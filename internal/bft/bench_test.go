@@ -1,0 +1,86 @@
+package bft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"compoundthreat/internal/des"
+	"compoundthreat/internal/netsim"
+)
+
+// benchOrdering measures end-to-end ordering of 100 updates through a
+// group with the given layout.
+func benchOrdering(b *testing.B, sites []int, compromise int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		sim := des.New(7)
+		nw, err := netsim.New(sim, netsim.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := New(nw, Spec{
+			ReplicaSites: sites, F: 1, K: 1, ViewTimeout: 300 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Start()
+		for c := 0; c < compromise; c++ {
+			if err := eng.Compromise(c+2, Silent); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for u := 0; u < 100; u++ {
+			p := fmt.Sprintf("u%03d", u)
+			sim.After(time.Duration(u)*5*time.Millisecond, func() { eng.Propose(p) })
+		}
+		sim.Run(5 * time.Second)
+		if !eng.GloballyExecuted("u099") {
+			b.Fatal("ordering did not complete")
+		}
+	}
+}
+
+// BenchmarkOrdering6 orders 100 updates through the single-site
+// 6-replica group.
+func BenchmarkOrdering6(b *testing.B) { benchOrdering(b, []int{0, 0, 0, 0, 0, 0}, 0) }
+
+// BenchmarkOrdering6Compromised adds one silent intrusion.
+func BenchmarkOrdering6Compromised(b *testing.B) { benchOrdering(b, []int{0, 0, 0, 0, 0, 0}, 1) }
+
+// BenchmarkOrdering18 orders through the 6+6+6 18-replica group.
+func BenchmarkOrdering18(b *testing.B) {
+	sites := make([]int, 18)
+	for i := range sites {
+		sites[i] = i / 6
+	}
+	benchOrdering(b, sites, 0)
+}
+
+// BenchmarkViewChange measures recovery from a silent leader.
+func BenchmarkViewChange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := des.New(7)
+		nw, err := netsim.New(sim, netsim.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := New(nw, Spec{
+			ReplicaSites: []int{0, 0, 0, 0, 0, 0}, F: 1, K: 1,
+			ViewTimeout: 300 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Start()
+		if err := eng.Compromise(0, Silent); err != nil {
+			b.Fatal(err)
+		}
+		eng.Propose("must-survive")
+		sim.Run(5 * time.Second)
+		if !eng.GloballyExecuted("must-survive") {
+			b.Fatal("view change failed")
+		}
+	}
+}

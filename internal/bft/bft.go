@@ -1,0 +1,414 @@
+// Package bft implements leader-based intrusion-tolerant state-machine
+// replication over the simulated network: the replication engine behind
+// the paper's "6", "6-6", and "6+6+6" configurations (Kirsch et al.'s
+// survivable SCADA and Babay et al.'s network-attack-resilient Spire,
+// simplified for simulation).
+//
+// The protocol is PBFT-shaped: the view leader assigns sequence numbers
+// and broadcasts pre-prepares; replicas exchange prepares and commits
+// and execute updates once a quorum commits. Sizing follows Sousa et
+// al.: a site tolerating f intrusions with k replicas in proactive
+// recovery needs n = 3f + 2k + 1 replicas; the ordering quorum
+// q = ceil((n+f+1)/2) guarantees any two quorums intersect in a correct
+// replica.
+//
+// Simulation simplifications (documented per DESIGN.md): digests are
+// payloads themselves (no crypto), view-change certificates are vote
+// counts, and state transfer accepts a slot once f+1 peers report the
+// same payload for it. Compromised replicas are injected by the test
+// harness, which also knows their identities when measuring safety.
+package bft
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"compoundthreat/internal/netsim"
+)
+
+// Strategy is a Byzantine behavior for a compromised replica.
+type Strategy int
+
+// Byzantine strategies.
+const (
+	// Silent drops all protocol participation (crash-like, but the
+	// replica still counts against the intrusion budget).
+	Silent Strategy = iota + 1
+	// Equivocate actively attacks safety: an equivocating leader sends
+	// conflicting pre-prepares to different halves of the correct
+	// replicas; equivocating followers echo whatever each victim
+	// already believes. With more than f colluding replicas this forges
+	// two intersecting-free commit quorums and splits the execution
+	// history — the gray state.
+	Equivocate
+)
+
+// Spec describes one replication group.
+type Spec struct {
+	// ReplicaSites[i] is the site of replica i (netsim site IDs).
+	ReplicaSites []int
+	// F is the number of tolerated intrusions.
+	F int
+	// K is the number of replicas that may be concurrently in proactive
+	// recovery.
+	K int
+	// Quorum overrides the computed quorum when positive.
+	Quorum int
+	// ViewTimeout is how long replicas wait for ordering progress
+	// before demanding a view change.
+	ViewTimeout time.Duration
+	// NodeIDBase offsets netsim node IDs: replica i registers as node
+	// NodeIDBase + i.
+	NodeIDBase int
+	// RecoveryInterval and RecoveryDuration enable proactive recovery
+	// rotation when both are positive: every interval, the next replica
+	// in round-robin order goes offline for the duration.
+	RecoveryInterval time.Duration
+	RecoveryDuration time.Duration
+	// CheckpointInterval enables checkpoint-based garbage collection
+	// when positive: every CheckpointInterval executed sequence
+	// numbers, replicas exchange checkpoints and prune ordering slots
+	// more than one interval behind the stable checkpoint (a window is
+	// kept so stragglers can still state-transfer).
+	CheckpointInterval int
+}
+
+// Validate reports the first specification problem found.
+func (s Spec) Validate() error {
+	n := len(s.ReplicaSites)
+	switch {
+	case n == 0:
+		return errors.New("bft: no replicas")
+	case s.F < 0 || s.K < 0:
+		return errors.New("bft: negative fault-model parameters")
+	case n < 3*s.F+2*s.K+1:
+		return fmt.Errorf("bft: %d replicas cannot tolerate f=%d with k=%d (need %d)",
+			n, s.F, s.K, 3*s.F+2*s.K+1)
+	case s.ViewTimeout <= 0:
+		return errors.New("bft: ViewTimeout must be positive")
+	case s.Quorum < 0 || s.Quorum > n:
+		return fmt.Errorf("bft: quorum %d out of range [0, %d]", s.Quorum, n)
+	case (s.RecoveryInterval > 0) != (s.RecoveryDuration > 0):
+		return errors.New("bft: recovery interval and duration must be set together")
+	case s.CheckpointInterval < 0:
+		return errors.New("bft: CheckpointInterval must be non-negative")
+	}
+	if s.Quorum > 0 && 2*s.Quorum-n <= s.F {
+		return fmt.Errorf("bft: quorum %d of %d does not intersect in a correct replica under f=%d",
+			s.Quorum, n, s.F)
+	}
+	return nil
+}
+
+// quorum returns the effective ordering quorum.
+func (s Spec) quorum() int {
+	if s.Quorum > 0 {
+		return s.Quorum
+	}
+	n := len(s.ReplicaSites)
+	return (n + s.F + 1 + 1) / 2 // ceil((n+f+1)/2)
+}
+
+// Request is a client request for the replication group. Networked
+// clients (RTUs, HMIs) send it to replica node IDs via netsim so that
+// partitions and site failures apply to the client path too.
+type Request struct{ Payload string }
+
+// Protocol message types.
+type (
+	prePrepare struct {
+		View, Seq int
+		Payload   string
+	}
+	prepare struct {
+		View, Seq int
+		Digest    string
+	}
+	commit struct {
+		View, Seq int
+		Digest    string
+	}
+	viewChange struct{ NewView int }
+	checkpoint struct {
+		View, Seq int
+	}
+	status struct {
+		View, ExecutedHigh int
+	}
+	transferReq struct {
+		View, Seq int
+	}
+	transferRep struct {
+		View, Seq int
+		Payload   string
+	}
+)
+
+// slotKey identifies an ordering slot.
+type slotKey struct{ view, seq int }
+
+type slot struct {
+	payload  string
+	prepares map[int]string // replica idx -> digest
+	commits  map[int]string
+	sentPrep bool
+	sentComm bool
+	executed bool
+}
+
+// Execution records one executed update.
+type Execution struct {
+	Replica   int
+	View, Seq int
+	Payload   string
+	At        time.Duration
+}
+
+// Engine runs one replication group on a network.
+type Engine struct {
+	nw     *netsim.Network
+	spec   Spec
+	q      int
+	n      int
+	reps   []*replica
+	onExec func(Execution)
+	// execLog[payload] -> set of replica idx that executed it.
+	execLog map[string]map[int]bool
+	// histories[key][payload] -> correct replica idxs that executed
+	// that payload at that slot; used for divergence detection.
+	histories    map[slotKey]map[string][]int
+	violated     bool
+	started      bool
+	nextRecovery int
+}
+
+type replica struct {
+	e    *Engine
+	idx  int
+	node int
+
+	view       int
+	votedView  int
+	byz        Strategy // 0 = correct
+	recovering bool
+
+	nextSeq      int // leader: next sequence to assign in this view
+	executedHigh int // highest executed seq in current view
+	slots        map[slotKey]*slot
+	pending      []string
+	pendingSet   map[string]bool
+	proposed     map[string]bool // payloads proposed in the current view
+	executedPay  map[string]bool
+	vcVotes      map[int]map[int]bool // newView -> voter set
+	lastProgress time.Duration
+	// ckptVotes[key] -> voters; stableCkpt is the highest quorum-backed
+	// checkpoint seq in the current view.
+	ckptVotes  map[slotKey]map[int]bool
+	stableCkpt int
+	// transferVotes[key][payload] -> peers that reported it.
+	transferVotes map[slotKey]map[string]map[int]bool
+}
+
+// New builds the engine and registers its replicas on the network.
+func New(nw *netsim.Network, spec Spec) (*Engine, error) {
+	if nw == nil {
+		return nil, errors.New("bft: nil network")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		nw:        nw,
+		spec:      spec,
+		q:         spec.quorum(),
+		n:         len(spec.ReplicaSites),
+		execLog:   make(map[string]map[int]bool),
+		histories: make(map[slotKey]map[string][]int),
+	}
+	for i, site := range spec.ReplicaSites {
+		r := &replica{
+			e:             e,
+			idx:           i,
+			node:          spec.NodeIDBase + i,
+			nextSeq:       1,
+			slots:         make(map[slotKey]*slot),
+			pendingSet:    make(map[string]bool),
+			proposed:      make(map[string]bool),
+			executedPay:   make(map[string]bool),
+			vcVotes:       make(map[int]map[int]bool),
+			ckptVotes:     make(map[slotKey]map[int]bool),
+			transferVotes: make(map[slotKey]map[string]map[int]bool),
+		}
+		e.reps = append(e.reps, r)
+		if err := nw.AddNode(r.node, site, func(from int, msg any) {
+			r.onMessage(from, msg)
+		}); err != nil {
+			return nil, fmt.Errorf("bft: register replica %d: %w", i, err)
+		}
+	}
+	return e, nil
+}
+
+// Quorum returns the effective ordering quorum size.
+func (e *Engine) Quorum() int { return e.q }
+
+// NodeID returns the netsim node ID of replica idx.
+func (e *Engine) NodeID(idx int) (int, error) {
+	if idx < 0 || idx >= e.n {
+		return 0, fmt.Errorf("bft: replica %d out of range [0, %d)", idx, e.n)
+	}
+	return e.reps[idx].node, nil
+}
+
+// OnExecute registers the execution callback (invoked once per replica
+// per executed update).
+func (e *Engine) OnExecute(fn func(Execution)) { e.onExec = fn }
+
+// Start arms the view-change timers and (if configured) the proactive
+// recovery rotation. Call once before running the simulation.
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	sim := e.nw.Sim()
+	tick := e.spec.ViewTimeout / 3
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	for _, r := range e.reps {
+		r := r
+		sim.Every(tick, r.checkProgress)
+		sim.Every(e.spec.ViewTimeout, r.broadcastStatus)
+	}
+	if e.spec.RecoveryInterval > 0 {
+		sim.Every(e.spec.RecoveryInterval, e.rotateRecovery)
+	}
+}
+
+// rotateRecovery takes the next replica offline for proactive
+// recovery, skipping compromised replicas is NOT done: recovery is
+// exactly how real deployments flush intrusions, so recovering a
+// compromised replica cleanses it.
+func (e *Engine) rotateRecovery() {
+	r := e.reps[e.nextRecovery%e.n]
+	e.nextRecovery++
+	r.recovering = true
+	if r.byz != 0 {
+		// Proactive recovery restores the replica to a correct state.
+		r.byz = 0
+	}
+	e.nw.Sim().After(e.spec.RecoveryDuration, func() {
+		r.recovering = false
+		r.lastProgress = e.nw.Sim().Now()
+	})
+}
+
+// Compromise marks a replica Byzantine with the given strategy.
+func (e *Engine) Compromise(idx int, s Strategy) error {
+	if idx < 0 || idx >= e.n {
+		return fmt.Errorf("bft: replica %d out of range [0, %d)", idx, e.n)
+	}
+	if s != Silent && s != Equivocate {
+		return fmt.Errorf("bft: unknown strategy %d", int(s))
+	}
+	e.reps[idx].byz = s
+	return nil
+}
+
+// Compromised returns the indices of currently compromised replicas.
+func (e *Engine) Compromised() []int {
+	var out []int
+	for _, r := range e.reps {
+		if r.byz != 0 {
+			out = append(out, r.idx)
+		}
+	}
+	return out
+}
+
+// Propose injects a client request at every live replica (the RTU/HMI
+// side broadcasts requests; see the scada package for networked
+// clients).
+func (e *Engine) Propose(payload string) {
+	for _, r := range e.reps {
+		if e.nw.NodeUp(r.node) {
+			r.onMessage(-1, Request{Payload: payload})
+		}
+	}
+}
+
+// ExecutedBy returns how many replicas executed the payload.
+func (e *Engine) ExecutedBy(payload string) int { return len(e.execLog[payload]) }
+
+// GloballyExecuted reports whether at least f+1 replicas executed the
+// payload (so at least one correct replica did).
+func (e *Engine) GloballyExecuted(payload string) bool {
+	return len(e.execLog[payload]) >= e.spec.F+1
+}
+
+// SafetyViolated reports whether two correct replicas executed
+// conflicting payloads for the same (view, seq) slot — the gray state.
+func (e *Engine) SafetyViolated() bool { return e.violated }
+
+// TotalSlots returns the number of retained ordering slots across all
+// replicas (diagnostics; bounded when checkpointing is enabled).
+func (e *Engine) TotalSlots() int {
+	var n int
+	for _, r := range e.reps {
+		n += len(r.slots)
+	}
+	return n
+}
+
+// CurrentViews returns each replica's current view (diagnostics).
+func (e *Engine) CurrentViews() []int {
+	out := make([]int, e.n)
+	for i, r := range e.reps {
+		out[i] = r.view
+	}
+	return out
+}
+
+// recordExecution updates global accounting and fires the callback.
+func (e *Engine) recordExecution(r *replica, view, seq int, payload string) {
+	if e.execLog[payload] == nil {
+		e.execLog[payload] = make(map[int]bool)
+	}
+	e.execLog[payload][r.idx] = true
+	if r.byz == 0 {
+		key := slotKey{view, seq}
+		if e.histories[key] == nil {
+			e.histories[key] = make(map[string][]int)
+		}
+		e.histories[key][payload] = append(e.histories[key][payload], r.idx)
+		if len(e.histories[key]) > 1 {
+			e.violated = true
+		}
+	}
+	if e.onExec != nil {
+		e.onExec(Execution{
+			Replica: r.idx, View: view, Seq: seq,
+			Payload: payload, At: e.nw.Sim().Now(),
+		})
+	}
+}
+
+// leaderIdx returns the leader of a view.
+func (e *Engine) leaderIdx(view int) int { return view % e.n }
+
+// correctPeersSorted returns the indices of non-compromised replicas
+// in ascending order (used by the equivocation strategy to split
+// victims deterministically).
+func (e *Engine) correctPeersSorted() []int {
+	var out []int
+	for _, r := range e.reps {
+		if r.byz == 0 {
+			out = append(out, r.idx)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

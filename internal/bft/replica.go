@@ -1,0 +1,433 @@
+package bft
+
+// Replica protocol logic. All methods run inside DES event handlers on
+// a single goroutine; no locking is needed.
+
+// onMessage dispatches a delivered message. from is the sender's
+// netsim node ID (-1 for locally injected client requests).
+func (r *replica) onMessage(from int, msg any) {
+	if r.recovering {
+		return // offline for proactive recovery
+	}
+	fromIdx := from - r.e.spec.NodeIDBase
+	if r.byz != 0 {
+		r.byzantineOnMessage(fromIdx, msg)
+		return
+	}
+	switch m := msg.(type) {
+	case Request:
+		r.onRequest(m)
+	case prePrepare:
+		r.onPrePrepare(fromIdx, m)
+	case prepare:
+		r.onPrepare(fromIdx, m)
+	case commit:
+		r.onCommit(fromIdx, m)
+	case viewChange:
+		r.onViewChange(fromIdx, m)
+	case checkpoint:
+		r.onCheckpoint(fromIdx, m)
+	case status:
+		r.onStatus(fromIdx, m)
+	case transferReq:
+		r.onTransferReq(fromIdx, m)
+	case transferRep:
+		r.onTransferRep(fromIdx, m)
+	}
+}
+
+func (r *replica) isLeader() bool { return r.e.leaderIdx(r.view) == r.idx }
+
+// send transmits to a peer replica by index.
+func (r *replica) send(toIdx int, msg any) {
+	r.e.nw.Send(r.node, r.e.spec.NodeIDBase+toIdx, msg)
+}
+
+// broadcastReplicas sends to every other replica in index order.
+func (r *replica) broadcastReplicas(msg any) {
+	for i := 0; i < r.e.n; i++ {
+		if i != r.idx {
+			r.send(i, msg)
+		}
+	}
+}
+
+func (r *replica) onRequest(m Request) {
+	if m.Payload == "" || r.executedPay[m.Payload] || r.pendingSet[m.Payload] {
+		return
+	}
+	r.pending = append(r.pending, m.Payload)
+	r.pendingSet[m.Payload] = true
+	if r.isLeader() {
+		r.proposePending()
+	}
+}
+
+// proposePending assigns sequence numbers to pending payloads not yet
+// proposed in this view and broadcasts pre-prepares (leader only).
+func (r *replica) proposePending() {
+	for _, payload := range r.pending {
+		if r.proposed[payload] {
+			continue
+		}
+		r.proposed[payload] = true
+		pp := prePrepare{View: r.view, Seq: r.nextSeq, Payload: payload}
+		r.nextSeq++
+		r.broadcastReplicas(pp)
+		r.acceptPrePrepare(pp) // leader processes its own pre-prepare
+	}
+}
+
+func (r *replica) onPrePrepare(fromIdx int, m prePrepare) {
+	if m.View != r.view || fromIdx != r.e.leaderIdx(m.View) {
+		return
+	}
+	r.acceptPrePrepare(m)
+}
+
+func (r *replica) acceptPrePrepare(m prePrepare) {
+	s := r.slot(slotKey{m.View, m.Seq})
+	if s.payload != "" {
+		return // first writer wins; conflicting pre-prepare ignored
+	}
+	s.payload = m.Payload
+	if !s.sentPrep {
+		s.sentPrep = true
+		p := prepare{View: m.View, Seq: m.Seq, Digest: m.Payload}
+		s.prepares[r.idx] = m.Payload
+		r.broadcastReplicas(p)
+	}
+	r.maybeAdvance(slotKey{m.View, m.Seq})
+}
+
+func (r *replica) onPrepare(fromIdx int, m prepare) {
+	if m.View != r.view {
+		return
+	}
+	s := r.slot(slotKey{m.View, m.Seq})
+	if _, dup := s.prepares[fromIdx]; !dup {
+		s.prepares[fromIdx] = m.Digest
+	}
+	r.maybeAdvance(slotKey{m.View, m.Seq})
+}
+
+func (r *replica) onCommit(fromIdx int, m commit) {
+	if m.View != r.view {
+		return
+	}
+	s := r.slot(slotKey{m.View, m.Seq})
+	if _, dup := s.commits[fromIdx]; !dup {
+		s.commits[fromIdx] = m.Digest
+	}
+	r.maybeAdvance(slotKey{m.View, m.Seq})
+}
+
+// maybeAdvance moves the slot through prepared -> committed ->
+// executed as evidence accumulates.
+func (r *replica) maybeAdvance(key slotKey) {
+	s := r.slots[key]
+	if s == nil || s.payload == "" {
+		return
+	}
+	q := r.e.q
+	if !s.sentComm && r.countMatching(s.prepares, s.payload) >= q {
+		s.sentComm = true
+		s.commits[r.idx] = s.payload
+		r.broadcastReplicas(commit{View: key.view, Seq: key.seq, Digest: s.payload})
+	}
+	r.executeReady()
+}
+
+// countMatching counts votes whose digest matches the slot payload.
+func (r *replica) countMatching(votes map[int]string, payload string) int {
+	n := 0
+	for _, d := range votes {
+		if d == payload {
+			n++
+		}
+	}
+	return n
+}
+
+// executeReady executes committed slots of the current view in
+// sequence order.
+func (r *replica) executeReady() {
+	for {
+		key := slotKey{r.view, r.executedHigh + 1}
+		s := r.slots[key]
+		if s == nil || s.payload == "" || s.executed {
+			return
+		}
+		if r.countMatching(s.commits, s.payload) < r.e.q {
+			return
+		}
+		s.executed = true
+		r.executedHigh++
+		r.lastProgress = r.e.nw.Sim().Now()
+		if !r.executedPay[s.payload] {
+			r.executedPay[s.payload] = true
+			r.removePending(s.payload)
+			r.e.recordExecution(r, key.view, key.seq, s.payload)
+		}
+		r.maybeCheckpoint(key.seq)
+	}
+}
+
+// maybeCheckpoint emits a checkpoint vote at interval boundaries.
+func (r *replica) maybeCheckpoint(seq int) {
+	interval := r.e.spec.CheckpointInterval
+	if interval <= 0 || seq%interval != 0 {
+		return
+	}
+	ck := checkpoint{View: r.view, Seq: seq}
+	r.recordCkptVote(slotKey{ck.View, ck.Seq}, r.idx)
+	r.broadcastReplicas(ck)
+	r.maybeStabilize(ck)
+}
+
+func (r *replica) onCheckpoint(fromIdx int, m checkpoint) {
+	if m.View != r.view {
+		return
+	}
+	r.recordCkptVote(slotKey{m.View, m.Seq}, fromIdx)
+	r.maybeStabilize(m)
+}
+
+func (r *replica) recordCkptVote(key slotKey, voter int) {
+	if r.ckptVotes[key] == nil {
+		r.ckptVotes[key] = make(map[int]bool)
+	}
+	r.ckptVotes[key][voter] = true
+}
+
+// maybeStabilize advances the stable checkpoint once a quorum agrees
+// and prunes slots more than one interval behind it (the retained
+// window serves stragglers' state transfers).
+func (r *replica) maybeStabilize(m checkpoint) {
+	key := slotKey{m.View, m.Seq}
+	if len(r.ckptVotes[key]) < r.e.q || m.Seq <= r.stableCkpt {
+		return
+	}
+	r.stableCkpt = m.Seq
+	horizon := r.stableCkpt - r.e.spec.CheckpointInterval
+	for k := range r.slots {
+		if k.view < r.view || (k.view == r.view && k.seq <= horizon) {
+			delete(r.slots, k)
+		}
+	}
+	for k := range r.ckptVotes {
+		if k.view < r.view || (k.view == r.view && k.seq < r.stableCkpt) {
+			delete(r.ckptVotes, k)
+		}
+	}
+}
+
+func (r *replica) removePending(payload string) {
+	if !r.pendingSet[payload] {
+		return
+	}
+	delete(r.pendingSet, payload)
+	for i, p := range r.pending {
+		if p == payload {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// checkProgress fires on a timer: if the replica has pending work and
+// the view has made no progress within the timeout, demand a view
+// change.
+func (r *replica) checkProgress() {
+	if r.recovering || r.byz != 0 || len(r.pending) == 0 {
+		return
+	}
+	now := r.e.nw.Sim().Now()
+	if now-r.lastProgress < r.e.spec.ViewTimeout {
+		return
+	}
+	next := r.view + 1
+	if r.votedView >= next {
+		next = r.votedView + 1
+	}
+	r.voteViewChange(next)
+	r.lastProgress = now // back off before escalating further
+}
+
+// voteViewChange records and broadcasts a vote for the new view.
+func (r *replica) voteViewChange(newView int) {
+	if newView <= r.view || r.votedView >= newView {
+		return
+	}
+	r.votedView = newView
+	r.recordVCVote(newView, r.idx)
+	r.broadcastReplicas(viewChange{NewView: newView})
+	r.maybeAdoptView(newView)
+}
+
+func (r *replica) onViewChange(fromIdx int, m viewChange) {
+	if m.NewView <= r.view {
+		return
+	}
+	r.recordVCVote(m.NewView, fromIdx)
+	// Join: once f+1 replicas demand a newer view, vote for it too
+	// (at least one of them is correct).
+	if len(r.vcVotes[m.NewView]) > r.e.spec.F && r.votedView < m.NewView {
+		r.voteViewChange(m.NewView)
+	}
+	r.maybeAdoptView(m.NewView)
+}
+
+func (r *replica) recordVCVote(view, voter int) {
+	if r.vcVotes[view] == nil {
+		r.vcVotes[view] = make(map[int]bool)
+	}
+	r.vcVotes[view][voter] = true
+}
+
+// maybeAdoptView installs the new view once a quorum demands it.
+func (r *replica) maybeAdoptView(newView int) {
+	if newView <= r.view || len(r.vcVotes[newView]) < r.e.q {
+		return
+	}
+	r.view = newView
+	r.executedHigh = 0
+	r.nextSeq = 1
+	r.stableCkpt = 0
+	r.proposed = make(map[string]bool)
+	r.lastProgress = r.e.nw.Sim().Now()
+	if r.isLeader() {
+		// Re-propose everything this replica has not seen executed.
+		r.proposePending()
+	}
+}
+
+// broadcastStatus advertises execution progress for state transfer.
+func (r *replica) broadcastStatus() {
+	if r.recovering || r.byz != 0 {
+		return
+	}
+	r.broadcastReplicas(status{View: r.view, ExecutedHigh: r.executedHigh})
+}
+
+func (r *replica) onStatus(fromIdx int, m status) {
+	if m.View != r.view || m.ExecutedHigh <= r.executedHigh {
+		return
+	}
+	// Ask every peer for the first missing slot; acceptance needs f+1
+	// matching replies, so asking broadly is safe.
+	r.broadcastReplicas(transferReq{View: r.view, Seq: r.executedHigh + 1})
+}
+
+func (r *replica) onTransferReq(fromIdx int, m transferReq) {
+	if m.View != r.view {
+		return
+	}
+	s := r.slots[slotKey{m.View, m.Seq}]
+	if s == nil || !s.executed {
+		return
+	}
+	r.send(fromIdx, transferRep{View: m.View, Seq: m.Seq, Payload: s.payload})
+}
+
+func (r *replica) onTransferRep(fromIdx int, m transferRep) {
+	if m.View != r.view || m.Seq != r.executedHigh+1 || m.Payload == "" {
+		return
+	}
+	key := slotKey{m.View, m.Seq}
+	if r.transferVotes[key] == nil {
+		r.transferVotes[key] = make(map[string]map[int]bool)
+	}
+	if r.transferVotes[key][m.Payload] == nil {
+		r.transferVotes[key][m.Payload] = make(map[int]bool)
+	}
+	r.transferVotes[key][m.Payload][fromIdx] = true
+	if len(r.transferVotes[key][m.Payload]) < r.e.spec.F+1 {
+		return
+	}
+	// f+1 peers vouch for the slot: adopt and execute it.
+	s := r.slot(key)
+	s.payload = m.Payload
+	s.executed = true
+	r.executedHigh++
+	r.lastProgress = r.e.nw.Sim().Now()
+	if !r.executedPay[m.Payload] {
+		r.executedPay[m.Payload] = true
+		r.removePending(m.Payload)
+		r.e.recordExecution(r, key.view, key.seq, m.Payload)
+	}
+	r.executeReady()
+}
+
+func (r *replica) slot(key slotKey) *slot {
+	s := r.slots[key]
+	if s == nil {
+		s = &slot{
+			prepares: make(map[int]string),
+			commits:  make(map[int]string),
+		}
+		r.slots[key] = s
+	}
+	return s
+}
+
+// byzantineOnMessage implements the compromised-replica behaviors.
+func (r *replica) byzantineOnMessage(fromIdx int, msg any) {
+	if r.byz == Silent {
+		return
+	}
+	// Equivocate.
+	switch m := msg.(type) {
+	case Request:
+		if r.isLeader() {
+			r.equivocateAsLeader(m.Payload)
+		}
+	case viewChange:
+		// The adversary tracks (and helps along) view changes so a
+		// compromised replica can exploit leadership when its turn
+		// comes.
+		if fromIdx >= 0 {
+			r.onViewChange(fromIdx, m)
+		}
+	case prepare:
+		if fromIdx < 0 {
+			return
+		}
+		// Echo agreement with whatever the victim already believes:
+		// tailored prepare and commit for the victim's digest.
+		r.send(fromIdx, prepare{View: m.View, Seq: m.Seq, Digest: m.Digest})
+		r.send(fromIdx, commit{View: m.View, Seq: m.Seq, Digest: m.Digest})
+	case commit:
+		if fromIdx < 0 {
+			return
+		}
+		r.send(fromIdx, commit{View: m.View, Seq: m.Seq, Digest: m.Digest})
+	}
+}
+
+// equivocateAsLeader splits the correct replicas into two halves and
+// proposes a different payload to each at the same sequence number.
+func (r *replica) equivocateAsLeader(payload string) {
+	correct := r.e.correctPeersSorted()
+	if len(correct) < 2 {
+		return
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+	alt := payload + "#forged"
+	half := len(correct) / 2
+	for i, idx := range correct {
+		p := payload
+		if i >= half {
+			p = alt
+		}
+		r.send(idx, prePrepare{View: r.view, Seq: seq, Payload: p})
+	}
+	// Accomplice compromised replicas also receive both proposals so
+	// they can echo either side (handled by their prepare echoes).
+	for _, peer := range r.e.reps {
+		if peer.byz != 0 && peer.idx != r.idx {
+			r.send(peer.idx, prePrepare{View: r.view, Seq: seq, Payload: payload})
+		}
+	}
+}

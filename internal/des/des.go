@@ -1,0 +1,136 @@
+// Package des is a deterministic discrete-event simulation kernel: a
+// virtual clock and an event queue ordered by (time, schedule order).
+// The SCADA behavioral substrate (netsim, bft, primarybackup, scada)
+// runs on top of it, which lets the repository validate the paper's
+// analytical Table I against running protocol implementations without
+// wall-clock flakiness.
+package des
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Sim is a discrete-event simulator. It is single-threaded: all event
+// handlers run sequentially on the caller's goroutine inside Run.
+type Sim struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns a simulator whose randomness derives from seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rng returns the simulation's deterministic random source. Handlers
+// must use this (never the global source) to keep runs reproducible.
+func (s *Sim) Rng() *rand.Rand { return s.rng }
+
+// After schedules fn to run d after the current virtual time. A
+// negative delay runs at the current time (after already-queued events
+// for that instant). Events scheduled for the same instant run in
+// schedule order.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if fn == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: s.now + d, seq: s.seq, fn: fn})
+}
+
+// Every schedules fn at the given period until the simulation stops or
+// cancel is called. The first firing is one period from now.
+func (s *Sim) Every(period time.Duration, fn func()) (cancel func()) {
+	if period <= 0 || fn == nil {
+		return func() {}
+	}
+	done := false
+	var tick func()
+	tick = func() {
+		if done || s.stopped {
+			return
+		}
+		fn()
+		s.After(period, tick)
+	}
+	s.After(period, tick)
+	return func() { done = true }
+}
+
+// Run processes events until the queue is empty, the horizon is
+// reached, or Stop is called. It returns the virtual time at exit.
+// Events scheduled exactly at the horizon still run.
+func (s *Sim) Run(until time.Duration) time.Duration {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return s.now
+}
+
+// RunUntilIdle processes every queued event regardless of time.
+func (s *Sim) RunUntilIdle() time.Duration {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		next := heap.Pop(&s.queue).(*event)
+		s.now = next.at
+		next.fn()
+	}
+	return s.now
+}
+
+// Stop halts Run after the current event handler returns.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,187 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.After(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of order: %v", order)
+		}
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{5, 10, 15, 20} {
+		d := d * time.Millisecond
+		s.After(d, func() { fired = append(fired, d) })
+	}
+	end := s.Run(12 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Errorf("fired %d events before horizon, want 2", len(fired))
+	}
+	if end != 12*time.Millisecond {
+		t.Errorf("Run returned %v, want horizon", end)
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+	// Events at exactly the horizon run.
+	s2 := New(1)
+	ran := false
+	s2.After(10*time.Millisecond, func() { ran = true })
+	s2.Run(10 * time.Millisecond)
+	if !ran {
+		t.Error("event at horizon did not run")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var times []time.Duration
+	s.After(time.Millisecond, func() {
+		times = append(times, s.Now())
+		s.After(time.Millisecond, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.RunUntilIdle()
+	if len(times) != 2 || times[0] != time.Millisecond || times[1] != 2*time.Millisecond {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestNegativeDelayRunsNow(t *testing.T) {
+	s := New(1)
+	var at time.Duration = -1
+	s.After(5*time.Millisecond, func() {
+		s.After(-time.Second, func() { at = s.Now() })
+	})
+	s.RunUntilIdle()
+	if at != 5*time.Millisecond {
+		t.Errorf("negative-delay event ran at %v, want 5ms", at)
+	}
+}
+
+func TestNilEventIgnored(t *testing.T) {
+	s := New(1)
+	s.After(time.Millisecond, nil)
+	if s.Pending() != 0 {
+		t.Error("nil fn should not be queued")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New(1)
+	count := 0
+	cancel := s.Every(10*time.Millisecond, func() {
+		count++
+		if count == 3 {
+			s.Stop()
+		}
+	})
+	defer cancel()
+	s.Run(time.Second)
+	if count != 3 {
+		t.Errorf("ticks = %d, want 3 (stopped)", count)
+	}
+}
+
+func TestEveryCancel(t *testing.T) {
+	s := New(1)
+	count := 0
+	var cancel func()
+	cancel = s.Every(10*time.Millisecond, func() {
+		count++
+		if count == 2 {
+			cancel()
+		}
+	})
+	s.Run(time.Second)
+	if count != 2 {
+		t.Errorf("ticks after cancel = %d, want 2", count)
+	}
+}
+
+func TestEveryInvalid(t *testing.T) {
+	s := New(1)
+	s.Every(0, func() {})
+	s.Every(time.Millisecond, nil)
+	if s.Pending() != 0 {
+		t.Error("invalid Every should schedule nothing")
+	}
+}
+
+func TestStopInsideHandler(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.After(time.Millisecond, func() { ran++; s.Stop() })
+	s.After(2*time.Millisecond, func() { ran++ })
+	s.Run(time.Second)
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1 (stopped)", ran)
+	}
+	// Run can resume afterwards.
+	s.Run(time.Second)
+	if ran != 2 {
+		t.Errorf("ran after resume = %d, want 2", ran)
+	}
+}
+
+func TestDeterministicRng(t *testing.T) {
+	seq := func(seed int64) []int64 {
+		s := New(seed)
+		var out []int64
+		for i := 0; i < 5; i++ {
+			out = append(out, s.Rng().Int63())
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed gave different sequences")
+		}
+	}
+	c := seq(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical sequences")
+	}
+}
+
+func TestRunAdvancesToHorizonWhenIdle(t *testing.T) {
+	s := New(1)
+	end := s.Run(time.Second)
+	if end != time.Second || s.Now() != time.Second {
+		t.Errorf("idle Run ended at %v, want 1s", end)
+	}
+}

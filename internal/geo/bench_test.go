@@ -1,0 +1,56 @@
+package geo
+
+import "testing"
+
+func BenchmarkDistanceMeters(b *testing.B) {
+	a := Point{Lat: 21.3069, Lon: -157.8583}
+	c := Point{Lat: 21.3542, Lon: -158.1297}
+	for i := 0; i < b.N; i++ {
+		DistanceMeters(a, c)
+	}
+}
+
+func BenchmarkProjectionToXY(b *testing.B) {
+	pr := NewProjection(Point{Lat: 21.45, Lon: -157.95})
+	p := Point{Lat: 21.3069, Lon: -157.8583}
+	for i := 0; i < b.N; i++ {
+		pr.ToXY(p)
+	}
+}
+
+func BenchmarkPolygonContains(b *testing.B) {
+	verts := make([]XY, 0, 32)
+	for i := 0; i < 32; i++ {
+		angle := float64(i) / 32 * 2 * 3.14159265
+		verts = append(verts, XY{X: 10000 * cosApprox(angle), Y: 10000 * sinApprox(angle)})
+	}
+	pg, err := NewPolygon(verts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := XY{X: 1234, Y: -567}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg.Contains(p)
+	}
+}
+
+func BenchmarkPolygonDistanceToBoundary(b *testing.B) {
+	verts := make([]XY, 0, 32)
+	for i := 0; i < 32; i++ {
+		angle := float64(i) / 32 * 2 * 3.14159265
+		verts = append(verts, XY{X: 10000 * cosApprox(angle), Y: 10000 * sinApprox(angle)})
+	}
+	pg, err := NewPolygon(verts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := XY{X: 1234, Y: -567}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg.DistanceToBoundary(p)
+	}
+}
+
+func cosApprox(x float64) float64 { return 1 - x*x/2 + x*x*x*x/24 }
+func sinApprox(x float64) float64 { return x - x*x*x/6 + x*x*x*x*x/120 }

@@ -1,0 +1,182 @@
+// Package geo provides the geographic primitives used throughout the
+// compound-threat framework: geodetic points, distances and bearings on a
+// spherical Earth, and a local tangent-plane projection used by the mesh
+// and surge solvers.
+//
+// All angles in the public API are degrees; all distances are meters.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by the spherical
+// distance and projection formulas.
+const EarthRadiusMeters = 6371000.0
+
+// Point is a geodetic coordinate. Latitude is positive north, longitude
+// positive east, both in degrees.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.4f, %.4f)", p.Lat, p.Lon)
+}
+
+// Valid reports whether the point lies in the physical coordinate range.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180
+}
+
+// Radians returns the latitude and longitude in radians.
+func (p Point) Radians() (lat, lon float64) {
+	return p.Lat * math.Pi / 180, p.Lon * math.Pi / 180
+}
+
+// DistanceMeters returns the great-circle (haversine) distance between
+// two points in meters.
+func DistanceMeters(a, b Point) float64 {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// BearingDegrees returns the initial great-circle bearing from a to b,
+// in degrees clockwise from north, in [0, 360).
+func BearingDegrees(a, b Point) float64 {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dLon := lon2 - lon1
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	deg := math.Atan2(y, x) * 180 / math.Pi
+	return math.Mod(deg+360, 360)
+}
+
+// Destination returns the point reached by traveling distanceMeters from
+// origin along the given initial bearing (degrees clockwise from north).
+func Destination(origin Point, bearingDeg, distanceMeters float64) Point {
+	lat1, lon1 := origin.Radians()
+	brg := bearingDeg * math.Pi / 180
+	d := distanceMeters / EarthRadiusMeters
+	lat2 := math.Asin(math.Sin(lat1)*math.Cos(d) + math.Cos(lat1)*math.Sin(d)*math.Cos(brg))
+	lon2 := lon1 + math.Atan2(
+		math.Sin(brg)*math.Sin(d)*math.Cos(lat1),
+		math.Cos(d)-math.Sin(lat1)*math.Sin(lat2),
+	)
+	// Normalize longitude to [-180, 180).
+	lonDeg := math.Mod(lon2*180/math.Pi+540, 360) - 180
+	return Point{Lat: lat2 * 180 / math.Pi, Lon: lonDeg}
+}
+
+// Midpoint returns the great-circle midpoint of a and b.
+func Midpoint(a, b Point) Point {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dLon := lon2 - lon1
+	bx := math.Cos(lat2) * math.Cos(dLon)
+	by := math.Cos(lat2) * math.Sin(dLon)
+	lat3 := math.Atan2(
+		math.Sin(lat1)+math.Sin(lat2),
+		math.Sqrt((math.Cos(lat1)+bx)*(math.Cos(lat1)+bx)+by*by),
+	)
+	lon3 := lon1 + math.Atan2(by, math.Cos(lat1)+bx)
+	lonDeg := math.Mod(lon3*180/math.Pi+540, 360) - 180
+	return Point{Lat: lat3 * 180 / math.Pi, Lon: lonDeg}
+}
+
+// Projection is an equirectangular local tangent-plane projection
+// centered on a reference point. It maps geodetic points to planar
+// (x, y) meter coordinates (x east, y north). It is accurate to well
+// under 1% for island-scale domains (tens of kilometers), which is the
+// scale the mesh and surge solvers operate at.
+type Projection struct {
+	origin Point
+	cosLat float64
+}
+
+// NewProjection returns a projection centered on origin.
+func NewProjection(origin Point) Projection {
+	lat, _ := origin.Radians()
+	return Projection{origin: origin, cosLat: math.Cos(lat)}
+}
+
+// Origin returns the projection center.
+func (pr Projection) Origin() Point { return pr.origin }
+
+// ToXY projects a geodetic point to local planar meters.
+func (pr Projection) ToXY(p Point) XY {
+	const degToRad = math.Pi / 180
+	return XY{
+		X: (p.Lon - pr.origin.Lon) * degToRad * EarthRadiusMeters * pr.cosLat,
+		Y: (p.Lat - pr.origin.Lat) * degToRad * EarthRadiusMeters,
+	}
+}
+
+// ToPoint inverts the projection.
+func (pr Projection) ToPoint(xy XY) Point {
+	const radToDeg = 180 / math.Pi
+	return Point{
+		Lat: pr.origin.Lat + xy.Y/EarthRadiusMeters*radToDeg,
+		Lon: pr.origin.Lon + xy.X/(EarthRadiusMeters*pr.cosLat)*radToDeg,
+	}
+}
+
+// XY is a planar coordinate in meters in a local projection.
+type XY struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Sub returns a - b.
+func (a XY) Sub(b XY) XY { return XY{X: a.X - b.X, Y: a.Y - b.Y} }
+
+// Add returns a + b.
+func (a XY) Add(b XY) XY { return XY{X: a.X + b.X, Y: a.Y + b.Y} }
+
+// Scale returns a scaled by s.
+func (a XY) Scale(s float64) XY { return XY{X: a.X * s, Y: a.Y * s} }
+
+// Dot returns the dot product of a and b.
+func (a XY) Dot(b XY) float64 { return a.X*b.X + a.Y*b.Y }
+
+// Norm returns the Euclidean length of a.
+func (a XY) Norm() float64 { return math.Hypot(a.X, a.Y) }
+
+// Unit returns a normalized to unit length. The zero vector is returned
+// unchanged.
+func (a XY) Unit() XY {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// Perp returns a rotated 90 degrees counterclockwise.
+func (a XY) Perp() XY { return XY{X: -a.Y, Y: a.X} }
+
+// DistanceXY returns the planar distance between a and b.
+func DistanceXY(a, b XY) float64 { return a.Sub(b).Norm() }
+
+// SegmentDistance returns the distance from point p to segment [a, b]
+// and the parameter t in [0,1] of the closest point on the segment.
+func SegmentDistance(p, a, b XY) (dist, t float64) {
+	ab := b.Sub(a)
+	l2 := ab.Dot(ab)
+	if l2 == 0 {
+		return DistanceXY(p, a), 0
+	}
+	t = p.Sub(a).Dot(ab) / l2
+	t = math.Max(0, math.Min(1, t))
+	closest := a.Add(ab.Scale(t))
+	return DistanceXY(p, closest), t
+}

@@ -1,0 +1,238 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const floatTol = 1e-9
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDistanceMeters(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64 // meters
+		tol  float64
+	}{
+		{
+			name: "zero distance",
+			a:    Point{Lat: 21.3, Lon: -157.85},
+			b:    Point{Lat: 21.3, Lon: -157.85},
+			want: 0, tol: floatTol,
+		},
+		{
+			name: "one degree latitude",
+			a:    Point{Lat: 0, Lon: 0},
+			b:    Point{Lat: 1, Lon: 0},
+			want: EarthRadiusMeters * math.Pi / 180, tol: 1,
+		},
+		{
+			name: "honolulu to kahe",
+			a:    Point{Lat: 21.3069, Lon: -157.8583},
+			b:    Point{Lat: 21.3542, Lon: -158.1297},
+			// ~28.6 km by geodesic calculators.
+			want: 28600, tol: 500,
+		},
+		{
+			name: "antipodal quarter circumference",
+			a:    Point{Lat: 0, Lon: 0},
+			b:    Point{Lat: 0, Lon: 90},
+			want: EarthRadiusMeters * math.Pi / 2, tol: 1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := DistanceMeters(tt.a, tt.b)
+			if !almostEqual(got, tt.want, tt.tol) {
+				t.Errorf("DistanceMeters(%v, %v) = %v, want %v +- %v", tt.a, tt.b, got, tt.want, tt.tol)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: clampLat(lat1), Lon: clampLon(lon1)}
+		b := Point{Lat: clampLat(lat2), Lon: clampLon(lon2)}
+		return almostEqual(DistanceMeters(a, b), DistanceMeters(b, a), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBearingDegrees(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64
+		tol  float64
+	}{
+		{"due north", Point{0, 0}, Point{1, 0}, 0, 1e-6},
+		{"due east", Point{0, 0}, Point{0, 1}, 90, 1e-6},
+		{"due south", Point{1, 0}, Point{0, 0}, 180, 1e-6},
+		{"due west", Point{0, 1}, Point{0, 0}, 270, 1e-6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := BearingDegrees(tt.a, tt.b)
+			if !almostEqual(got, tt.want, tt.tol) {
+				t.Errorf("BearingDegrees = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	// Traveling distance d at bearing theta, then measuring the distance
+	// back to the origin, must return d.
+	f := func(latSeed, lonSeed, brgSeed, distSeed float64) bool {
+		origin := Point{Lat: clampLat(latSeed) * 0.7, Lon: clampLon(lonSeed)}
+		bearing := math.Mod(math.Abs(brgSeed), 360)
+		dist := math.Mod(math.Abs(distSeed), 100000) // up to 100 km
+		dest := Destination(origin, bearing, dist)
+		back := DistanceMeters(origin, dest)
+		return almostEqual(back, dist, math.Max(1e-6*dist, 1e-3))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestinationKnown(t *testing.T) {
+	origin := Point{Lat: 0, Lon: 0}
+	oneDegree := EarthRadiusMeters * math.Pi / 180
+	north := Destination(origin, 0, oneDegree)
+	if !almostEqual(north.Lat, 1, 1e-9) || !almostEqual(north.Lon, 0, 1e-9) {
+		t.Errorf("Destination north = %v, want (1, 0)", north)
+	}
+	east := Destination(origin, 90, oneDegree)
+	if !almostEqual(east.Lat, 0, 1e-9) || !almostEqual(east.Lon, 1, 1e-9) {
+		t.Errorf("Destination east = %v, want (0, 1)", east)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	a := Point{Lat: 0, Lon: 0}
+	b := Point{Lat: 0, Lon: 10}
+	m := Midpoint(a, b)
+	if !almostEqual(m.Lat, 0, 1e-9) || !almostEqual(m.Lon, 5, 1e-9) {
+		t.Errorf("Midpoint = %v, want (0, 5)", m)
+	}
+	da := DistanceMeters(a, m)
+	db := DistanceMeters(b, m)
+	if !almostEqual(da, db, 1e-6) {
+		t.Errorf("midpoint not equidistant: %v vs %v", da, db)
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{Lat: 21, Lon: -158}, true},
+		{Point{Lat: 91, Lon: 0}, false},
+		{Point{Lat: -91, Lon: 0}, false},
+		{Point{Lat: 0, Lon: 181}, false},
+		{Point{Lat: 0, Lon: -181}, false},
+		{Point{Lat: 90, Lon: 180}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Valid(); got != tt.want {
+			t.Errorf("%v.Valid() = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := NewProjection(Point{Lat: 21.45, Lon: -158.0})
+	f := func(dLat, dLon float64) bool {
+		p := Point{
+			Lat: 21.45 + math.Mod(dLat, 0.5),
+			Lon: -158.0 + math.Mod(dLon, 0.5),
+		}
+		back := pr.ToPoint(pr.ToXY(p))
+		return almostEqual(back.Lat, p.Lat, 1e-9) && almostEqual(back.Lon, p.Lon, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectionDistanceAccuracy(t *testing.T) {
+	// Projected planar distance should match geodesic distance to within
+	// 1% at island scale.
+	pr := NewProjection(Point{Lat: 21.45, Lon: -158.0})
+	a := Point{Lat: 21.3069, Lon: -157.8583} // Honolulu
+	b := Point{Lat: 21.3542, Lon: -158.1297} // Kahe
+	planar := DistanceXY(pr.ToXY(a), pr.ToXY(b))
+	geodesic := DistanceMeters(a, b)
+	if rel := math.Abs(planar-geodesic) / geodesic; rel > 0.01 {
+		t.Errorf("projection error %.4f%% exceeds 1%%", rel*100)
+	}
+}
+
+func TestXYOps(t *testing.T) {
+	a := XY{X: 3, Y: 4}
+	if got := a.Norm(); !almostEqual(got, 5, floatTol) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := a.Unit().Norm(); !almostEqual(got, 1, floatTol) {
+		t.Errorf("Unit().Norm() = %v, want 1", got)
+	}
+	zero := XY{}
+	if got := zero.Unit(); got != zero {
+		t.Errorf("zero.Unit() = %v, want zero", got)
+	}
+	perp := a.Perp()
+	if !almostEqual(perp.Dot(a), 0, floatTol) {
+		t.Errorf("Perp not orthogonal: dot = %v", perp.Dot(a))
+	}
+	if got := a.Add(XY{X: 1, Y: 1}).Sub(XY{X: 1, Y: 1}); got != a {
+		t.Errorf("Add/Sub round trip = %v, want %v", got, a)
+	}
+	if got := a.Scale(2); got.X != 6 || got.Y != 8 {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestSegmentDistance(t *testing.T) {
+	a := XY{X: 0, Y: 0}
+	b := XY{X: 10, Y: 0}
+	tests := []struct {
+		name     string
+		p        XY
+		wantDist float64
+		wantT    float64
+	}{
+		{"above middle", XY{X: 5, Y: 3}, 3, 0.5},
+		{"beyond end", XY{X: 15, Y: 0}, 5, 1},
+		{"before start", XY{X: -4, Y: 3}, 5, 0},
+		{"on segment", XY{X: 2, Y: 0}, 0, 0.2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, tc := SegmentDistance(tt.p, a, b)
+			if !almostEqual(d, tt.wantDist, floatTol) || !almostEqual(tc, tt.wantT, floatTol) {
+				t.Errorf("SegmentDistance = (%v, %v), want (%v, %v)", d, tc, tt.wantDist, tt.wantT)
+			}
+		})
+	}
+}
+
+func TestSegmentDistanceDegenerate(t *testing.T) {
+	a := XY{X: 1, Y: 1}
+	d, tc := SegmentDistance(XY{X: 4, Y: 5}, a, a)
+	if !almostEqual(d, 5, floatTol) || tc != 0 {
+		t.Errorf("degenerate SegmentDistance = (%v, %v), want (5, 0)", d, tc)
+	}
+}
+
+func clampLat(v float64) float64 { return math.Mod(v, 90) }
+func clampLon(v float64) float64 { return math.Mod(v, 180) }

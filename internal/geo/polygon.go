@@ -1,0 +1,172 @@
+package geo
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDegeneratePolygon is returned when a polygon has fewer than three
+// vertices.
+var ErrDegeneratePolygon = errors.New("geo: polygon needs at least 3 vertices")
+
+// Polygon is a simple closed polygon in local planar coordinates. The
+// vertex list is implicitly closed (the last vertex connects back to the
+// first).
+type Polygon struct {
+	vertices []XY
+}
+
+// NewPolygon builds a polygon from a vertex list. The slice is copied.
+func NewPolygon(vertices []XY) (*Polygon, error) {
+	if len(vertices) < 3 {
+		return nil, ErrDegeneratePolygon
+	}
+	vs := make([]XY, len(vertices))
+	copy(vs, vertices)
+	return &Polygon{vertices: vs}, nil
+}
+
+// Vertices returns a copy of the vertex list.
+func (pg *Polygon) Vertices() []XY {
+	vs := make([]XY, len(pg.vertices))
+	copy(vs, pg.vertices)
+	return vs
+}
+
+// NumVertices returns the number of vertices.
+func (pg *Polygon) NumVertices() int { return len(pg.vertices) }
+
+// Contains reports whether p lies inside the polygon (ray casting;
+// boundary points may report either side).
+func (pg *Polygon) Contains(p XY) bool {
+	inside := false
+	n := len(pg.vertices)
+	j := n - 1
+	for i := 0; i < n; i++ {
+		vi, vj := pg.vertices[i], pg.vertices[j]
+		if (vi.Y > p.Y) != (vj.Y > p.Y) {
+			xCross := (vj.X-vi.X)*(p.Y-vi.Y)/(vj.Y-vi.Y) + vi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	return inside
+}
+
+// DistanceToBoundary returns the minimum distance from p to the polygon
+// boundary. It is positive regardless of whether p is inside or outside.
+func (pg *Polygon) DistanceToBoundary(p XY) float64 {
+	minDist := math.Inf(1)
+	n := len(pg.vertices)
+	for i := 0; i < n; i++ {
+		a := pg.vertices[i]
+		b := pg.vertices[(i+1)%n]
+		d, _ := SegmentDistance(p, a, b)
+		if d < minDist {
+			minDist = d
+		}
+	}
+	return minDist
+}
+
+// SignedDistance returns the distance from p to the boundary, negative
+// when p is inside the polygon. The convention matches "elevation below
+// sea level is negative": for a land polygon, inside is negative.
+func (pg *Polygon) SignedDistance(p XY) float64 {
+	d := pg.DistanceToBoundary(p)
+	if pg.Contains(p) {
+		return -d
+	}
+	return d
+}
+
+// Area returns the unsigned polygon area (shoelace formula).
+func (pg *Polygon) Area() float64 {
+	var sum float64
+	n := len(pg.vertices)
+	for i := 0; i < n; i++ {
+		a := pg.vertices[i]
+		b := pg.vertices[(i+1)%n]
+		sum += a.X*b.Y - b.X*a.Y
+	}
+	return math.Abs(sum) / 2
+}
+
+// Centroid returns the area centroid of the polygon.
+func (pg *Polygon) Centroid() XY {
+	var cx, cy, sum float64
+	n := len(pg.vertices)
+	for i := 0; i < n; i++ {
+		a := pg.vertices[i]
+		b := pg.vertices[(i+1)%n]
+		cross := a.X*b.Y - b.X*a.Y
+		sum += cross
+		cx += (a.X + b.X) * cross
+		cy += (a.Y + b.Y) * cross
+	}
+	if sum == 0 {
+		// Degenerate (zero-area) polygon: fall back to vertex mean.
+		var m XY
+		for _, v := range pg.vertices {
+			m = m.Add(v)
+		}
+		return m.Scale(1 / float64(n))
+	}
+	return XY{X: cx / (3 * sum), Y: cy / (3 * sum)}
+}
+
+// Bounds returns the axis-aligned bounding box of the polygon.
+func (pg *Polygon) Bounds() (minPt, maxPt XY) {
+	minPt = XY{X: math.Inf(1), Y: math.Inf(1)}
+	maxPt = XY{X: math.Inf(-1), Y: math.Inf(-1)}
+	for _, v := range pg.vertices {
+		minPt.X = math.Min(minPt.X, v.X)
+		minPt.Y = math.Min(minPt.Y, v.Y)
+		maxPt.X = math.Max(maxPt.X, v.X)
+		maxPt.Y = math.Max(maxPt.Y, v.Y)
+	}
+	return minPt, maxPt
+}
+
+// Segment is a directed boundary segment of a polygon with its outward
+// normal (pointing away from the polygon interior).
+type Segment struct {
+	A, B    XY // endpoints
+	Mid     XY // midpoint
+	Normal  XY // unit outward normal
+	Tangent XY // unit tangent A -> B
+	Length  float64
+}
+
+// BoundarySegments returns the polygon boundary as directed segments
+// with outward normals. Normal orientation is determined by testing a
+// small offset from the segment midpoint against Contains.
+func (pg *Polygon) BoundarySegments() []Segment {
+	n := len(pg.vertices)
+	segs := make([]Segment, 0, n)
+	for i := 0; i < n; i++ {
+		a := pg.vertices[i]
+		b := pg.vertices[(i+1)%n]
+		t := b.Sub(a)
+		length := t.Norm()
+		if length == 0 {
+			continue
+		}
+		tangent := t.Scale(1 / length)
+		normal := tangent.Perp()
+		mid := a.Add(b).Scale(0.5)
+		// Orient the normal outward: a point slightly along the normal
+		// must be outside the polygon.
+		probe := mid.Add(normal.Scale(math.Max(1, length/100)))
+		if pg.Contains(probe) {
+			normal = normal.Scale(-1)
+		}
+		segs = append(segs, Segment{
+			A: a, B: b, Mid: mid,
+			Normal: normal, Tangent: tangent, Length: length,
+		})
+	}
+	return segs
+}

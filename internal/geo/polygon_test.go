@@ -1,0 +1,198 @@
+package geo
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func square(side float64) *Polygon {
+	pg, err := NewPolygon([]XY{
+		{X: 0, Y: 0}, {X: side, Y: 0}, {X: side, Y: side}, {X: 0, Y: side},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return pg
+}
+
+func TestNewPolygonDegenerate(t *testing.T) {
+	_, err := NewPolygon([]XY{{X: 0, Y: 0}, {X: 1, Y: 1}})
+	if !errors.Is(err, ErrDegeneratePolygon) {
+		t.Errorf("NewPolygon with 2 vertices: err = %v, want ErrDegeneratePolygon", err)
+	}
+}
+
+func TestPolygonDefensiveCopy(t *testing.T) {
+	verts := []XY{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}}
+	pg, err := NewPolygon(verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verts[0] = XY{X: 99, Y: 99}
+	if got := pg.Vertices()[0]; got != (XY{X: 0, Y: 0}) {
+		t.Errorf("polygon aliased caller slice: vertex 0 = %v", got)
+	}
+	out := pg.Vertices()
+	out[1] = XY{X: -5, Y: -5}
+	if got := pg.Vertices()[1]; got != (XY{X: 1, Y: 0}) {
+		t.Errorf("Vertices() exposed internal slice: vertex 1 = %v", got)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	pg := square(10)
+	tests := []struct {
+		name string
+		p    XY
+		want bool
+	}{
+		{"center", XY{X: 5, Y: 5}, true},
+		{"outside right", XY{X: 15, Y: 5}, false},
+		{"outside above", XY{X: 5, Y: 15}, false},
+		{"outside negative", XY{X: -1, Y: -1}, false},
+		{"near corner inside", XY{X: 0.01, Y: 0.01}, true},
+		{"near corner outside", XY{X: -0.01, Y: -0.01}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := pg.Contains(tt.p); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// L-shaped polygon: the notch must be outside.
+	pg, err := NewPolygon([]XY{
+		{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 4},
+		{X: 4, Y: 4}, {X: 4, Y: 10}, {X: 0, Y: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pg.Contains(XY{X: 2, Y: 8}) {
+		t.Error("point in L-arm should be inside")
+	}
+	if pg.Contains(XY{X: 8, Y: 8}) {
+		t.Error("point in notch should be outside")
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	if got := square(10).Area(); !almostEqual(got, 100, floatTol) {
+		t.Errorf("square area = %v, want 100", got)
+	}
+	tri, err := NewPolygon([]XY{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 0, Y: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tri.Area(); !almostEqual(got, 6, floatTol) {
+		t.Errorf("triangle area = %v, want 6", got)
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	c := square(10).Centroid()
+	if !almostEqual(c.X, 5, floatTol) || !almostEqual(c.Y, 5, floatTol) {
+		t.Errorf("square centroid = %v, want (5, 5)", c)
+	}
+}
+
+func TestPolygonBounds(t *testing.T) {
+	pg, err := NewPolygon([]XY{{X: -2, Y: 1}, {X: 5, Y: -3}, {X: 3, Y: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minPt, maxPt := pg.Bounds()
+	if minPt != (XY{X: -2, Y: -3}) || maxPt != (XY{X: 5, Y: 7}) {
+		t.Errorf("Bounds = %v, %v", minPt, maxPt)
+	}
+}
+
+func TestDistanceToBoundary(t *testing.T) {
+	pg := square(10)
+	tests := []struct {
+		p    XY
+		want float64
+	}{
+		{XY{X: 5, Y: 5}, 5},   // center
+		{XY{X: 5, Y: 1}, 1},   // near bottom edge, inside
+		{XY{X: 5, Y: -3}, 3},  // below, outside
+		{XY{X: 13, Y: 14}, 5}, // beyond corner: 3-4-5
+		{XY{X: 10, Y: 5}, 0},  // on edge
+	}
+	for _, tt := range tests {
+		if got := pg.DistanceToBoundary(tt.p); !almostEqual(got, tt.want, floatTol) {
+			t.Errorf("DistanceToBoundary(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestSignedDistance(t *testing.T) {
+	pg := square(10)
+	if got := pg.SignedDistance(XY{X: 5, Y: 5}); !almostEqual(got, -5, floatTol) {
+		t.Errorf("inside SignedDistance = %v, want -5", got)
+	}
+	if got := pg.SignedDistance(XY{X: 5, Y: -3}); !almostEqual(got, 3, floatTol) {
+		t.Errorf("outside SignedDistance = %v, want 3", got)
+	}
+}
+
+func TestBoundarySegmentsOutwardNormals(t *testing.T) {
+	pg := square(10)
+	segs := pg.BoundarySegments()
+	if len(segs) != 4 {
+		t.Fatalf("segments = %d, want 4", len(segs))
+	}
+	var total float64
+	for _, s := range segs {
+		total += s.Length
+		// A probe along the outward normal must leave the polygon.
+		probe := s.Mid.Add(s.Normal.Scale(0.5))
+		if pg.Contains(probe) {
+			t.Errorf("normal at %v points inward", s.Mid)
+		}
+		// Normal and tangent must be unit length and orthogonal.
+		if !almostEqual(s.Normal.Norm(), 1, floatTol) {
+			t.Errorf("normal not unit: %v", s.Normal)
+		}
+		if !almostEqual(s.Tangent.Norm(), 1, floatTol) {
+			t.Errorf("tangent not unit: %v", s.Tangent)
+		}
+		if !almostEqual(s.Normal.Dot(s.Tangent), 0, floatTol) {
+			t.Errorf("normal not orthogonal to tangent at %v", s.Mid)
+		}
+	}
+	if !almostEqual(total, 40, floatTol) {
+		t.Errorf("total perimeter = %v, want 40", total)
+	}
+}
+
+func TestBoundarySegmentsSkipsZeroLength(t *testing.T) {
+	pg, err := NewPolygon([]XY{
+		{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 10, Y: 0}, {X: 5, Y: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pg.BoundarySegments() {
+		if s.Length == 0 {
+			t.Error("zero-length segment not skipped")
+		}
+	}
+}
+
+func TestSignedDistanceProperty(t *testing.T) {
+	// For any point, |SignedDistance| == DistanceToBoundary.
+	pg := square(10)
+	f := func(x, y float64) bool {
+		p := XY{X: math.Mod(x, 30), Y: math.Mod(y, 30)}
+		return almostEqual(math.Abs(pg.SignedDistance(p)), pg.DistanceToBoundary(p), floatTol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package hazard
+
+import (
+	"fmt"
+	"testing"
+
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/surge"
+	"compoundthreat/internal/terrain"
+)
+
+// BenchmarkGenerateWorkers measures ensemble generation scaling with
+// worker parallelism (50 realizations per iteration).
+func BenchmarkGenerateWorkers(b *testing.B) {
+	gen, err := NewGenerator(terrain.NewOahu(), surge.DefaultParams(), assets.Oahu())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := OahuScenario()
+			cfg.Realizations = 50
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := gen.Generate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package hazard
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// NewEnsembleFromDepths builds an ensemble directly from per-asset
+// depth rows. It is used by tests and by tools that load previously
+// generated ensembles. depths[r][a] is the peak inundation at asset a
+// (column order of assetIDs) in realization r; every row must have one
+// entry per asset. cfg only needs Realizations and
+// FloodThresholdMeters to be consistent with the data.
+func NewEnsembleFromDepths(cfg EnsembleConfig, assetIDs []string, depths [][]float64) (*Ensemble, error) {
+	if len(assetIDs) == 0 {
+		return nil, errors.New("hazard: no assets")
+	}
+	if len(depths) == 0 {
+		return nil, errors.New("hazard: no realizations")
+	}
+	if cfg.FloodThresholdMeters <= 0 {
+		return nil, errors.New("hazard: FloodThresholdMeters must be positive")
+	}
+	if cfg.Realizations != len(depths) {
+		return nil, fmt.Errorf("hazard: config says %d realizations, data has %d",
+			cfg.Realizations, len(depths))
+	}
+	e := &Ensemble{
+		cfg:      cfg,
+		assetIDs: append([]string(nil), assetIDs...),
+		assetIdx: make(map[string]int, len(assetIDs)),
+		depths:   make([][]float64, len(depths)),
+	}
+	for i, id := range assetIDs {
+		if id == "" {
+			return nil, fmt.Errorf("hazard: empty asset ID at column %d", i)
+		}
+		if _, dup := e.assetIdx[id]; dup {
+			return nil, fmt.Errorf("hazard: duplicate asset ID %q", id)
+		}
+		e.assetIdx[id] = i
+	}
+	for r, row := range depths {
+		if len(row) != len(assetIDs) {
+			return nil, fmt.Errorf("hazard: realization %d has %d depths, want %d",
+				r, len(row), len(assetIDs))
+		}
+		for a, d := range row {
+			if d < 0 {
+				return nil, fmt.Errorf("hazard: negative depth %v at realization %d asset %d", d, r, a)
+			}
+		}
+		e.depths[r] = append([]float64(nil), row...)
+	}
+	return e, nil
+}
+
+// ensembleDTO is the JSON wire form of an ensemble.
+type ensembleDTO struct {
+	Config   EnsembleConfig `json:"config"`
+	AssetIDs []string       `json:"assetIds"`
+	Depths   [][]float64    `json:"depths"`
+}
+
+// WriteJSON encodes the ensemble.
+func (e *Ensemble) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ensembleDTO{
+		Config:   e.cfg,
+		AssetIDs: e.assetIDs,
+		Depths:   e.depths,
+	})
+}
+
+// ReadJSON decodes an ensemble written by WriteJSON.
+func ReadJSON(r io.Reader) (*Ensemble, error) {
+	var dto ensembleDTO
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&dto); err != nil {
+		return nil, fmt.Errorf("hazard: decode ensemble: %w", err)
+	}
+	return NewEnsembleFromDepths(dto.Config, dto.AssetIDs, dto.Depths)
+}
+
+// WriteCSV emits one row per realization with per-asset peak
+// inundation depths (meters): header "realization,<asset>,...".
+func (e *Ensemble) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("realization")
+	for _, id := range e.assetIDs {
+		b.WriteByte(',')
+		b.WriteString(id)
+	}
+	b.WriteByte('\n')
+	for r, row := range e.depths {
+		b.WriteString(strconv.Itoa(r))
+		for _, d := range row {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(d, 'f', 4, 64))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReadCSV decodes an ensemble written by WriteCSV. The flood threshold
+// and realization count are taken from cfg (other cfg fields are
+// metadata only).
+func ReadCSV(r io.Reader, cfg EnsembleConfig) (*Ensemble, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("hazard: read csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, errors.New("hazard: csv needs a header and at least one row")
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "realization" {
+		return nil, errors.New(`hazard: csv header must start with "realization"`)
+	}
+	ids := header[1:]
+	depths := make([][]float64, 0, len(records)-1)
+	for li, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("hazard: csv row %d has %d fields, want %d", li+1, len(rec), len(header))
+		}
+		row := make([]float64, len(ids))
+		for ci, cell := range rec[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("hazard: csv row %d col %d: %w", li+1, ci+1, err)
+			}
+			row[ci] = v
+		}
+		depths = append(depths, row)
+	}
+	cfg.Realizations = len(depths)
+	return NewEnsembleFromDepths(cfg, ids, depths)
+}

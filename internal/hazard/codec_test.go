@@ -1,0 +1,177 @@
+package hazard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func miniConfig(realizations int) EnsembleConfig {
+	cfg := OahuScenario()
+	cfg.Realizations = realizations
+	return cfg
+}
+
+func TestNewEnsembleFromDepths(t *testing.T) {
+	cfg := miniConfig(2)
+	e, err := NewEnsembleFromDepths(cfg, []string{"a", "b"}, [][]float64{
+		{0.0, 0.7},
+		{0.6, 0.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != 2 {
+		t.Errorf("Size = %d", e.Size())
+	}
+	fa, err := e.Failed(0, "b")
+	if err != nil || !fa {
+		t.Errorf("Failed(0, b) = %v, %v, want true", fa, err)
+	}
+	rate, err := e.FailureRate("a")
+	if err != nil || rate != 0.5 {
+		t.Errorf("FailureRate(a) = %v, %v, want 0.5", rate, err)
+	}
+}
+
+func TestNewEnsembleFromDepthsValidation(t *testing.T) {
+	cfg := miniConfig(1)
+	tests := []struct {
+		name   string
+		cfg    EnsembleConfig
+		ids    []string
+		depths [][]float64
+		want   string
+	}{
+		{"no assets", cfg, nil, [][]float64{{1}}, "no assets"},
+		{"no rows", cfg, []string{"a"}, nil, "no realizations"},
+		{"row mismatch", cfg, []string{"a", "b"}, [][]float64{{1}}, "depths"},
+		{"count mismatch", miniConfig(5), []string{"a"}, [][]float64{{1}}, "realizations"},
+		{"duplicate id", cfg, []string{"a", "a"}, [][]float64{{1, 2}}, "duplicate"},
+		{"empty id", cfg, []string{""}, [][]float64{{1}}, "empty asset"},
+		{"negative depth", cfg, []string{"a"}, [][]float64{{-1}}, "negative"},
+		{
+			"zero threshold",
+			func() EnsembleConfig { c := miniConfig(1); c.FloodThresholdMeters = 0; return c }(),
+			[]string{"a"}, [][]float64{{1}}, "FloodThreshold",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewEnsembleFromDepths(tt.cfg, tt.ids, tt.depths)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("err = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestEnsembleFromDepthsDefensiveCopy(t *testing.T) {
+	cfg := miniConfig(1)
+	depths := [][]float64{{0.1, 0.2}}
+	ids := []string{"a", "b"}
+	e, err := NewEnsembleFromDepths(cfg, ids, depths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths[0][0] = 99
+	ids[0] = "mutated"
+	if d, _ := e.Depth(0, "a"); d != 0.1 {
+		t.Errorf("ensemble aliased caller depth slice: %v", d)
+	}
+	if _, ok := e.assetIdx["mutated"]; ok {
+		t.Error("ensemble aliased caller id slice")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	cfg := miniConfig(3)
+	orig, err := NewEnsembleFromDepths(cfg, []string{"x", "y"}, [][]float64{
+		{0, 1.25},
+		{0.51, 0},
+		{0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != orig.Size() {
+		t.Fatalf("size %d != %d", back.Size(), orig.Size())
+	}
+	for r := 0; r < orig.Size(); r++ {
+		for _, id := range orig.AssetIDs() {
+			d1, _ := orig.Depth(r, id)
+			d2, _ := back.Depth(r, id)
+			if d1 != d2 {
+				t.Errorf("depth mismatch at r=%d id=%s: %v != %v", r, id, d1, d2)
+			}
+		}
+	}
+	if back.Config().FloodThresholdMeters != orig.Config().FloodThresholdMeters {
+		t.Error("config threshold not preserved")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage input should error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"config":{},"assetIds":[],"depths":[]}`)); err == nil {
+		t.Error("empty payload should fail validation")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := miniConfig(3)
+	orig, err := NewEnsembleFromDepths(cfg, []string{"x", "y"}, [][]float64{
+		{0, 1.25},
+		{0.51, 0},
+		{0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "realization,x,y\n") {
+		t.Fatalf("csv header wrong: %q", buf.String())
+	}
+	back, err := ReadCSV(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < orig.Size(); r++ {
+		for _, id := range orig.AssetIDs() {
+			d1, _ := orig.Depth(r, id)
+			d2, _ := back.Depth(r, id)
+			if d1 != d2 {
+				t.Errorf("csv depth mismatch r=%d id=%s: %v != %v", r, id, d1, d2)
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cfg := miniConfig(1)
+	cases := []string{
+		"",
+		"realization,x\n",             // no rows
+		"wrong,x\n0,1\n",              // bad header
+		"realization,x\n0,notanumber", // bad cell
+		"realization,x\n0,1,2",        // ragged row
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), cfg); err == nil {
+			t.Errorf("ReadCSV(%q) should error", c)
+		}
+	}
+}

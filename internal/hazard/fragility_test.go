@@ -1,0 +1,169 @@
+package hazard
+
+import (
+	"math"
+	"testing"
+)
+
+func fragilityBase(t *testing.T) *Ensemble {
+	t.Helper()
+	// 1000 realizations, one asset at exactly the fragility median
+	// depth, one well below, one well above.
+	rows := make([][]float64, 1000)
+	for r := range rows {
+		rows[r] = []float64{0.5, 0.01, 5.0}
+	}
+	e, err := NewEnsembleFromDepths(miniConfig(1000), []string{"at-median", "dry", "deep"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFragilityCurveShape(t *testing.T) {
+	c := Fragility{MedianMeters: 0.5, Beta: 0.4}
+	if got := c.FailureProbability(0); got != 0 {
+		t.Errorf("P(fail | dry) = %v, want 0", got)
+	}
+	if got := c.FailureProbability(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(fail | median) = %v, want 0.5", got)
+	}
+	if c.FailureProbability(0.1) >= c.FailureProbability(0.5) ||
+		c.FailureProbability(0.5) >= c.FailureProbability(2.0) {
+		t.Error("fragility curve should be increasing in depth")
+	}
+	if got := c.FailureProbability(10); got < 0.99 {
+		t.Errorf("P(fail | 10 m) = %v, want ~1", got)
+	}
+}
+
+func TestFragilityEnsembleRates(t *testing.T) {
+	base := fragilityBase(t)
+	fe, err := NewFragilityEnsemble(base, Fragility{MedianMeters: 0.5, Beta: 0.4}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe.Size() != 1000 {
+		t.Errorf("Size = %d", fe.Size())
+	}
+	atMedian, err := fe.FailureRate("at-median")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atMedian < 0.45 || atMedian > 0.55 {
+		t.Errorf("rate at median depth = %v, want ~0.5", atMedian)
+	}
+	dry, err := fe.FailureRate("dry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dry > 0.01 {
+		t.Errorf("rate at 1 cm = %v, want ~0", dry)
+	}
+	deep, err := fe.FailureRate("deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep < 0.99 {
+		t.Errorf("rate at 5 m = %v, want ~1", deep)
+	}
+}
+
+func TestFragilitySharpBetaApproachesThreshold(t *testing.T) {
+	// With tiny beta the fragility curve becomes the paper's hard
+	// threshold: same failure sets as the deterministic ensemble.
+	base := fragilityBase(t)
+	fe, err := NewFragilityEnsemble(base, Fragility{MedianMeters: 0.5, Beta: 1e-6}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := fe.FailureRate("deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry, err := fe.FailureRate("dry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep != 1 || dry != 0 {
+		t.Errorf("sharp fragility: deep=%v dry=%v, want 1 and 0", deep, dry)
+	}
+}
+
+func TestFragilityDeterministic(t *testing.T) {
+	base := fragilityBase(t)
+	a, err := NewFragilityEnsemble(base, Fragility{MedianMeters: 0.5, Beta: 0.4}, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFragilityEnsemble(base, Fragility{MedianMeters: 0.5, Beta: 0.4}, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 100; r++ {
+		fa, _ := a.Failed(r, "at-median")
+		fb, _ := b.Failed(r, "at-median")
+		if fa != fb {
+			t.Fatalf("same seed disagreed at r=%d", r)
+		}
+	}
+	c, err := NewFragilityEnsemble(base, Fragility{MedianMeters: 0.5, Beta: 0.4}, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for r := 0; r < 100 && same; r++ {
+		fa, _ := a.Failed(r, "at-median")
+		fc, _ := c.Failed(r, "at-median")
+		if fa != fc {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical draws")
+	}
+}
+
+func TestFragilityPerAssetOverride(t *testing.T) {
+	base := fragilityBase(t)
+	fe, err := NewFragilityEnsemble(base,
+		Fragility{MedianMeters: 0.5, Beta: 0.4},
+		map[string]Fragility{"at-median": {MedianMeters: 100, Beta: 0.4}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := fe.FailureRate("at-median")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate > 0.01 {
+		t.Errorf("hardened asset rate = %v, want ~0", rate)
+	}
+}
+
+func TestFragilityValidation(t *testing.T) {
+	base := fragilityBase(t)
+	if _, err := NewFragilityEnsemble(nil, Fragility{MedianMeters: 1, Beta: 1}, nil, 1); err == nil {
+		t.Error("nil base should error")
+	}
+	if _, err := NewFragilityEnsemble(base, Fragility{}, nil, 1); err == nil {
+		t.Error("zero default fragility should error")
+	}
+	if _, err := NewFragilityEnsemble(base, Fragility{MedianMeters: 1, Beta: 1},
+		map[string]Fragility{"x": {}}, 1); err == nil {
+		t.Error("invalid override should error")
+	}
+	fe, err := NewFragilityEnsemble(base, Fragility{MedianMeters: 1, Beta: 1}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fe.Failed(0, "nope"); err == nil {
+		t.Error("unknown asset should error")
+	}
+	if _, err := fe.FailureVector(0, []string{"nope"}); err == nil {
+		t.Error("unknown asset in vector should error")
+	}
+	if _, err := fe.FailureRate("nope"); err == nil {
+		t.Error("unknown asset in rate should error")
+	}
+}

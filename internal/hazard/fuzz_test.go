@@ -1,0 +1,75 @@
+package hazard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks that arbitrary input never panics the JSON
+// decoder and that valid ensembles survive a round trip.
+func FuzzReadJSON(f *testing.F) {
+	valid, err := NewEnsembleFromDepths(miniConfig(2), []string{"a", "b"}, [][]float64{
+		{0, 0.7}, {0.6, 0},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := valid.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"config":{},"assetIds":[],"depths":[]}`)
+	f.Add(`{not json`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// A decoded ensemble must be internally consistent.
+		if e.Size() <= 0 {
+			t.Fatalf("accepted ensemble with size %d", e.Size())
+		}
+		for _, id := range e.AssetIDs() {
+			if _, err := e.FailureRate(id); err != nil {
+				t.Fatalf("accepted ensemble with broken asset %q: %v", id, err)
+			}
+		}
+		var out bytes.Buffer
+		if err := e.WriteJSON(&out); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if back.Size() != e.Size() {
+			t.Fatalf("round trip changed size: %d != %d", back.Size(), e.Size())
+		}
+	})
+}
+
+// FuzzReadCSV checks the CSV decoder against arbitrary input.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("realization,a,b\n0,0.0,0.7\n1,0.6,0.0\n")
+	f.Add("realization,a\n0,notanumber\n")
+	f.Add("wrong,a\n0,1\n")
+	f.Add("")
+	f.Add("realization,a\n0,1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg := miniConfig(1)
+		e, err := ReadCSV(strings.NewReader(input), cfg)
+		if err != nil {
+			return
+		}
+		if e.Size() <= 0 || len(e.AssetIDs()) == 0 {
+			t.Fatalf("accepted degenerate ensemble: size=%d assets=%d", e.Size(), len(e.AssetIDs()))
+		}
+		var out bytes.Buffer
+		if err := e.WriteCSV(&out); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	})
+}

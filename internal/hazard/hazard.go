@@ -1,0 +1,435 @@
+// Package hazard generates hurricane realization ensembles: the
+// natural-disaster input of the paper's analysis framework. Each
+// realization perturbs a base storm (track offset, heading, intensity,
+// size, forward speed), runs the surge solver against the asset
+// inventory, and records the peak inundation depth at every asset. An
+// asset fails in a realization when its peak inundation exceeds the
+// flood threshold (0.5 m in the paper — the typical switch height in
+// plants and substations).
+//
+// Generation is deterministic: realization i derives its RNG stream
+// from (Seed, i) alone, so results are identical regardless of worker
+// parallelism.
+package hazard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/geo"
+	"compoundthreat/internal/surge"
+	"compoundthreat/internal/terrain"
+	"compoundthreat/internal/wind"
+)
+
+// DefaultFloodThresholdMeters is the paper's asset failure threshold:
+// inundation above the typical switch height of 0.5 m (2 ft).
+const DefaultFloodThresholdMeters = 0.5
+
+// BaseStorm describes the unperturbed scenario storm as a straight
+// track through a reference point.
+type BaseStorm struct {
+	// ReferencePoint is the track's position at mid-duration.
+	ReferencePoint geo.Point
+	// HeadingDeg is the storm motion direction (degrees clockwise from
+	// north).
+	HeadingDeg float64
+	// ForwardSpeedMS is the translation speed.
+	ForwardSpeedMS float64
+	// Duration is the simulated window (the track spans Duration
+	// centered on the reference point).
+	Duration time.Duration
+	// CentralPressureHPa, RMaxMeters, HollandB parameterize intensity.
+	CentralPressureHPa float64
+	RMaxMeters         float64
+	HollandB           float64
+}
+
+// Validate reports the first problem with the base storm.
+func (b BaseStorm) Validate() error {
+	switch {
+	case !b.ReferencePoint.Valid():
+		return fmt.Errorf("hazard: invalid reference point %v", b.ReferencePoint)
+	case b.ForwardSpeedMS <= 0:
+		return errors.New("hazard: forward speed must be positive")
+	case b.Duration <= 0:
+		return errors.New("hazard: duration must be positive")
+	case b.CentralPressureHPa <= 800 || b.CentralPressureHPa >= wind.AmbientPressureHPa:
+		return fmt.Errorf("hazard: central pressure %v out of range", b.CentralPressureHPa)
+	case b.RMaxMeters <= 0:
+		return errors.New("hazard: RMax must be positive")
+	case b.HollandB < 0.5 || b.HollandB > 3.5:
+		return fmt.Errorf("hazard: Holland B %v out of range", b.HollandB)
+	}
+	return nil
+}
+
+// Perturbation is the stochastic spread applied per realization.
+type Perturbation struct {
+	// TrackOffsetSigmaMeters displaces the track laterally
+	// (perpendicular to the heading).
+	TrackOffsetSigmaMeters float64
+	// AlongTrackSigmaMeters displaces the reference point along the
+	// heading (timing uncertainty).
+	AlongTrackSigmaMeters float64
+	// HeadingSigmaDeg jitters the heading.
+	HeadingSigmaDeg float64
+	// PressureSigmaHPa jitters central pressure (intensity).
+	PressureSigmaHPa float64
+	// RMaxSigmaFraction jitters the radius of maximum winds
+	// multiplicatively.
+	RMaxSigmaFraction float64
+	// SpeedSigmaFraction jitters forward speed multiplicatively.
+	SpeedSigmaFraction float64
+}
+
+// Validate reports the first problem with the perturbation.
+func (p Perturbation) Validate() error {
+	for _, v := range []float64{
+		p.TrackOffsetSigmaMeters, p.AlongTrackSigmaMeters, p.HeadingSigmaDeg,
+		p.PressureSigmaHPa, p.RMaxSigmaFraction, p.SpeedSigmaFraction,
+	} {
+		if v < 0 || math.IsNaN(v) {
+			return errors.New("hazard: perturbation sigmas must be non-negative")
+		}
+	}
+	return nil
+}
+
+// EnsembleConfig parameterizes ensemble generation.
+type EnsembleConfig struct {
+	// Realizations is the ensemble size (the paper uses 1000).
+	Realizations int
+	// Seed drives all randomness.
+	Seed int64
+	// Base is the scenario storm.
+	Base BaseStorm
+	// Spread is the per-realization perturbation.
+	Spread Perturbation
+	// FloodThresholdMeters is the asset failure threshold.
+	FloodThresholdMeters float64
+	// Workers bounds generation parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Validate reports the first configuration problem found.
+func (c EnsembleConfig) Validate() error {
+	if c.Realizations <= 0 {
+		return errors.New("hazard: Realizations must be positive")
+	}
+	if c.FloodThresholdMeters <= 0 {
+		return errors.New("hazard: FloodThresholdMeters must be positive")
+	}
+	if c.Workers < 0 {
+		return errors.New("hazard: Workers must be non-negative")
+	}
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	return c.Spread.Validate()
+}
+
+// Ensemble holds per-asset peak inundation depths for every
+// realization.
+type Ensemble struct {
+	cfg      EnsembleConfig
+	assetIDs []string
+	assetIdx map[string]int
+	// depths[r][a] is the peak inundation at asset a in realization r.
+	depths [][]float64
+}
+
+// Generator produces ensembles for one region.
+type Generator struct {
+	tm     *terrain.Model
+	solver *surge.Solver
+	inv    *assets.Inventory
+}
+
+// NewGenerator builds a generator from a terrain model, surge solver
+// parameters, and an asset inventory.
+func NewGenerator(tm *terrain.Model, params surge.Params, inv *assets.Inventory) (*Generator, error) {
+	solver, err := surge.NewSolver(tm, params)
+	if err != nil {
+		return nil, err
+	}
+	if inv == nil || inv.Len() == 0 {
+		return nil, errors.New("hazard: empty asset inventory")
+	}
+	return &Generator{tm: tm, solver: solver, inv: inv}, nil
+}
+
+// Track materializes the storm track of realization i. Exposed so that
+// tools can inspect or visualize individual realizations.
+func (g *Generator) Track(cfg EnsembleConfig, i int) (*wind.Track, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return realizationTrack(cfg, i)
+}
+
+func realizationTrack(cfg EnsembleConfig, i int) (*wind.Track, error) {
+	rng := rand.New(rand.NewSource(splitmix(cfg.Seed, int64(i))))
+	b := cfg.Base
+	sp := cfg.Spread
+
+	heading := b.HeadingDeg + rng.NormFloat64()*sp.HeadingSigmaDeg
+	offset := rng.NormFloat64() * sp.TrackOffsetSigmaMeters
+	along := rng.NormFloat64() * sp.AlongTrackSigmaMeters
+	pressure := clamp(b.CentralPressureHPa+rng.NormFloat64()*sp.PressureSigmaHPa, 880, 1005)
+	rmax := b.RMaxMeters * math.Exp(rng.NormFloat64()*sp.RMaxSigmaFraction)
+	speed := b.ForwardSpeedMS * math.Exp(rng.NormFloat64()*sp.SpeedSigmaFraction)
+
+	// Displace the reference point: lateral offset perpendicular to the
+	// heading (to the right for positive offsets), plus along-track.
+	ref := geo.Destination(b.ReferencePoint, heading+90, offset)
+	ref = geo.Destination(ref, heading, along)
+
+	half := b.Duration / 2
+	halfDist := speed * half.Seconds()
+	start := geo.Destination(ref, heading+180, halfDist)
+	end := geo.Destination(ref, heading, halfDist)
+
+	return wind.NewTrack([]wind.TrackPoint{
+		{
+			Offset: 0, Center: start,
+			CentralPressureHPa: pressure, RMaxMeters: rmax, HollandB: b.HollandB,
+		},
+		{
+			Offset: b.Duration, Center: end,
+			CentralPressureHPa: pressure, RMaxMeters: rmax, HollandB: b.HollandB,
+		},
+	})
+}
+
+// Generate runs the full ensemble.
+//
+// Assets inside a terrain inundation zone are evaluated against the
+// zone's common water surface (the paper's averaged-and-extended water
+// surface): depth = zoneEta * exp(-d/lambda) - elevation, where d is
+// the asset's distance to the coast. Assets outside every zone get the
+// per-site evaluation of surge.Solver.Inundation.
+func (g *Generator) Generate(cfg EnsembleConfig) (*Ensemble, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	list := g.inv.All()
+	ids := make([]string, len(list))
+	sites := make([]surge.Site, len(list))
+	proj := g.tm.Projection()
+	// zoneOf[i] is the zone index of asset i, or -1; decay[i] is the
+	// asset's inland attenuation factor (used only for zone assets).
+	zoneOf := make([]int, len(list))
+	decay := make([]float64, len(list))
+	lambda := g.solver.Params().InlandDecayMeters
+	for i, a := range list {
+		ids[i] = a.ID
+		pos := proj.ToXY(a.Location)
+		sites[i] = surge.Site{
+			Pos:                   pos,
+			GroundElevationMeters: a.GroundElevationMeters,
+		}
+		zoneOf[i] = -1
+		if z, ok := g.tm.ZoneIndexAt(pos); ok {
+			zoneOf[i] = z
+			d := g.tm.DistanceToCoast(pos)
+			if !g.tm.IsLand(pos) {
+				d = 0
+			}
+			decay[i] = math.Exp(-d / lambda)
+		}
+	}
+
+	e := &Ensemble{
+		cfg:      cfg,
+		assetIDs: ids,
+		assetIdx: make(map[string]int, len(ids)),
+		depths:   make([][]float64, cfg.Realizations),
+	}
+	for i, id := range ids {
+		e.assetIdx[id] = i
+	}
+
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan int)
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range jobs {
+				tr, err := realizationTrack(cfg, r)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("realization %d: %w", r, err):
+					default:
+					}
+					return
+				}
+				row := g.solver.Inundation(tr, sites)
+				// Re-evaluate zone assets against their zone's common
+				// water surface.
+				var zoneEta []float64
+				for i := range row {
+					z := zoneOf[i]
+					if z < 0 {
+						continue
+					}
+					if zoneEta == nil {
+						zoneEta = g.zonePeaks(tr)
+					}
+					depth := zoneEta[z]*decay[i] - sites[i].GroundElevationMeters
+					if depth < 0 {
+						depth = 0
+					}
+					row[i] = depth
+				}
+				e.depths[r] = row
+			}
+		}()
+	}
+	for r := 0; r < cfg.Realizations; r++ {
+		jobs <- r
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return e, nil
+}
+
+// zonePeaks evaluates every zone's common water surface for the track.
+func (g *Generator) zonePeaks(tr *wind.Track) []float64 {
+	out := make([]float64, g.tm.NumZones())
+	for z := range out {
+		center, radius, err := g.tm.ZoneGeometry(z)
+		if err != nil {
+			continue // unreachable: z ranges over NumZones
+		}
+		out[z] = g.solver.RegionPeak(tr, center, radius)
+	}
+	return out
+}
+
+// Config returns the generation configuration.
+func (e *Ensemble) Config() EnsembleConfig { return e.cfg }
+
+// Size returns the number of realizations.
+func (e *Ensemble) Size() int { return len(e.depths) }
+
+// AssetIDs returns the asset IDs in column order.
+func (e *Ensemble) AssetIDs() []string {
+	out := make([]string, len(e.assetIDs))
+	copy(out, e.assetIDs)
+	return out
+}
+
+// Depth returns the peak inundation depth at an asset in realization r.
+func (e *Ensemble) Depth(r int, assetID string) (float64, error) {
+	if r < 0 || r >= len(e.depths) {
+		return 0, fmt.Errorf("hazard: realization %d out of range [0, %d)", r, len(e.depths))
+	}
+	i, ok := e.assetIdx[assetID]
+	if !ok {
+		return 0, fmt.Errorf("hazard: unknown asset %q", assetID)
+	}
+	return e.depths[r][i], nil
+}
+
+// Failed reports whether the asset floods (depth above threshold) in
+// realization r.
+func (e *Ensemble) Failed(r int, assetID string) (bool, error) {
+	d, err := e.Depth(r, assetID)
+	if err != nil {
+		return false, err
+	}
+	return d > e.cfg.FloodThresholdMeters, nil
+}
+
+// FailureRate returns the fraction of realizations in which the asset
+// floods.
+func (e *Ensemble) FailureRate(assetID string) (float64, error) {
+	i, ok := e.assetIdx[assetID]
+	if !ok {
+		return 0, fmt.Errorf("hazard: unknown asset %q", assetID)
+	}
+	var n int
+	for _, row := range e.depths {
+		if row[i] > e.cfg.FloodThresholdMeters {
+			n++
+		}
+	}
+	return float64(n) / float64(len(e.depths)), nil
+}
+
+// JointFailures returns how many realizations flood asset a, asset b,
+// and both.
+func (e *Ensemble) JointFailures(a, b string) (onlyA, onlyB, both int, err error) {
+	ia, ok := e.assetIdx[a]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("hazard: unknown asset %q", a)
+	}
+	ib, ok := e.assetIdx[b]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("hazard: unknown asset %q", b)
+	}
+	th := e.cfg.FloodThresholdMeters
+	for _, row := range e.depths {
+		fa, fb := row[ia] > th, row[ib] > th
+		switch {
+		case fa && fb:
+			both++
+		case fa:
+			onlyA++
+		case fb:
+			onlyB++
+		}
+	}
+	return onlyA, onlyB, both, nil
+}
+
+// FailureVector returns, for realization r, the failed flags for the
+// given asset IDs in order. It is the disaster-agnostic accessor used
+// by the analysis pipeline (for hurricanes, failure means flooding).
+func (e *Ensemble) FailureVector(r int, assetIDs []string) ([]bool, error) {
+	return e.FloodVector(r, assetIDs)
+}
+
+// FloodVector returns, for realization r, the flooded flags for the
+// given asset IDs in order.
+func (e *Ensemble) FloodVector(r int, assetIDs []string) ([]bool, error) {
+	out := make([]bool, len(assetIDs))
+	for i, id := range assetIDs {
+		f, err := e.Failed(r, id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func splitmix(seed, i int64) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}

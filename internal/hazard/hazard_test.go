@@ -1,0 +1,413 @@
+package hazard
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/geo"
+	"compoundthreat/internal/surge"
+	"compoundthreat/internal/terrain"
+)
+
+// testIsland builds a small square island with two assets: one exposed
+// at the south shore, one high inland.
+func testSetup(t *testing.T) (*Generator, EnsembleConfig) {
+	t.Helper()
+	tm, err := terrain.New(terrain.Config{
+		Name:   "TestIsland",
+		Origin: geo.Point{Lat: 21, Lon: -158},
+		Coastline: []geo.Point{
+			{Lat: 21 - 0.09, Lon: -158 - 0.097},
+			{Lat: 21 - 0.09, Lon: -158 + 0.097},
+			{Lat: 21 + 0.09, Lon: -158 + 0.097},
+			{Lat: 21 + 0.09, Lon: -158 - 0.097},
+		},
+		CoastalRampSlope:        0.004,
+		CoastalPlainWidthMeters: 3000,
+		InlandSlope:             0.02,
+		OffshoreSlope:           0.02,
+		Shelves: []terrain.Shelf{{
+			Name:         "SouthShelf",
+			Center:       geo.Point{Lat: 20.91, Lon: -158},
+			RadiusMeters: 12000,
+			SlopeFactor:  0.3,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := assets.NewInventory([]assets.Asset{
+		{
+			ID: "south-cc", Name: "South CC", Type: assets.ControlCenter,
+			Location:              geo.Point{Lat: 20.913, Lon: -158},
+			GroundElevationMeters: 0.6,
+			ControlSiteCandidate:  true,
+		},
+		{
+			ID: "inland-dc", Name: "Inland DC", Type: assets.DataCenter,
+			Location:              geo.Point{Lat: 21.0, Lon: -158},
+			GroundElevationMeters: 60,
+			ControlSiteCandidate:  true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := surge.DefaultParams()
+	params.StepInterval = 30 * time.Minute
+	gen, err := NewGenerator(tm, params, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := EnsembleConfig{
+		Realizations: 60,
+		Seed:         7,
+		Base: BaseStorm{
+			ReferencePoint:     geo.Point{Lat: 20.55, Lon: -158.35},
+			HeadingDeg:         315,
+			ForwardSpeedMS:     5,
+			Duration:           24 * time.Hour,
+			CentralPressureHPa: 955,
+			RMaxMeters:         40000,
+			HollandB:           1.6,
+		},
+		Spread: Perturbation{
+			TrackOffsetSigmaMeters: 30000,
+			AlongTrackSigmaMeters:  15000,
+			HeadingSigmaDeg:        5,
+			PressureSigmaHPa:       8,
+			RMaxSigmaFraction:      0.2,
+			SpeedSigmaFraction:     0.15,
+		},
+		FloodThresholdMeters: 0.5,
+	}
+	return gen, cfg
+}
+
+func TestEnsembleConfigValidate(t *testing.T) {
+	_, cfg := testSetup(t)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*EnsembleConfig)
+		want   string
+	}{
+		{"zero realizations", func(c *EnsembleConfig) { c.Realizations = 0 }, "Realizations"},
+		{"zero threshold", func(c *EnsembleConfig) { c.FloodThresholdMeters = 0 }, "FloodThreshold"},
+		{"negative workers", func(c *EnsembleConfig) { c.Workers = -1 }, "Workers"},
+		{"bad speed", func(c *EnsembleConfig) { c.Base.ForwardSpeedMS = 0 }, "speed"},
+		{"bad duration", func(c *EnsembleConfig) { c.Base.Duration = 0 }, "duration"},
+		{"bad pressure", func(c *EnsembleConfig) { c.Base.CentralPressureHPa = 1050 }, "pressure"},
+		{"bad rmax", func(c *EnsembleConfig) { c.Base.RMaxMeters = 0 }, "RMax"},
+		{"bad B", func(c *EnsembleConfig) { c.Base.HollandB = 9 }, "Holland"},
+		{"bad ref point", func(c *EnsembleConfig) { c.Base.ReferencePoint = geo.Point{Lat: 95} }, "reference"},
+		{"negative sigma", func(c *EnsembleConfig) { c.Spread.HeadingSigmaDeg = -1 }, "sigmas"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := cfg
+			tt.mutate(&c)
+			err := c.Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("Validate = %v, want error containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	gen, cfg := testSetup(t)
+	cfg.Realizations = 20
+	// Different worker counts must produce identical results.
+	cfg.Workers = 1
+	e1, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	e2, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < cfg.Realizations; r++ {
+		for _, id := range e1.AssetIDs() {
+			d1, err := e1.Depth(r, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, err := e2.Depth(r, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d1 != d2 {
+				t.Fatalf("realization %d asset %s: %v != %v across worker counts", r, id, d1, d2)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	gen, cfg := testSetup(t)
+	cfg.Realizations = 20
+	e1, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed++
+	e2, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for r := 0; r < cfg.Realizations && same; r++ {
+		d1, _ := e1.Depth(r, "south-cc")
+		d2, _ := e2.Depth(r, "south-cc")
+		if d1 != d2 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical ensembles")
+	}
+}
+
+func TestEnsembleShape(t *testing.T) {
+	gen, cfg := testSetup(t)
+	e, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != cfg.Realizations {
+		t.Errorf("Size = %d, want %d", e.Size(), cfg.Realizations)
+	}
+	ids := e.AssetIDs()
+	if len(ids) != 2 {
+		t.Fatalf("AssetIDs = %v", ids)
+	}
+	// Exposed low coastal site floods sometimes; high inland site never.
+	southRate, err := e.FailureRate("south-cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if southRate <= 0 || southRate >= 1 {
+		t.Errorf("south-cc failure rate = %v, want in (0, 1)", southRate)
+	}
+	inlandRate, err := e.FailureRate("inland-dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inlandRate != 0 {
+		t.Errorf("inland-dc failure rate = %v, want 0", inlandRate)
+	}
+}
+
+func TestEnsembleAccessors(t *testing.T) {
+	gen, cfg := testSetup(t)
+	cfg.Realizations = 5
+	e, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Depth(-1, "south-cc"); err == nil {
+		t.Error("negative realization should error")
+	}
+	if _, err := e.Depth(99, "south-cc"); err == nil {
+		t.Error("out-of-range realization should error")
+	}
+	if _, err := e.Depth(0, "nope"); err == nil {
+		t.Error("unknown asset should error")
+	}
+	if _, err := e.FailureRate("nope"); err == nil {
+		t.Error("unknown asset in FailureRate should error")
+	}
+	if _, _, _, err := e.JointFailures("south-cc", "nope"); err == nil {
+		t.Error("unknown asset in JointFailures should error")
+	}
+	if _, _, _, err := e.JointFailures("nope", "south-cc"); err == nil {
+		t.Error("unknown first asset in JointFailures should error")
+	}
+	if _, err := e.FloodVector(0, []string{"south-cc", "nope"}); err == nil {
+		t.Error("unknown asset in FloodVector should error")
+	}
+	v, err := e.FloodVector(0, []string{"south-cc", "inland-dc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 2 {
+		t.Errorf("FloodVector len = %d, want 2", len(v))
+	}
+	f, err := e.Failed(0, "south-cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != v[0] {
+		t.Error("Failed and FloodVector disagree")
+	}
+}
+
+func TestJointFailuresConsistency(t *testing.T) {
+	gen, cfg := testSetup(t)
+	e, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlyA, onlyB, both, err := e.JointFailures("south-cc", "inland-dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := e.FailureRate("south-cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(onlyA+both) / float64(e.Size()); math.Abs(got-rate) > 1e-12 {
+		t.Errorf("joint failure accounting %v != marginal rate %v", got, rate)
+	}
+	if onlyB != 0 || both != 0 {
+		t.Errorf("inland-dc should never flood: onlyB=%d both=%d", onlyB, both)
+	}
+}
+
+func TestTrackRealization(t *testing.T) {
+	gen, cfg := testSetup(t)
+	tr, err := gen.Track(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration() != cfg.Base.Duration {
+		t.Errorf("track duration = %v, want %v", tr.Duration(), cfg.Base.Duration)
+	}
+	// Same index always gives the same track.
+	tr2, err := gen.Track(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Points()[0].Center != tr2.Points()[0].Center {
+		t.Error("Track not deterministic for fixed index")
+	}
+	// Different index differs.
+	tr3, err := gen.Track(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Points()[0].Center == tr3.Points()[0].Center {
+		t.Error("different realizations share identical tracks")
+	}
+	if _, err := gen.Track(EnsembleConfig{}, 0); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestPerturbationSpreadsTracks(t *testing.T) {
+	gen, cfg := testSetup(t)
+	// Collect start latitudes across realizations; they must vary.
+	var lats []float64
+	for i := 0; i < 10; i++ {
+		tr, err := gen.Track(cfg, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lats = append(lats, tr.Points()[0].Center.Lat)
+	}
+	var minLat, maxLat = lats[0], lats[0]
+	for _, l := range lats {
+		minLat = math.Min(minLat, l)
+		maxLat = math.Max(maxLat, l)
+	}
+	if maxLat-minLat < 0.05 {
+		t.Errorf("track spread %v degrees, want > 0.05", maxLat-minLat)
+	}
+}
+
+func TestZeroSpreadIsDegenerate(t *testing.T) {
+	gen, cfg := testSetup(t)
+	cfg.Spread = Perturbation{}
+	t1, err := gen.Track(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := gen.Track(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Points()[0].Center != t2.Points()[0].Center {
+		t.Error("zero spread should give identical tracks")
+	}
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	tm := terrain.NewOahu()
+	if _, err := NewGenerator(tm, surge.Params{}, assets.Oahu()); err == nil {
+		t.Error("invalid surge params should error")
+	}
+	if _, err := NewGenerator(tm, surge.DefaultParams(), nil); err == nil {
+		t.Error("nil inventory should error")
+	}
+}
+
+func TestOahuScenarioValid(t *testing.T) {
+	if err := OahuScenario().Validate(); err != nil {
+		t.Fatalf("OahuScenario invalid: %v", err)
+	}
+	if OahuScenario().Realizations != 1000 {
+		t.Error("the paper's ensemble has 1000 realizations")
+	}
+}
+
+func TestOahuCatalog(t *testing.T) {
+	catalog := OahuCatalog()
+	for _, name := range []string{"planning", "direct-hit", "major", "grazing"} {
+		cfg, ok := catalog[name]
+		if !ok {
+			t.Fatalf("catalog missing %q", name)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("catalog %q invalid: %v", name, err)
+		}
+	}
+	if catalog["major"].Base.CentralPressureHPa >= catalog["planning"].Base.CentralPressureHPa {
+		t.Error("major storm should be deeper than planning storm")
+	}
+}
+
+func TestOahuCatalogSeverityOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("catalog ensembles in -short mode")
+	}
+	gen, err := NewGenerator(terrain.NewOahu(), surge.DefaultParams(), assets.Oahu())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := func(name string) float64 {
+		cfg := OahuCatalog()[name]
+		cfg.Realizations = 300
+		e, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.FailureRate(assets.HonoluluCC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	planning := rate("planning")
+	direct := rate("direct-hit")
+	major := rate("major")
+	grazing := rate("grazing")
+	t.Logf("honolulu flood rates: planning=%.3f direct-hit=%.3f major=%.3f grazing=%.3f",
+		planning, direct, major, grazing)
+	if direct <= planning {
+		t.Errorf("direct hit (%v) should flood more than planning (%v)", direct, planning)
+	}
+	if major <= planning {
+		t.Errorf("major storm (%v) should flood more than planning (%v)", major, planning)
+	}
+	if grazing >= planning {
+		t.Errorf("grazing storm (%v) should flood less than planning (%v)", grazing, planning)
+	}
+}

@@ -1,0 +1,85 @@
+package hazard
+
+import (
+	"testing"
+
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/surge"
+	"compoundthreat/internal/terrain"
+)
+
+// oahuEnsemble generates the case-study ensemble once per test binary.
+func oahuEnsemble(t *testing.T, realizations int) *Ensemble {
+	t.Helper()
+	gen, err := NewGenerator(terrain.NewOahu(), surge.DefaultParams(), assets.Oahu())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := OahuScenario()
+	cfg.Realizations = realizations
+	e, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestOahuCalibration pins the hazard-model shape the case study
+// depends on (paper §VI-A):
+//
+//   - Honolulu floods in roughly 9.5% of realizations;
+//   - every realization that floods Honolulu also floods Waiau
+//     (perfectly correlated south-shore failures);
+//   - Kahe and DRFortress never flood together with Honolulu (in the
+//     paper, Kahe is "never impacted ... in the realizations where the
+//     Honolulu control center is flooded").
+func TestOahuCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ensemble generation in -short mode")
+	}
+	e := oahuEnsemble(t, 1000)
+
+	rate := func(id string) float64 {
+		r, err := e.FailureRate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	hon := rate(assets.HonoluluCC)
+	wai := rate(assets.Waiau)
+	kahe := rate(assets.Kahe)
+	drf := rate(assets.DRFortress)
+	nap := rate(assets.AlohaNAP)
+	t.Logf("failure rates: honolulu=%.3f waiau=%.3f kahe=%.3f drfortress=%.3f alohanap=%.3f",
+		hon, wai, kahe, drf, nap)
+
+	if hon < 0.06 || hon > 0.13 {
+		t.Errorf("Honolulu flood rate = %.3f, want ~0.095 (band [0.06, 0.13])", hon)
+	}
+	// Waiau must flood in (at least) every realization Honolulu does.
+	onlyHon, _, _, err := e.JointFailures(assets.HonoluluCC, assets.Waiau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onlyHon != 0 {
+		t.Errorf("%d realizations flood Honolulu but not Waiau, want 0", onlyHon)
+	}
+	// Kahe must never flood alongside Honolulu.
+	_, _, bothHK, err := e.JointFailures(assets.HonoluluCC, assets.Kahe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bothHK != 0 {
+		t.Errorf("%d realizations flood both Honolulu and Kahe, want 0", bothHK)
+	}
+	if kahe > 0.01 {
+		t.Errorf("Kahe flood rate = %.3f, want ~0", kahe)
+	}
+	if drf != 0 {
+		t.Errorf("DRFortress flood rate = %.3f, want 0", drf)
+	}
+	if nap != 0 {
+		t.Errorf("AlohaNAP flood rate = %.3f, want 0", nap)
+	}
+}

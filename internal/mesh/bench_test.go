@@ -1,0 +1,30 @@
+package mesh
+
+import (
+	"testing"
+
+	"compoundthreat/internal/geo"
+	"compoundthreat/internal/terrain"
+)
+
+func BenchmarkBuildOahu(b *testing.B) {
+	tm := terrain.NewOahu()
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(tm, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	m, err := Build(terrain.NewOahu(), DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := geo.XY{X: 1000, Y: -15000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Nearest(p, 5, nil)
+	}
+}

@@ -1,0 +1,291 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"compoundthreat/internal/geo"
+	"compoundthreat/internal/terrain"
+)
+
+func testIsland(t *testing.T) *terrain.Model {
+	t.Helper()
+	m, err := terrain.New(terrain.Config{
+		Name:   "TestIsland",
+		Origin: geo.Point{Lat: 0, Lon: 0},
+		Coastline: []geo.Point{
+			{Lat: -0.09, Lon: -0.09},
+			{Lat: -0.09, Lon: 0.09},
+			{Lat: 0.09, Lon: 0.09},
+			{Lat: 0.09, Lon: -0.09},
+		},
+		CoastalRampSlope:        0.005,
+		CoastalPlainWidthMeters: 2000,
+		InlandSlope:             0.02,
+		OffshoreSlope:           0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testConfig() Config {
+	return Config{
+		MinCellMeters:   800,
+		MaxCellMeters:   6400,
+		Grading:         0.4,
+		ShoreBandMeters: 1500,
+		BufferMeters:    8000,
+	}
+}
+
+func buildTest(t *testing.T) *Mesh {
+	t.Helper()
+	m, err := Build(testIsland(t), testConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"valid", func(c *Config) {}, true},
+		{"zero min cell", func(c *Config) { c.MinCellMeters = 0 }, false},
+		{"max below min", func(c *Config) { c.MaxCellMeters = 100 }, false},
+		{"zero grading", func(c *Config) { c.Grading = 0 }, false},
+		{"zero shore band", func(c *Config) { c.ShoreBandMeters = 0 }, false},
+		{"negative buffer", func(c *Config) { c.BufferMeters = -1 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mutate(&cfg)
+			err := cfg.Validate()
+			if tt.ok && err != nil {
+				t.Errorf("Validate: %v, want nil", err)
+			}
+			if !tt.ok && err == nil {
+				t.Error("Validate: nil, want error")
+			}
+		})
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestBuildGrading(t *testing.T) {
+	tm := testIsland(t)
+	m := buildTest(t)
+	if m.NumNodes() < 100 {
+		t.Fatalf("nodes = %d, want >= 100", m.NumNodes())
+	}
+	cfg := testConfig()
+	for _, n := range m.Nodes() {
+		if n.CellSizeMeters < cfg.MinCellMeters*0.999 || n.CellSizeMeters > cfg.MaxCellMeters*1.001 {
+			t.Fatalf("cell size %v outside [%v, %v]", n.CellSizeMeters, cfg.MinCellMeters, cfg.MaxCellMeters)
+		}
+		d := tm.DistanceToCoast(n.Pos)
+		allowed := math.Max(cfg.MinCellMeters, math.Min(cfg.MaxCellMeters, cfg.Grading*d))
+		// A leaf may be up to 2x the allowed size when its child level
+		// would undershoot MinCell; beyond that the grading is violated.
+		if n.CellSizeMeters > 2*allowed*1.01 {
+			t.Fatalf("cell %v at distance %v exceeds 2x allowed %v", n.CellSizeMeters, d, allowed)
+		}
+	}
+}
+
+func TestShorelineCellsAreFinest(t *testing.T) {
+	m := buildTest(t)
+	cfg := testConfig()
+	shore := m.NodesOfClass(Shore)
+	if len(shore) == 0 {
+		t.Fatal("no shore nodes")
+	}
+	for _, n := range shore {
+		if n.CellSizeMeters > cfg.MinCellMeters*2.01 {
+			t.Errorf("shore node %d cell %v, want <= %v", n.ID, n.CellSizeMeters, 2*cfg.MinCellMeters)
+		}
+	}
+}
+
+func TestNodeClasses(t *testing.T) {
+	tm := testIsland(t)
+	m := buildTest(t)
+	counts := map[Class]int{}
+	for _, n := range m.Nodes() {
+		counts[n.Class]++
+		switch n.Class {
+		case Land:
+			if !tm.IsLand(n.Pos) {
+				t.Fatalf("node %d classified Land but is water", n.ID)
+			}
+			if n.ElevationMeters <= 0 {
+				t.Fatalf("land node %d elevation %v, want > 0", n.ID, n.ElevationMeters)
+			}
+		case Offshore:
+			if tm.IsLand(n.Pos) {
+				t.Fatalf("node %d classified Offshore but is land", n.ID)
+			}
+			if n.ElevationMeters >= 0 {
+				t.Fatalf("offshore node %d elevation %v, want < 0", n.ID, n.ElevationMeters)
+			}
+		case Shore:
+			if d := tm.DistanceToCoast(n.Pos); d > 1500 {
+				t.Fatalf("shore node %d is %v m from coast", n.ID, d)
+			}
+		}
+	}
+	for _, c := range []Class{Offshore, Shore, Land} {
+		if counts[c] == 0 {
+			t.Errorf("no nodes of class %v", c)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Offshore.String() != "offshore" || Shore.String() != "shore" || Land.String() != "land" {
+		t.Error("class strings wrong")
+	}
+	if got := Class(42).String(); got != "Class(42)" {
+		t.Errorf("unknown class = %q", got)
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	m := buildTest(t)
+	n, err := m.Node(0)
+	if err != nil {
+		t.Fatalf("Node(0): %v", err)
+	}
+	if n.ID != 0 {
+		t.Errorf("Node(0).ID = %d", n.ID)
+	}
+	if _, err := m.Node(-1); err == nil {
+		t.Error("Node(-1) should error")
+	}
+	if _, err := m.Node(m.NumNodes()); err == nil {
+		t.Error("Node(len) should error")
+	}
+}
+
+func TestNodesWithin(t *testing.T) {
+	m := buildTest(t)
+	center := geo.XY{X: 0, Y: 0}
+	within := m.NodesWithin(center, 5000)
+	if len(within) == 0 {
+		t.Fatal("no nodes within 5 km of center")
+	}
+	for i, n := range within {
+		if d := geo.DistanceXY(n.Pos, center); d > 5000 {
+			t.Fatalf("node at distance %v returned for radius 5000", d)
+		}
+		if i > 0 {
+			prev := geo.DistanceXY(within[i-1].Pos, center)
+			cur := geo.DistanceXY(n.Pos, center)
+			if cur < prev {
+				t.Fatal("NodesWithin not sorted by distance")
+			}
+		}
+	}
+	if got := m.NodesWithin(center, 0); got != nil {
+		t.Errorf("radius 0 = %v nodes, want nil", len(got))
+	}
+}
+
+func TestNodesWithinMatchesBruteForce(t *testing.T) {
+	m := buildTest(t)
+	p := geo.XY{X: 7000, Y: -3000}
+	const radius = 9000
+	want := 0
+	for _, n := range m.Nodes() {
+		if geo.DistanceXY(n.Pos, p) <= radius {
+			want++
+		}
+	}
+	if got := len(m.NodesWithin(p, radius)); got != want {
+		t.Errorf("NodesWithin = %d nodes, brute force = %d", got, want)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	m := buildTest(t)
+	p := geo.XY{X: 100, Y: 100}
+	got := m.Nearest(p, 5, nil)
+	if len(got) != 5 {
+		t.Fatalf("Nearest returned %d nodes, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if geo.DistanceXY(got[i].Pos, p) < geo.DistanceXY(got[i-1].Pos, p) {
+			t.Fatal("Nearest not sorted")
+		}
+	}
+	// Filtered query: only shore nodes.
+	shoreOnly := m.Nearest(p, 3, func(n Node) bool { return n.Class == Shore })
+	if len(shoreOnly) != 3 {
+		t.Fatalf("filtered Nearest returned %d, want 3", len(shoreOnly))
+	}
+	for _, n := range shoreOnly {
+		if n.Class != Shore {
+			t.Errorf("filter violated: class %v", n.Class)
+		}
+	}
+	if got := m.Nearest(p, 0, nil); got != nil {
+		t.Error("Nearest(k=0) should be nil")
+	}
+}
+
+func TestNearestExhaustsDomain(t *testing.T) {
+	m := buildTest(t)
+	// Ask for more land nodes than exist: should return all of them
+	// rather than looping forever.
+	land := m.NodesOfClass(Land)
+	got := m.Nearest(geo.XY{X: 0, Y: 0}, len(land)+1000, func(n Node) bool { return n.Class == Land })
+	if len(got) != len(land) {
+		t.Errorf("exhaustive Nearest = %d nodes, want %d", len(got), len(land))
+	}
+}
+
+func TestNodesDefensiveCopy(t *testing.T) {
+	m := buildTest(t)
+	out := m.Nodes()
+	out[0].ElevationMeters = 99999
+	n, err := m.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ElevationMeters == 99999 {
+		t.Error("Nodes exposed internal slice")
+	}
+}
+
+func TestBuildInvalidConfig(t *testing.T) {
+	if _, err := Build(testIsland(t), Config{}); err == nil {
+		t.Error("Build with zero config should error")
+	}
+}
+
+func TestBuildOahu(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oahu mesh build in -short mode")
+	}
+	m, err := Build(terrain.NewOahu(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() < 2000 {
+		t.Errorf("Oahu mesh has %d nodes, want >= 2000", m.NumNodes())
+	}
+	if shore := m.NodesOfClass(Shore); len(shore) < 300 {
+		t.Errorf("Oahu mesh has %d shore nodes, want >= 300", len(shore))
+	}
+}

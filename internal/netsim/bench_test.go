@@ -1,0 +1,26 @@
+package netsim
+
+import (
+	"testing"
+
+	"compoundthreat/internal/des"
+)
+
+// BenchmarkBroadcastDelivery measures delivering an 18-node broadcast.
+func BenchmarkBroadcastDelivery(b *testing.B) {
+	sim := des.New(1)
+	nw, err := New(sim, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 18; i++ {
+		if err := nw.AddNode(i, i/6, func(int, any) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Broadcast(0, i)
+		sim.RunUntilIdle()
+	}
+}

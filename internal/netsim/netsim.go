@@ -1,0 +1,225 @@
+// Package netsim simulates the wide-area network connecting SCADA
+// control sites: nodes grouped into sites, latency that differs within
+// and across sites, and the failure injections of the compound threat
+// model — site flooding (nodes dead), site isolation (site cut off
+// from the rest of the network while remaining internally connected),
+// and individual node crashes.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"compoundthreat/internal/des"
+)
+
+// Handler receives a delivered message.
+type Handler func(from int, msg any)
+
+// Config sets the latency model.
+type Config struct {
+	// IntraSiteLatency is the one-way delay between nodes in one site.
+	IntraSiteLatency time.Duration
+	// InterSiteLatency is the one-way delay across sites.
+	InterSiteLatency time.Duration
+	// JitterFraction adds uniform random jitter in
+	// [0, JitterFraction*latency) to every delivery.
+	JitterFraction float64
+	// LossRate drops each message independently with this probability
+	// (lossy WAN; protocols must retransmit or tolerate gaps).
+	LossRate float64
+}
+
+// DefaultConfig returns a LAN/WAN latency model typical of a regional
+// SCADA deployment: 1 ms within a site, 10 ms across sites, 10% jitter.
+func DefaultConfig() Config {
+	return Config{
+		IntraSiteLatency: time.Millisecond,
+		InterSiteLatency: 10 * time.Millisecond,
+		JitterFraction:   0.1,
+	}
+}
+
+// Validate reports the first configuration problem found.
+func (c Config) Validate() error {
+	switch {
+	case c.IntraSiteLatency <= 0 || c.InterSiteLatency <= 0:
+		return errors.New("netsim: latencies must be positive")
+	case c.JitterFraction < 0 || c.JitterFraction > 1:
+		return errors.New("netsim: JitterFraction must be in [0, 1]")
+	case c.LossRate < 0 || c.LossRate >= 1:
+		return errors.New("netsim: LossRate must be in [0, 1)")
+	}
+	return nil
+}
+
+type node struct {
+	site    int
+	handler Handler
+	down    bool
+}
+
+// Network is the simulated WAN. It is not safe for concurrent use; all
+// access happens from DES event handlers on one goroutine.
+type Network struct {
+	sim   *des.Sim
+	cfg   Config
+	nodes map[int]*node
+	// ids is the sorted node-ID list, so broadcasts consume the
+	// simulation RNG in a deterministic order.
+	ids       []int
+	isolated  map[int]bool // site -> isolated
+	downSite  map[int]bool // site -> flooded/destroyed
+	sent      int
+	delivered int
+	dropped   int
+}
+
+// New builds a network on the simulator.
+func New(sim *des.Sim, cfg Config) (*Network, error) {
+	if sim == nil {
+		return nil, errors.New("netsim: nil simulator")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		sim:      sim,
+		cfg:      cfg,
+		nodes:    make(map[int]*node),
+		isolated: make(map[int]bool),
+		downSite: make(map[int]bool),
+	}, nil
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *des.Sim { return n.sim }
+
+// AddNode registers a node in a site with its delivery handler.
+func (n *Network) AddNode(id, site int, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("netsim: node %d needs a handler", id)
+	}
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("netsim: duplicate node %d", id)
+	}
+	n.nodes[id] = &node{site: site, handler: h}
+	n.ids = append(n.ids, id)
+	sort.Ints(n.ids)
+	return nil
+}
+
+// NodeSite returns the site of a node.
+func (n *Network) NodeSite(id int) (int, error) {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown node %d", id)
+	}
+	return nd.site, nil
+}
+
+// NodeUp reports whether the node is alive and its site is not down.
+func (n *Network) NodeUp(id int) bool {
+	nd, ok := n.nodes[id]
+	return ok && !nd.down && !n.downSite[nd.site]
+}
+
+// SiteReachable reports whether two sites can exchange messages: both
+// up, and either the same site or neither isolated.
+func (n *Network) SiteReachable(a, b int) bool {
+	if n.downSite[a] || n.downSite[b] {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	return !n.isolated[a] && !n.isolated[b]
+}
+
+// Send delivers msg from one node to another after the modeled
+// latency, unless the path is blocked. Blocked or dead-endpoint sends
+// are silently dropped (counted in stats), like packets into a
+// partition.
+func (n *Network) Send(from, to int, msg any) {
+	n.sent++
+	src, okSrc := n.nodes[from]
+	dst, okDst := n.nodes[to]
+	if !okSrc || !okDst || !n.NodeUp(from) || !n.NodeUp(to) ||
+		!n.SiteReachable(src.site, dst.site) {
+		n.dropped++
+		return
+	}
+	if n.cfg.LossRate > 0 && n.sim.Rng().Float64() < n.cfg.LossRate {
+		n.dropped++
+		return
+	}
+	latency := n.cfg.InterSiteLatency
+	if src.site == dst.site {
+		latency = n.cfg.IntraSiteLatency
+	}
+	if n.cfg.JitterFraction > 0 {
+		latency += time.Duration(n.sim.Rng().Float64() * n.cfg.JitterFraction * float64(latency))
+	}
+	n.sim.After(latency, func() {
+		// Conditions may have changed in flight: a message reaches a
+		// node only if the destination is still up and the path's
+		// endpoints are still mutually reachable.
+		if !n.NodeUp(to) || !n.SiteReachable(src.site, dst.site) {
+			n.dropped++
+			return
+		}
+		n.delivered++
+		dst.handler(from, msg)
+	})
+}
+
+// Broadcast sends msg from a node to every other registered node, in
+// ascending node-ID order (deterministic RNG consumption).
+func (n *Network) Broadcast(from int, msg any) {
+	for _, id := range n.ids {
+		if id != from {
+			n.Send(from, id, msg)
+		}
+	}
+}
+
+// IsolateSite cuts a site off from every other site (the compound
+// threat's site-isolation attack). Intra-site traffic continues.
+func (n *Network) IsolateSite(site int) { n.isolated[site] = true }
+
+// HealSite reverses IsolateSite.
+func (n *Network) HealSite(site int) { delete(n.isolated, site) }
+
+// FailSite takes a whole site down (hurricane flooding): its nodes
+// stop sending, receiving, and processing.
+func (n *Network) FailSite(site int) { n.downSite[site] = true }
+
+// RestoreSite reverses FailSite.
+func (n *Network) RestoreSite(site int) { delete(n.downSite, site) }
+
+// CrashNode kills a single node.
+func (n *Network) CrashNode(id int) error {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("netsim: unknown node %d", id)
+	}
+	nd.down = true
+	return nil
+}
+
+// RestartNode revives a crashed node.
+func (n *Network) RestartNode(id int) error {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("netsim: unknown node %d", id)
+	}
+	nd.down = false
+	return nil
+}
+
+// Stats reports message accounting since construction.
+func (n *Network) Stats() (sent, delivered, dropped int) {
+	return n.sent, n.delivered, n.dropped
+}

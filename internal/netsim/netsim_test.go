@@ -1,0 +1,269 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"compoundthreat/internal/des"
+)
+
+type inbox struct {
+	msgs []any
+	from []int
+	at   []time.Duration
+}
+
+func setup(t *testing.T) (*des.Sim, *Network, map[int]*inbox) {
+	t.Helper()
+	sim := des.New(7)
+	cfg := DefaultConfig()
+	cfg.JitterFraction = 0 // exact latencies for assertions
+	nw, err := New(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := make(map[int]*inbox)
+	// Sites: 0 -> {0, 1}, 1 -> {2}, 2 -> {3}.
+	for _, spec := range []struct{ id, site int }{{0, 0}, {1, 0}, {2, 1}, {3, 2}} {
+		box := &inbox{}
+		boxes[spec.id] = box
+		id := spec.id
+		if err := nw.AddNode(id, spec.site, func(from int, msg any) {
+			box.msgs = append(box.msgs, msg)
+			box.from = append(box.from, from)
+			box.at = append(box.at, sim.Now())
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sim, nw, boxes
+}
+
+func TestLatencyModel(t *testing.T) {
+	sim, nw, boxes := setup(t)
+	nw.Send(0, 1, "intra")
+	nw.Send(0, 2, "inter")
+	sim.RunUntilIdle()
+	if len(boxes[1].at) != 1 || boxes[1].at[0] != time.Millisecond {
+		t.Errorf("intra-site delivery at %v, want 1ms", boxes[1].at)
+	}
+	if len(boxes[2].at) != 1 || boxes[2].at[0] != 10*time.Millisecond {
+		t.Errorf("inter-site delivery at %v, want 10ms", boxes[2].at)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	sim, nw, boxes := setup(t)
+	nw.Broadcast(0, "hello")
+	sim.RunUntilIdle()
+	for id := 1; id <= 3; id++ {
+		if len(boxes[id].msgs) != 1 {
+			t.Errorf("node %d received %d messages, want 1", id, len(boxes[id].msgs))
+		}
+	}
+	if len(boxes[0].msgs) != 0 {
+		t.Error("sender should not receive its own broadcast")
+	}
+}
+
+func TestIsolation(t *testing.T) {
+	sim, nw, boxes := setup(t)
+	nw.IsolateSite(0)
+	nw.Send(0, 1, "intra-isolated") // within isolated site: delivered
+	nw.Send(0, 2, "cross-out")      // out of isolated site: dropped
+	nw.Send(2, 1, "cross-in")       // into isolated site: dropped
+	nw.Send(2, 3, "other-sites")    // between non-isolated sites: delivered
+	sim.RunUntilIdle()
+	if len(boxes[1].msgs) != 1 || boxes[1].msgs[0] != "intra-isolated" {
+		t.Errorf("intra-isolated delivery wrong: %v", boxes[1].msgs)
+	}
+	if len(boxes[2].msgs) != 0 {
+		t.Error("message escaped isolated site")
+	}
+	if len(boxes[3].msgs) != 1 {
+		t.Error("message between healthy sites dropped")
+	}
+	// Healing restores connectivity.
+	nw.HealSite(0)
+	nw.Send(0, 2, "after-heal")
+	sim.RunUntilIdle()
+	if len(boxes[2].msgs) != 1 {
+		t.Error("message after heal not delivered")
+	}
+}
+
+func TestFailSite(t *testing.T) {
+	sim, nw, boxes := setup(t)
+	nw.FailSite(0)
+	nw.Send(0, 2, "from-dead") // dead node cannot send
+	nw.Send(2, 0, "to-dead")   // nor receive
+	nw.Send(0, 1, "both-dead")
+	sim.RunUntilIdle()
+	if len(boxes[2].msgs)+len(boxes[0].msgs)+len(boxes[1].msgs) != 0 {
+		t.Error("flooded site exchanged messages")
+	}
+	if nw.NodeUp(0) || nw.NodeUp(1) {
+		t.Error("nodes in failed site should be down")
+	}
+	nw.RestoreSite(0)
+	if !nw.NodeUp(0) {
+		t.Error("restored site nodes should be up")
+	}
+}
+
+func TestCrashNode(t *testing.T) {
+	sim, nw, boxes := setup(t)
+	if err := nw.CrashNode(1); err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(0, 1, "to-crashed")
+	nw.Send(1, 0, "from-crashed")
+	sim.RunUntilIdle()
+	if len(boxes[1].msgs)+len(boxes[0].msgs) != 0 {
+		t.Error("crashed node exchanged messages")
+	}
+	if err := nw.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	nw.Send(0, 1, "after-restart")
+	sim.RunUntilIdle()
+	if len(boxes[1].msgs) != 1 {
+		t.Error("restarted node should receive")
+	}
+	if err := nw.CrashNode(99); err == nil {
+		t.Error("crashing unknown node should error")
+	}
+	if err := nw.RestartNode(99); err == nil {
+		t.Error("restarting unknown node should error")
+	}
+}
+
+func TestInFlightMessagesDropOnIsolation(t *testing.T) {
+	sim, nw, boxes := setup(t)
+	// Send, then isolate the destination site before delivery time.
+	nw.Send(0, 2, "in-flight")
+	sim.After(5*time.Millisecond, func() { nw.IsolateSite(1) })
+	sim.RunUntilIdle()
+	if len(boxes[2].msgs) != 0 {
+		t.Error("in-flight message crossed a partition formed before delivery")
+	}
+}
+
+func TestStats(t *testing.T) {
+	sim, nw, _ := setup(t)
+	nw.IsolateSite(2)
+	nw.Send(0, 1, "ok")
+	nw.Send(0, 3, "blocked")
+	sim.RunUntilIdle()
+	sent, delivered, dropped := nw.Stats()
+	if sent != 2 || delivered != 1 || dropped != 1 {
+		t.Errorf("stats = (%d, %d, %d), want (2, 1, 1)", sent, delivered, dropped)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	sim := des.New(1)
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("nil sim should error")
+	}
+	if _, err := New(sim, Config{}); err == nil {
+		t.Error("zero config should error")
+	}
+	bad := DefaultConfig()
+	bad.JitterFraction = 2
+	if _, err := New(sim, bad); err == nil {
+		t.Error("jitter > 1 should error")
+	}
+	nw, err := New(sim, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddNode(0, 0, nil); err == nil {
+		t.Error("nil handler should error")
+	}
+	if err := nw.AddNode(0, 0, func(int, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddNode(0, 1, func(int, any) {}); err == nil {
+		t.Error("duplicate node should error")
+	}
+	if _, err := nw.NodeSite(42); err == nil {
+		t.Error("unknown node site should error")
+	}
+	if site, err := nw.NodeSite(0); err != nil || site != 0 {
+		t.Errorf("NodeSite(0) = %d, %v", site, err)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	sim := des.New(3)
+	cfg := DefaultConfig() // 10% jitter
+	nw, err := New(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt []time.Duration
+	if err := nw.AddNode(0, 0, func(int, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddNode(1, 1, func(int, any) {
+		deliveredAt = append(deliveredAt, sim.Now())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		nw.Send(0, 1, i)
+	}
+	sim.RunUntilIdle()
+	if len(deliveredAt) != 50 {
+		t.Fatalf("delivered %d, want 50", len(deliveredAt))
+	}
+	lo, hi := 10*time.Millisecond, 11*time.Millisecond
+	varied := false
+	for _, at := range deliveredAt {
+		if at < lo || at > hi {
+			t.Errorf("delivery at %v outside [%v, %v]", at, lo, hi)
+		}
+		if at != lo {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter produced no variation")
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	sim := des.New(9)
+	cfg := DefaultConfig()
+	cfg.LossRate = 0.3
+	nw, err := New(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	if err := nw.AddNode(0, 0, func(int, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddNode(1, 1, func(int, any) { received++ }); err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		nw.Send(0, 1, i)
+	}
+	sim.RunUntilIdle()
+	rate := float64(n-received) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("measured loss rate = %v, want ~0.3", rate)
+	}
+	bad := DefaultConfig()
+	bad.LossRate = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("LossRate=1 should be rejected")
+	}
+	bad.LossRate = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative LossRate should be rejected")
+	}
+}

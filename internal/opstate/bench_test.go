@@ -1,0 +1,20 @@
+package opstate
+
+import (
+	"testing"
+
+	"compoundthreat/internal/topology"
+)
+
+func BenchmarkEvaluate(b *testing.B) {
+	cfg := topology.NewConfig666("p", "s", "d")
+	st := NewSystemState(3)
+	st.Flooded[0] = true
+	st.Intrusions[1] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(cfg, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

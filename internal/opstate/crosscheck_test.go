@@ -1,0 +1,140 @@
+package opstate
+
+// Cross-check: the generalized evaluator against direct, literal
+// transcriptions of the paper's Table I rows, over every reachable
+// system state. A bug in either encoding would surface as a mismatch.
+
+import (
+	"testing"
+
+	"compoundthreat/internal/topology"
+)
+
+// literalTableI encodes each configuration's Table I row verbatim.
+// Intrusion counts refer to compromised servers at functional sites
+// (flooded/isolated servers cannot act, per §VI-B).
+func literalTableI(name string, st SystemState) State {
+	up := func(i int) bool { return st.SiteFunctional(i) }
+	intr := func(i int) int {
+		if up(i) {
+			return st.Intrusions[i]
+		}
+		return 0
+	}
+	switch name {
+	case "2":
+		switch {
+		case intr(0) >= 1:
+			return Gray
+		case up(0):
+			return Green
+		default:
+			return Red
+		}
+	case "2-2":
+		switch {
+		case intr(0)+intr(1) >= 1:
+			return Gray
+		case up(0):
+			return Green
+		case up(1):
+			return Orange
+		default:
+			return Red
+		}
+	case "6":
+		switch {
+		case intr(0) >= 2:
+			return Gray
+		case up(0):
+			return Green
+		default:
+			return Red
+		}
+	case "6-6":
+		switch {
+		case intr(0)+intr(1) >= 2:
+			return Gray
+		case up(0):
+			return Green
+		case up(1):
+			return Orange
+		default:
+			return Red
+		}
+	case "6+6+6":
+		total := intr(0) + intr(1) + intr(2)
+		sitesUp := 0
+		for i := 0; i < 3; i++ {
+			if up(i) {
+				sitesUp++
+			}
+		}
+		switch {
+		case total >= 2:
+			return Gray
+		case sitesUp >= 2:
+			return Green
+		default:
+			return Red
+		}
+	}
+	return 0
+}
+
+// TestGeneralizedEvaluatorMatchesLiteralTableI enumerates every
+// combination of flooded/isolated flags and intrusion counts for every
+// configuration and compares the generalized evaluator with the
+// literal transcription.
+func TestGeneralizedEvaluatorMatchesLiteralTableI(t *testing.T) {
+	configs, err := topology.StandardConfigs(topology.Placement{
+		Primary: "p", Second: "s", DataCenter: "d",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range configs {
+		n := len(cfg.Sites)
+		// Each site has 4 up/down combinations (flooded x isolated) and
+		// intrusion counts 0..3 (capped by replicas).
+		var sweep func(i int, st SystemState)
+		checked := 0
+		sweep = func(i int, st SystemState) {
+			if i == n {
+				want := literalTableI(cfg.Name, st)
+				got, err := Evaluate(cfg, st)
+				if err != nil {
+					t.Fatalf("%s %+v: %v", cfg.Name, st, err)
+				}
+				if got != want {
+					t.Errorf("%s flooded=%v isolated=%v intrusions=%v: evaluator=%v, literal=%v",
+						cfg.Name, st.Flooded, st.Isolated, st.Intrusions, got, want)
+				}
+				checked++
+				return
+			}
+			for _, flooded := range []bool{false, true} {
+				for _, isolated := range []bool{false, true} {
+					maxIntr := 3
+					if cfg.Sites[i].Replicas < maxIntr {
+						maxIntr = cfg.Sites[i].Replicas
+					}
+					for k := 0; k <= maxIntr; k++ {
+						st.Flooded[i] = flooded
+						st.Isolated[i] = isolated
+						st.Intrusions[i] = k
+						sweep(i+1, st)
+					}
+				}
+			}
+			st.Flooded[i] = false
+			st.Isolated[i] = false
+			st.Intrusions[i] = 0
+		}
+		sweep(0, NewSystemState(n))
+		if checked == 0 {
+			t.Fatalf("%s: no states checked", cfg.Name)
+		}
+		t.Logf("%s: %d states cross-checked", cfg.Name, checked)
+	}
+}

@@ -1,0 +1,179 @@
+// Package opstate evaluates the operational state of a SCADA
+// configuration after a compound failure, implementing Table I of the
+// paper with the color-based naming scheme of Babay et al.:
+//
+//   - Green:  fully operational.
+//   - Orange: primary down, cold backup being activated (downtime).
+//   - Red:    not operational until repair or attack end.
+//   - Gray:   system safety compromised; may behave incorrectly.
+package opstate
+
+import (
+	"errors"
+	"fmt"
+
+	"compoundthreat/internal/topology"
+)
+
+// State is a system operational state.
+type State int
+
+// Operational states, ordered from best to worst so that comparisons
+// express severity.
+const (
+	Green State = iota + 1
+	Orange
+	Red
+	Gray
+)
+
+// States lists all states from best to worst.
+func States() []State { return []State{Green, Orange, Red, Gray} }
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Green:
+		return "green"
+	case Orange:
+		return "orange"
+	case Red:
+		return "red"
+	case Gray:
+		return "gray"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Worse reports whether s is strictly worse than other (gray is the
+// worst: the attacker controls system behavior).
+func (s State) Worse(other State) bool { return s > other }
+
+// SystemState is the condition of every site of a configuration after
+// the natural disaster and any cyberattack. Slices are indexed by site
+// position in Config.Sites.
+type SystemState struct {
+	// Flooded marks sites rendered non-operational by the natural
+	// disaster.
+	Flooded []bool
+	// Isolated marks sites cut off from the network by a site-isolation
+	// attack.
+	Isolated []bool
+	// Intrusions counts compromised servers per site.
+	Intrusions []int
+}
+
+// NewSystemState returns a zeroed state for n sites.
+func NewSystemState(n int) SystemState {
+	return SystemState{
+		Flooded:    make([]bool, n),
+		Isolated:   make([]bool, n),
+		Intrusions: make([]int, n),
+	}
+}
+
+// Clone returns a deep copy.
+func (st SystemState) Clone() SystemState {
+	c := NewSystemState(len(st.Flooded))
+	copy(c.Flooded, st.Flooded)
+	copy(c.Isolated, st.Isolated)
+	copy(c.Intrusions, st.Intrusions)
+	return c
+}
+
+// SiteFunctional reports whether site i survived the disaster and is
+// reachable (not flooded, not isolated).
+func (st SystemState) SiteFunctional(i int) bool {
+	return !st.Flooded[i] && !st.Isolated[i]
+}
+
+// FunctionalSites returns the number of functional sites.
+func (st SystemState) FunctionalSites() int {
+	var n int
+	for i := range st.Flooded {
+		if st.SiteFunctional(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// validateFor reports the first shape mismatch with the configuration.
+func (st SystemState) validateFor(cfg topology.Config) error {
+	n := len(cfg.Sites)
+	if len(st.Flooded) != n || len(st.Isolated) != n || len(st.Intrusions) != n {
+		return fmt.Errorf("opstate: state sized for %d/%d/%d sites, config %q has %d",
+			len(st.Flooded), len(st.Isolated), len(st.Intrusions), cfg.Name, n)
+	}
+	for i, k := range st.Intrusions {
+		if k < 0 {
+			return fmt.Errorf("opstate: negative intrusion count at site %d", i)
+		}
+		if k > cfg.Sites[i].Replicas {
+			return fmt.Errorf("opstate: %d intrusions at site %d exceed its %d replicas",
+				k, i, cfg.Sites[i].Replicas)
+		}
+	}
+	return nil
+}
+
+// Evaluate returns the operational state of the configuration in the
+// given system state, per Table I of the paper.
+//
+// Safety: the system is gray when the number of compromised servers in
+// *functional* sites exceeds the tolerated f. Compromised servers in
+// flooded or isolated sites cannot influence the system (the paper's
+// §VI-B observation that an attacker gains nothing from servers the
+// hurricane already took out).
+//
+// Availability (checked only when safety holds):
+//
+//   - SingleSite: green iff the site is functional, else red.
+//   - PrimaryBackup: green iff the primary is functional; orange iff
+//     only the cold backup is functional (activation downtime); red
+//     otherwise.
+//   - ActiveReplication: green iff at least MinActiveSites sites are
+//     functional, else red.
+func Evaluate(cfg topology.Config, st SystemState) (State, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if err := st.validateFor(cfg); err != nil {
+		return 0, err
+	}
+
+	var effective int
+	for i, k := range st.Intrusions {
+		if st.SiteFunctional(i) {
+			effective += k
+		}
+	}
+	if effective > cfg.IntrusionsTolerated {
+		return Gray, nil
+	}
+
+	switch cfg.Arch {
+	case topology.SingleSite:
+		if st.SiteFunctional(0) {
+			return Green, nil
+		}
+		return Red, nil
+	case topology.PrimaryBackup:
+		switch {
+		case st.SiteFunctional(0):
+			return Green, nil
+		case st.SiteFunctional(1):
+			return Orange, nil
+		default:
+			return Red, nil
+		}
+	case topology.ActiveReplication:
+		if st.FunctionalSites() >= cfg.MinActiveSites {
+			return Green, nil
+		}
+		return Red, nil
+	default:
+		return 0, errors.New("opstate: unknown architecture")
+	}
+}

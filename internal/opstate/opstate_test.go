@@ -1,0 +1,177 @@
+package opstate
+
+import (
+	"strings"
+	"testing"
+
+	"compoundthreat/internal/topology"
+)
+
+func c2() topology.Config   { return topology.NewConfig2("p") }
+func c22() topology.Config  { return topology.NewConfig22("p", "b") }
+func c6() topology.Config   { return topology.NewConfig6("p") }
+func c66() topology.Config  { return topology.NewConfig66("p", "b") }
+func c666() topology.Config { return topology.NewConfig666("p", "s", "d") }
+
+func eval(t *testing.T, cfg topology.Config, st SystemState) State {
+	t.Helper()
+	got, err := Evaluate(cfg, st)
+	if err != nil {
+		t.Fatalf("Evaluate(%s): %v", cfg.Name, err)
+	}
+	return got
+}
+
+// TestTableI exhaustively checks the evaluation rules against the
+// literal conditions of Table I in the paper. "down" below means
+// flooded or isolated (either mechanism must give the same state).
+func TestTableI(t *testing.T) {
+	type row struct {
+		name string
+		cfg  topology.Config
+		// down[i]: site i non-functional; intr[i]: intrusions at site i.
+		down []bool
+		intr []int
+		want State
+	}
+	rows := []row{
+		// Configuration "2".
+		{"2 up clean", c2(), []bool{false}, []int{0}, Green},
+		{"2 down clean", c2(), []bool{true}, []int{0}, Red},
+		{"2 up intruded", c2(), []bool{false}, []int{1}, Gray},
+
+		// Configuration "2-2".
+		{"2-2 primary up", c22(), []bool{false, false}, []int{0, 0}, Green},
+		{"2-2 primary up backup down", c22(), []bool{false, true}, []int{0, 0}, Green},
+		{"2-2 primary down backup up", c22(), []bool{true, false}, []int{0, 0}, Orange},
+		{"2-2 both down", c22(), []bool{true, true}, []int{0, 0}, Red},
+		{"2-2 intrusion in primary", c22(), []bool{false, false}, []int{1, 0}, Gray},
+		{"2-2 intrusion in backup", c22(), []bool{false, false}, []int{0, 1}, Gray},
+		{"2-2 primary down intrusion in backup", c22(), []bool{true, false}, []int{0, 1}, Gray},
+
+		// Configuration "6": tolerates one intrusion.
+		{"6 up clean", c6(), []bool{false}, []int{0}, Green},
+		{"6 up one intrusion", c6(), []bool{false}, []int{1}, Green},
+		{"6 up two intrusions", c6(), []bool{false}, []int{2}, Gray},
+		{"6 down", c6(), []bool{true}, []int{0}, Red},
+
+		// Configuration "6-6".
+		{"6-6 primary up one intrusion", c66(), []bool{false, false}, []int{1, 0}, Green},
+		{"6-6 primary down backup up one intrusion", c66(), []bool{true, false}, []int{0, 1}, Orange},
+		{"6-6 two intrusions", c66(), []bool{false, false}, []int{2, 0}, Gray},
+		{"6-6 intrusions split across sites", c66(), []bool{false, false}, []int{1, 1}, Gray},
+		{"6-6 both down", c66(), []bool{true, true}, []int{0, 0}, Red},
+
+		// Configuration "6+6+6": needs two functional sites.
+		{"6+6+6 all up", c666(), []bool{false, false, false}, []int{0, 0, 0}, Green},
+		{"6+6+6 one site down", c666(), []bool{true, false, false}, []int{0, 0, 0}, Green},
+		{"6+6+6 one down one intrusion", c666(), []bool{false, true, false}, []int{1, 0, 0}, Green},
+		{"6+6+6 two sites down", c666(), []bool{true, true, false}, []int{0, 0, 0}, Red},
+		{"6+6+6 all down", c666(), []bool{true, true, true}, []int{0, 0, 0}, Red},
+		{"6+6+6 two intrusions", c666(), []bool{false, false, false}, []int{1, 1, 0}, Gray},
+		{"6+6+6 two down one intrusion", c666(), []bool{true, true, false}, []int{0, 0, 1}, Red},
+	}
+	for _, r := range rows {
+		for _, mechanism := range []string{"flooded", "isolated"} {
+			t.Run(r.name+"/"+mechanism, func(t *testing.T) {
+				st := NewSystemState(len(r.down))
+				for i, d := range r.down {
+					if d && mechanism == "flooded" {
+						st.Flooded[i] = true
+					}
+					if d && mechanism == "isolated" {
+						st.Isolated[i] = true
+					}
+					st.Intrusions[i] = r.intr[i]
+				}
+				if got := eval(t, r.cfg, st); got != r.want {
+					t.Errorf("state = %v, want %v", got, r.want)
+				}
+			})
+		}
+	}
+}
+
+func TestIntrusionsInDownSitesDoNotCompromise(t *testing.T) {
+	// The paper (§VI-B): if the hurricane floods the control centers,
+	// there are no operational servers to compromise, so the system is
+	// red, not gray. Intrusions recorded at non-functional sites must
+	// not count toward safety loss.
+	st := NewSystemState(1)
+	st.Flooded[0] = true
+	st.Intrusions[0] = 2
+	if got := eval(t, c2(), st); got != Red {
+		t.Errorf("flooded site with intrusions = %v, want red", got)
+	}
+	st66 := NewSystemState(2)
+	st66.Isolated[0] = true
+	st66.Intrusions[0] = 2
+	if got := eval(t, c66(), st66); got != Orange {
+		t.Errorf("isolated primary with stale intrusions = %v, want orange", got)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	// Mismatched state shape.
+	if _, err := Evaluate(c22(), NewSystemState(1)); err == nil {
+		t.Error("mismatched state size should error")
+	}
+	// Negative intrusions.
+	st := NewSystemState(1)
+	st.Intrusions[0] = -1
+	if _, err := Evaluate(c2(), st); err == nil {
+		t.Error("negative intrusions should error")
+	}
+	// Intrusions exceeding replica count.
+	st2 := NewSystemState(1)
+	st2.Intrusions[0] = 3
+	if _, err := Evaluate(c2(), st2); err == nil {
+		t.Error("more intrusions than replicas should error")
+	}
+	// Invalid config.
+	bad := c2()
+	bad.Name = ""
+	if _, err := Evaluate(bad, NewSystemState(1)); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestStateOrderingAndStrings(t *testing.T) {
+	order := States()
+	want := []string{"green", "orange", "red", "gray"}
+	if len(order) != len(want) {
+		t.Fatalf("States() = %d entries", len(order))
+	}
+	for i, s := range order {
+		if s.String() != want[i] {
+			t.Errorf("state %d = %q, want %q", i, s.String(), want[i])
+		}
+	}
+	if !Gray.Worse(Red) || !Red.Worse(Orange) || !Orange.Worse(Green) {
+		t.Error("severity ordering broken")
+	}
+	if Green.Worse(Green) {
+		t.Error("a state is not worse than itself")
+	}
+	if got := State(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown state String() = %q", got)
+	}
+}
+
+func TestSystemStateHelpers(t *testing.T) {
+	st := NewSystemState(3)
+	st.Flooded[0] = true
+	st.Isolated[1] = true
+	if st.SiteFunctional(0) || st.SiteFunctional(1) || !st.SiteFunctional(2) {
+		t.Error("SiteFunctional wrong")
+	}
+	if got := st.FunctionalSites(); got != 1 {
+		t.Errorf("FunctionalSites = %d, want 1", got)
+	}
+	clone := st.Clone()
+	clone.Flooded[2] = true
+	clone.Intrusions[2] = 1
+	if st.Flooded[2] || st.Intrusions[2] != 0 {
+		t.Error("Clone aliases original")
+	}
+}

@@ -1,0 +1,177 @@
+// Package placement answers the paper's §VII future-work question:
+// how should control-site locations be chosen to maximize availability
+// under compound threats? It searches candidate placements (assets
+// flagged as control-site candidates) and ranks them by the resulting
+// operational-state profile, reproducing the paper's Waiau-to-Kahe
+// finding and generalizing it to full placement search.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"compoundthreat/internal/analysis"
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// Objective scores an outcome profile; higher is better.
+type Objective func(o analysis.Outcome) float64
+
+// GreenProbability scores by the probability of full operation.
+func GreenProbability(o analysis.Outcome) float64 {
+	return o.Profile.Probability(opstate.Green)
+}
+
+// AvailabilityWeighted scores green as 1, orange as a partial credit
+// (service restored after a bounded delay), red and gray as 0.
+func AvailabilityWeighted(o analysis.Outcome) float64 {
+	return o.Profile.Probability(opstate.Green) + 0.5*o.Profile.Probability(opstate.Orange)
+}
+
+// Candidate is one evaluated placement.
+type Candidate struct {
+	Placement topology.Placement
+	// Score is the objective value of the evaluated configuration.
+	Score float64
+	// Outcome is the full profile backing the score.
+	Outcome analysis.Outcome
+}
+
+// Request parameterizes a placement search.
+type Request struct {
+	// Ensemble is the disaster realization ensemble.
+	Ensemble analysis.DisasterEnsemble
+	// Inventory restricts candidates to its control-site-candidate
+	// assets.
+	Inventory *assets.Inventory
+	// Primary fixes the primary control center (the utility's existing
+	// site); the search varies the second site and data center.
+	Primary string
+	// Scenario is the threat scenario to optimize for.
+	Scenario threat.Scenario
+	// Objective scores outcomes (nil = GreenProbability).
+	Objective Objective
+	// Build maps a placement to the configuration under study
+	// (nil = the "6+6+6" configuration).
+	Build func(topology.Placement) topology.Config
+}
+
+func (r *Request) setDefaults() {
+	if r.Objective == nil {
+		r.Objective = GreenProbability
+	}
+	if r.Build == nil {
+		r.Build = func(p topology.Placement) topology.Config {
+			return topology.NewConfig666(p.Primary, p.Second, p.DataCenter)
+		}
+	}
+}
+
+func (r *Request) validate() error {
+	switch {
+	case r.Ensemble == nil:
+		return errors.New("placement: nil ensemble")
+	case r.Inventory == nil:
+		return errors.New("placement: nil inventory")
+	case r.Primary == "":
+		return errors.New("placement: primary site required")
+	case !r.Scenario.Valid():
+		return fmt.Errorf("placement: invalid scenario %d", int(r.Scenario))
+	}
+	if _, ok := r.Inventory.ByID(r.Primary); !ok {
+		return fmt.Errorf("placement: unknown primary asset %q", r.Primary)
+	}
+	return nil
+}
+
+// SearchPairs evaluates every (second site, data center) pair of
+// control-site candidates and returns candidates ranked best first
+// (ties broken lexicographically for determinism).
+func SearchPairs(req Request) ([]Candidate, error) {
+	req.setDefaults()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	candidates := req.Inventory.ControlSiteCandidates()
+	var out []Candidate
+	for _, second := range candidates {
+		if second.ID == req.Primary {
+			continue
+		}
+		for _, dc := range candidates {
+			if dc.ID == req.Primary || dc.ID == second.ID {
+				continue
+			}
+			p := topology.Placement{Primary: req.Primary, Second: second.ID, DataCenter: dc.ID}
+			cand, err := evaluate(req, p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cand)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("placement: no candidate placements")
+	}
+	rank(out)
+	return out, nil
+}
+
+// SearchSecondSite holds the data center fixed and varies only the
+// second control center — the exact comparison of the paper's §VII
+// (Waiau vs Kahe with DRFortress fixed).
+func SearchSecondSite(req Request, dataCenter string) ([]Candidate, error) {
+	req.setDefaults()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := req.Inventory.ByID(dataCenter); !ok {
+		return nil, fmt.Errorf("placement: unknown data center asset %q", dataCenter)
+	}
+	var out []Candidate
+	for _, second := range req.Inventory.ControlSiteCandidates() {
+		if second.ID == req.Primary || second.ID == dataCenter {
+			continue
+		}
+		p := topology.Placement{Primary: req.Primary, Second: second.ID, DataCenter: dataCenter}
+		cand, err := evaluate(req, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cand)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("placement: no candidate placements")
+	}
+	rank(out)
+	return out, nil
+}
+
+func evaluate(req Request, p topology.Placement) (Candidate, error) {
+	cfg := req.Build(p)
+	outcome, err := analysis.Run(req.Ensemble, cfg, req.Scenario)
+	if err != nil {
+		return Candidate{}, fmt.Errorf("placement: %s/%s: %w", p.Second, p.DataCenter, err)
+	}
+	return Candidate{
+		Placement: p,
+		Score:     req.Objective(outcome),
+		Outcome:   outcome,
+	}, nil
+}
+
+func rank(out []Candidate) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Placement.Second != out[j].Placement.Second {
+			return out[i].Placement.Second < out[j].Placement.Second
+		}
+		return out[i].Placement.DataCenter < out[j].Placement.DataCenter
+	})
+}

@@ -1,0 +1,322 @@
+// Package primarybackup implements the industry-standard crash-
+// tolerant SCADA master architectures of the paper: configuration "2"
+// (a primary master with a hot standby in one control center) and
+// "2-2" (adding a cold-backup control center that takes minutes to
+// activate).
+//
+// The hot standby monitors the primary with heartbeats and takes over
+// within seconds. The cold-backup site monitors the primary *site*
+// from afar; when it stops hearing from it, it starts activation and
+// becomes the active master after the configured delay — the paper's
+// orange state while activation is in progress.
+//
+// None of this tolerates intrusions: a compromised master simply
+// executes whatever the attacker wants (the gray state); the scada
+// layer accounts for that directly.
+package primarybackup
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"compoundthreat/internal/netsim"
+)
+
+// Role describes a master's position in the architecture.
+type Role int
+
+// Roles.
+const (
+	Primary Role = iota + 1
+	HotStandby
+	ColdBackup
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case Primary:
+		return "primary"
+	case HotStandby:
+		return "hot-standby"
+	case ColdBackup:
+		return "cold-backup"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// MasterSpec places one master.
+type MasterSpec struct {
+	Role Role
+	Site int
+}
+
+// Spec describes a primary/backup group.
+type Spec struct {
+	// Masters lists the masters: exactly one Primary, any number of
+	// HotStandby in the primary's site, and optionally ColdBackup
+	// masters in a backup site.
+	Masters []MasterSpec
+	// NodeIDBase offsets netsim node IDs (master i -> NodeIDBase + i).
+	NodeIDBase int
+	// HeartbeatInterval is the primary's heartbeat period.
+	HeartbeatInterval time.Duration
+	// TakeoverTimeout is how long a hot standby waits without
+	// heartbeats before taking over.
+	TakeoverTimeout time.Duration
+	// ActivationDelay is the cold-backup activation time (minutes in
+	// practice; the paper's orange downtime).
+	ActivationDelay time.Duration
+}
+
+// Validate reports the first specification problem found.
+func (s Spec) Validate() error {
+	if len(s.Masters) == 0 {
+		return errors.New("primarybackup: no masters")
+	}
+	var primaries, colds int
+	primarySite := -1
+	for _, m := range s.Masters {
+		switch m.Role {
+		case Primary:
+			primaries++
+			primarySite = m.Site
+		case HotStandby, ColdBackup:
+		default:
+			return fmt.Errorf("primarybackup: unknown role %d", int(m.Role))
+		}
+		if m.Role == ColdBackup {
+			colds++
+		}
+	}
+	if primaries != 1 {
+		return fmt.Errorf("primarybackup: need exactly 1 primary, have %d", primaries)
+	}
+	for _, m := range s.Masters {
+		if m.Role == HotStandby && m.Site != primarySite {
+			return errors.New("primarybackup: hot standby must share the primary's site")
+		}
+		if m.Role == ColdBackup && m.Site == primarySite {
+			return errors.New("primarybackup: cold backup must be in a different site")
+		}
+	}
+	switch {
+	case s.HeartbeatInterval <= 0:
+		return errors.New("primarybackup: HeartbeatInterval must be positive")
+	case s.TakeoverTimeout <= s.HeartbeatInterval:
+		return errors.New("primarybackup: TakeoverTimeout must exceed HeartbeatInterval")
+	case colds > 0 && s.ActivationDelay <= 0:
+		return errors.New("primarybackup: cold backups need a positive ActivationDelay")
+	}
+	return nil
+}
+
+// Request is a client request. Networked clients send it to master
+// node IDs via netsim so that partitions and site failures apply.
+type Request struct{ Payload string }
+
+// Protocol messages.
+type heartbeat struct{ From int }
+
+// Execution records one update executed by an active master.
+type Execution struct {
+	Master  int
+	Role    Role
+	Payload string
+	At      time.Duration
+}
+
+type master struct {
+	e           *Engine
+	idx         int
+	node        int
+	role        Role
+	site        int
+	active      bool
+	activating  bool
+	compromised bool
+	lastBeat    time.Duration
+	executed    map[string]bool
+}
+
+// Engine runs one primary/backup group on a network.
+type Engine struct {
+	nw      *netsim.Network
+	spec    Spec
+	masters []*master
+	onExec  func(Execution)
+	started bool
+	// execLog[payload] counts executions by active masters.
+	execLog map[string]int
+	// compromisedExec counts updates executed while the executing
+	// master was compromised (the gray signal).
+	compromisedExec int
+}
+
+// New builds the engine and registers its masters on the network.
+func New(nw *netsim.Network, spec Spec) (*Engine, error) {
+	if nw == nil {
+		return nil, errors.New("primarybackup: nil network")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{nw: nw, spec: spec, execLog: make(map[string]int)}
+	for i, ms := range spec.Masters {
+		m := &master{
+			e:        e,
+			idx:      i,
+			node:     spec.NodeIDBase + i,
+			role:     ms.Role,
+			site:     ms.Site,
+			active:   ms.Role == Primary,
+			executed: make(map[string]bool),
+		}
+		e.masters = append(e.masters, m)
+		if err := nw.AddNode(m.node, ms.Site, func(from int, msg any) {
+			m.onMessage(from, msg)
+		}); err != nil {
+			return nil, fmt.Errorf("primarybackup: register master %d: %w", i, err)
+		}
+	}
+	return e, nil
+}
+
+// NodeID returns the netsim node ID of master idx.
+func (e *Engine) NodeID(idx int) (int, error) {
+	if idx < 0 || idx >= len(e.masters) {
+		return 0, fmt.Errorf("primarybackup: master %d out of range", idx)
+	}
+	return e.masters[idx].node, nil
+}
+
+// OnExecute registers the execution callback.
+func (e *Engine) OnExecute(fn func(Execution)) { e.onExec = fn }
+
+// Start arms heartbeats and failure detectors.
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	sim := e.nw.Sim()
+	for _, m := range e.masters {
+		m := m
+		switch m.role {
+		case Primary:
+			sim.Every(e.spec.HeartbeatInterval, m.sendHeartbeats)
+		case HotStandby:
+			sim.Every(e.spec.HeartbeatInterval, m.checkTakeover)
+		case ColdBackup:
+			sim.Every(e.spec.HeartbeatInterval, m.checkActivation)
+		}
+	}
+}
+
+// Compromise marks a master as attacker-controlled. Executions by a
+// compromised active master count as safety violations.
+func (e *Engine) Compromise(idx int) error {
+	if idx < 0 || idx >= len(e.masters) {
+		return fmt.Errorf("primarybackup: master %d out of range", idx)
+	}
+	e.masters[idx].compromised = true
+	return nil
+}
+
+// Propose injects a client request at every live master (networked
+// clients in the scada layer send request messages instead).
+func (e *Engine) Propose(payload string) {
+	for _, m := range e.masters {
+		if e.nw.NodeUp(m.node) {
+			m.onMessage(-1, Request{Payload: payload})
+		}
+	}
+}
+
+// ExecutedBy returns how many active masters executed the payload.
+func (e *Engine) ExecutedBy(payload string) int { return e.execLog[payload] }
+
+// SafetyViolated reports whether a compromised master executed any
+// update while active.
+func (e *Engine) SafetyViolated() bool { return e.compromisedExec > 0 }
+
+// ActiveMaster returns the index of the currently active master and
+// whether one is both active and alive.
+func (e *Engine) ActiveMaster() (int, bool) {
+	for _, m := range e.masters {
+		if m.active && e.nw.NodeUp(m.node) {
+			return m.idx, true
+		}
+	}
+	return 0, false
+}
+
+func (m *master) onMessage(from int, msg any) {
+	switch t := msg.(type) {
+	case heartbeat:
+		m.lastBeat = m.e.nw.Sim().Now()
+	case Request:
+		if m.active && !m.executed[t.Payload] {
+			m.executed[t.Payload] = true
+			m.e.execLog[t.Payload]++
+			if m.compromised {
+				m.e.compromisedExec++
+			}
+			if m.e.onExec != nil {
+				m.e.onExec(Execution{
+					Master: m.idx, Role: m.role,
+					Payload: t.Payload, At: m.e.nw.Sim().Now(),
+				})
+			}
+		}
+	}
+}
+
+// sendHeartbeats is the primary's liveness beacon to every peer.
+func (m *master) sendHeartbeats() {
+	if !m.active {
+		return
+	}
+	for _, peer := range m.e.masters {
+		if peer.idx != m.idx {
+			m.e.nw.Send(m.node, peer.node, heartbeat{From: m.idx})
+		}
+	}
+}
+
+// checkTakeover promotes a hot standby when the primary goes silent.
+func (m *master) checkTakeover() {
+	if m.active || !m.e.nw.NodeUp(m.node) {
+		return
+	}
+	now := m.e.nw.Sim().Now()
+	if now-m.lastBeat < m.e.spec.TakeoverTimeout {
+		return
+	}
+	m.active = true
+	// The new active master heartbeats from now on.
+	m.e.nw.Sim().Every(m.e.spec.HeartbeatInterval, m.sendHeartbeats)
+}
+
+// checkActivation starts cold-backup activation when the primary site
+// goes silent, becoming active after the activation delay.
+func (m *master) checkActivation() {
+	if m.active || m.activating || !m.e.nw.NodeUp(m.node) {
+		return
+	}
+	now := m.e.nw.Sim().Now()
+	if now-m.lastBeat < m.e.spec.TakeoverTimeout {
+		return
+	}
+	m.activating = true
+	m.e.nw.Sim().After(m.e.spec.ActivationDelay, func() {
+		m.activating = false
+		// Activate only if the primary site is still silent.
+		if m.e.nw.Sim().Now()-m.lastBeat >= m.e.spec.TakeoverTimeout {
+			m.active = true
+			m.e.nw.Sim().Every(m.e.spec.HeartbeatInterval, m.sendHeartbeats)
+		}
+	})
+}

@@ -1,0 +1,261 @@
+package primarybackup
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"compoundthreat/internal/des"
+	"compoundthreat/internal/netsim"
+)
+
+type harness struct {
+	sim *des.Sim
+	nw  *netsim.Network
+	eng *Engine
+}
+
+// spec22 is the "2-2" layout: primary + hot standby in site 0, two
+// cold backups in site 1.
+func spec22() Spec {
+	return Spec{
+		Masters: []MasterSpec{
+			{Role: Primary, Site: 0},
+			{Role: HotStandby, Site: 0},
+			{Role: ColdBackup, Site: 1},
+			{Role: ColdBackup, Site: 1},
+		},
+		HeartbeatInterval: 50 * time.Millisecond,
+		TakeoverTimeout:   200 * time.Millisecond,
+		ActivationDelay:   5 * time.Second,
+	}
+}
+
+// spec2 is the "2" layout: primary + hot standby in one site.
+func spec2() Spec {
+	s := spec22()
+	s.Masters = s.Masters[:2]
+	return s
+}
+
+func newHarness(t *testing.T, spec Spec) *harness {
+	t.Helper()
+	sim := des.New(5)
+	nw, err := netsim.New(sim, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(nw, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	return &harness{sim: sim, nw: nw, eng: eng}
+}
+
+func proposeEvery(h *harness, n int, gap time.Duration) []string {
+	payloads := make([]string, n)
+	for i := range payloads {
+		payloads[i] = fmt.Sprintf("cmd-%03d", i)
+		p := payloads[i]
+		h.sim.After(time.Duration(i)*gap, func() { h.eng.Propose(p) })
+	}
+	return payloads
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := spec22().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"no masters", func(s *Spec) { s.Masters = nil }, "no masters"},
+		{
+			"two primaries",
+			func(s *Spec) { s.Masters[1].Role = Primary },
+			"exactly 1 primary",
+		},
+		{
+			"standby in wrong site",
+			func(s *Spec) { s.Masters[1].Site = 2 },
+			"share the primary's site",
+		},
+		{
+			"cold in primary site",
+			func(s *Spec) { s.Masters[2].Site = 0 },
+			"different site",
+		},
+		{"bad role", func(s *Spec) { s.Masters[1].Role = 9 }, "unknown role"},
+		{"zero heartbeat", func(s *Spec) { s.HeartbeatInterval = 0 }, "HeartbeatInterval"},
+		{
+			"timeout below heartbeat",
+			func(s *Spec) { s.TakeoverTimeout = s.HeartbeatInterval },
+			"TakeoverTimeout",
+		},
+		{"no activation delay", func(s *Spec) { s.ActivationDelay = 0 }, "ActivationDelay"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := spec22()
+			tt.mutate(&s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("Validate = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestPrimaryExecutes(t *testing.T) {
+	h := newHarness(t, spec2())
+	payloads := proposeEvery(h, 5, 20*time.Millisecond)
+	h.sim.Run(time.Second)
+	for _, p := range payloads {
+		if got := h.eng.ExecutedBy(p); got != 1 {
+			t.Errorf("%s executed by %d masters, want 1 (primary only)", p, got)
+		}
+	}
+	if idx, ok := h.eng.ActiveMaster(); !ok || idx != 0 {
+		t.Errorf("active master = %d, %v, want 0", idx, ok)
+	}
+}
+
+func TestHotStandbyTakeover(t *testing.T) {
+	h := newHarness(t, spec2())
+	// Kill the primary at 100 ms; standby should take over within the
+	// takeover timeout and execute later commands.
+	h.sim.After(100*time.Millisecond, func() {
+		if err := h.nw.CrashNode(0); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+	})
+	late := "after-failover"
+	h.sim.After(800*time.Millisecond, func() { h.eng.Propose(late) })
+	h.sim.Run(2 * time.Second)
+	if got := h.eng.ExecutedBy(late); got != 1 {
+		t.Errorf("%s executed by %d, want 1 (standby)", late, got)
+	}
+	if idx, ok := h.eng.ActiveMaster(); !ok || idx != 1 {
+		t.Errorf("active master = %d, %v, want standby 1", idx, ok)
+	}
+}
+
+func TestColdBackupActivation(t *testing.T) {
+	h := newHarness(t, spec22())
+	// Flood the primary site at 100 ms. The cold backup starts
+	// activation after the takeover timeout and becomes active
+	// ActivationDelay later: ~5.3 s.
+	h.sim.After(100*time.Millisecond, func() { h.nw.FailSite(0) })
+	during := "during-activation"
+	after := "after-activation"
+	h.sim.After(2*time.Second, func() { h.eng.Propose(during) })
+	h.sim.After(8*time.Second, func() { h.eng.Propose(after) })
+	h.sim.Run(10 * time.Second)
+	if got := h.eng.ExecutedBy(during); got != 0 {
+		t.Errorf("%s executed during activation window (orange downtime)", during)
+	}
+	if got := h.eng.ExecutedBy(after); got == 0 {
+		t.Errorf("%s not executed after cold-backup activation", after)
+	}
+	if idx, ok := h.eng.ActiveMaster(); !ok || h.eng.spec.Masters[idx].Role != ColdBackup {
+		t.Errorf("active master = %d, %v, want a cold backup", idx, ok)
+	}
+}
+
+func TestColdBackupDoesNotActivateSpuriously(t *testing.T) {
+	h := newHarness(t, spec22())
+	proposeEvery(h, 3, 50*time.Millisecond)
+	h.sim.Run(10 * time.Second)
+	if idx, ok := h.eng.ActiveMaster(); !ok || idx != 0 {
+		t.Errorf("active master = %d, %v, want primary 0 (no failover)", idx, ok)
+	}
+}
+
+func TestBothSitesDownNoService(t *testing.T) {
+	h := newHarness(t, spec22())
+	h.nw.FailSite(0)
+	h.nw.FailSite(1)
+	h.sim.After(6*time.Second, func() { h.eng.Propose("anyone-there") })
+	h.sim.Run(10 * time.Second)
+	if got := h.eng.ExecutedBy("anyone-there"); got != 0 {
+		t.Error("command executed with both sites down")
+	}
+	if _, ok := h.eng.ActiveMaster(); ok {
+		t.Error("no master should be active with both sites down")
+	}
+}
+
+func TestCompromisedPrimaryViolatesSafety(t *testing.T) {
+	h := newHarness(t, spec2())
+	if err := h.eng.Compromise(0); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.Propose("malicious-setpoint")
+	h.sim.Run(time.Second)
+	if !h.eng.SafetyViolated() {
+		t.Error("execution by a compromised master should violate safety")
+	}
+}
+
+func TestCompromisedStandbyHarmlessWhileInactive(t *testing.T) {
+	h := newHarness(t, spec2())
+	if err := h.eng.Compromise(1); err != nil {
+		t.Fatal(err)
+	}
+	proposeEvery(h, 3, 20*time.Millisecond)
+	h.sim.Run(time.Second)
+	if h.eng.SafetyViolated() {
+		t.Error("inactive compromised standby should not execute anything")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	sim := des.New(1)
+	nw, err := netsim.New(sim, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil, spec2()); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := New(nw, Spec{}); err == nil {
+		t.Error("empty spec should error")
+	}
+	eng, err := New(nw, spec2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Compromise(99); err == nil {
+		t.Error("out-of-range compromise should error")
+	}
+	if _, err := eng.NodeID(99); err == nil {
+		t.Error("out-of-range NodeID should error")
+	}
+	if id, err := eng.NodeID(1); err != nil || id != 1 {
+		t.Errorf("NodeID(1) = %d, %v", id, err)
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	if Primary.String() != "primary" || HotStandby.String() != "hot-standby" || ColdBackup.String() != "cold-backup" {
+		t.Error("role strings wrong")
+	}
+	if !strings.Contains(Role(42).String(), "42") {
+		t.Error("unknown role string")
+	}
+}
+
+func TestExecutionCallback(t *testing.T) {
+	h := newHarness(t, spec2())
+	var execs []Execution
+	h.eng.OnExecute(func(ex Execution) { execs = append(execs, ex) })
+	h.eng.Propose("one")
+	h.sim.Run(time.Second)
+	if len(execs) != 1 || execs[0].Payload != "one" || execs[0].Role != Primary {
+		t.Errorf("executions = %+v", execs)
+	}
+}

@@ -1,0 +1,44 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"compoundthreat/internal/analysis"
+)
+
+// WriteDowntime renders expected-downtime results for several
+// configurations under one scenario, ranked as given.
+func WriteDowntime(w io.Writer, outcomes []analysis.DowntimeOutcome) error {
+	if len(outcomes) == 0 {
+		return errors.New("report: no downtime outcomes")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Expected downtime per hurricane event (%s)\n", outcomes[0].Scenario)
+	fmt.Fprintf(&b, "%-8s %14s %14s %14s  %s\n", "config", "expected", "p90", "max", "profile")
+	var maxExpected time.Duration
+	for _, o := range outcomes {
+		if o.ExpectedDowntime > maxExpected {
+			maxExpected = o.ExpectedDowntime
+		}
+	}
+	for _, o := range outcomes {
+		bar := ""
+		if maxExpected > 0 {
+			n := int(float64(o.ExpectedDowntime) / float64(maxExpected) * barWidth)
+			bar = strings.Repeat("#", n)
+		}
+		fmt.Fprintf(&b, "%-8s %14s %14s %14s  [%-*s]\n",
+			o.Config.Name,
+			o.ExpectedDowntime.Round(time.Minute),
+			time.Duration(o.Downtime.P90*float64(time.Second)).Round(time.Minute),
+			time.Duration(o.Downtime.Max*float64(time.Second)).Round(time.Minute),
+			barWidth, bar,
+		)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

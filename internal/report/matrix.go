@@ -1,0 +1,55 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"compoundthreat/internal/analysis"
+	"compoundthreat/internal/threat"
+)
+
+// WriteMatrix renders the dominant operational state for every
+// (configuration, scenario) pair — a compact executive summary of the
+// whole case study.
+func WriteMatrix(w io.Writer, matrix map[threat.Scenario][]analysis.Outcome) error {
+	if len(matrix) == 0 {
+		return errors.New("report: empty matrix")
+	}
+	scenarios := threat.Scenarios()
+	first, ok := matrix[scenarios[0]]
+	if !ok || len(first) == 0 {
+		return errors.New("report: matrix missing the baseline scenario")
+	}
+	var b strings.Builder
+	b.WriteString("Dominant operational state by configuration and threat scenario\n")
+	fmt.Fprintf(&b, "%-10s", "config")
+	short := map[threat.Scenario]string{
+		threat.Hurricane:                   "hurricane",
+		threat.HurricaneIntrusion:          "+intrusion",
+		threat.HurricaneIsolation:          "+isolation",
+		threat.HurricaneIntrusionIsolation: "+both",
+	}
+	for _, sc := range scenarios {
+		fmt.Fprintf(&b, " %-12s", short[sc])
+	}
+	b.WriteByte('\n')
+	for i, base := range first {
+		fmt.Fprintf(&b, "%-10s", base.Config.Name)
+		for _, sc := range scenarios {
+			outs := matrix[sc]
+			cell := "-"
+			if i < len(outs) {
+				if s, ok := outs[i].Profile.Dominant(); ok {
+					p := outs[i].Profile.Probability(s)
+					cell = fmt.Sprintf("%s %3.0f%%", s, 100*p)
+				}
+			}
+			fmt.Fprintf(&b, " %-12s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

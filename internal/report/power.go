@@ -1,0 +1,55 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"compoundthreat/internal/analysis"
+	"compoundthreat/internal/opstate"
+)
+
+// WritePowerSweep renders an attacker-power sweep as a table of state
+// probabilities per success-probability point, with a green-probability
+// curve. This is the §VII "realistic attacker power" extension.
+func WritePowerSweep(w io.Writer, configName string, points []analysis.PowerPoint) error {
+	if len(points) == 0 {
+		return errors.New("report: empty power sweep")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Attacker-power sweep for configuration %q\n", configName)
+	fmt.Fprintf(&b, "%-9s %8s %8s %8s %8s  %s\n",
+		"success", "green", "orange", "red", "gray", "P(green)")
+	for _, pt := range points {
+		green := pt.Profile.Probability(opstate.Green)
+		n := int(green*barWidth + 0.5)
+		fmt.Fprintf(&b, "%8.0f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%  [%-*s]\n",
+			100*pt.Success,
+			100*green,
+			100*pt.Profile.Probability(opstate.Orange),
+			100*pt.Profile.Probability(opstate.Red),
+			100*pt.Profile.Probability(opstate.Gray),
+			barWidth, strings.Repeat("#", n),
+		)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePowerSweepCSV emits one row per (success, state) probability.
+func WritePowerSweepCSV(w io.Writer, configName string, points []analysis.PowerPoint) error {
+	if len(points) == 0 {
+		return errors.New("report: empty power sweep")
+	}
+	var b strings.Builder
+	b.WriteString("config,success,state,probability\n")
+	for _, pt := range points {
+		for _, s := range opstate.States() {
+			fmt.Fprintf(&b, "%s,%.3f,%s,%.6f\n",
+				configName, pt.Success, s, pt.Profile.Probability(s))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

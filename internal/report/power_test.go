@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"compoundthreat/internal/analysis"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/stats"
+)
+
+func samplePoints() []analysis.PowerPoint {
+	mk := func(success float64, green, orange int) analysis.PowerPoint {
+		p := stats.NewProfile()
+		p.AddN(opstate.Green, green)
+		p.AddN(opstate.Orange, orange)
+		return analysis.PowerPoint{Success: success, Profile: p}
+	}
+	return []analysis.PowerPoint{
+		mk(0, 100, 0),
+		mk(0.5, 60, 40),
+		mk(1, 10, 90),
+	}
+}
+
+func TestWritePowerSweep(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePowerSweep(&sb, "6-6", samplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"6-6"`, "success", "100.0%", "60.0%", "40.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := WritePowerSweep(&strings.Builder{}, "x", nil); err == nil {
+		t.Error("empty sweep should error")
+	}
+	if err := WritePowerSweep(&failingWriter{}, "6-6", samplePoints()); err == nil {
+		t.Error("writer error should propagate")
+	}
+}
+
+func TestWritePowerSweepCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePowerSweepCSV(&sb, "6-6", samplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "config,success,state,probability\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	// 3 points x 4 states + header.
+	if got := strings.Count(out, "\n"); got != 13 {
+		t.Errorf("lines = %d, want 13", got)
+	}
+	if !strings.Contains(out, "6-6,0.500,orange,0.400000") {
+		t.Errorf("missing row:\n%s", out)
+	}
+	if err := WritePowerSweepCSV(&strings.Builder{}, "x", nil); err == nil {
+		t.Error("empty sweep should error")
+	}
+}

@@ -1,0 +1,163 @@
+// Package report renders analysis results as terminal tables, ASCII
+// bar charts matching the paper's figures, and CSV for downstream
+// plotting.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"compoundthreat/internal/analysis"
+	"compoundthreat/internal/opstate"
+)
+
+// barWidth is the width of a full-probability bar.
+const barWidth = 40
+
+// stateGlyphs give each operational state a distinct fill for ASCII
+// bars.
+var stateGlyphs = map[opstate.State]rune{
+	opstate.Green:  '#',
+	opstate.Orange: '+',
+	opstate.Red:    '-',
+	opstate.Gray:   'x',
+}
+
+// WriteFigure renders one evaluated figure as a titled table with a
+// stacked probability bar per configuration, mirroring the paper's
+// figure layout.
+func WriteFigure(w io.Writer, res analysis.FigureResult) error {
+	if len(res.Outcomes) == 0 {
+		return errors.New("report: figure has no outcomes")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. %d: %s\n", res.Figure.ID, res.Figure.Title)
+	fmt.Fprintf(&b, "%-8s %8s %8s %8s %8s  %s\n",
+		"config", "green", "orange", "red", "gray", "profile")
+	for _, o := range res.Outcomes {
+		fmt.Fprintf(&b, "%-8s %7.1f%% %7.1f%% %7.1f%% %7.1f%%  %s\n",
+			o.Config.Name,
+			100*o.Profile.Probability(opstate.Green),
+			100*o.Profile.Probability(opstate.Orange),
+			100*o.Profile.Probability(opstate.Red),
+			100*o.Profile.Probability(opstate.Gray),
+			stackedBar(o),
+		)
+	}
+	legend := make([]string, 0, 4)
+	for _, s := range opstate.States() {
+		legend = append(legend, fmt.Sprintf("%c=%s", stateGlyphs[s], s))
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, " "))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// stackedBar renders the outcome profile as a fixed-width stacked bar.
+func stackedBar(o analysis.Outcome) string {
+	var bar strings.Builder
+	bar.WriteByte('[')
+	used := 0
+	for _, s := range opstate.States() {
+		n := int(o.Profile.Probability(s)*barWidth + 0.5)
+		if used+n > barWidth {
+			n = barWidth - used
+		}
+		bar.WriteString(strings.Repeat(string(stateGlyphs[s]), n))
+		used += n
+	}
+	if used < barWidth {
+		// Rounding shortfall: pad with the dominant state's glyph.
+		if s, ok := o.Profile.Dominant(); ok {
+			bar.WriteString(strings.Repeat(string(stateGlyphs[s]), barWidth-used))
+		} else {
+			bar.WriteString(strings.Repeat(" ", barWidth-used))
+		}
+	}
+	bar.WriteByte(']')
+	return bar.String()
+}
+
+// WriteFigureCSV emits one row per (configuration, state) probability.
+func WriteFigureCSV(w io.Writer, res analysis.FigureResult) error {
+	if len(res.Outcomes) == 0 {
+		return errors.New("report: figure has no outcomes")
+	}
+	var b strings.Builder
+	b.WriteString("figure,config,scenario,state,probability\n")
+	for _, o := range res.Outcomes {
+		for _, s := range opstate.States() {
+			fmt.Fprintf(&b, "%d,%s,%q,%s,%.6f\n",
+				res.Figure.ID, o.Config.Name, o.Scenario, s, o.Profile.Probability(s))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteTableI renders the paper's Table I: the condition table mapping
+// each configuration to the system states that produce each color.
+func WriteTableI(w io.Writer) error {
+	rows := [][4]string{
+		{"2", "control center up, no intrusion", "control center down/isolated", "intrusions >= 1"},
+		{"2-2", "primary up, no intrusion", "both control centers down/isolated", "intrusions >= 1"},
+		{"6", "control center up, intrusions <= 1", "control center down/isolated", "intrusions >= 2"},
+		{"6-6", "primary up, intrusions <= 1", "both control centers down/isolated", "intrusions >= 2"},
+		{"6+6+6", ">= 2 sites up, intrusions <= 1", "< 2 sites up, intrusions <= 1", "intrusions >= 2"},
+	}
+	orange := map[string]string{
+		"2-2": "primary down/isolated, backup up, no intrusion",
+		"6-6": "primary down/isolated, backup up, intrusions <= 1",
+	}
+	var b strings.Builder
+	b.WriteString("Table I: Conditions determining the operational state per configuration\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s\n", r[0])
+		fmt.Fprintf(&b, "  green:  %s\n", r[1])
+		if o, ok := orange[r[0]]; ok {
+			fmt.Fprintf(&b, "  orange: %s\n", o)
+		} else {
+			fmt.Fprintf(&b, "  orange: N/A\n")
+		}
+		fmt.Fprintf(&b, "  red:    %s\n", r[2])
+		fmt.Fprintf(&b, "  gray:   %s\n", r[3])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FailureRates is a labeled set of per-asset failure probabilities.
+type FailureRates struct {
+	// Title overrides the heading (default: the hurricane wording).
+	Title string
+	// Rows are (assetID, probability) pairs in presentation order.
+	Rows []FailureRate
+}
+
+// FailureRate is one asset's flood probability.
+type FailureRate struct {
+	AssetID     string
+	Probability float64
+}
+
+// WriteFailureRates renders per-asset flood probabilities with bars.
+func WriteFailureRates(w io.Writer, fr FailureRates) error {
+	if len(fr.Rows) == 0 {
+		return errors.New("report: no failure rates")
+	}
+	title := fr.Title
+	if title == "" {
+		title = "Per-asset hurricane flood probability"
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for _, r := range fr.Rows {
+		n := int(r.Probability*barWidth + 0.5)
+		fmt.Fprintf(&b, "%-18s %6.1f%% [%-*s]\n",
+			r.AssetID, 100*r.Probability, barWidth, strings.Repeat("#", n))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,206 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"compoundthreat/internal/analysis"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/stats"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// failingWriter errors after limit bytes, for error-path coverage.
+type failingWriter struct{ limit int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if len(p) > f.limit {
+		return 0, errors.New("write refused")
+	}
+	f.limit -= len(p)
+	return len(p), nil
+}
+
+func sampleResult(t *testing.T) analysis.FigureResult {
+	t.Helper()
+	fig, err := analysis.FigureByID(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, green, orange, red, gray int) analysis.Outcome {
+		var cfg topology.Config
+		switch name {
+		case "2":
+			cfg = topology.NewConfig2("honolulu-cc")
+		case "2-2":
+			cfg = topology.NewConfig22("honolulu-cc", "waiau-plant")
+		default:
+			cfg = topology.NewConfig666("honolulu-cc", "waiau-plant", "drfortress-dc")
+		}
+		p := stats.NewProfile()
+		p.AddN(opstate.Green, green)
+		p.AddN(opstate.Orange, orange)
+		p.AddN(opstate.Red, red)
+		p.AddN(opstate.Gray, gray)
+		return analysis.Outcome{Config: cfg, Scenario: threat.Hurricane, Profile: p}
+	}
+	return analysis.FigureResult{
+		Figure: fig,
+		Outcomes: []analysis.Outcome{
+			mk("2", 905, 0, 95, 0),
+			mk("2-2", 905, 0, 95, 0),
+			mk("6+6+6", 905, 0, 95, 0),
+		},
+	}
+}
+
+func TestWriteFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure(&sb, sampleResult(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. 6", "config", "2-2", "6+6+6", "90.5%", "9.5%", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	// Stacked bars must be present and fixed width.
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '['); i >= 0 {
+			j := strings.IndexByte(line, ']')
+			if j-i-1 != 40 {
+				t.Errorf("bar width = %d, want 40: %q", j-i-1, line)
+			}
+		}
+	}
+}
+
+func TestWriteFigureEmpty(t *testing.T) {
+	if err := WriteFigure(&strings.Builder{}, analysis.FigureResult{}); err == nil {
+		t.Error("empty figure should error")
+	}
+}
+
+func TestWriteFigureWriterError(t *testing.T) {
+	if err := WriteFigure(&failingWriter{limit: 0}, sampleResult(t)); err == nil {
+		t.Error("writer error should propagate")
+	}
+}
+
+func TestWriteFigureCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureCSV(&sb, sampleResult(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "figure,config,scenario,state,probability\n") {
+		t.Errorf("missing CSV header: %q", out)
+	}
+	// 3 configs x 4 states + header.
+	if got := strings.Count(out, "\n"); got != 13 {
+		t.Errorf("CSV lines = %d, want 13", got)
+	}
+	if !strings.Contains(out, "6,2-2,") || !strings.Contains(out, ",green,0.905") {
+		t.Errorf("CSV content wrong:\n%s", out)
+	}
+	if err := WriteFigureCSV(&strings.Builder{}, analysis.FigureResult{}); err == nil {
+		t.Error("empty figure CSV should error")
+	}
+}
+
+func TestWriteTableI(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTableI(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table I", "2-2", "6+6+6", "green", "orange", "red", "gray", "N/A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q", want)
+		}
+	}
+}
+
+func TestWriteFailureRates(t *testing.T) {
+	var sb strings.Builder
+	fr := FailureRates{Rows: []FailureRate{
+		{AssetID: "honolulu-cc", Probability: 0.095},
+		{AssetID: "kahe-plant", Probability: 0},
+	}}
+	if err := WriteFailureRates(&sb, fr); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "honolulu-cc") || !strings.Contains(out, "9.5%") {
+		t.Errorf("failure rates output wrong:\n%s", out)
+	}
+	if err := WriteFailureRates(&strings.Builder{}, FailureRates{}); err == nil {
+		t.Error("empty rates should error")
+	}
+}
+
+func TestWriteDowntime(t *testing.T) {
+	mk := func(name string, expected time.Duration, p90, max float64) analysis.DowntimeOutcome {
+		return analysis.DowntimeOutcome{
+			Config:           topology.NewConfig2(name),
+			Scenario:         threat.Hurricane,
+			Profile:          stats.NewProfile(),
+			ExpectedDowntime: expected,
+			Downtime:         stats.Summary{P90: p90, Max: max},
+		}
+	}
+	outcomes := []analysis.DowntimeOutcome{
+		mk("a", 2*time.Hour, 3600, 7200),
+		mk("b", 0, 0, 0),
+	}
+	outcomes[0].Config.Name = "2"
+	outcomes[1].Config.Name = "6+6+6"
+	var sb strings.Builder
+	if err := WriteDowntime(&sb, outcomes); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Expected downtime", "2h0m0s", "6+6+6", "config"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("downtime output missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteDowntime(&strings.Builder{}, nil); err == nil {
+		t.Error("empty outcomes should error")
+	}
+}
+
+func TestWriteMatrix(t *testing.T) {
+	mk := func(dom opstate.State) analysis.Outcome {
+		p := stats.NewProfile()
+		p.AddN(dom, 9)
+		p.AddN(opstate.Red, 1)
+		return analysis.Outcome{Config: topology.NewConfig2("p"), Profile: p}
+	}
+	matrix := map[threat.Scenario][]analysis.Outcome{}
+	for _, sc := range threat.Scenarios() {
+		matrix[sc] = []analysis.Outcome{mk(opstate.Green)}
+	}
+	var sb strings.Builder
+	if err := WriteMatrix(&sb, matrix); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Dominant", "hurricane", "+both", "green  90%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix output missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteMatrix(&strings.Builder{}, nil); err == nil {
+		t.Error("empty matrix should error")
+	}
+	if err := WriteMatrix(&strings.Builder{}, map[threat.Scenario][]analysis.Outcome{
+		threat.HurricaneIntrusion: {mk(opstate.Gray)},
+	}); err == nil {
+		t.Error("matrix without baseline should error")
+	}
+}

@@ -1,0 +1,257 @@
+// Package scada runs a SCADA configuration as a live system on the
+// discrete-event simulator: RTUs in the field generate supervisory
+// commands and telemetry, the configured master architecture (crash-
+// tolerant primary/backup or intrusion-tolerant replication) orders
+// and executes them, and an HMI in the field collects execution
+// notices. The compound threat is injected as events — site flooding
+// at time zero, site isolations and server intrusions when the
+// cyberattack lands — and the measured delivery timeline is classified
+// into the paper's green/orange/red/gray states.
+//
+// This is the behavioral counterpart of the analytical framework: the
+// package tests assert that the measured state matches Table I for
+// every configuration and threat scenario.
+package scada
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"compoundthreat/internal/des"
+	"compoundthreat/internal/netsim"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/stats"
+	"compoundthreat/internal/topology"
+)
+
+// Params controls a simulation run.
+type Params struct {
+	// Duration is the total simulated time.
+	Duration time.Duration
+	// AttackAt is when the cyberattack lands (isolations + intrusions).
+	AttackAt time.Duration
+	// CommandInterval is the RTU supervisory command period.
+	CommandInterval time.Duration
+	// ActivationDelay is the cold-backup activation time.
+	ActivationDelay time.Duration
+	// GreenGapLimit separates a transient (view change, failover inside
+	// a site) from real downtime: a delivery gap beyond this is no
+	// longer green.
+	GreenGapLimit time.Duration
+	// FinalWindow is the trailing interval that must see deliveries for
+	// the system to count as operational at the end of the run.
+	FinalWindow time.Duration
+	// Seed drives all simulation randomness.
+	Seed int64
+}
+
+// DefaultParams returns timings that keep runs short while preserving
+// the orders of magnitude that matter: activation delay far above the
+// green gap limit, which is far above protocol timeouts.
+func DefaultParams() Params {
+	return Params{
+		Duration:        90 * time.Second,
+		AttackAt:        20 * time.Second,
+		CommandInterval: 500 * time.Millisecond,
+		ActivationDelay: 20 * time.Second,
+		GreenGapLimit:   5 * time.Second,
+		FinalWindow:     10 * time.Second,
+		Seed:            1,
+	}
+}
+
+// Validate reports the first parameter problem found.
+func (p Params) Validate() error {
+	switch {
+	case p.Duration <= 0:
+		return errors.New("scada: Duration must be positive")
+	case p.AttackAt < 0 || p.AttackAt >= p.Duration:
+		return errors.New("scada: AttackAt must fall inside the run")
+	case p.CommandInterval <= 0:
+		return errors.New("scada: CommandInterval must be positive")
+	case p.ActivationDelay <= 0:
+		return errors.New("scada: ActivationDelay must be positive")
+	case p.GreenGapLimit <= 0:
+		return errors.New("scada: GreenGapLimit must be positive")
+	case p.FinalWindow <= 0 || p.FinalWindow >= p.Duration:
+		return errors.New("scada: FinalWindow must be positive and inside the run")
+	case p.Duration < p.AttackAt+p.ActivationDelay+p.FinalWindow:
+		return errors.New("scada: run too short for attack + activation + final window")
+	}
+	return nil
+}
+
+// Scenario is the concrete compound-threat injection for one run,
+// indexed by the configuration's site order.
+type Scenario struct {
+	// Flooded sites fail at time zero (hurricane outcome).
+	Flooded []bool
+	// Isolated sites are cut off at AttackAt.
+	Isolated []int
+	// IntrusionsPerSite compromises that many servers per site at
+	// AttackAt.
+	IntrusionsPerSite []int
+	// RestoreFloodedAt, when positive, repairs the flooded sites at
+	// that time (the paper's red state ends "until some system
+	// components are repaired").
+	RestoreFloodedAt time.Duration
+	// AttackEndsAt, when positive, lifts the site isolations at that
+	// time (the red state's other exit: "or an attack ends").
+	AttackEndsAt time.Duration
+}
+
+// validateFor checks the scenario shape against the configuration.
+func (sc Scenario) validateFor(cfg topology.Config) error {
+	n := len(cfg.Sites)
+	if len(sc.Flooded) != n {
+		return fmt.Errorf("scada: flooded vector has %d sites, config %q has %d",
+			len(sc.Flooded), cfg.Name, n)
+	}
+	for _, s := range sc.Isolated {
+		if s < 0 || s >= n {
+			return fmt.Errorf("scada: isolated site %d out of range [0, %d)", s, n)
+		}
+	}
+	if sc.IntrusionsPerSite != nil && len(sc.IntrusionsPerSite) != n {
+		return fmt.Errorf("scada: intrusions vector has %d sites, config %q has %d",
+			len(sc.IntrusionsPerSite), cfg.Name, n)
+	}
+	for i, k := range sc.IntrusionsPerSite {
+		if k < 0 || k > cfg.Sites[i].Replicas {
+			return fmt.Errorf("scada: %d intrusions at site %d out of range [0, %d]",
+				k, i, cfg.Sites[i].Replicas)
+		}
+	}
+	if sc.RestoreFloodedAt < 0 || sc.AttackEndsAt < 0 {
+		return errors.New("scada: recovery times must be non-negative")
+	}
+	return nil
+}
+
+// Result is the measured outcome of one run.
+type Result struct {
+	// State is the measured operational classification.
+	State opstate.State
+	// Proposed and Delivered count supervisory commands issued and
+	// confirmed at the HMI.
+	Proposed, Delivered int
+	// MaxPostAttackGap is the longest interval without deliveries after
+	// the attack (or after time zero if no attack).
+	MaxPostAttackGap time.Duration
+	// SafetyViolated reports protocol-level divergence or execution by
+	// a compromised master.
+	SafetyViolated bool
+	// DeliveredInFinalWindow reports whether the system was delivering
+	// at the end of the run.
+	DeliveredInFinalWindow bool
+	// MaxMonitoringGap is the longest interval without telemetry
+	// reaching the HMI. Monitoring flows RTU -> control-site front-end
+	// -> HMI without ordering, so it can survive attacks that stop the
+	// control path (e.g. the cold-backup site still sees telemetry
+	// while activating).
+	MaxMonitoringGap time.Duration
+	// MonitoringAtEnd reports whether telemetry was arriving in the
+	// final window.
+	MonitoringAtEnd bool
+	// DeliveryLatency summarizes propose-to-confirm latency (seconds)
+	// over delivered commands; zero-valued when nothing was delivered.
+	DeliveryLatency stats.Summary
+}
+
+// Run simulates the configuration under the scenario and classifies
+// the outcome.
+func Run(cfg topology.Config, sc Scenario, p Params) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := sc.validateFor(cfg); err != nil {
+		return Result{}, err
+	}
+
+	sim := des.New(p.Seed)
+	nw, err := netsim.New(sim, netsim.DefaultConfig())
+	if err != nil {
+		return Result{}, err
+	}
+	sys, err := build(cfg, nw, p)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Hurricane outcome at time zero.
+	for i, flooded := range sc.Flooded {
+		if flooded {
+			nw.FailSite(i)
+		}
+	}
+	// Cyberattack at AttackAt.
+	sim.After(p.AttackAt, func() {
+		for _, s := range sc.Isolated {
+			nw.IsolateSite(s)
+		}
+		sys.compromise(sc.IntrusionsPerSite)
+	})
+	// Recovery events.
+	if sc.RestoreFloodedAt > 0 {
+		sim.After(sc.RestoreFloodedAt, func() {
+			for i, flooded := range sc.Flooded {
+				if flooded {
+					nw.RestoreSite(i)
+				}
+			}
+		})
+	}
+	if sc.AttackEndsAt > 0 {
+		sim.After(sc.AttackEndsAt, func() {
+			for _, s := range sc.Isolated {
+				nw.HealSite(s)
+			}
+		})
+	}
+
+	sys.start()
+	sim.Run(p.Duration)
+	return sys.classify(), nil
+}
+
+// fieldSite is the netsim site hosting RTUs and the HMI. Field devices
+// are geographically dispersed; the compound threat model targets
+// control sites, so the field site itself is never flooded or
+// isolated.
+func fieldSite(cfg topology.Config) int { return len(cfg.Sites) }
+
+// system is one running configuration.
+type system struct {
+	cfg    topology.Config
+	nw     *netsim.Network
+	params Params
+	field  *field
+	groups []masterGroup
+	// frontends are the per-site telemetry relay node IDs.
+	frontends []int
+	// activeGroup indexes groups: 0 is primary; cold groups activate
+	// later (PrimaryBackup architectures with BFT groups).
+	activeGroup int
+}
+
+// masterGroup abstracts the two replication engines.
+type masterGroup interface {
+	// start arms the group's timers.
+	start()
+	// masterNodes lists the group's netsim node IDs.
+	masterNodes() []int
+	// deliveryThreshold is how many execution notices confirm a
+	// command (f+1 for BFT, 1 for crash-tolerant masters).
+	deliveryThreshold() int
+	// requestMessage wraps a payload in the group's client request.
+	requestMessage(payload string) any
+	// compromiseAtSite takes over up to count servers in the config
+	// site and returns the remaining count.
+	compromiseAtSite(site, count int) int
+	// safetyViolated reports protocol-level compromise.
+	safetyViolated() bool
+}

@@ -1,0 +1,372 @@
+package scada
+
+import (
+	"testing"
+	"time"
+
+	"compoundthreat/internal/attack"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+func standardConfigs(t *testing.T) map[string]topology.Config {
+	t.Helper()
+	configs, err := topology.ExtendedConfigs(topology.ExtendedPlacement{
+		Placement:        topology.Placement{Primary: "p", Second: "s", DataCenter: "d"},
+		SecondDataCenter: "d2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]topology.Config, len(configs))
+	for _, c := range configs {
+		byName[c.Name] = c
+	}
+	return byName
+}
+
+func run(t *testing.T, cfg topology.Config, sc Scenario) Result {
+	t.Helper()
+	if sc.Flooded == nil {
+		sc.Flooded = make([]bool, len(cfg.Sites))
+	}
+	res, err := Run(cfg, sc, DefaultParams())
+	if err != nil {
+		t.Fatalf("Run(%s): %v", cfg.Name, err)
+	}
+	return res
+}
+
+// TestConformanceWithAnalyticalModel is the bridge between the two
+// halves of the repository: for every configuration, every paper threat
+// scenario, and every relevant hurricane outcome, the operational state
+// measured from the running system must equal the analytical Table I
+// state computed by the attack + opstate packages.
+func TestConformanceWithAnalyticalModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("behavioral conformance sweep in -short mode")
+	}
+	configs := standardConfigs(t)
+	// Hurricane outcomes: which sites the flood takes out. Only
+	// patterns relevant to each config's site count apply.
+	floods := map[int][][]bool{
+		1: {{false}, {true}},
+		2: {{false, false}, {true, false}, {true, true}},
+		3: {{false, false, false}, {true, false, false}, {true, true, false}},
+		4: {
+			{false, false, false, false},
+			{true, false, false, false},
+			{true, true, false, false},
+			{true, true, true, false},
+		},
+	}
+	for _, name := range []string{"2", "2-2", "6", "6-6", "6+6+6", "4", "4-4", "3+3+3+3"} {
+		cfg := configs[name]
+		for _, flooded := range floods[len(cfg.Sites)] {
+			for _, scenario := range threat.Scenarios() {
+				flooded := append([]bool(nil), flooded...)
+				// Analytical outcome with the worst-case attacker.
+				want, err := attack.WorstCase(cfg, flooded, scenario.Capability())
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Behavioral run with the attacker's concrete plan.
+				sc := Scenario{
+					Flooded:           flooded,
+					Isolated:          want.Plan.IsolatedSites,
+					IntrusionsPerSite: want.Plan.IntrusionsPerSite,
+				}
+				got := run(t, cfg, sc)
+				if got.State != want.State {
+					t.Errorf("%s / %v / flooded=%v: measured %v, analytical %v (delivered %d/%d, maxGap %v, safety %v)",
+						name, scenario, flooded, got.State, want.State,
+						got.Delivered, got.Proposed, got.MaxPostAttackGap, got.SafetyViolated)
+				}
+			}
+		}
+	}
+}
+
+func TestBaselineAllGreen(t *testing.T) {
+	for name, cfg := range standardConfigs(t) {
+		res := run(t, cfg, Scenario{})
+		if res.State != opstate.Green {
+			t.Errorf("%s baseline = %v (delivered %d/%d, gap %v), want green",
+				name, res.State, res.Delivered, res.Proposed, res.MaxPostAttackGap)
+		}
+		if res.Delivered == 0 || res.Proposed == 0 {
+			t.Errorf("%s baseline delivered %d/%d", name, res.Delivered, res.Proposed)
+		}
+	}
+}
+
+func TestColdBackupGivesOrange(t *testing.T) {
+	configs := standardConfigs(t)
+	for _, name := range []string{"2-2", "6-6"} {
+		cfg := configs[name]
+		res := run(t, cfg, Scenario{Isolated: []int{0}})
+		if res.State != opstate.Orange {
+			t.Errorf("%s with isolated primary = %v (gap %v), want orange", name, res.State, res.MaxPostAttackGap)
+		}
+	}
+}
+
+func TestActiveReplicationRidesThroughIsolation(t *testing.T) {
+	cfg := standardConfigs(t)["6+6+6"]
+	res := run(t, cfg, Scenario{Isolated: []int{0}})
+	if res.State != opstate.Green {
+		t.Errorf("6+6+6 with isolated primary = %v (gap %v), want green", res.State, res.MaxPostAttackGap)
+	}
+}
+
+func TestIntrusionGraysCrashTolerantConfigs(t *testing.T) {
+	configs := standardConfigs(t)
+	for _, name := range []string{"2", "2-2"} {
+		cfg := configs[name]
+		res := run(t, cfg, Scenario{IntrusionsPerSite: intrusions(len(cfg.Sites), 0, 1)})
+		if res.State != opstate.Gray {
+			t.Errorf("%s with intrusion = %v, want gray", name, res.State)
+		}
+	}
+}
+
+func TestIntrusionToleratedBySixFamily(t *testing.T) {
+	configs := standardConfigs(t)
+	for _, name := range []string{"6", "6-6", "6+6+6"} {
+		cfg := configs[name]
+		res := run(t, cfg, Scenario{IntrusionsPerSite: intrusions(len(cfg.Sites), 0, 1)})
+		if res.State != opstate.Green {
+			t.Errorf("%s with one intrusion = %v (gap %v, safety %v), want green",
+				name, res.State, res.MaxPostAttackGap, res.SafetyViolated)
+		}
+	}
+}
+
+// TestTwoIntrusionsGraySixFamily exercises the beyond-f case (Table I
+// gray rows for the intrusion-tolerant configurations) with all sites
+// up and the intrusions placed at the leader's site.
+func TestTwoIntrusionsGraySixFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long behavioral runs in -short mode")
+	}
+	configs := standardConfigs(t)
+	for _, name := range []string{"6", "6+6+6"} {
+		cfg := configs[name]
+		res := run(t, cfg, Scenario{IntrusionsPerSite: intrusions(len(cfg.Sites), 0, 2)})
+		if res.State != opstate.Gray {
+			t.Errorf("%s with two colluding intrusions = %v, want gray", name, res.State)
+		}
+	}
+}
+
+func TestFloodedPrimaryCannotBeIntruded(t *testing.T) {
+	// Paper §VI-B behaviorally: all sites flooded leaves nothing for
+	// the attacker; the measured state is red, not gray.
+	cfg := standardConfigs(t)["2"]
+	res := run(t, cfg, Scenario{
+		Flooded:           []bool{true},
+		IntrusionsPerSite: []int{1},
+	})
+	if res.State != opstate.Red {
+		t.Errorf("flooded '2' under intrusion attempt = %v, want red", res.State)
+	}
+	if res.SafetyViolated {
+		t.Error("flooded masters cannot execute for the attacker")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := standardConfigs(t)["2"]
+	p := DefaultParams()
+	if _, err := Run(cfg, Scenario{Flooded: []bool{true, true}}, p); err == nil {
+		t.Error("mismatched flooded vector should error")
+	}
+	if _, err := Run(cfg, Scenario{Flooded: []bool{false}, Isolated: []int{5}}, p); err == nil {
+		t.Error("out-of-range isolation should error")
+	}
+	if _, err := Run(cfg, Scenario{Flooded: []bool{false}, IntrusionsPerSite: []int{9}}, p); err == nil {
+		t.Error("too many intrusions should error")
+	}
+	bad := p
+	bad.Duration = 0
+	if _, err := Run(cfg, Scenario{Flooded: []bool{false}}, bad); err == nil {
+		t.Error("invalid params should error")
+	}
+	badCfg := cfg
+	badCfg.Name = ""
+	if _, err := Run(badCfg, Scenario{Flooded: []bool{false}}, p); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero duration", func(p *Params) { p.Duration = 0 }},
+		{"attack outside run", func(p *Params) { p.AttackAt = p.Duration }},
+		{"negative attack", func(p *Params) { p.AttackAt = -1 }},
+		{"zero command interval", func(p *Params) { p.CommandInterval = 0 }},
+		{"zero activation", func(p *Params) { p.ActivationDelay = 0 }},
+		{"zero gap limit", func(p *Params) { p.GreenGapLimit = 0 }},
+		{"final window too large", func(p *Params) { p.FinalWindow = p.Duration }},
+		{"run too short", func(p *Params) { p.Duration = 30 * time.Second }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate should fail")
+			}
+		})
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := standardConfigs(t)["6"]
+	sc := Scenario{Flooded: []bool{false}, IntrusionsPerSite: []int{1}}
+	a := run(t, cfg, sc)
+	b := run(t, cfg, sc)
+	if a != b {
+		t.Errorf("identical runs differ: %+v vs %+v", a, b)
+	}
+}
+
+// intrusions builds an n-site intrusion vector with count at site.
+func intrusions(n, site, count int) []int {
+	v := make([]int, n)
+	v[site] = count
+	return v
+}
+
+// TestMonitoringPath checks the telemetry (monitoring) path behaves
+// differently from the control path: isolation of the only control
+// site kills monitoring; a surviving backup site keeps monitoring
+// alive even while control is in the orange activation window.
+func TestMonitoringPath(t *testing.T) {
+	configs := standardConfigs(t)
+
+	// Baseline: monitoring healthy throughout.
+	res := run(t, configs["2"], Scenario{})
+	if !res.MonitoringAtEnd {
+		t.Error("baseline monitoring should reach the end")
+	}
+	if res.MaxMonitoringGap > 2*time.Second {
+		t.Errorf("baseline monitoring gap = %v, want small", res.MaxMonitoringGap)
+	}
+
+	// "2" isolated: both control and monitoring die.
+	res = run(t, configs["2"], Scenario{Isolated: []int{0}})
+	if res.State != opstate.Red {
+		t.Fatalf("isolated '2' = %v, want red", res.State)
+	}
+	if res.MonitoringAtEnd {
+		t.Error("isolated single-site config should lose monitoring")
+	}
+
+	// "2-2" with the primary isolated: control goes orange (activation
+	// delay), but the backup site's front-end keeps relaying telemetry
+	// with no large gap — operators keep situational awareness.
+	res = run(t, configs["2-2"], Scenario{Isolated: []int{0}})
+	if res.State != opstate.Orange {
+		t.Fatalf("isolated-primary '2-2' = %v, want orange", res.State)
+	}
+	if !res.MonitoringAtEnd {
+		t.Error("backup site should keep monitoring alive")
+	}
+	if res.MaxMonitoringGap > 2*time.Second {
+		t.Errorf("monitoring gap through failover = %v, want small", res.MaxMonitoringGap)
+	}
+	if res.MaxPostAttackGap <= res.MaxMonitoringGap {
+		t.Error("control gap should exceed monitoring gap during activation")
+	}
+
+	// All sites flooded: no monitoring at all.
+	res = run(t, configs["2-2"], Scenario{Flooded: []bool{true, true}})
+	if res.MonitoringAtEnd || res.MaxMonitoringGap < DefaultParams().Duration {
+		t.Errorf("flooded sites should have no monitoring: gap=%v atEnd=%v",
+			res.MaxMonitoringGap, res.MonitoringAtEnd)
+	}
+}
+
+// TestFloodRepairRecovers: a flooded single-site system is red until
+// repaired; with the site restored mid-run the measured state is
+// orange (downtime, then service resumes).
+func TestFloodRepairRecovers(t *testing.T) {
+	cfg := standardConfigs(t)["2"]
+	// No repair: red.
+	res := run(t, cfg, Scenario{Flooded: []bool{true}})
+	if res.State != opstate.Red {
+		t.Fatalf("unrepaired flood = %v, want red", res.State)
+	}
+	// Repair at 50s (run is 90s): service resumes -> orange.
+	res = run(t, cfg, Scenario{
+		Flooded:          []bool{true},
+		RestoreFloodedAt: 50 * time.Second,
+	})
+	if res.State != opstate.Orange {
+		t.Errorf("repaired flood = %v (delivered %d/%d), want orange",
+			res.State, res.Delivered, res.Proposed)
+	}
+	if !res.MonitoringAtEnd {
+		t.Error("monitoring should resume after repair")
+	}
+}
+
+// TestAttackEndRecovers: an isolated single-site system is red for the
+// attack's duration and recovers when the attack ends.
+func TestAttackEndRecovers(t *testing.T) {
+	cfg := standardConfigs(t)["6"]
+	res := run(t, cfg, Scenario{Isolated: []int{0}})
+	if res.State != opstate.Red {
+		t.Fatalf("sustained isolation = %v, want red", res.State)
+	}
+	res = run(t, cfg, Scenario{
+		Isolated:     []int{0},
+		AttackEndsAt: 60 * time.Second,
+	})
+	if res.State != opstate.Orange {
+		t.Errorf("isolation that ends = %v (delivered %d/%d, gap %v), want orange",
+			res.State, res.Delivered, res.Proposed, res.MaxPostAttackGap)
+	}
+}
+
+func TestNegativeRecoveryTimesRejected(t *testing.T) {
+	cfg := standardConfigs(t)["2"]
+	if _, err := Run(cfg, Scenario{
+		Flooded:          []bool{false},
+		RestoreFloodedAt: -time.Second,
+	}, DefaultParams()); err == nil {
+		t.Error("negative restore time should error")
+	}
+}
+
+// TestDeliveryLatency: ordering latency is small and positive on the
+// happy path, and BFT configurations pay more round trips than the
+// crash-tolerant primary.
+func TestDeliveryLatency(t *testing.T) {
+	configs := standardConfigs(t)
+	res2 := run(t, configs["2"], Scenario{})
+	res666 := run(t, configs["6+6+6"], Scenario{})
+	if res2.DeliveryLatency.N == 0 || res666.DeliveryLatency.N == 0 {
+		t.Fatal("latency samples missing")
+	}
+	if res2.DeliveryLatency.P50 <= 0 {
+		t.Errorf("'2' median latency = %v, want > 0", res2.DeliveryLatency.P50)
+	}
+	// '2': RTU -> master -> HMI, ~2 WAN hops (~20 ms). '6+6+6': three
+	// protocol phases across sites before notices (~40+ ms).
+	if res666.DeliveryLatency.P50 <= res2.DeliveryLatency.P50 {
+		t.Errorf("6+6+6 median latency %v should exceed '2' latency %v",
+			res666.DeliveryLatency.P50, res2.DeliveryLatency.P50)
+	}
+	if res666.DeliveryLatency.P50 > 1 {
+		t.Errorf("6+6+6 median latency = %vs, implausibly high", res666.DeliveryLatency.P50)
+	}
+}

@@ -1,0 +1,494 @@
+package scada
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"compoundthreat/internal/bft"
+	"compoundthreat/internal/netsim"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/primarybackup"
+	"compoundthreat/internal/stats"
+	"compoundthreat/internal/topology"
+)
+
+// Node ID layout: each master group gets a 100-wide band; field nodes
+// start at fieldNodeBase.
+const (
+	groupNodeBase = 100
+	fieldNodeBase = 10
+	numRTUs       = 3
+)
+
+// notice is sent by a replica/master to the HMI when it executes a
+// command. Group disambiguates counts when a cold group takes over.
+type notice struct {
+	Group   int
+	Payload string
+}
+
+// telemetry is a periodic RTU measurement sent to every control-site
+// front-end (the monitoring path, unordered).
+type telemetry struct {
+	RTU int
+	Seq int
+}
+
+// snapshot is a front-end's relay of the latest telemetry to the HMI.
+type snapshot struct {
+	Site int
+	Seq  int
+}
+
+// frontendNodeBase offsets the per-site telemetry front-end node IDs.
+const frontendNodeBase = 500
+
+// failoverDetectTimeout is how long the field waits without deliveries
+// before starting cold-group activation (operator outage detection).
+const failoverDetectTimeout = 2 * time.Second
+
+// build assembles the system for a configuration.
+func build(cfg topology.Config, nw *netsim.Network, p Params) (*system, error) {
+	sys := &system{cfg: cfg, nw: nw, params: p}
+
+	switch cfg.Arch {
+	case topology.SingleSite, topology.PrimaryBackup:
+		if cfg.IntrusionTolerant() {
+			// "6" and "6-6": one BFT group per site.
+			for i := range cfg.Sites {
+				g, err := newBFTGroup(nw, cfg, []int{i}, groupNodeBase*(i+1), p)
+				if err != nil {
+					return nil, err
+				}
+				sys.groups = append(sys.groups, g)
+			}
+		} else {
+			// "2" and "2-2": one crash-tolerant group covering all sites.
+			g, err := newPBGroup(nw, cfg, groupNodeBase, p)
+			if err != nil {
+				return nil, err
+			}
+			sys.groups = append(sys.groups, g)
+		}
+	case topology.ActiveReplication:
+		// "6+6+6": one BFT group spanning every site.
+		all := make([]int, len(cfg.Sites))
+		for i := range all {
+			all[i] = i
+		}
+		g, err := newBFTGroup(nw, cfg, all, groupNodeBase, p)
+		if err != nil {
+			return nil, err
+		}
+		sys.groups = append(sys.groups, g)
+	default:
+		return nil, fmt.Errorf("scada: unknown architecture %v", cfg.Arch)
+	}
+
+	// Telemetry front-ends: one per control site, co-located with the
+	// site's masters so floods and isolation apply to monitoring too.
+	for si := range cfg.Sites {
+		si := si
+		node := frontendNodeBase + si
+		if err := nw.AddNode(node, si, func(from int, msg any) {
+			t, ok := msg.(telemetry)
+			if !ok {
+				return
+			}
+			nw.Send(node, fieldNodeBase, snapshot{Site: si, Seq: t.Seq})
+		}); err != nil {
+			return nil, fmt.Errorf("scada: register front-end %d: %w", si, err)
+		}
+		sys.frontends = append(sys.frontends, node)
+	}
+
+	f, err := newField(sys)
+	if err != nil {
+		return nil, err
+	}
+	sys.field = f
+	return sys, nil
+}
+
+func (sys *system) start() {
+	for _, g := range sys.groups {
+		g.start()
+	}
+	sys.field.start()
+}
+
+// compromise applies per-site intrusions at attack time.
+func (sys *system) compromise(perSite []int) {
+	for site, count := range perSite {
+		if count <= 0 {
+			continue
+		}
+		for _, g := range sys.groups {
+			count = g.compromiseAtSite(site, count)
+			if count == 0 {
+				break
+			}
+		}
+	}
+}
+
+// classify turns the measured timeline into an operational state.
+func (sys *system) classify() Result {
+	res := Result{
+		Proposed:  len(sys.field.proposals),
+		Delivered: len(sys.field.deliveries),
+	}
+	for _, g := range sys.groups {
+		if g.safetyViolated() {
+			res.SafetyViolated = true
+		}
+	}
+
+	end := sys.params.Duration
+	finalStart := end - sys.params.FinalWindow
+	var maxGap time.Duration
+	prev := time.Duration(0)
+	for _, d := range sys.field.deliveries {
+		if gap := d - prev; gap > maxGap {
+			maxGap = gap
+		}
+		prev = d
+		if d >= finalStart {
+			res.DeliveredInFinalWindow = true
+		}
+	}
+	if gap := end - prev; gap > maxGap {
+		maxGap = gap
+	}
+	res.MaxPostAttackGap = maxGap
+
+	var monGap time.Duration
+	prev = 0
+	for _, d := range sys.field.telemetryAt {
+		if gap := d - prev; gap > monGap {
+			monGap = gap
+		}
+		prev = d
+		if d >= finalStart {
+			res.MonitoringAtEnd = true
+		}
+	}
+	if gap := end - prev; gap > monGap {
+		monGap = gap
+	}
+	res.MaxMonitoringGap = monGap
+
+	if len(sys.field.latencies) > 0 {
+		if summary, err := stats.Summarize(sys.field.latencies); err == nil {
+			res.DeliveryLatency = summary
+		}
+	}
+
+	switch {
+	case res.SafetyViolated:
+		res.State = opstate.Gray
+	case !res.DeliveredInFinalWindow:
+		res.State = opstate.Red
+	case maxGap > sys.params.GreenGapLimit:
+		res.State = opstate.Orange
+	default:
+		res.State = opstate.Green
+	}
+	return res
+}
+
+// field hosts the RTUs and HMI and drives command traffic.
+type field struct {
+	sys     *system
+	hmiNode int
+	rtuNode []int
+
+	nextCmd int
+	nextSeq int
+	// proposals maps payload -> proposal time.
+	proposals map[string]time.Duration
+	// telemetryAt records snapshot arrival times at the HMI.
+	telemetryAt []time.Duration
+	// deliveries records HMI confirmation times in order.
+	deliveries []time.Duration
+	// latencies records per-command propose-to-confirm latency in
+	// seconds.
+	latencies []float64
+	delivered map[string]bool
+	// counts[group][payload] -> notices received.
+	counts map[int]map[string]int
+
+	lastDelivery time.Duration
+	activating   bool
+}
+
+func newField(sys *system) (*field, error) {
+	f := &field{
+		sys:       sys,
+		hmiNode:   fieldNodeBase,
+		proposals: make(map[string]time.Duration),
+		delivered: make(map[string]bool),
+		counts:    make(map[int]map[string]int),
+	}
+	site := fieldSite(sys.cfg)
+	if err := sys.nw.AddNode(f.hmiNode, site, f.onHMIMessage); err != nil {
+		return nil, fmt.Errorf("scada: register HMI: %w", err)
+	}
+	for i := 0; i < numRTUs; i++ {
+		id := fieldNodeBase + 1 + i
+		f.rtuNode = append(f.rtuNode, id)
+		if err := sys.nw.AddNode(id, site, func(int, any) {}); err != nil {
+			return nil, fmt.Errorf("scada: register RTU: %w", err)
+		}
+	}
+	return f, nil
+}
+
+func (f *field) start() {
+	sim := f.sys.nw.Sim()
+	sim.Every(f.sys.params.CommandInterval, f.issueCommand)
+	sim.Every(f.sys.params.CommandInterval, f.checkFailover)
+	sim.Every(f.sys.params.CommandInterval, f.sendTelemetry)
+}
+
+// sendTelemetry has every RTU report a measurement to every
+// control-site front-end.
+func (f *field) sendTelemetry() {
+	f.nextSeq++
+	for i, rtu := range f.rtuNode {
+		for _, fe := range f.sys.frontends {
+			f.sys.nw.Send(rtu, fe, telemetry{RTU: i, Seq: f.nextSeq})
+		}
+	}
+}
+
+// issueCommand has the next RTU broadcast a supervisory command to the
+// active group's masters.
+func (f *field) issueCommand() {
+	payload := fmt.Sprintf("cmd-%05d", f.nextCmd)
+	rtu := f.rtuNode[f.nextCmd%len(f.rtuNode)]
+	f.nextCmd++
+	f.proposals[payload] = f.sys.nw.Sim().Now()
+	f.sendToGroup(rtu, f.sys.activeGroup, payload)
+}
+
+// sendToGroup broadcasts a request to every master of a group.
+func (f *field) sendToGroup(fromNode, group int, payload string) {
+	g := f.sys.groups[group]
+	msg := g.requestMessage(payload)
+	for _, node := range g.masterNodes() {
+		f.sys.nw.Send(fromNode, node, msg)
+	}
+}
+
+// onHMIMessage counts execution notices and records deliveries. The
+// HMI only accepts notices for commands it actually issued — the
+// client-side authentication that keeps forged updates (from an
+// equivocating replica) out of the operator's view.
+func (f *field) onHMIMessage(from int, msg any) {
+	if _, ok := msg.(snapshot); ok {
+		now := f.sys.nw.Sim().Now()
+		// Record at most one telemetry arrival per instant.
+		if n := len(f.telemetryAt); n == 0 || f.telemetryAt[n-1] != now {
+			f.telemetryAt = append(f.telemetryAt, now)
+		}
+		return
+	}
+	n, ok := msg.(notice)
+	if !ok {
+		return
+	}
+	if _, issued := f.proposals[n.Payload]; !issued {
+		return
+	}
+	if f.counts[n.Group] == nil {
+		f.counts[n.Group] = make(map[string]int)
+	}
+	f.counts[n.Group][n.Payload]++
+	threshold := f.sys.groups[n.Group].deliveryThreshold()
+	if f.counts[n.Group][n.Payload] == threshold && !f.delivered[n.Payload] {
+		f.delivered[n.Payload] = true
+		now := f.sys.nw.Sim().Now()
+		f.deliveries = append(f.deliveries, now)
+		f.latencies = append(f.latencies, (now - f.proposals[n.Payload]).Seconds())
+		f.lastDelivery = now
+	}
+}
+
+// checkFailover activates the next cold group when deliveries stall
+// (PrimaryBackup architectures with BFT groups; the crash-tolerant
+// engine fails over internally).
+func (f *field) checkFailover() {
+	if f.activating || f.sys.activeGroup+1 >= len(f.sys.groups) {
+		return
+	}
+	now := f.sys.nw.Sim().Now()
+	if now-f.lastDelivery < failoverDetectTimeout {
+		return
+	}
+	f.activating = true
+	f.sys.nw.Sim().After(f.sys.params.ActivationDelay, func() {
+		f.activating = false
+		f.sys.activeGroup++
+		// Re-issue undelivered commands to the newly active group.
+		var pending []string
+		for payload := range f.proposals {
+			if !f.delivered[payload] {
+				pending = append(pending, payload)
+			}
+		}
+		sort.Strings(pending)
+		for _, payload := range pending {
+			f.sendToGroup(f.hmiNode, f.sys.activeGroup, payload)
+		}
+	})
+}
+
+// bftGroup adapts a bft.Engine to masterGroup.
+type bftGroup struct {
+	eng   *bft.Engine
+	nw    *netsim.Network
+	sites []int // replica idx -> config site
+	nodes []int
+	f     int
+	group int
+}
+
+// newBFTGroup builds a BFT group whose replicas live in the listed
+// config sites (each contributing its configured replica count).
+func newBFTGroup(nw *netsim.Network, cfg topology.Config, siteIdxs []int, nodeBase int, p Params) (*bftGroup, error) {
+	var replicaSites []int
+	for _, si := range siteIdxs {
+		for r := 0; r < cfg.Sites[si].Replicas; r++ {
+			replicaSites = append(replicaSites, si)
+		}
+	}
+	spec := bft.Spec{
+		ReplicaSites: replicaSites,
+		F:            cfg.IntrusionsTolerated,
+		K:            cfg.RecoverySlots,
+		ViewTimeout:  300 * time.Millisecond,
+		NodeIDBase:   nodeBase,
+	}
+	eng, err := bft.New(nw, spec)
+	if err != nil {
+		return nil, err
+	}
+	g := &bftGroup{
+		eng:   eng,
+		nw:    nw,
+		sites: replicaSites,
+		f:     cfg.IntrusionsTolerated,
+		group: nodeBase/groupNodeBase - 1,
+	}
+	for i := range replicaSites {
+		node, err := eng.NodeID(i)
+		if err != nil {
+			return nil, err
+		}
+		g.nodes = append(g.nodes, node)
+	}
+	eng.OnExecute(func(ex bft.Execution) {
+		node := g.nodes[ex.Replica]
+		nw.Send(node, fieldNodeBase, notice{Group: g.group, Payload: ex.Payload})
+	})
+	return g, nil
+}
+
+func (g *bftGroup) start()                      { g.eng.Start() }
+func (g *bftGroup) masterNodes() []int          { return g.nodes }
+func (g *bftGroup) deliveryThreshold() int      { return g.f + 1 }
+func (g *bftGroup) safetyViolated() bool        { return g.eng.SafetyViolated() }
+func (g *bftGroup) requestMessage(p string) any { return bft.Request{Payload: p} }
+
+// compromiseAtSite compromises up to count replicas in the site,
+// lowest index first (which targets the view-0 leader when its site is
+// attacked — the worst case). It returns the remaining count.
+func (g *bftGroup) compromiseAtSite(site, count int) int {
+	for i, s := range g.sites {
+		if count == 0 {
+			break
+		}
+		if s != site {
+			continue
+		}
+		if err := g.eng.Compromise(i, bft.Equivocate); err == nil {
+			count--
+		}
+	}
+	return count
+}
+
+// pbGroup adapts a primarybackup.Engine to masterGroup.
+type pbGroup struct {
+	eng   *primarybackup.Engine
+	sites []int // master idx -> config site
+	nodes []int
+	group int
+}
+
+// newPBGroup builds the crash-tolerant group: primary + hot standby in
+// site 0, cold backups in site 1 (if the config has one).
+func newPBGroup(nw *netsim.Network, cfg topology.Config, nodeBase int, p Params) (*pbGroup, error) {
+	var masters []primarybackup.MasterSpec
+	var sites []int
+	for si, s := range cfg.Sites {
+		for r := 0; r < s.Replicas; r++ {
+			role := primarybackup.ColdBackup
+			if si == 0 {
+				role = primarybackup.HotStandby
+				if r == 0 {
+					role = primarybackup.Primary
+				}
+			}
+			masters = append(masters, primarybackup.MasterSpec{Role: role, Site: si})
+			sites = append(sites, si)
+		}
+	}
+	spec := primarybackup.Spec{
+		Masters:           masters,
+		NodeIDBase:        nodeBase,
+		HeartbeatInterval: 100 * time.Millisecond,
+		TakeoverTimeout:   500 * time.Millisecond,
+		ActivationDelay:   p.ActivationDelay,
+	}
+	eng, err := primarybackup.New(nw, spec)
+	if err != nil {
+		return nil, err
+	}
+	g := &pbGroup{eng: eng, sites: sites, group: 0}
+	for i := range masters {
+		node, err := eng.NodeID(i)
+		if err != nil {
+			return nil, err
+		}
+		g.nodes = append(g.nodes, node)
+	}
+	eng.OnExecute(func(ex primarybackup.Execution) {
+		node := g.nodes[ex.Master]
+		nw.Send(node, fieldNodeBase, notice{Group: g.group, Payload: ex.Payload})
+	})
+	return g, nil
+}
+
+func (g *pbGroup) start()                      { g.eng.Start() }
+func (g *pbGroup) masterNodes() []int          { return g.nodes }
+func (g *pbGroup) deliveryThreshold() int      { return 1 }
+func (g *pbGroup) safetyViolated() bool        { return g.eng.SafetyViolated() }
+func (g *pbGroup) requestMessage(p string) any { return primarybackup.Request{Payload: p} }
+
+func (g *pbGroup) compromiseAtSite(site, count int) int {
+	for i, s := range g.sites {
+		if count == 0 {
+			break
+		}
+		if s != site {
+			continue
+		}
+		if err := g.eng.Compromise(i); err == nil {
+			count--
+		}
+	}
+	return count
+}

@@ -1,0 +1,278 @@
+package seismic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"compoundthreat/internal/analysis"
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/geo"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// Interface compliance: the seismic ensemble plugs into the analysis
+// pipeline.
+var _ analysis.DisasterEnsemble = (*Ensemble)(nil)
+
+func testInventory(t *testing.T) *assets.Inventory {
+	t.Helper()
+	inv, err := assets.NewInventory([]assets.Asset{
+		{
+			ID: "near-cc", Name: "Near CC", Type: assets.ControlCenter,
+			Location:             geo.Point{Lat: 21.25, Lon: -157.9},
+			ControlSiteCandidate: true,
+		},
+		{
+			ID: "far-dc", Name: "Far DC", Type: assets.DataCenter,
+			Location:             geo.Point{Lat: 21.65, Lon: -158.0},
+			ControlSiteCandidate: true,
+		},
+		{
+			ID: "near-sub", Name: "Near Substation", Type: assets.Substation,
+			Location: geo.Point{Lat: 21.26, Lon: -157.95},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inv
+}
+
+func testConfig() EnsembleConfig {
+	cfg := OahuScenario()
+	cfg.Realizations = 400
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*EnsembleConfig)
+		want   string
+	}{
+		{"zero realizations", func(c *EnsembleConfig) { c.Realizations = 0 }, "Realizations"},
+		{"bad fault", func(c *EnsembleConfig) { c.FaultTrace[0] = geo.Point{Lat: 99} }, "fault"},
+		{"negative sigma", func(c *EnsembleConfig) { c.LateralSigmaMeters = -1 }, "Lateral"},
+		{"inverted magnitudes", func(c *EnsembleConfig) { c.MinMagnitude = 8 }, "magnitudes"},
+		{"zero b", func(c *EnsembleConfig) { c.BValue = 0 }, "BValue"},
+		{"zero depth", func(c *EnsembleConfig) { c.DepthKm = 0 }, "Depth"},
+		{
+			"bad override",
+			func(c *EnsembleConfig) { c.CapacityOverridesG = map[string]float64{"x": 0} },
+			"override",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := testConfig()
+			tt.mutate(&c)
+			err := c.Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("Validate = %v, want error containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	e, err := Generate(testConfig(), testInventory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != 400 {
+		t.Errorf("Size = %d, want 400", e.Size())
+	}
+	if got := len(e.AssetIDs()); got != 3 {
+		t.Errorf("assets = %d, want 3", got)
+	}
+	// Near the fault fails more often than far from it.
+	nearRate, err := e.FailureRate("near-cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	farRate, err := e.FailureRate("far-dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nearRate <= farRate {
+		t.Errorf("near rate %v should exceed far rate %v", nearRate, farRate)
+	}
+	if nearRate == 0 {
+		t.Error("near-fault control center should fail sometimes")
+	}
+	// The fragile substation at roughly the same distance fails at
+	// least as often as the control center.
+	subRate, err := e.FailureRate("near-sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subRate < nearRate {
+		t.Errorf("fragile substation rate %v should be >= control center rate %v", subRate, nearRate)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	inv := testInventory(t)
+	a, err := Generate(testConfig(), inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig(), inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < a.Size(); r++ {
+		pa, _ := a.PGAAt(r, "near-cc")
+		pb, _ := b.PGAAt(r, "near-cc")
+		if pa != pb {
+			t.Fatalf("non-deterministic PGA at r=%d: %v vs %v", r, pa, pb)
+		}
+	}
+	cfg := testConfig()
+	cfg.Seed++
+	c, err := Generate(cfg, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for r := 0; r < a.Size() && same; r++ {
+		pa, _ := a.PGAAt(r, "near-cc")
+		pc, _ := c.PGAAt(r, "near-cc")
+		if pa != pc {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical ensembles")
+	}
+}
+
+func TestPGAPhysics(t *testing.T) {
+	ev := Event{Epicenter: geo.Point{Lat: 21.2, Lon: -157.9}, Magnitude: 7}
+	at := func(km float64) float64 {
+		site := geo.Destination(ev.Epicenter, 0, km*1000)
+		return PGA(ev, site, 12)
+	}
+	// Monotone decay with distance.
+	if !(at(5) > at(20) && at(20) > at(80)) {
+		t.Errorf("PGA should decay with distance: %v %v %v", at(5), at(20), at(80))
+	}
+	// ~0.5 g at 10 km for M7 (order of magnitude).
+	if p := at(10); p < 0.2 || p > 1.2 {
+		t.Errorf("M7 PGA at 10 km = %v g, want ~0.5", p)
+	}
+	// Larger magnitude shakes harder.
+	small := Event{Epicenter: ev.Epicenter, Magnitude: 5.5}
+	site := geo.Destination(ev.Epicenter, 0, 20000)
+	if PGA(small, site, 12) >= PGA(ev, site, 12) {
+		t.Error("M5.5 should shake less than M7")
+	}
+}
+
+func TestMagnitudeDistribution(t *testing.T) {
+	e, err := Generate(testConfig(), testInventory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := 0, 0
+	for r := 0; r < e.Size(); r++ {
+		ev, err := e.Event(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Magnitude < testConfig().MinMagnitude || ev.Magnitude > testConfig().MaxMagnitude {
+			t.Fatalf("magnitude %v outside [%v, %v]", ev.Magnitude,
+				testConfig().MinMagnitude, testConfig().MaxMagnitude)
+		}
+		if ev.Magnitude < 6.0 {
+			small++
+		}
+		if ev.Magnitude > 7.0 {
+			large++
+		}
+	}
+	// Gutenberg-Richter: small quakes dominate.
+	if small <= large {
+		t.Errorf("small quakes (%d) should outnumber large ones (%d)", small, large)
+	}
+}
+
+func TestCapacityOverrides(t *testing.T) {
+	cfg := testConfig()
+	cfg.CapacityOverridesG = map[string]float64{"near-cc": 1e9} // indestructible
+	e, err := Generate(cfg, testInventory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := e.FailureRate("near-cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0 {
+		t.Errorf("indestructible asset failed with rate %v", rate)
+	}
+}
+
+func TestAccessorErrors(t *testing.T) {
+	e, err := Generate(testConfig(), testInventory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.PGAAt(-1, "near-cc"); err == nil {
+		t.Error("negative realization should error")
+	}
+	if _, err := e.PGAAt(0, "nope"); err == nil {
+		t.Error("unknown asset should error")
+	}
+	if _, err := e.Failed(0, "nope"); err == nil {
+		t.Error("unknown asset in Failed should error")
+	}
+	if _, err := e.FailureRate("nope"); err == nil {
+		t.Error("unknown asset in FailureRate should error")
+	}
+	if _, err := e.FailureVector(0, []string{"nope"}); err == nil {
+		t.Error("unknown asset in FailureVector should error")
+	}
+	if _, err := e.Event(9999); err == nil {
+		t.Error("out-of-range event should error")
+	}
+	if _, err := Generate(EnsembleConfig{}, testInventory(t)); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := Generate(testConfig(), nil); err == nil {
+		t.Error("nil inventory should error")
+	}
+}
+
+// TestSeismicAnalysisEndToEnd runs the full compound-threat analysis
+// on an earthquake ensemble — the paper's framework applied to a
+// different disaster.
+func TestSeismicAnalysisEndToEnd(t *testing.T) {
+	e, err := Generate(testConfig(), testInventory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := topology.NewConfig666("near-cc", "far-dc", "near-sub")
+	// near-sub is not really a control site, but serves as a third
+	// location for the analysis.
+	o, err := analysis.Run(e, cfg, threat.HurricaneIntrusionIsolation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Profile.Total() != e.Size() {
+		t.Errorf("profile total = %d, want %d", o.Profile.Total(), e.Size())
+	}
+	// Sanity: probabilities sum to 1.
+	var sum float64
+	for _, p := range analysis.StateProbabilities(o) {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}

@@ -1,0 +1,78 @@
+package surge
+
+import (
+	"testing"
+	"time"
+
+	"compoundthreat/internal/geo"
+	"compoundthreat/internal/terrain"
+	"compoundthreat/internal/wind"
+)
+
+func benchSolver(b *testing.B) *Solver {
+	b.Helper()
+	s, err := NewSolver(terrain.NewOahu(), DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkSolverConstruction(b *testing.B) {
+	tm := terrain.NewOahu()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSolver(tm, DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSegmentPeaks(b *testing.B) {
+	s := benchSolver(b)
+	tr := oahuBenchTrack(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SegmentPeaks(tr)
+	}
+}
+
+func BenchmarkInundationTenSites(b *testing.B) {
+	s := benchSolver(b)
+	tr := oahuBenchTrack(b)
+	tm := terrain.NewOahu()
+	proj := tm.Projection()
+	var sites []Site
+	for i := 0; i < 10; i++ {
+		sites = append(sites, Site{
+			Pos:                   proj.ToXY(geo.Point{Lat: 21.30 + float64(i)*0.01, Lon: -157.9}),
+			GroundElevationMeters: 1,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Inundation(tr, sites)
+	}
+}
+
+func BenchmarkRegionPeak(b *testing.B) {
+	s := benchSolver(b)
+	tr := oahuBenchTrack(b)
+	tm := terrain.NewOahu()
+	center := tm.Projection().ToXY(geo.Point{Lat: 21.33, Lon: -157.92})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RegionPeak(tr, center, 12000)
+	}
+}
+
+func oahuBenchTrack(b *testing.B) *wind.Track {
+	b.Helper()
+	tr, err := wind.NewTrack([]wind.TrackPoint{
+		{Offset: 0, Center: geo.Point{Lat: 20.3, Lon: -157.3}, CentralPressureHPa: 955, RMaxMeters: 40000, HollandB: 1.6},
+		{Offset: 30 * time.Hour, Center: geo.Point{Lat: 21.4, Lon: -159.5}, CentralPressureHPa: 955, RMaxMeters: 40000, HollandB: 1.6},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}

@@ -1,0 +1,427 @@
+package surge
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"compoundthreat/internal/geo"
+	"compoundthreat/internal/terrain"
+	"compoundthreat/internal/wind"
+)
+
+// testIsland builds a 20 km square island centered at (0, 0).
+func testIsland(t *testing.T) *terrain.Model {
+	t.Helper()
+	m, err := terrain.New(terrain.Config{
+		Name:   "TestIsland",
+		Origin: geo.Point{Lat: 21, Lon: -158},
+		Coastline: []geo.Point{
+			{Lat: 21 - 0.09, Lon: -158 - 0.097},
+			{Lat: 21 - 0.09, Lon: -158 + 0.097},
+			{Lat: 21 + 0.09, Lon: -158 + 0.097},
+			{Lat: 21 + 0.09, Lon: -158 - 0.097},
+		},
+		CoastalRampSlope:        0.004,
+		CoastalPlainWidthMeters: 3000,
+		InlandSlope:             0.02,
+		OffshoreSlope:           0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// southTrack returns a track passing south of the island moving west,
+// putting the island on the storm's strong (right) side with southerly
+// onshore winds on the south shore at closest approach.
+func southTrack(t *testing.T, closestApproachKm float64) *wind.Track {
+	t.Helper()
+	lat := 21 - 0.09 - closestApproachKm/111.0
+	tr, err := wind.NewTrack([]wind.TrackPoint{
+		{
+			Offset:             0,
+			Center:             geo.Point{Lat: lat, Lon: -156.5},
+			CentralPressureHPa: 955, RMaxMeters: 40000, HollandB: 1.6,
+		},
+		{
+			Offset:             24 * time.Hour,
+			Center:             geo.Point{Lat: lat, Lon: -159.5},
+			CentralPressureHPa: 955, RMaxMeters: 40000, HollandB: 1.6,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func testParams() Params {
+	p := DefaultParams()
+	p.StepInterval = 30 * time.Minute
+	return p
+}
+
+func newTestSolver(t *testing.T) *Solver {
+	t.Helper()
+	s, err := NewSolver(testIsland(t), testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero fetch", func(p *Params) { p.FetchMeters = 0 }},
+		{"zero decay", func(p *Params) { p.InlandDecayMeters = 0 }},
+		{"zero averaging", func(p *Params) { p.AveragingRadiusMeters = 0 }},
+		{"zero segment", func(p *Params) { p.MaxSegmentMeters = 0 }},
+		{"zero step", func(p *Params) { p.StepInterval = 0 }},
+		{"zero min depth", func(p *Params) { p.MinOffshoreDepthMeters = 0 }},
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate: nil, want error")
+			}
+		})
+	}
+}
+
+func TestNewSolverInvalidParams(t *testing.T) {
+	if _, err := NewSolver(testIsland(t), Params{}); err == nil {
+		t.Error("NewSolver with zero params should error")
+	}
+}
+
+func TestSegmentPeaksPositiveOnExposedShore(t *testing.T) {
+	s := newTestSolver(t)
+	tr := southTrack(t, 45)
+	peaks := s.SegmentPeaks(tr)
+	if len(peaks) != s.NumSegments() {
+		t.Fatalf("peaks length %d != segments %d", len(peaks), s.NumSegments())
+	}
+	var maxPeak float64
+	for _, p := range peaks {
+		if p > maxPeak {
+			maxPeak = p
+		}
+	}
+	if maxPeak < 0.5 {
+		t.Errorf("max coastal surge = %v m, want >= 0.5 for a close CAT2", maxPeak)
+	}
+	if maxPeak > 8 {
+		t.Errorf("max coastal surge = %v m, implausibly high for CAT2", maxPeak)
+	}
+}
+
+func TestSouthShoreExceedsNorthShore(t *testing.T) {
+	// A storm passing south must pile more water on the south shore
+	// (onshore winds) than the north shore (lee side).
+	s := newTestSolver(t)
+	tr := southTrack(t, 45)
+	south := s.Inundation(tr, []Site{{Pos: geo.XY{X: 0, Y: -9900}, GroundElevationMeters: 0}})
+	north := s.Inundation(tr, []Site{{Pos: geo.XY{X: 0, Y: 9900}, GroundElevationMeters: 0}})
+	if south[0] <= north[0] {
+		t.Errorf("south inundation %v should exceed north %v", south[0], north[0])
+	}
+}
+
+func TestSurgeDecreasesWithDistance(t *testing.T) {
+	// Doubling the closest-approach distance must not increase surge.
+	s := newTestSolver(t)
+	site := []Site{{Pos: geo.XY{X: 0, Y: -9900}, GroundElevationMeters: 0}}
+	near := s.Inundation(southTrack(t, 40), site)[0]
+	far := s.Inundation(southTrack(t, 120), site)[0]
+	if far > near {
+		t.Errorf("far-track surge %v exceeds near-track %v", far, near)
+	}
+	if near == 0 {
+		t.Error("near-track surge should be positive at sea-level site")
+	}
+}
+
+func TestInundationElevationMonotone(t *testing.T) {
+	// Higher ground elevation must give less (never more) inundation,
+	// and high-enough ground gives exactly zero.
+	s := newTestSolver(t)
+	tr := southTrack(t, 40)
+	pos := geo.XY{X: 0, Y: -9900}
+	depths := s.Inundation(tr, []Site{
+		{Pos: pos, GroundElevationMeters: 0},
+		{Pos: pos, GroundElevationMeters: 0.5},
+		{Pos: pos, GroundElevationMeters: 1.5},
+		{Pos: pos, GroundElevationMeters: 50},
+	})
+	for i := 1; i < len(depths); i++ {
+		if depths[i] > depths[i-1] {
+			t.Errorf("inundation increased with elevation: %v", depths)
+		}
+	}
+	if depths[0] <= 0 {
+		t.Error("sea-level site should flood under a close CAT2")
+	}
+	if depths[3] != 0 {
+		t.Errorf("50 m site inundation = %v, want 0", depths[3])
+	}
+}
+
+func TestInlandDecay(t *testing.T) {
+	// Same elevation, deeper inland: less inundation.
+	s := newTestSolver(t)
+	tr := southTrack(t, 40)
+	depths := s.Inundation(tr, []Site{
+		{Pos: geo.XY{X: 0, Y: -9900}, GroundElevationMeters: 0},
+		{Pos: geo.XY{X: 0, Y: -5000}, GroundElevationMeters: 0},
+		{Pos: geo.XY{X: 0, Y: 0}, GroundElevationMeters: 0},
+	})
+	if !(depths[0] > depths[1] && depths[1] >= depths[2]) {
+		t.Errorf("inundation should decay inland, got %v", depths)
+	}
+}
+
+func TestInundationNeverNegative(t *testing.T) {
+	s := newTestSolver(t)
+	tr := southTrack(t, 200)
+	sites := []Site{
+		{Pos: geo.XY{X: 0, Y: -9900}, GroundElevationMeters: 100},
+		{Pos: geo.XY{X: 0, Y: 9900}, GroundElevationMeters: 0},
+		{Pos: geo.XY{X: 0, Y: 0}, GroundElevationMeters: 3},
+	}
+	for _, d := range s.Inundation(tr, sites) {
+		if d < 0 {
+			t.Errorf("negative inundation %v", d)
+		}
+	}
+}
+
+func TestInundationEmptySites(t *testing.T) {
+	s := newTestSolver(t)
+	if got := s.Inundation(southTrack(t, 40), nil); got != nil {
+		t.Errorf("Inundation(nil sites) = %v, want nil", got)
+	}
+}
+
+func TestShallowShelfAmplifies(t *testing.T) {
+	// The same storm on the same coast with a shallow shelf must give
+	// strictly more surge than the default bathymetry.
+	cfg := terrain.Config{
+		Name:   "ShelfIsland",
+		Origin: geo.Point{Lat: 21, Lon: -158},
+		Coastline: []geo.Point{
+			{Lat: 21 - 0.09, Lon: -158 - 0.097},
+			{Lat: 21 - 0.09, Lon: -158 + 0.097},
+			{Lat: 21 + 0.09, Lon: -158 + 0.097},
+			{Lat: 21 + 0.09, Lon: -158 - 0.097},
+		},
+		CoastalRampSlope:        0.004,
+		CoastalPlainWidthMeters: 3000,
+		InlandSlope:             0.02,
+		OffshoreSlope:           0.02,
+		Shelves: []terrain.Shelf{{
+			Name:         "SouthShelf",
+			Center:       geo.Point{Lat: 21 - 0.09, Lon: -158},
+			RadiusMeters: 12000,
+			SlopeFactor:  0.3,
+		}},
+	}
+	shelved, err := terrain.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sShelf, err := NewSolver(shelved, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPlain := newTestSolver(t)
+	tr := southTrack(t, 45)
+	site := []Site{{Pos: geo.XY{X: 0, Y: -9900}, GroundElevationMeters: 0}}
+	withShelf := sShelf.Inundation(tr, site)[0]
+	without := sPlain.Inundation(tr, site)[0]
+	if withShelf <= without {
+		t.Errorf("shelf surge %v should exceed plain surge %v", withShelf, without)
+	}
+}
+
+func TestFunnelAmplifies(t *testing.T) {
+	cfg := terrain.Config{
+		Name:   "FunnelIsland",
+		Origin: geo.Point{Lat: 21, Lon: -158},
+		Coastline: []geo.Point{
+			{Lat: 21 - 0.09, Lon: -158 - 0.097},
+			{Lat: 21 - 0.09, Lon: -158 + 0.097},
+			{Lat: 21 + 0.09, Lon: -158 + 0.097},
+			{Lat: 21 + 0.09, Lon: -158 - 0.097},
+		},
+		CoastalRampSlope:        0.004,
+		CoastalPlainWidthMeters: 3000,
+		InlandSlope:             0.02,
+		OffshoreSlope:           0.02,
+		Funnels: []terrain.Funnel{{
+			Name:          "Harbor",
+			Center:        geo.Point{Lat: 21 - 0.09, Lon: -158},
+			RadiusMeters:  4000,
+			Amplification: 1.6,
+		}},
+	}
+	funneled, err := terrain.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFunnel, err := NewSolver(funneled, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPlain := newTestSolver(t)
+	tr := southTrack(t, 45)
+	site := []Site{{Pos: geo.XY{X: 0, Y: -9900}, GroundElevationMeters: 0}}
+	inFunnel := sFunnel.Inundation(tr, site)[0]
+	outside := sPlain.Inundation(tr, site)[0]
+	if inFunnel <= outside {
+		t.Errorf("funnel surge %v should exceed plain surge %v", inFunnel, outside)
+	}
+}
+
+func TestStrongerStormMoreSurge(t *testing.T) {
+	s := newTestSolver(t)
+	mkTrack := func(pc float64) *wind.Track {
+		tr, err := wind.NewTrack([]wind.TrackPoint{
+			{Offset: 0, Center: geo.Point{Lat: 20.5, Lon: -156.5}, CentralPressureHPa: pc, RMaxMeters: 40000, HollandB: 1.6},
+			{Offset: 24 * time.Hour, Center: geo.Point{Lat: 20.5, Lon: -159.5}, CentralPressureHPa: pc, RMaxMeters: 40000, HollandB: 1.6},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	site := []Site{{Pos: geo.XY{X: 0, Y: -9900}, GroundElevationMeters: 0}}
+	weak := s.Inundation(mkTrack(990), site)[0]
+	strong := s.Inundation(mkTrack(950), site)[0]
+	if strong <= weak {
+		t.Errorf("950 hPa surge %v should exceed 990 hPa surge %v", strong, weak)
+	}
+}
+
+func TestMaxCoastalElevation(t *testing.T) {
+	s := newTestSolver(t)
+	tr := southTrack(t, 45)
+	maxEta, at := s.MaxCoastalElevation(tr)
+	if maxEta <= 0 {
+		t.Fatalf("max coastal elevation = %v, want > 0", maxEta)
+	}
+	// The maximum must be on the south half of the island.
+	if at.Y > 0 {
+		t.Errorf("max surge at %v, want south shore (y < 0)", at)
+	}
+	// And must equal the max over SegmentPeaks.
+	peaks := s.SegmentPeaks(tr)
+	var want float64
+	for _, p := range peaks {
+		want = math.Max(want, p)
+	}
+	if math.Abs(maxEta-want) > 1e-12 {
+		t.Errorf("MaxCoastalElevation = %v, max(SegmentPeaks) = %v", maxEta, want)
+	}
+}
+
+func TestField(t *testing.T) {
+	s := newTestSolver(t)
+	tr := southTrack(t, 45)
+	points := []geo.XY{
+		{X: 0, Y: -12000}, // offshore south
+		{X: 0, Y: -9900},  // land near south shore
+		{X: 0, Y: 0},      // island center
+	}
+	field := s.Field(tr, points)
+	if len(field) != 3 {
+		t.Fatalf("field length = %d", len(field))
+	}
+	if field[0] <= 0 {
+		t.Errorf("offshore south field = %v, want > 0", field[0])
+	}
+	if field[1] >= field[0] {
+		t.Errorf("land field %v should be attenuated below coastal %v", field[1], field[0])
+	}
+	if field[2] >= field[1] {
+		t.Errorf("island-center field %v should be below near-shore %v", field[2], field[1])
+	}
+	if got := s.Field(tr, nil); got != nil {
+		t.Error("empty points should return nil")
+	}
+}
+
+func TestParamsAccessor(t *testing.T) {
+	s := newTestSolver(t)
+	if got := s.Params().FetchMeters; got != testParams().FetchMeters {
+		t.Errorf("Params().FetchMeters = %v", got)
+	}
+}
+
+func TestRegionPeak(t *testing.T) {
+	s := newTestSolver(t)
+	tr := southTrack(t, 45)
+	// Region on the south shore: positive peak, between min and max of
+	// segment peaks.
+	south := s.RegionPeak(tr, geo.XY{X: 0, Y: -10007}, 5000)
+	if south <= 0 {
+		t.Fatalf("south region peak = %v, want > 0", south)
+	}
+	maxEta, _ := s.MaxCoastalElevation(tr)
+	if south > maxEta {
+		t.Errorf("region average %v exceeds max segment peak %v", south, maxEta)
+	}
+	// The north region sees less water than the south for a southern
+	// track.
+	north := s.RegionPeak(tr, geo.XY{X: 0, Y: 10007}, 5000)
+	if north >= south {
+		t.Errorf("north region peak %v should be below south %v", north, south)
+	}
+	// A region with no segments in radius falls back to the nearest
+	// segment rather than returning zero.
+	far := s.RegionPeak(tr, geo.XY{X: 0, Y: -60000}, 100)
+	if far <= 0 {
+		t.Errorf("fallback region peak = %v, want > 0", far)
+	}
+}
+
+func TestValidateWaveAndShieldingBounds(t *testing.T) {
+	p := DefaultParams()
+	p.ShieldingStrength = 1.5
+	if err := p.Validate(); err == nil {
+		t.Error("shielding > 1 should be rejected")
+	}
+	p = DefaultParams()
+	p.ShieldingRangeMeters = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero shielding range should be rejected")
+	}
+	p = DefaultParams()
+	p.WaveSetupCoeff = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative wave coefficient should be rejected")
+	}
+	p = DefaultParams()
+	p.WaveDecayMeters = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero wave decay should be rejected")
+	}
+	// Waves can be disabled entirely.
+	p = DefaultParams()
+	p.WaveSetupCoeff = 0
+	if err := p.Validate(); err != nil {
+		t.Errorf("zero wave coefficient should be allowed: %v", err)
+	}
+	if _, err := NewSolver(testIsland(t), p); err != nil {
+		t.Errorf("solver without waves: %v", err)
+	}
+}

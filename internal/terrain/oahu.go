@@ -1,0 +1,122 @@
+package terrain
+
+import "compoundthreat/internal/geo"
+
+// OahuConfig returns the synthetic Oahu terrain configuration used by
+// the case study. The coastline is a ~27-vertex approximation of the
+// island (including the Pearl Harbor inlet, which matters for the
+// Waiau control-center site), the two volcanic ridges (Koolau and
+// Waianae) shape the DEM, the shallow Mamala Bay reef shelf amplifies
+// surge on the south shore, and the Pearl Harbor funnel amplifies surge
+// inside the inlet.
+//
+// These features are the terrain properties the paper's findings hinge
+// on: Honolulu and Waiau share the exposed, shallow south shore (hence
+// their correlated flooding), while Kahe sits on the steep leeward west
+// coast and DRFortress sits inland.
+func OahuConfig() Config {
+	return Config{
+		Name:   "Oahu",
+		Origin: geo.Point{Lat: 21.45, Lon: -157.95},
+		Coastline: []geo.Point{
+			{Lat: 21.575, Lon: -158.281}, // Kaena Point (west tip)
+			{Lat: 21.470, Lon: -158.220}, // Makaha
+			{Lat: 21.410, Lon: -158.180}, // Maili
+			{Lat: 21.352, Lon: -158.135}, // Kahe Point
+			{Lat: 21.325, Lon: -158.120}, // Ko Olina
+			{Lat: 21.296, Lon: -158.107}, // Barbers Point
+			{Lat: 21.297, Lon: -158.020}, // Ewa Beach
+			{Lat: 21.320, Lon: -157.975}, // Pearl Harbor entrance (west)
+			{Lat: 21.372, Lon: -157.972}, // Pearl Harbor inlet (Waiau shore)
+			{Lat: 21.373, Lon: -157.952}, // Pearl Harbor inlet (east)
+			{Lat: 21.325, Lon: -157.945}, // Pearl Harbor entrance (east)
+			{Lat: 21.305, Lon: -157.900}, // Keehi / airport
+			{Lat: 21.300, Lon: -157.865}, // Honolulu Harbor
+			{Lat: 21.270, Lon: -157.828}, // Waikiki
+			{Lat: 21.254, Lon: -157.805}, // Diamond Head
+			{Lat: 21.270, Lon: -157.770}, // Kahala
+			{Lat: 21.260, Lon: -157.700}, // Koko Head
+			{Lat: 21.310, Lon: -157.649}, // Makapuu (east tip)
+			{Lat: 21.340, Lon: -157.700}, // Waimanalo
+			{Lat: 21.400, Lon: -157.720}, // Kailua
+			{Lat: 21.460, Lon: -157.730}, // Mokapu
+			{Lat: 21.510, Lon: -157.830}, // Kaneohe
+			{Lat: 21.645, Lon: -157.920}, // Laie
+			{Lat: 21.710, Lon: -157.980}, // Kahuku Point (north tip)
+			{Lat: 21.640, Lon: -158.060}, // Waimea
+			{Lat: 21.590, Lon: -158.110}, // Haleiwa
+			{Lat: 21.580, Lon: -158.190}, // Mokuleia
+		},
+		CoastalRampSlope:        0.004, // 4 m/km coastal plain
+		CoastalPlainWidthMeters: 3000,
+		InlandSlope:             0.03,
+		OffshoreSlope:           0.02, // 20 m/km nominal shelf drop
+		Ridges: []Ridge{
+			{
+				Name:        "Koolau",
+				From:        geo.Point{Lat: 21.290, Lon: -157.700},
+				To:          geo.Point{Lat: 21.600, Lon: -157.920},
+				PeakMeters:  700,
+				WidthMeters: 4000,
+			},
+			{
+				Name:        "Waianae",
+				From:        geo.Point{Lat: 21.420, Lon: -158.170},
+				To:          geo.Point{Lat: 21.530, Lon: -158.190},
+				PeakMeters:  900,
+				WidthMeters: 3000,
+			},
+		},
+		Shelves: []Shelf{
+			{
+				Name:         "MamalaBayReef",
+				Center:       geo.Point{Lat: 21.280, Lon: -157.940},
+				RadiusMeters: 15000,
+				SlopeFactor:  0.35, // shallow south-shore reef shelf
+			},
+			{
+				Name:         "KaneoheBay",
+				Center:       geo.Point{Lat: 21.460, Lon: -157.760},
+				RadiusMeters: 8000,
+				SlopeFactor:  0.5,
+			},
+		},
+		Zones: []Zone{
+			{
+				// The Honolulu / Pearl Harbor coastal lowlands share one
+				// water surface during south-shore surge events: this is
+				// the zone whose correlated flooding drives the paper's
+				// Figure 6 result.
+				Name:         "SouthShoreLowlands",
+				Center:       geo.Point{Lat: 21.330, Lon: -157.920},
+				RadiusMeters: 12000,
+			},
+		},
+		Funnels: []Funnel{
+			{
+				Name:          "PearlHarbor",
+				Center:        geo.Point{Lat: 21.365, Lon: -157.960},
+				RadiusMeters:  5000,
+				Amplification: 1.6,
+			},
+			{
+				Name:          "HonoluluHarbor",
+				Center:        geo.Point{Lat: 21.300, Lon: -157.868},
+				RadiusMeters:  3000,
+				Amplification: 1.5,
+			},
+		},
+	}
+}
+
+// NewOahu builds the Oahu terrain model. The configuration is static
+// and validated by the package tests, so construction cannot fail at
+// run time.
+func NewOahu() *Model {
+	m, err := New(OahuConfig())
+	if err != nil {
+		// Unreachable for the static config; guarded by TestOahuConfigValid.
+		panic("terrain: invalid built-in Oahu config: " + err.Error())
+	}
+	return m
+}

@@ -1,0 +1,363 @@
+// Package terrain models the land and nearshore bathymetry of the study
+// region: a coastline polygon, a parametric digital elevation model (DEM)
+// built from a coastal ramp plus mountain ridges, and bathymetric shelves
+// that control how strongly storm surge shoals on each stretch of coast.
+//
+// The shipped Oahu model is a synthetic substitute for the GIS terrain
+// and ADCIRC mesh bathymetry used in the paper; see DESIGN.md §2. It is
+// parametric rather than gridded so that tests and examples can build
+// alternative regions cheaply.
+package terrain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"compoundthreat/internal/geo"
+)
+
+// Ridge is a mountain range modeled as a line segment with a Gaussian
+// cross-section: elevation contribution peaks at PeakMeters on the
+// segment axis and decays with distance with scale WidthMeters.
+type Ridge struct {
+	Name        string
+	From, To    geo.Point
+	PeakMeters  float64
+	WidthMeters float64
+}
+
+// Shelf is a nearshore bathymetric region where the offshore bottom
+// slope is scaled by SlopeFactor (<1 means a shallower, surge-amplifying
+// shelf). It applies within RadiusMeters of Center.
+type Shelf struct {
+	Name         string
+	Center       geo.Point
+	RadiusMeters float64
+	SlopeFactor  float64
+}
+
+// Funnel is a region (e.g. a harbor inlet) where surge is geometrically
+// amplified. The surge solver multiplies coastal water elevations by
+// Amplification within RadiusMeters of Center.
+type Funnel struct {
+	Name          string
+	Center        geo.Point
+	RadiusMeters  float64
+	Amplification float64
+}
+
+// Zone is a coastal inundation zone: a lowland region governed by one
+// common water surface during a surge event. The paper's framework
+// averages water-surface elevations near the shoreline and extends the
+// averaged surface onto the shore; a Zone is the regional expression of
+// that step — every asset inside the zone is evaluated against the same
+// zone water elevation (attenuated by its own inland distance and
+// ground elevation). This is what produces the strongly correlated
+// flooding of same-zone sites (e.g. Honolulu and Waiau) that the
+// paper's Figure 6 result hinges on.
+type Zone struct {
+	Name         string
+	Center       geo.Point
+	RadiusMeters float64
+}
+
+// Config parameterizes a terrain model.
+type Config struct {
+	// Name labels the region (e.g. "Oahu").
+	Name string
+	// Origin is the projection center for the local planar frame.
+	Origin geo.Point
+	// Coastline vertices in geodetic coordinates, implicitly closed.
+	Coastline []geo.Point
+	// CoastalRampSlope is the land elevation gain per meter of distance
+	// from the coast within CoastalPlainWidthMeters (e.g. 0.005 = 5 m/km).
+	CoastalRampSlope float64
+	// CoastalPlainWidthMeters is the width of the gentle coastal plain.
+	CoastalPlainWidthMeters float64
+	// InlandSlope is the elevation gain per meter beyond the coastal plain.
+	InlandSlope float64
+	// OffshoreSlope is the bottom drop per meter of distance from the
+	// coast (before shelf factors), e.g. 0.02 = 20 m/km.
+	OffshoreSlope float64
+	// Ridges, Shelves, Funnels, Zones are optional refinements.
+	Ridges  []Ridge
+	Shelves []Shelf
+	Funnels []Funnel
+	Zones   []Zone
+}
+
+// Validate reports the first configuration problem found.
+func (c Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return errors.New("terrain: config needs a name")
+	case len(c.Coastline) < 3:
+		return errors.New("terrain: coastline needs at least 3 vertices")
+	case c.CoastalRampSlope < 0 || c.InlandSlope < 0:
+		return errors.New("terrain: land slopes must be non-negative")
+	case c.OffshoreSlope <= 0:
+		return errors.New("terrain: offshore slope must be positive")
+	case c.CoastalPlainWidthMeters < 0:
+		return errors.New("terrain: coastal plain width must be non-negative")
+	}
+	for _, p := range c.Coastline {
+		if !p.Valid() {
+			return fmt.Errorf("terrain: invalid coastline vertex %v", p)
+		}
+	}
+	for _, s := range c.Shelves {
+		if s.SlopeFactor <= 0 {
+			return fmt.Errorf("terrain: shelf %q has non-positive slope factor", s.Name)
+		}
+	}
+	for _, f := range c.Funnels {
+		if f.Amplification <= 0 {
+			return fmt.Errorf("terrain: funnel %q has non-positive amplification", f.Name)
+		}
+	}
+	for _, z := range c.Zones {
+		if z.Name == "" {
+			return errors.New("terrain: zone needs a name")
+		}
+		if z.RadiusMeters <= 0 {
+			return fmt.Errorf("terrain: zone %q has non-positive radius", z.Name)
+		}
+	}
+	return nil
+}
+
+// Model is an immutable terrain model. Methods are safe for concurrent
+// use.
+type Model struct {
+	cfg     Config
+	proj    geo.Projection
+	coast   *geo.Polygon
+	ridges  []ridgeXY
+	shelves []shelfXY
+	funnels []funnelXY
+	zones   []zoneXY
+}
+
+type ridgeXY struct {
+	a, b  geo.XY
+	peak  float64
+	width float64
+}
+
+type shelfXY struct {
+	center geo.XY
+	radius float64
+	factor float64
+}
+
+type funnelXY struct {
+	center geo.XY
+	radius float64
+	amp    float64
+}
+
+type zoneXY struct {
+	name   string
+	center geo.XY
+	radius float64
+}
+
+// New builds a terrain model from a configuration.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	proj := geo.NewProjection(cfg.Origin)
+	verts := make([]geo.XY, len(cfg.Coastline))
+	for i, p := range cfg.Coastline {
+		verts[i] = proj.ToXY(p)
+	}
+	coast, err := geo.NewPolygon(verts)
+	if err != nil {
+		return nil, fmt.Errorf("terrain: coastline: %w", err)
+	}
+	m := &Model{cfg: cfg, proj: proj, coast: coast}
+	for _, r := range cfg.Ridges {
+		m.ridges = append(m.ridges, ridgeXY{
+			a: proj.ToXY(r.From), b: proj.ToXY(r.To),
+			peak: r.PeakMeters, width: r.WidthMeters,
+		})
+	}
+	for _, s := range cfg.Shelves {
+		m.shelves = append(m.shelves, shelfXY{
+			center: proj.ToXY(s.Center), radius: s.RadiusMeters, factor: s.SlopeFactor,
+		})
+	}
+	for _, f := range cfg.Funnels {
+		m.funnels = append(m.funnels, funnelXY{
+			center: proj.ToXY(f.Center), radius: f.RadiusMeters, amp: f.Amplification,
+		})
+	}
+	for _, z := range cfg.Zones {
+		m.zones = append(m.zones, zoneXY{
+			name: z.Name, center: proj.ToXY(z.Center), radius: z.RadiusMeters,
+		})
+	}
+	return m, nil
+}
+
+// Name returns the region name.
+func (m *Model) Name() string { return m.cfg.Name }
+
+// Projection returns the local planar projection for the region.
+func (m *Model) Projection() geo.Projection { return m.proj }
+
+// Coastline returns the coastline polygon in planar coordinates.
+func (m *Model) Coastline() *geo.Polygon { return m.coast }
+
+// IsLand reports whether the planar point lies on land.
+func (m *Model) IsLand(p geo.XY) bool { return m.coast.Contains(p) }
+
+// DistanceToCoast returns the distance from p to the coastline in meters.
+func (m *Model) DistanceToCoast(p geo.XY) float64 { return m.coast.DistanceToBoundary(p) }
+
+// ElevationAt returns the terrain elevation in meters above mean sea
+// level at a planar point. Land is positive; offshore returns the
+// (negative) bottom elevation, i.e. -depth.
+func (m *Model) ElevationAt(p geo.XY) float64 {
+	d := m.coast.DistanceToBoundary(p)
+	if !m.coast.Contains(p) {
+		return -d * m.cfg.OffshoreSlope * m.shelfFactorAt(p)
+	}
+	var elev float64
+	plain := m.cfg.CoastalPlainWidthMeters
+	if d <= plain {
+		elev = d * m.cfg.CoastalRampSlope
+	} else {
+		elev = plain*m.cfg.CoastalRampSlope + (d-plain)*m.cfg.InlandSlope
+	}
+	for _, r := range m.ridges {
+		rd, _ := geo.SegmentDistance(p, r.a, r.b)
+		elev += r.peak * math.Exp(-0.5*(rd/r.width)*(rd/r.width))
+	}
+	return elev
+}
+
+// ElevationAtPoint is ElevationAt for a geodetic point.
+func (m *Model) ElevationAtPoint(p geo.Point) float64 {
+	return m.ElevationAt(m.proj.ToXY(p))
+}
+
+// DepthAt returns the water depth (positive meters) at an offshore
+// planar point, or 0 on land.
+func (m *Model) DepthAt(p geo.XY) float64 {
+	if m.IsLand(p) {
+		return 0
+	}
+	return -m.ElevationAt(p)
+}
+
+// shelfFactorAt returns the combined bathymetric slope factor at p
+// (product of all shelves covering p; 1 outside all shelves).
+func (m *Model) shelfFactorAt(p geo.XY) float64 {
+	f := 1.0
+	for _, s := range m.shelves {
+		if geo.DistanceXY(p, s.center) <= s.radius {
+			f *= s.factor
+		}
+	}
+	return f
+}
+
+// FunnelAmplificationAt returns the surge amplification factor at p
+// (product of all funnels covering p; 1 outside all funnels).
+func (m *Model) FunnelAmplificationAt(p geo.XY) float64 {
+	a := 1.0
+	for _, f := range m.funnels {
+		if geo.DistanceXY(p, f.center) <= f.radius {
+			a *= f.amp
+		}
+	}
+	return a
+}
+
+// ShoreSegment is a piece of coastline annotated with the data the surge
+// solver needs: outward normal, a representative offshore depth, and the
+// funnel amplification at the segment.
+type ShoreSegment struct {
+	geo.Segment
+	// OffshoreDepthMeters is the water depth at the offshore probe point
+	// used to estimate shoaling (positive meters).
+	OffshoreDepthMeters float64
+	// Amplification is the funnel amplification factor at the segment.
+	Amplification float64
+}
+
+// probeDistanceMeters is how far offshore a segment's depth is sampled.
+const probeDistanceMeters = 2000
+
+// ShoreSegments returns the coastline subdivided into segments no longer
+// than maxLenMeters, each annotated with offshore depth and funnel
+// amplification. maxLenMeters must be positive.
+func (m *Model) ShoreSegments(maxLenMeters float64) ([]ShoreSegment, error) {
+	if maxLenMeters <= 0 {
+		return nil, errors.New("terrain: maxLenMeters must be positive")
+	}
+	var out []ShoreSegment
+	for _, s := range m.coast.BoundarySegments() {
+		n := int(math.Ceil(s.Length / maxLenMeters))
+		if n < 1 {
+			n = 1
+		}
+		step := s.B.Sub(s.A).Scale(1 / float64(n))
+		for i := 0; i < n; i++ {
+			a := s.A.Add(step.Scale(float64(i)))
+			b := s.A.Add(step.Scale(float64(i + 1)))
+			mid := a.Add(b).Scale(0.5)
+			probe := mid.Add(s.Normal.Scale(probeDistanceMeters))
+			depth := m.DepthAt(probe)
+			if depth <= 0 {
+				// Probe landed on land (e.g. across a narrow inlet):
+				// fall back to the nominal slope depth.
+				depth = probeDistanceMeters * m.cfg.OffshoreSlope
+			}
+			out = append(out, ShoreSegment{
+				Segment: geo.Segment{
+					A: a, B: b, Mid: mid,
+					Normal: s.Normal, Tangent: s.Tangent,
+					Length: s.Length / float64(n),
+				},
+				OffshoreDepthMeters: depth,
+				Amplification:       m.FunnelAmplificationAt(mid),
+			})
+		}
+	}
+	return out, nil
+}
+
+// NumZones returns the number of inundation zones.
+func (m *Model) NumZones() int { return len(m.zones) }
+
+// ZoneName returns the name of zone i.
+func (m *Model) ZoneName(i int) (string, error) {
+	if i < 0 || i >= len(m.zones) {
+		return "", fmt.Errorf("terrain: zone %d out of range [0, %d)", i, len(m.zones))
+	}
+	return m.zones[i].name, nil
+}
+
+// ZoneGeometry returns the planar center and radius of zone i.
+func (m *Model) ZoneGeometry(i int) (center geo.XY, radius float64, err error) {
+	if i < 0 || i >= len(m.zones) {
+		return geo.XY{}, 0, fmt.Errorf("terrain: zone %d out of range [0, %d)", i, len(m.zones))
+	}
+	return m.zones[i].center, m.zones[i].radius, nil
+}
+
+// ZoneIndexAt returns the index of the inundation zone containing the
+// planar point, or false if the point is in no zone. When zones
+// overlap, the first (highest-priority) zone wins.
+func (m *Model) ZoneIndexAt(p geo.XY) (int, bool) {
+	for i, z := range m.zones {
+		if geo.DistanceXY(p, z.center) <= z.radius {
+			return i, true
+		}
+	}
+	return 0, false
+}

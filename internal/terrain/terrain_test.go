@@ -1,0 +1,405 @@
+package terrain
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"compoundthreat/internal/geo"
+)
+
+// islandConfig returns a simple 20 km square island for unit tests.
+func islandConfig() Config {
+	return Config{
+		Name:   "TestIsland",
+		Origin: geo.Point{Lat: 0, Lon: 0},
+		Coastline: []geo.Point{
+			{Lat: -0.09, Lon: -0.09},
+			{Lat: -0.09, Lon: 0.09},
+			{Lat: 0.09, Lon: 0.09},
+			{Lat: 0.09, Lon: -0.09},
+		},
+		CoastalRampSlope:        0.005,
+		CoastalPlainWidthMeters: 2000,
+		InlandSlope:             0.02,
+		OffshoreSlope:           0.02,
+	}
+}
+
+func mustModel(t *testing.T, cfg Config) *Model {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string
+	}{
+		{"valid", func(c *Config) {}, ""},
+		{"missing name", func(c *Config) { c.Name = "" }, "name"},
+		{"short coastline", func(c *Config) { c.Coastline = c.Coastline[:2] }, "coastline"},
+		{"negative ramp", func(c *Config) { c.CoastalRampSlope = -1 }, "slopes"},
+		{"negative inland", func(c *Config) { c.InlandSlope = -1 }, "slopes"},
+		{"zero offshore", func(c *Config) { c.OffshoreSlope = 0 }, "offshore"},
+		{"negative plain", func(c *Config) { c.CoastalPlainWidthMeters = -5 }, "plain"},
+		{
+			"invalid vertex",
+			func(c *Config) { c.Coastline[0] = geo.Point{Lat: 99, Lon: 0} },
+			"vertex",
+		},
+		{
+			"bad shelf",
+			func(c *Config) { c.Shelves = []Shelf{{Name: "s", SlopeFactor: 0}} },
+			"shelf",
+		},
+		{
+			"bad funnel",
+			func(c *Config) { c.Funnels = []Funnel{{Name: "f", Amplification: -1}} },
+			"funnel",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := islandConfig()
+			tt.mutate(&cfg)
+			err := cfg.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate: %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestElevationSigns(t *testing.T) {
+	m := mustModel(t, islandConfig())
+	center := geo.XY{X: 0, Y: 0}
+	if !m.IsLand(center) {
+		t.Fatal("island center should be land")
+	}
+	if e := m.ElevationAt(center); e <= 0 {
+		t.Errorf("center elevation = %v, want > 0", e)
+	}
+	offshore := geo.XY{X: 30000, Y: 0}
+	if m.IsLand(offshore) {
+		t.Fatal("far offshore point should be water")
+	}
+	if e := m.ElevationAt(offshore); e >= 0 {
+		t.Errorf("offshore elevation = %v, want < 0", e)
+	}
+	if d := m.DepthAt(offshore); d <= 0 {
+		t.Errorf("offshore depth = %v, want > 0", d)
+	}
+	if d := m.DepthAt(center); d != 0 {
+		t.Errorf("land depth = %v, want 0", d)
+	}
+}
+
+func TestCoastalRampProfile(t *testing.T) {
+	m := mustModel(t, islandConfig())
+	// 1 km inland from the west coast (coast at x = -10010 m or so;
+	// island spans about +-10 km).
+	coastX := -geo.EarthRadiusMeters * 0.09 * math.Pi / 180 // ~ -10007 m
+	inland1km := geo.XY{X: coastX + 1000, Y: 0}
+	want := 1000 * 0.005
+	if e := m.ElevationAt(inland1km); math.Abs(e-want) > 0.5 {
+		t.Errorf("1 km inland elevation = %v, want ~%v", e, want)
+	}
+	// Beyond the plain the slope steepens.
+	inland4km := geo.XY{X: coastX + 4000, Y: 0}
+	want4 := 2000*0.005 + 2000*0.02
+	if e := m.ElevationAt(inland4km); math.Abs(e-want4) > 0.5 {
+		t.Errorf("4 km inland elevation = %v, want ~%v", e, want4)
+	}
+}
+
+func TestElevationMonotoneOffshore(t *testing.T) {
+	// Deeper water further from shore (no shelves in test island).
+	m := mustModel(t, islandConfig())
+	f := func(seed float64) bool {
+		d1 := 1000 + math.Mod(math.Abs(seed), 10000)
+		d2 := d1 + 2000
+		p1 := geo.XY{X: 10007 + d1, Y: 0}
+		p2 := geo.XY{X: 10007 + d2, Y: 0}
+		return m.DepthAt(p2) > m.DepthAt(p1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRidgeContribution(t *testing.T) {
+	cfg := islandConfig()
+	cfg.Ridges = []Ridge{{
+		Name:        "TestRidge",
+		From:        geo.Point{Lat: -0.05, Lon: 0},
+		To:          geo.Point{Lat: 0.05, Lon: 0},
+		PeakMeters:  500,
+		WidthMeters: 2000,
+	}}
+	withRidge := mustModel(t, cfg)
+	without := mustModel(t, islandConfig())
+	onAxis := geo.XY{X: 0, Y: 0}
+	gain := withRidge.ElevationAt(onAxis) - without.ElevationAt(onAxis)
+	if math.Abs(gain-500) > 1 {
+		t.Errorf("on-axis ridge gain = %v, want ~500", gain)
+	}
+	offAxis := geo.XY{X: 6000, Y: 0} // 3 sigma away
+	gainOff := withRidge.ElevationAt(offAxis) - without.ElevationAt(offAxis)
+	if gainOff > 10 {
+		t.Errorf("3-sigma ridge gain = %v, want < 10", gainOff)
+	}
+	if gainOff <= 0 {
+		t.Errorf("ridge gain should still be positive off axis, got %v", gainOff)
+	}
+}
+
+func TestShelfShallowsWater(t *testing.T) {
+	cfg := islandConfig()
+	cfg.Shelves = []Shelf{{
+		Name:         "TestShelf",
+		Center:       geo.Point{Lat: 0, Lon: 0.12},
+		RadiusMeters: 8000,
+		SlopeFactor:  0.25,
+	}}
+	withShelf := mustModel(t, cfg)
+	without := mustModel(t, islandConfig())
+	p := geo.XY{X: 12000, Y: 0} // ~2 km offshore east, inside shelf
+	ds, dn := withShelf.DepthAt(p), without.DepthAt(p)
+	if ds >= dn {
+		t.Errorf("shelf depth %v should be less than nominal %v", ds, dn)
+	}
+	if math.Abs(ds-0.25*dn) > 1e-9 {
+		t.Errorf("shelf depth = %v, want %v", ds, 0.25*dn)
+	}
+}
+
+func TestFunnelAmplification(t *testing.T) {
+	cfg := islandConfig()
+	cfg.Funnels = []Funnel{{
+		Name:          "TestFunnel",
+		Center:        geo.Point{Lat: 0, Lon: 0.09},
+		RadiusMeters:  3000,
+		Amplification: 1.7,
+	}}
+	m := mustModel(t, cfg)
+	inside := m.Projection().ToXY(geo.Point{Lat: 0, Lon: 0.09})
+	if a := m.FunnelAmplificationAt(inside); a != 1.7 {
+		t.Errorf("inside funnel amplification = %v, want 1.7", a)
+	}
+	outside := geo.XY{X: -20000, Y: 0}
+	if a := m.FunnelAmplificationAt(outside); a != 1 {
+		t.Errorf("outside funnel amplification = %v, want 1", a)
+	}
+}
+
+func TestShoreSegments(t *testing.T) {
+	m := mustModel(t, islandConfig())
+	segs, err := m.ShoreSegments(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 40 {
+		t.Fatalf("segments = %d, want >= 40 for 80 km perimeter at 1 km max", len(segs))
+	}
+	var perimeter float64
+	for _, s := range segs {
+		perimeter += s.Length
+		if s.Length > 1000+1e-6 {
+			t.Errorf("segment length %v exceeds max 1000", s.Length)
+		}
+		if s.OffshoreDepthMeters <= 0 {
+			t.Errorf("segment at %v has non-positive offshore depth", s.Mid)
+		}
+		if s.Amplification != 1 {
+			t.Errorf("segment at %v amplification = %v, want 1 (no funnels)", s.Mid, s.Amplification)
+		}
+		probe := s.Mid.Add(s.Normal.Scale(500))
+		if m.IsLand(probe) {
+			t.Errorf("segment normal at %v points inland", s.Mid)
+		}
+	}
+	// Perimeter of ~20x20 km square island: about 80 km.
+	if perimeter < 75000 || perimeter > 85000 {
+		t.Errorf("perimeter = %v, want ~80000", perimeter)
+	}
+}
+
+func TestShoreSegmentsInvalidMaxLen(t *testing.T) {
+	m := mustModel(t, islandConfig())
+	if _, err := m.ShoreSegments(0); err == nil {
+		t.Error("ShoreSegments(0) should error")
+	}
+	if _, err := m.ShoreSegments(-10); err == nil {
+		t.Error("ShoreSegments(-10) should error")
+	}
+}
+
+func TestOahuConfigValid(t *testing.T) {
+	if err := OahuConfig().Validate(); err != nil {
+		t.Fatalf("OahuConfig invalid: %v", err)
+	}
+}
+
+func TestOahuModelGeography(t *testing.T) {
+	m := NewOahu()
+	proj := m.Projection()
+	tests := []struct {
+		name string
+		p    geo.Point
+		land bool
+	}{
+		{"central Oahu (Wahiawa)", geo.Point{Lat: 21.50, Lon: -157.99}, true},
+		{"Honolulu downtown", geo.Point{Lat: 21.307, Lon: -157.858}, true},
+		{"Waiau", geo.Point{Lat: 21.381, Lon: -157.963}, true},
+		{"Kahe", geo.Point{Lat: 21.355, Lon: -158.128}, true},
+		{"open ocean south", geo.Point{Lat: 21.10, Lon: -157.90}, false},
+		{"open ocean west", geo.Point{Lat: 21.45, Lon: -158.50}, false},
+		{"Pearl Harbor inlet water", geo.Point{Lat: 21.350, Lon: -157.960}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.IsLand(proj.ToXY(tt.p)); got != tt.land {
+				t.Errorf("IsLand(%v) = %v, want %v", tt.p, got, tt.land)
+			}
+		})
+	}
+}
+
+func TestOahuRidgesShapeElevation(t *testing.T) {
+	m := NewOahu()
+	proj := m.Projection()
+	koolauCrest := proj.ToXY(geo.Point{Lat: 21.45, Lon: -157.81})
+	honolulu := proj.ToXY(geo.Point{Lat: 21.307, Lon: -157.858})
+	ec, eh := m.ElevationAt(koolauCrest), m.ElevationAt(honolulu)
+	if ec < 300 {
+		t.Errorf("Koolau crest elevation = %v, want >= 300", ec)
+	}
+	if eh > 30 {
+		t.Errorf("Honolulu coastal elevation = %v, want <= 30", eh)
+	}
+	if ec <= eh {
+		t.Errorf("crest (%v) should be higher than coastal Honolulu (%v)", ec, eh)
+	}
+}
+
+func TestOahuSouthShoreShallowerThanWest(t *testing.T) {
+	// The Mamala Bay shelf must make the south shore markedly shallower
+	// than the leeward west coast at equal offshore distance — this
+	// drives the surge asymmetry behind the paper's Kahe result.
+	m := NewOahu()
+	proj := m.Projection()
+	south := proj.ToXY(geo.Point{Lat: 21.28, Lon: -157.87}) // off Honolulu
+	west := proj.ToXY(geo.Point{Lat: 21.40, Lon: -158.22})  // off Waianae
+	ds, dw := m.DepthAt(south), m.DepthAt(west)
+	if ds <= 0 || dw <= 0 {
+		t.Fatalf("expected both probes offshore: south=%v west=%v", ds, dw)
+	}
+	if ds >= dw {
+		t.Errorf("south shore depth %v should be shallower than west coast %v", ds, dw)
+	}
+}
+
+func TestOahuPearlHarborFunnel(t *testing.T) {
+	m := NewOahu()
+	proj := m.Projection()
+	inlet := proj.ToXY(geo.Point{Lat: 21.365, Lon: -157.960})
+	if a := m.FunnelAmplificationAt(inlet); a <= 1 {
+		t.Errorf("Pearl Harbor amplification = %v, want > 1", a)
+	}
+	kahe := proj.ToXY(geo.Point{Lat: 21.355, Lon: -158.130})
+	if a := m.FunnelAmplificationAt(kahe); a != 1 {
+		t.Errorf("Kahe amplification = %v, want 1", a)
+	}
+}
+
+func TestZones(t *testing.T) {
+	cfg := islandConfig()
+	cfg.Zones = []Zone{
+		{Name: "south", Center: geo.Point{Lat: -0.08, Lon: 0}, RadiusMeters: 4000},
+		{Name: "north", Center: geo.Point{Lat: 0.08, Lon: 0}, RadiusMeters: 4000},
+	}
+	m := mustModel(t, cfg)
+	if got := m.NumZones(); got != 2 {
+		t.Fatalf("NumZones = %d, want 2", got)
+	}
+	name, err := m.ZoneName(1)
+	if err != nil || name != "north" {
+		t.Errorf("ZoneName(1) = %q, %v", name, err)
+	}
+	if _, err := m.ZoneName(9); err == nil {
+		t.Error("ZoneName out of range should error")
+	}
+	center, radius, err := m.ZoneGeometry(0)
+	if err != nil || radius != 4000 {
+		t.Errorf("ZoneGeometry(0) = %v, %v, %v", center, radius, err)
+	}
+	if _, _, err := m.ZoneGeometry(-1); err == nil {
+		t.Error("ZoneGeometry out of range should error")
+	}
+	proj := m.Projection()
+	if z, ok := m.ZoneIndexAt(proj.ToXY(geo.Point{Lat: -0.08, Lon: 0})); !ok || z != 0 {
+		t.Errorf("ZoneIndexAt(south) = %d, %v", z, ok)
+	}
+	if _, ok := m.ZoneIndexAt(geo.XY{X: 100000, Y: 100000}); ok {
+		t.Error("far point should be in no zone")
+	}
+	// Zone validation.
+	bad := islandConfig()
+	bad.Zones = []Zone{{Name: "", RadiusMeters: 100}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unnamed zone should be rejected")
+	}
+	bad.Zones = []Zone{{Name: "z", RadiusMeters: 0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-radius zone should be rejected")
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	m := mustModel(t, islandConfig())
+	if m.Name() != "TestIsland" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if m.Coastline() == nil || m.Coastline().NumVertices() != 4 {
+		t.Error("Coastline accessor wrong")
+	}
+	center := geo.XY{X: 0, Y: 0}
+	if d := m.DistanceToCoast(center); d < 9000 || d > 11000 {
+		t.Errorf("DistanceToCoast(center) = %v, want ~10000", d)
+	}
+	e := m.ElevationAtPoint(geo.Point{Lat: 0, Lon: 0})
+	if e != m.ElevationAt(center) {
+		t.Errorf("ElevationAtPoint inconsistent: %v vs %v", e, m.ElevationAt(center))
+	}
+}
+
+func TestOahuZoneCoversLowlands(t *testing.T) {
+	m := NewOahu()
+	proj := m.Projection()
+	if m.NumZones() == 0 {
+		t.Fatal("Oahu should define inundation zones")
+	}
+	// Honolulu and Waiau share the south-shore lowlands zone.
+	zh, okH := m.ZoneIndexAt(proj.ToXY(geo.Point{Lat: 21.31, Lon: -157.86}))
+	zw, okW := m.ZoneIndexAt(proj.ToXY(geo.Point{Lat: 21.381, Lon: -157.963}))
+	if !okH || !okW || zh != zw {
+		t.Errorf("Honolulu zone (%d, %v) != Waiau zone (%d, %v)", zh, okH, zw, okW)
+	}
+	// Kahe is outside the zone.
+	if _, ok := m.ZoneIndexAt(proj.ToXY(geo.Point{Lat: 21.355, Lon: -158.128})); ok {
+		t.Error("Kahe should be outside the south-shore zone")
+	}
+}

@@ -1,0 +1,107 @@
+// Package threat defines the compound threat model: the four threat
+// scenarios from the paper (a hurricane baseline and three compound
+// scenarios adding cyberattacks) and the attacker capability each
+// scenario grants.
+package threat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scenario is one of the paper's four threat scenarios (§III-B).
+type Scenario int
+
+// Scenarios.
+const (
+	// Hurricane is the natural-disaster-only baseline.
+	Hurricane Scenario = iota + 1
+	// HurricaneIntrusion adds a server intrusion after the hurricane.
+	HurricaneIntrusion
+	// HurricaneIsolation adds a site-isolation attack after the
+	// hurricane.
+	HurricaneIsolation
+	// HurricaneIntrusionIsolation adds both a server intrusion and a
+	// site isolation after the hurricane.
+	HurricaneIntrusionIsolation
+)
+
+// Scenarios lists all scenarios in the paper's presentation order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		Hurricane,
+		HurricaneIntrusion,
+		HurricaneIsolation,
+		HurricaneIntrusionIsolation,
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case Hurricane:
+		return "Hurricane"
+	case HurricaneIntrusion:
+		return "Hurricane + Server Intrusion"
+	case HurricaneIsolation:
+		return "Hurricane + Site Isolation"
+	case HurricaneIntrusionIsolation:
+		return "Hurricane + Server Intrusion + Site Isolation"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is a known scenario.
+func (s Scenario) Valid() bool {
+	return s >= Hurricane && s <= HurricaneIntrusionIsolation
+}
+
+// ParseScenario maps a short name to a scenario. Accepted names:
+// "hurricane", "intrusion", "isolation", "both".
+func ParseScenario(name string) (Scenario, error) {
+	switch name {
+	case "hurricane":
+		return Hurricane, nil
+	case "intrusion":
+		return HurricaneIntrusion, nil
+	case "isolation":
+		return HurricaneIsolation, nil
+	case "both":
+		return HurricaneIntrusionIsolation, nil
+	default:
+		return 0, fmt.Errorf("threat: unknown scenario %q (want hurricane, intrusion, isolation, or both)", name)
+	}
+}
+
+// Capability is the attacker's power in a scenario: how many servers it
+// can compromise and how many sites it can isolate, after observing the
+// hurricane outcome.
+type Capability struct {
+	// Intrusions is the number of servers the attacker can compromise.
+	Intrusions int
+	// Isolations is the number of sites the attacker can isolate.
+	Isolations int
+}
+
+// Validate reports the first capability problem found.
+func (c Capability) Validate() error {
+	if c.Intrusions < 0 || c.Isolations < 0 {
+		return errors.New("threat: capability counts must be non-negative")
+	}
+	return nil
+}
+
+// Capability returns the attacker capability granted by the scenario.
+func (s Scenario) Capability() Capability {
+	switch s {
+	case HurricaneIntrusion:
+		return Capability{Intrusions: 1}
+	case HurricaneIsolation:
+		return Capability{Isolations: 1}
+	case HurricaneIntrusionIsolation:
+		return Capability{Intrusions: 1, Isolations: 1}
+	default:
+		return Capability{}
+	}
+}

@@ -1,0 +1,106 @@
+package threat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenariosOrder(t *testing.T) {
+	got := Scenarios()
+	want := []Scenario{Hurricane, HurricaneIntrusion, HurricaneIsolation, HurricaneIntrusionIsolation}
+	if len(got) != len(want) {
+		t.Fatalf("Scenarios() = %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Scenarios()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScenarioCapability(t *testing.T) {
+	tests := []struct {
+		s    Scenario
+		want Capability
+	}{
+		{Hurricane, Capability{}},
+		{HurricaneIntrusion, Capability{Intrusions: 1}},
+		{HurricaneIsolation, Capability{Isolations: 1}},
+		{HurricaneIntrusionIsolation, Capability{Intrusions: 1, Isolations: 1}},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Capability(); got != tt.want {
+			t.Errorf("%v.Capability() = %+v, want %+v", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if got := HurricaneIntrusionIsolation.String(); !strings.Contains(got, "Intrusion") || !strings.Contains(got, "Isolation") {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Scenario(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown scenario String() = %q", got)
+	}
+}
+
+func TestScenarioValid(t *testing.T) {
+	for _, s := range Scenarios() {
+		if !s.Valid() {
+			t.Errorf("%v should be valid", s)
+		}
+	}
+	if Scenario(0).Valid() || Scenario(5).Valid() {
+		t.Error("out-of-range scenarios should be invalid")
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Scenario
+		ok   bool
+	}{
+		{"hurricane", Hurricane, true},
+		{"intrusion", HurricaneIntrusion, true},
+		{"isolation", HurricaneIsolation, true},
+		{"both", HurricaneIntrusionIsolation, true},
+		{"", 0, false},
+		{"tsunami", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := ParseScenario(tt.in)
+		if tt.ok && (err != nil || got != tt.want) {
+			t.Errorf("ParseScenario(%q) = %v, %v", tt.in, got, err)
+		}
+		if !tt.ok && err == nil {
+			t.Errorf("ParseScenario(%q) should error", tt.in)
+		}
+	}
+}
+
+func TestCapabilityValidate(t *testing.T) {
+	if err := (Capability{Intrusions: 2, Isolations: 1}).Validate(); err != nil {
+		t.Errorf("valid capability rejected: %v", err)
+	}
+	if err := (Capability{Intrusions: -1}).Validate(); err == nil {
+		t.Error("negative intrusions should error")
+	}
+	if err := (Capability{Isolations: -1}).Validate(); err == nil {
+		t.Error("negative isolations should error")
+	}
+}
+
+func TestAllScenarioStrings(t *testing.T) {
+	want := map[Scenario]string{
+		Hurricane:                   "Hurricane",
+		HurricaneIntrusion:          "Hurricane + Server Intrusion",
+		HurricaneIsolation:          "Hurricane + Site Isolation",
+		HurricaneIntrusionIsolation: "Hurricane + Server Intrusion + Site Isolation",
+	}
+	for sc, w := range want {
+		if got := sc.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", int(sc), got, w)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package topology
+
+import "errors"
+
+// Extended configurations from Babay et al. (DSN 2018), the paper's
+// reference [16], which analyzed a wider family of architectures than
+// the five the compound-threat paper evaluates. These let the
+// framework answer "would a different replication layout have fared
+// better?" — e.g. spreading 12 replicas over four sites instead of 18
+// over three.
+
+// NewConfig4 returns the intrusion-tolerant single-site configuration
+// "4": n = 3f + 1 replicas for f = 1 *without* proactive recovery
+// (k = 0). Cheaper than "6", but an intrusion must be cleaned up
+// manually.
+func NewConfig4(site string) Config {
+	return Config{
+		Name: "4",
+		Arch: SingleSite,
+		Sites: []Site{
+			{AssetID: site, Role: RolePrimary, Replicas: 4},
+		},
+		IntrusionsTolerated: 1,
+	}
+}
+
+// NewConfig44 returns the intrusion-tolerant primary/cold-backup
+// configuration "4-4".
+func NewConfig44(primary, backup string) Config {
+	return Config{
+		Name: "4-4",
+		Arch: PrimaryBackup,
+		Sites: []Site{
+			{AssetID: primary, Role: RolePrimary, Replicas: 4},
+			{AssetID: backup, Role: RoleColdBackup, Replicas: 4},
+		},
+		IntrusionsTolerated: 1,
+		ColdActivationDelay: DefaultColdActivationDelay,
+	}
+}
+
+// NewConfig3333 returns the network-attack-resilient configuration
+// "3+3+3+3": twelve active replicas spread over four sites (two
+// control centers and two data centers), tolerating one site loss plus
+// one intrusion and one recovering replica with quorum 7 of 12 —
+// the same resilience class as "6+6+6" with fewer replicas per site.
+func NewConfig3333(primary, second, dc1, dc2 string) Config {
+	return Config{
+		Name: "3+3+3+3",
+		Arch: ActiveReplication,
+		Sites: []Site{
+			{AssetID: primary, Role: RolePrimary, Replicas: 3},
+			{AssetID: second, Role: RoleActive, Replicas: 3},
+			{AssetID: dc1, Role: RoleActive, Replicas: 3},
+			{AssetID: dc2, Role: RoleActive, Replicas: 3},
+		},
+		IntrusionsTolerated: 1,
+		RecoverySlots:       1,
+		MinActiveSites:      3,
+	}
+}
+
+// ExtendedPlacement extends Placement with a second data center for
+// four-site configurations.
+type ExtendedPlacement struct {
+	Placement
+	// SecondDataCenter hosts the fourth site of "3+3+3+3".
+	SecondDataCenter string
+}
+
+// ExtendedConfigs returns the extended family for a placement: the
+// five standard configurations plus "4", "4-4", and "3+3+3+3".
+func ExtendedConfigs(p ExtendedPlacement) ([]Config, error) {
+	configs, err := StandardConfigs(p.Placement)
+	if err != nil {
+		return nil, err
+	}
+	if p.SecondDataCenter == "" {
+		return nil, errors.New("topology: extended placement needs a second data center")
+	}
+	extra := []Config{
+		NewConfig4(p.Primary),
+		NewConfig44(p.Primary, p.Second),
+		NewConfig3333(p.Primary, p.Second, p.DataCenter, p.SecondDataCenter),
+	}
+	for _, c := range extra {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return append(configs, extra...), nil
+}

@@ -1,0 +1,64 @@
+package topology
+
+import "testing"
+
+func TestExtendedConfigs(t *testing.T) {
+	configs, err := ExtendedConfigs(ExtendedPlacement{
+		Placement:        Placement{Primary: "p", Second: "s", DataCenter: "d1"},
+		SecondDataCenter: "d2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 8 {
+		t.Fatalf("configs = %d, want 8", len(configs))
+	}
+	byName := map[string]Config{}
+	for _, c := range configs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.Name, err)
+		}
+		byName[c.Name] = c
+	}
+	c4 := byName["4"]
+	if c4.TotalReplicas() != 4 || !c4.IntrusionTolerant() || c4.RecoverySlots != 0 {
+		t.Errorf("config 4 = %+v", c4)
+	}
+	c44 := byName["4-4"]
+	if c44.Arch != PrimaryBackup || c44.TotalReplicas() != 8 {
+		t.Errorf("config 4-4 = %+v", c44)
+	}
+	c3333 := byName["3+3+3+3"]
+	if c3333.Arch != ActiveReplication || c3333.TotalReplicas() != 12 || c3333.MinActiveSites != 3 {
+		t.Errorf("config 3+3+3+3 = %+v", c3333)
+	}
+	if len(c3333.Sites) != 4 {
+		t.Errorf("3+3+3+3 sites = %d, want 4", len(c3333.Sites))
+	}
+}
+
+func TestExtendedConfigsValidation(t *testing.T) {
+	if _, err := ExtendedConfigs(ExtendedPlacement{
+		Placement: Placement{Primary: "p", Second: "s", DataCenter: "d1"},
+	}); err == nil {
+		t.Error("missing second data center should error")
+	}
+	if _, err := ExtendedConfigs(ExtendedPlacement{SecondDataCenter: "d2"}); err == nil {
+		t.Error("missing standard placement should error")
+	}
+	// Duplicate sites must be rejected.
+	if _, err := ExtendedConfigs(ExtendedPlacement{
+		Placement:        Placement{Primary: "p", Second: "s", DataCenter: "d1"},
+		SecondDataCenter: "d1",
+	}); err == nil {
+		t.Error("duplicate data center should error")
+	}
+}
+
+func TestConfig4UndersizedRejected(t *testing.T) {
+	c := NewConfig4("p")
+	c.Sites[0].Replicas = 3
+	if err := c.Validate(); err == nil {
+		t.Error("3 replicas with f=1 should fail 3f+1 sizing")
+	}
+}

@@ -1,0 +1,221 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStandardConfigsValid(t *testing.T) {
+	configs, err := StandardConfigs(Placement{
+		Primary: "honolulu-cc", Second: "waiau-plant", DataCenter: "drfortress-dc",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 5 {
+		t.Fatalf("got %d configs, want 5", len(configs))
+	}
+	wantNames := []string{"2", "2-2", "6", "6-6", "6+6+6"}
+	for i, c := range configs {
+		if c.Name != wantNames[i] {
+			t.Errorf("config %d = %q, want %q", i, c.Name, wantNames[i])
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %q invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestStandardConfigsIncompletePlacement(t *testing.T) {
+	if _, err := StandardConfigs(Placement{Primary: "a", Second: "b"}); err == nil {
+		t.Error("missing data center should error")
+	}
+	if _, err := StandardConfigs(Placement{}); err == nil {
+		t.Error("empty placement should error")
+	}
+}
+
+func TestConfigProperties(t *testing.T) {
+	tests := []struct {
+		cfg               Config
+		wantArch          Architecture
+		wantTotalReplicas int
+		wantIntrusionTol  bool
+	}{
+		{NewConfig2("a"), SingleSite, 2, false},
+		{NewConfig22("a", "b"), PrimaryBackup, 4, false},
+		{NewConfig6("a"), SingleSite, 6, true},
+		{NewConfig66("a", "b"), PrimaryBackup, 12, true},
+		{NewConfig666("a", "b", "c"), ActiveReplication, 18, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.cfg.Name, func(t *testing.T) {
+			if tt.cfg.Arch != tt.wantArch {
+				t.Errorf("Arch = %v, want %v", tt.cfg.Arch, tt.wantArch)
+			}
+			if got := tt.cfg.TotalReplicas(); got != tt.wantTotalReplicas {
+				t.Errorf("TotalReplicas = %d, want %d", got, tt.wantTotalReplicas)
+			}
+			if got := tt.cfg.IntrusionTolerant(); got != tt.wantIntrusionTol {
+				t.Errorf("IntrusionTolerant = %v, want %v", got, tt.wantIntrusionTol)
+			}
+			if err := tt.cfg.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestIntrusionTolerantSizing(t *testing.T) {
+	// n = 3f + 2k + 1 must hold per site: 6 replicas for f = k = 1.
+	c := NewConfig6("a")
+	c.Sites[0].Replicas = 5
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "intrusion tolerance") {
+		t.Errorf("5 replicas with f=k=1 should fail sizing, got %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func() Config
+		want   string
+	}{
+		{
+			"empty name",
+			func() Config { c := NewConfig2("a"); c.Name = ""; return c },
+			"name",
+		},
+		{
+			"no sites",
+			func() Config { c := NewConfig2("a"); c.Sites = nil; return c },
+			"exactly 1 site",
+		},
+		{
+			"duplicate sites",
+			func() Config { return NewConfig22("a", "a") },
+			"duplicate",
+		},
+		{
+			"zero replicas",
+			func() Config { c := NewConfig2("a"); c.Sites[0].Replicas = 0; return c },
+			"at least one replica",
+		},
+		{
+			"missing asset",
+			func() Config { return NewConfig2("") },
+			"asset ID",
+		},
+		{
+			"negative f",
+			func() Config { c := NewConfig6("a"); c.IntrusionsTolerated = -1; return c },
+			"negative",
+		},
+		{
+			"single-site two sites",
+			func() Config {
+				c := NewConfig2("a")
+				c.Sites = append(c.Sites, Site{AssetID: "b", Role: RolePrimary, Replicas: 2})
+				return c
+			},
+			"exactly 1 site",
+		},
+		{
+			"primary-backup roles swapped",
+			func() Config {
+				c := NewConfig22("a", "b")
+				c.Sites[0].Role, c.Sites[1].Role = RoleColdBackup, RolePrimary
+				return c
+			},
+			"primary then cold-backup",
+		},
+		{
+			"primary-backup no delay",
+			func() Config { c := NewConfig22("a", "b"); c.ColdActivationDelay = 0; return c },
+			"activation delay",
+		},
+		{
+			"active too few sites",
+			func() Config {
+				c := NewConfig666("a", "b", "c")
+				c.Sites = c.Sites[:2]
+				return c
+			},
+			">= 3 sites",
+		},
+		{
+			"active MinActiveSites too low",
+			func() Config { c := NewConfig666("a", "b", "c"); c.MinActiveSites = 1; return c },
+			"MinActiveSites",
+		},
+		{
+			"active MinActiveSites too high",
+			func() Config { c := NewConfig666("a", "b", "c"); c.MinActiveSites = 4; return c },
+			"MinActiveSites",
+		},
+		{
+			"active wrong role",
+			func() Config {
+				c := NewConfig666("a", "b", "c")
+				c.Sites[1].Role = RoleColdBackup
+				return c
+			},
+			"must be",
+		},
+		{
+			"unknown arch",
+			func() Config { c := NewConfig2("a"); c.Arch = 0; return c },
+			"architecture",
+		},
+		{
+			"unknown role",
+			func() Config { c := NewConfig2("a"); c.Sites[0].Role = 9; return c },
+			"role",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.mutate().Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("Validate = %v, want error containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestSiteIndex(t *testing.T) {
+	c := NewConfig666("a", "b", "c")
+	if got := c.SiteIndex("b"); got != 1 {
+		t.Errorf("SiteIndex(b) = %d, want 1", got)
+	}
+	if got := c.SiteIndex("zzz"); got != -1 {
+		t.Errorf("SiteIndex(zzz) = %d, want -1", got)
+	}
+}
+
+func TestColdActivationDelayDefault(t *testing.T) {
+	c := NewConfig22("a", "b")
+	if c.ColdActivationDelay < time.Minute {
+		t.Errorf("activation delay = %v, want on the order of minutes", c.ColdActivationDelay)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SingleSite.String() != "single-site" ||
+		PrimaryBackup.String() != "primary-backup" ||
+		ActiveReplication.String() != "active-replication" {
+		t.Error("architecture strings wrong")
+	}
+	if !strings.Contains(Architecture(42).String(), "42") {
+		t.Error("unknown architecture string")
+	}
+	if RolePrimary.String() != "primary" ||
+		RoleColdBackup.String() != "cold-backup" ||
+		RoleActive.String() != "active" {
+		t.Error("role strings wrong")
+	}
+	if !strings.Contains(SiteRole(42).String(), "42") {
+		t.Error("unknown role string")
+	}
+}

@@ -1,0 +1,316 @@
+// Package wind implements the Holland (1980) parametric hurricane model:
+// a radial gradient-wind profile around a moving storm center, with
+// forward-motion asymmetry and surface inflow. It is the storm forcing
+// for the surge solver, standing in for the numerical wind field that
+// drove the paper's ADCIRC simulation (see DESIGN.md §2).
+//
+// Conventions: wind vectors are "blowing toward" directions in the local
+// planar frame (x east, y north), speeds in m/s, pressures in hPa.
+package wind
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"compoundthreat/internal/geo"
+)
+
+const (
+	// AmbientPressureHPa is the environmental pressure far from the storm.
+	AmbientPressureHPa = 1013.0
+	// airDensity is the surface air density in kg/m^3.
+	airDensity = 1.15
+	// inflowAngleDeg rotates surface winds inward across isobars.
+	inflowAngleDeg = 20.0
+	// gradientToSurface converts gradient-level wind to 10 m surface wind.
+	gradientToSurface = 0.8
+	// asymmetryFraction is the fraction of the storm translation speed
+	// added to the rotational wind on the storm's right side.
+	asymmetryFraction = 0.6
+)
+
+// Saffir-Simpson sustained-wind thresholds (m/s, 1-minute sustained).
+const (
+	cat1Threshold = 33.0
+	cat2Threshold = 43.0
+	cat3Threshold = 50.0
+	cat4Threshold = 58.0
+	cat5Threshold = 70.0
+)
+
+// Category is a Saffir-Simpson hurricane category.
+type Category int
+
+// Categories. TropicalStorm covers everything below hurricane strength.
+const (
+	TropicalStorm Category = iota
+	Cat1
+	Cat2
+	Cat3
+	Cat4
+	Cat5
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case TropicalStorm:
+		return "TS"
+	case Cat1, Cat2, Cat3, Cat4, Cat5:
+		return fmt.Sprintf("CAT%d", int(c))
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categorize maps a maximum sustained wind speed (m/s) to a category.
+func Categorize(maxWindMS float64) Category {
+	switch {
+	case maxWindMS >= cat5Threshold:
+		return Cat5
+	case maxWindMS >= cat4Threshold:
+		return Cat4
+	case maxWindMS >= cat3Threshold:
+		return Cat3
+	case maxWindMS >= cat2Threshold:
+		return Cat2
+	case maxWindMS >= cat1Threshold:
+		return Cat1
+	default:
+		return TropicalStorm
+	}
+}
+
+// TrackPoint is one fix along a storm track.
+type TrackPoint struct {
+	// Offset is the time since track start.
+	Offset time.Duration
+	// Center is the storm center position.
+	Center geo.Point
+	// CentralPressureHPa is the minimum central pressure.
+	CentralPressureHPa float64
+	// RMaxMeters is the radius of maximum winds.
+	RMaxMeters float64
+	// HollandB is the profile peakedness parameter (typically 1-2.5).
+	HollandB float64
+}
+
+// validate reports the first problem with the track point.
+func (tp TrackPoint) validate() error {
+	switch {
+	case !tp.Center.Valid():
+		return fmt.Errorf("wind: invalid track center %v", tp.Center)
+	case tp.CentralPressureHPa <= 800 || tp.CentralPressureHPa >= AmbientPressureHPa:
+		return fmt.Errorf("wind: central pressure %v hPa out of range (800, %v)",
+			tp.CentralPressureHPa, AmbientPressureHPa)
+	case tp.RMaxMeters <= 0:
+		return fmt.Errorf("wind: radius of maximum winds %v must be positive", tp.RMaxMeters)
+	case tp.HollandB < 0.5 || tp.HollandB > 3.5:
+		return fmt.Errorf("wind: Holland B %v out of range [0.5, 3.5]", tp.HollandB)
+	}
+	return nil
+}
+
+// Track is a time-ordered sequence of track points. Storm state between
+// fixes is linearly interpolated.
+type Track struct {
+	points []TrackPoint
+}
+
+// NewTrack builds a track from at least two time-ordered fixes.
+func NewTrack(points []TrackPoint) (*Track, error) {
+	if len(points) < 2 {
+		return nil, errors.New("wind: track needs at least 2 points")
+	}
+	for i, p := range points {
+		if err := p.validate(); err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		if i > 0 && points[i].Offset <= points[i-1].Offset {
+			return nil, fmt.Errorf("wind: track offsets not strictly increasing at point %d", i)
+		}
+	}
+	ps := make([]TrackPoint, len(points))
+	copy(ps, points)
+	return &Track{points: ps}, nil
+}
+
+// Duration returns the track's total duration.
+func (t *Track) Duration() time.Duration {
+	return t.points[len(t.points)-1].Offset - t.points[0].Offset
+}
+
+// Start returns the first track offset.
+func (t *Track) Start() time.Duration { return t.points[0].Offset }
+
+// Points returns a copy of the track fixes.
+func (t *Track) Points() []TrackPoint {
+	ps := make([]TrackPoint, len(t.points))
+	copy(ps, t.points)
+	return ps
+}
+
+// State is the interpolated storm state at one instant.
+type State struct {
+	Center             geo.Point
+	CentralPressureHPa float64
+	RMaxMeters         float64
+	HollandB           float64
+	// TranslationMS is the storm's forward velocity in the local planar
+	// frame of the projection used for sampling (m/s, x east, y north).
+	TranslationEastMS  float64
+	TranslationNorthMS float64
+}
+
+// At returns the interpolated storm state at the given offset. Offsets
+// outside the track are clamped to the ends (with zero translation
+// beyond the ends).
+func (t *Track) At(offset time.Duration) State {
+	first, last := t.points[0], t.points[len(t.points)-1]
+	if offset <= first.Offset {
+		return stateFromPoint(first)
+	}
+	if offset >= last.Offset {
+		return stateFromPoint(last)
+	}
+	// Find the bracketing fixes.
+	hi := 1
+	for t.points[hi].Offset < offset {
+		hi++
+	}
+	a, b := t.points[hi-1], t.points[hi]
+	dt := b.Offset - a.Offset
+	frac := float64(offset-a.Offset) / float64(dt)
+
+	// Interpolate the center along the great circle between fixes.
+	dist := geo.DistanceMeters(a.Center, b.Center)
+	bearing := geo.BearingDegrees(a.Center, b.Center)
+	center := geo.Destination(a.Center, bearing, dist*frac)
+
+	speed := dist / dt.Seconds()
+	brgRad := bearing * math.Pi / 180
+	return State{
+		Center:             center,
+		CentralPressureHPa: a.CentralPressureHPa + frac*(b.CentralPressureHPa-a.CentralPressureHPa),
+		RMaxMeters:         a.RMaxMeters + frac*(b.RMaxMeters-a.RMaxMeters),
+		HollandB:           a.HollandB + frac*(b.HollandB-a.HollandB),
+		TranslationEastMS:  speed * math.Sin(brgRad),
+		TranslationNorthMS: speed * math.Cos(brgRad),
+	}
+}
+
+func stateFromPoint(p TrackPoint) State {
+	return State{
+		Center:             p.Center,
+		CentralPressureHPa: p.CentralPressureHPa,
+		RMaxMeters:         p.RMaxMeters,
+		HollandB:           p.HollandB,
+	}
+}
+
+// PressureDeficitHPa returns the ambient-minus-central pressure deficit.
+func (s State) PressureDeficitHPa() float64 {
+	return AmbientPressureHPa - s.CentralPressureHPa
+}
+
+// MaxGradientWindMS returns the Holland maximum gradient wind speed.
+func (s State) MaxGradientWindMS() float64 {
+	dp := s.PressureDeficitHPa() * 100 // Pa
+	return math.Sqrt(s.HollandB * dp / (math.E * airDensity))
+}
+
+// MaxSurfaceWindMS returns the maximum sustained surface wind.
+func (s State) MaxSurfaceWindMS() float64 {
+	return gradientToSurface * s.MaxGradientWindMS()
+}
+
+// Category returns the storm's Saffir-Simpson category at this state.
+func (s State) Category() Category {
+	return Categorize(s.MaxSurfaceWindMS())
+}
+
+// coriolis returns the Coriolis parameter at a latitude (1/s).
+func coriolis(latDeg float64) float64 {
+	const omega = 7.2921e-5
+	return 2 * omega * math.Sin(latDeg*math.Pi/180)
+}
+
+// Sample is the wind and pressure at a location.
+type Sample struct {
+	// SpeedMS is the surface wind speed.
+	SpeedMS float64
+	// DirEast, DirNorth form the unit "blowing toward" direction. Both
+	// are zero at the storm center.
+	DirEast, DirNorth float64
+	// PressureHPa is the surface pressure from the Holland profile.
+	PressureHPa float64
+}
+
+// VelocityEastMS returns the eastward wind velocity component.
+func (s Sample) VelocityEastMS() float64 { return s.SpeedMS * s.DirEast }
+
+// VelocityNorthMS returns the northward wind velocity component.
+func (s Sample) VelocityNorthMS() float64 { return s.SpeedMS * s.DirNorth }
+
+// SampleAt evaluates the Holland wind/pressure field at a geodetic point
+// for storm state s. Northern-hemisphere (counterclockwise) rotation is
+// assumed; the paper's study region (Hawaii) is at ~21N.
+func (s State) SampleAt(p geo.Point) Sample {
+	// Work in a local frame centered on the storm.
+	proj := geo.NewProjection(s.Center)
+	rel := proj.ToXY(p)
+	r := rel.Norm()
+
+	dp := s.PressureDeficitHPa() * 100 // Pa
+	b := s.HollandB
+
+	if r < 1 {
+		// At the storm center: calm, minimum pressure.
+		return Sample{PressureHPa: s.CentralPressureHPa}
+	}
+
+	// Holland pressure profile: p(r) = pc + dp * exp(-(Rmax/r)^B).
+	ratio := math.Pow(s.RMaxMeters/r, b)
+	pressure := s.CentralPressureHPa + s.PressureDeficitHPa()*math.Exp(-ratio)
+
+	// Holland gradient wind with Coriolis correction.
+	f := math.Abs(coriolis(s.Center.Lat))
+	rotTerm := b * dp / airDensity * ratio * math.Exp(-ratio)
+	corTerm := r * f / 2
+	vg := math.Sqrt(rotTerm+corTerm*corTerm) - corTerm
+	if vg < 0 {
+		vg = 0
+	}
+	vs := gradientToSurface * vg
+
+	// Tangential direction: counterclockwise rotation, rotated inward by
+	// the inflow angle.
+	radial := rel.Unit()
+	tangential := radial.Perp() // CCW
+	inflow := inflowAngleDeg * math.Pi / 180
+	dir := geo.XY{
+		X: tangential.X*math.Cos(inflow) - radial.X*math.Sin(inflow),
+		Y: tangential.Y*math.Cos(inflow) - radial.Y*math.Sin(inflow),
+	}
+
+	// Forward-motion asymmetry: add a fraction of the translation
+	// velocity, weighted by how aligned the local rotation is with the
+	// translation (strongest on the storm's right side).
+	vel := dir.Scale(vs)
+	trans := geo.XY{X: s.TranslationEastMS, Y: s.TranslationNorthMS}
+	if tn := trans.Norm(); tn > 0 && vs > 0 {
+		align := (tangential.Dot(trans)/tn + 1) / 2 // 0 (left) .. 1 (right)
+		weight := asymmetryFraction * align * math.Exp(-math.Abs(r-s.RMaxMeters)/(4*s.RMaxMeters))
+		vel = vel.Add(trans.Scale(weight))
+	}
+
+	speed := vel.Norm()
+	sample := Sample{SpeedMS: speed, PressureHPa: pressure}
+	if speed > 0 {
+		u := vel.Scale(1 / speed)
+		sample.DirEast, sample.DirNorth = u.X, u.Y
+	}
+	return sample
+}
