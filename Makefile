@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test vet race bench-smoke bench verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every Figure-class benchmark: a fast smoke test that
+# the engine path still evaluates the paper figures end to end.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Figure' -benchtime 1x .
+
+# Full benchmark sweep with allocation counts (slow: regenerates the
+# 1000-realization ensemble).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/engine/ ./internal/attack/
+
+# The documented verification gate: vet, build, race-enabled tests, and
+# the benchmark smoke run.
+verify: vet build race bench-smoke

@@ -105,6 +105,86 @@ func BenchmarkFig10(b *testing.B) { benchFigure(b, 10) }
 // HKD. Paper: "6-6" restores via Kahe; "6+6+6" 100% green.
 func BenchmarkFig11(b *testing.B) { benchFigure(b, 11) }
 
+// benchFigureConfigs resolves one paper figure to its configuration
+// family for the engine-vs-sequential comparison benchmarks.
+func benchFigureConfigs(b *testing.B, id int) (*analysis.CaseStudy, []topology.Config, threat.Scenario) {
+	cs := benchCaseStudy(b)
+	fig, err := analysis.FigureByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs, err := topology.StandardConfigs(fig.Placement)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cs, configs, fig.Scenario
+}
+
+// BenchmarkFigure9Sequential is the pre-engine baseline: Figure 9 (the
+// full compound threat) evaluated with the plain per-realization
+// reference path, exactly as the seed revision computed every figure.
+func BenchmarkFigure9Sequential(b *testing.B) {
+	cs, configs, scenario := benchFigureConfigs(b, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.RunConfigsSequential(cs.Ensemble(), configs, scenario); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9Workers evaluates Figure 9 on the engine path at
+// several worker bounds. Compare against BenchmarkFigure9Sequential
+// for the speedup; the gain is dominated by the bit-packed matrix and
+// per-flood-pattern memoization, so it holds even at workers=1.
+func BenchmarkFigure9Workers(b *testing.B) {
+	cs, configs, scenario := benchFigureConfigs(b, 9)
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opt := analysis.Options{Workers: workers}
+				if _, err := analysis.RunConfigsOpt(cs.Ensemble(), configs, scenario, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigureAllSequential evaluates all six paper figures on the
+// sequential reference path.
+func BenchmarkFigureAllSequential(b *testing.B) {
+	cs := benchCaseStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, fig := range analysis.PaperFigures() {
+			configs, err := topology.StandardConfigs(fig.Placement)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := analysis.RunConfigsSequential(cs.Ensemble(), configs, fig.Scenario); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigureAllEngine evaluates all six paper figures through
+// EvaluateAllFigures: flattened (figure, config) cells with shared
+// failure matrices.
+func BenchmarkFigureAllEngine(b *testing.B) {
+	cs := benchCaseStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.EvaluateAllFigures(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTableI evaluates the Table I rules across every
 // (configuration, site state, intrusion count) combination.
 func BenchmarkTableI(b *testing.B) {

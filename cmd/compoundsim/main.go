@@ -4,15 +4,18 @@
 // Usage:
 //
 //	compoundsim [-fig N] [-realizations N] [-seed S] [-csv] [-table1]
+//	            [-workers N]
 //
 // Without -fig it evaluates every figure. -csv emits machine-readable
-// rows instead of terminal tables.
+// rows instead of terminal tables. -workers bounds analysis
+// parallelism (0 = one worker per CPU).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"compoundthreat/internal/analysis"
 	"compoundthreat/internal/assets"
@@ -46,12 +49,17 @@ func run(args []string) error {
 	summary := fs.Bool("summary", false, "print the dominant-state matrix instead of figures")
 	quake := fs.Bool("quake", false, "use the earthquake hazard (south-flank fault) instead of the hurricane")
 	fragilityBeta := fs.Float64("fragility", 0, "replace the 0.5 m threshold with a lognormal fragility curve of this dispersion (0 = off)")
+	workers := fs.Int("workers", 0, "analysis worker bound (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers < 0 {
+		return fmt.Errorf("negative workers %d", *workers)
+	}
+	opt := analysis.Options{Workers: *workers}
 
 	if *quake {
-		return runQuake(*realizations, *seed)
+		return runQuake(*realizations, *seed, opt)
 	}
 
 	gen, err := hazard.NewGenerator(terrain.NewOahu(), surge.DefaultParams(), assets.Oahu())
@@ -72,6 +80,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	cs.SetWorkers(*workers)
 
 	if *table1 {
 		if err := report.WriteTableI(os.Stdout); err != nil {
@@ -87,19 +96,19 @@ func run(args []string) error {
 	}
 
 	if *power != "" {
-		return runPowerSweep(ensemble, *power, *csv)
+		return runPowerSweep(ensemble, *power, *csv, *workers)
 	}
 	if *extended {
-		return runExtended(ensemble, *csv)
+		return runExtended(ensemble, *csv, opt)
 	}
 	if *downtime {
 		return runDowntime(ensemble)
 	}
 	if *summary {
-		return runSummary(ensemble)
+		return runSummary(ensemble, opt)
 	}
 	if *fragilityBeta > 0 {
-		return runFragility(ensemble, *fragilityBeta)
+		return runFragility(ensemble, *fragilityBeta, opt)
 	}
 
 	figures := analysis.PaperFigures()
@@ -111,10 +120,12 @@ func run(args []string) error {
 		figures = []analysis.Figure{f}
 	}
 	for _, f := range figures {
+		start := time.Now()
 		res, err := cs.EvaluateFigure(f)
 		if err != nil {
 			return err
 		}
+		fmt.Fprintf(os.Stderr, "figure %d evaluated in %v\n", f.ID, time.Since(start).Round(time.Microsecond))
 		if *csv {
 			if err := report.WriteFigureCSV(os.Stdout, res); err != nil {
 				return err
@@ -132,7 +143,7 @@ func run(args []string) error {
 // runExtended evaluates the extended configuration family (Babay et
 // al.'s wider architecture set) under every threat scenario, with
 // AlohaNAP as the second data center of "3+3+3+3".
-func runExtended(e *hazard.Ensemble, csv bool) error {
+func runExtended(e *hazard.Ensemble, csv bool, opt analysis.Options) error {
 	configs, err := topology.ExtendedConfigs(topology.ExtendedPlacement{
 		Placement: topology.Placement{
 			Primary:    assets.HonoluluCC,
@@ -145,7 +156,7 @@ func runExtended(e *hazard.Ensemble, csv bool) error {
 		return err
 	}
 	for fi, scenario := range threat.Scenarios() {
-		outcomes, err := analysis.RunConfigs(e, configs, scenario)
+		outcomes, err := analysis.RunConfigsOpt(e, configs, scenario, opt)
 		if err != nil {
 			return err
 		}
@@ -175,7 +186,7 @@ func runExtended(e *hazard.Ensemble, csv bool) error {
 // fragility curve (median at the paper's 0.5 m threshold) instead of
 // the hard threshold, for sensitivity analysis on the failure
 // criterion.
-func runFragility(e *hazard.Ensemble, beta float64) error {
+func runFragility(e *hazard.Ensemble, beta float64, opt analysis.Options) error {
 	fe, err := hazard.NewFragilityEnsemble(e, hazard.Fragility{
 		MedianMeters: e.Config().FloodThresholdMeters,
 		Beta:         beta,
@@ -205,7 +216,7 @@ func runFragility(e *hazard.Ensemble, beta float64) error {
 	if err != nil {
 		return err
 	}
-	matrix, err := analysis.RunMatrix(fe, configs)
+	matrix, err := analysis.RunMatrixOpt(fe, configs, opt)
 	if err != nil {
 		return err
 	}
@@ -217,7 +228,7 @@ func runFragility(e *hazard.Ensemble, beta float64) error {
 // placements. Earthquakes correlate failures by distance from the
 // fault, not by shore exposure, so the hurricane-safe Kahe placement
 // is no longer automatically safe.
-func runQuake(realizations int, seed int64) error {
+func runQuake(realizations int, seed int64, opt analysis.Options) error {
 	inv := assets.Oahu()
 	cfg := seismic.OahuScenario()
 	cfg.Realizations = realizations
@@ -251,7 +262,7 @@ func runQuake(realizations int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		matrix, err := analysis.RunMatrix(ensemble, configs)
+		matrix, err := analysis.RunMatrixOpt(ensemble, configs, opt)
 		if err != nil {
 			return err
 		}
@@ -266,7 +277,7 @@ func runQuake(realizations int, seed int64) error {
 
 // runSummary prints the dominant-state matrix across configurations
 // and scenarios.
-func runSummary(e *hazard.Ensemble) error {
+func runSummary(e *hazard.Ensemble, opt analysis.Options) error {
 	configs, err := topology.StandardConfigs(topology.Placement{
 		Primary:    assets.HonoluluCC,
 		Second:     assets.Waiau,
@@ -275,7 +286,7 @@ func runSummary(e *hazard.Ensemble) error {
 	if err != nil {
 		return err
 	}
-	matrix, err := analysis.RunMatrix(e, configs)
+	matrix, err := analysis.RunMatrixOpt(e, configs, opt)
 	if err != nil {
 		return err
 	}
@@ -309,7 +320,7 @@ func runDowntime(e *hazard.Ensemble) error {
 
 // runPowerSweep traces the configuration's profile as attacker success
 // probability grows (the paper's SVII realistic-attacker question).
-func runPowerSweep(e *hazard.Ensemble, configName string, csv bool) error {
+func runPowerSweep(e *hazard.Ensemble, configName string, csv bool, workers int) error {
 	configs, err := topology.StandardConfigs(topology.Placement{
 		Primary:    assets.HonoluluCC,
 		Second:     assets.Waiau,
@@ -334,6 +345,7 @@ func runPowerSweep(e *hazard.Ensemble, configName string, csv bool) error {
 		Capability: threat.HurricaneIntrusionIsolation.Capability(),
 		Successes:  []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1},
 		Seed:       1,
+		Workers:    workers,
 	})
 	if err != nil {
 		return err

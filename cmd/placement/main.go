@@ -6,12 +6,14 @@
 // Usage:
 //
 //	placement [-scenario both] [-realizations N] [-pairs] [-top K]
+//	          [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"compoundthreat/internal/assets"
 	"compoundthreat/internal/hazard"
@@ -35,6 +37,7 @@ func run(args []string) error {
 	realizations := fs.Int("realizations", 1000, "hurricane realizations")
 	pairs := fs.Bool("pairs", false, "search (second, data center) pairs instead of second site only")
 	top := fs.Int("top", 10, "show the top K candidates")
+	workers := fs.Int("workers", 0, "search worker bound (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,7 +64,9 @@ func run(args []string) error {
 		Inventory: inv,
 		Primary:   assets.HonoluluCC,
 		Scenario:  scenario,
+		Workers:   *workers,
 	}
+	start := time.Now()
 	var candidates []placement.Candidate
 	if *pairs {
 		candidates, err = placement.SearchPairs(req)
@@ -71,6 +76,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "searched %d placements in %v\n", len(candidates), time.Since(start).Round(time.Microsecond))
 
 	fmt.Printf("placement study: primary=%s scenario=%q config=6+6+6\n",
 		assets.HonoluluCC, scenario)

@@ -140,6 +140,8 @@ type (
 	DependencyMap = analysis.DependencyMap
 	// DependentEnsemble overlays interdependencies on an ensemble.
 	DependentEnsemble = analysis.DependentEnsemble
+	// AnalysisOptions tunes engine scheduling (worker bound).
+	AnalysisOptions = analysis.Options
 )
 
 // Operational states in severity order.
@@ -241,6 +243,22 @@ func Analyze(e *Ensemble, cfg Config, sc ThreatScenario) (Outcome, error) {
 // AnalyzeConfigs evaluates several configurations under one scenario.
 func AnalyzeConfigs(e *Ensemble, configs []Config, sc ThreatScenario) ([]Outcome, error) {
 	return analysis.RunConfigs(e, configs, sc)
+}
+
+// AnalyzeOpt is Analyze with an explicit worker bound (0 = NumCPU).
+func AnalyzeOpt(e *Ensemble, cfg Config, sc ThreatScenario, opt AnalysisOptions) (Outcome, error) {
+	return analysis.RunOpt(e, cfg, sc, opt)
+}
+
+// AnalyzeConfigsOpt is AnalyzeConfigs with an explicit worker bound.
+func AnalyzeConfigsOpt(e *Ensemble, configs []Config, sc ThreatScenario, opt AnalysisOptions) ([]Outcome, error) {
+	return analysis.RunConfigsOpt(e, configs, sc, opt)
+}
+
+// AnalyzeMatrix evaluates every configuration under every threat
+// scenario, parallelizing the (config, scenario) cells.
+func AnalyzeMatrix(e *Ensemble, configs []Config) (map[ThreatScenario][]Outcome, error) {
+	return analysis.RunMatrix(e, configs)
 }
 
 // WorstCaseAttack applies the paper's worst-case attacker to a

@@ -6,6 +6,12 @@
 // flooded), applies the worst-case cyberattack for the chosen threat
 // scenario, evaluates the resulting operational state (Table I), and
 // aggregates outcome probabilities over the ensemble.
+//
+// Two execution paths produce bit-identical results. The default path
+// compiles the ensemble into a bit-packed failure matrix and evaluates
+// it with the allocation-free, parallel engine (internal/engine); the
+// *Sequential functions are the straightforward reference
+// implementations that the engine is cross-checked against in tests.
 package analysis
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 
 	"compoundthreat/internal/attack"
+	"compoundthreat/internal/engine"
 	"compoundthreat/internal/opstate"
 	"compoundthreat/internal/stats"
 	"compoundthreat/internal/threat"
@@ -22,7 +29,10 @@ import (
 // DisasterEnsemble is the disaster-agnostic view of a realization
 // ensemble: the analysis pipeline only needs to know, per realization,
 // which assets the disaster took out. hazard.Ensemble (hurricanes) and
-// seismic.Ensemble (earthquakes) both satisfy it.
+// seismic.Ensemble (earthquakes) both satisfy it. Implementations must
+// be safe for concurrent readers (every ensemble in this module is:
+// they are immutable after generation); those that also provide
+// engine.VectorAppender get an allocation-free compile path.
 type DisasterEnsemble interface {
 	// Size returns the number of realizations.
 	Size() int
@@ -32,6 +42,14 @@ type DisasterEnsemble interface {
 	// FailureRate returns the fraction of realizations in which the
 	// asset fails.
 	FailureRate(assetID string) (float64, error)
+}
+
+// Options tunes how the analysis engine schedules work.
+type Options struct {
+	// Workers bounds parallelism: 0 (the default) uses
+	// runtime.NumCPU(); 1 runs single-threaded (still on the
+	// allocation-free engine path).
+	Workers int
 }
 
 // Outcome is the result of analyzing one configuration under one
@@ -46,26 +64,70 @@ type Outcome struct {
 	Profile *stats.Profile
 }
 
-// Run analyzes one configuration under one scenario across the whole
-// ensemble.
-func Run(e DisasterEnsemble, cfg topology.Config, scenario threat.Scenario) (Outcome, error) {
+// siteAssets returns the configuration's site asset IDs in order.
+func siteAssets(cfg topology.Config) []string {
+	out := make([]string, len(cfg.Sites))
+	for i, s := range cfg.Sites {
+		out[i] = s.AssetID
+	}
+	return out
+}
+
+// validateCell checks the shared preconditions of every analysis entry
+// point.
+func validateCell(e DisasterEnsemble, cfg topology.Config, scenario threat.Scenario) error {
 	if e == nil {
-		return Outcome{}, errors.New("analysis: nil ensemble")
+		return errors.New("analysis: nil ensemble")
 	}
 	if !scenario.Valid() {
-		return Outcome{}, fmt.Errorf("analysis: invalid scenario %d", int(scenario))
+		return fmt.Errorf("analysis: invalid scenario %d", int(scenario))
 	}
-	if err := cfg.Validate(); err != nil {
+	return cfg.Validate()
+}
+
+// Run analyzes one configuration under one scenario across the whole
+// ensemble on the engine path, parallelizing realization chunks across
+// runtime.NumCPU() workers. Results are bit-identical to
+// RunSequential.
+func Run(e DisasterEnsemble, cfg topology.Config, scenario threat.Scenario) (Outcome, error) {
+	return RunOpt(e, cfg, scenario, Options{})
+}
+
+// RunOpt is Run with an explicit worker bound.
+func RunOpt(e DisasterEnsemble, cfg topology.Config, scenario threat.Scenario, opt Options) (Outcome, error) {
+	if err := validateCell(e, cfg, scenario); err != nil {
 		return Outcome{}, err
 	}
-	siteAssets := make([]string, len(cfg.Sites))
-	for i, s := range cfg.Sites {
-		siteAssets[i] = s.AssetID
+	m, err := engine.NewFailureMatrix(e, siteAssets(cfg))
+	if err != nil {
+		return Outcome{}, fmt.Errorf("analysis: %s: %w", cfg.Name, err)
 	}
+	return runCell(m, cfg, scenario, opt.Workers)
+}
+
+// runCell evaluates one (config, scenario) cell against a compiled
+// matrix.
+func runCell(m *engine.FailureMatrix, cfg topology.Config, scenario threat.Scenario, workers int) (Outcome, error) {
+	profile, err := engine.CellProfile(m, cfg, scenario.Capability(), workers)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("analysis: %s: %w", cfg.Name, err)
+	}
+	return Outcome{Config: cfg, Scenario: scenario, Profile: profile}, nil
+}
+
+// RunSequential is the reference implementation of Run: a plain
+// realization loop with per-call allocations. The engine path is
+// cross-checked against it in tests; it is also the baseline the
+// BenchmarkFigure* speedups are measured from.
+func RunSequential(e DisasterEnsemble, cfg topology.Config, scenario threat.Scenario) (Outcome, error) {
+	if err := validateCell(e, cfg, scenario); err != nil {
+		return Outcome{}, err
+	}
+	assets := siteAssets(cfg)
 	cap := scenario.Capability()
 	profile := stats.NewProfile()
 	for r := 0; r < e.Size(); r++ {
-		flooded, err := e.FailureVector(r, siteAssets)
+		flooded, err := e.FailureVector(r, assets)
 		if err != nil {
 			return Outcome{}, fmt.Errorf("analysis: %s realization %d: %w", cfg.Name, r, err)
 		}
@@ -78,14 +140,69 @@ func Run(e DisasterEnsemble, cfg topology.Config, scenario threat.Scenario) (Out
 	return Outcome{Config: cfg, Scenario: scenario, Profile: profile}, nil
 }
 
-// RunConfigs analyzes several configurations under one scenario.
+// compileMatrices compiles one failure matrix per configuration.
+// Compilation stays sequential (it touches the ensemble through its
+// interface); evaluation afterwards reads only the immutable matrices
+// and parallelizes freely.
+func compileMatrices(e DisasterEnsemble, configs []topology.Config) ([]*engine.FailureMatrix, error) {
+	mats := make([]*engine.FailureMatrix, len(configs))
+	for i, cfg := range configs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		m, err := engine.NewFailureMatrix(e, siteAssets(cfg))
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", cfg.Name, err)
+		}
+		mats[i] = m
+	}
+	return mats, nil
+}
+
+// RunConfigs analyzes several configurations under one scenario,
+// evaluating the (config) cells in parallel.
 func RunConfigs(e DisasterEnsemble, configs []topology.Config, scenario threat.Scenario) ([]Outcome, error) {
+	return RunConfigsOpt(e, configs, scenario, Options{})
+}
+
+// RunConfigsOpt is RunConfigs with an explicit worker bound.
+func RunConfigsOpt(e DisasterEnsemble, configs []topology.Config, scenario threat.Scenario, opt Options) ([]Outcome, error) {
+	if len(configs) == 0 {
+		return nil, errors.New("analysis: no configurations")
+	}
+	if e == nil {
+		return nil, errors.New("analysis: nil ensemble")
+	}
+	if !scenario.Valid() {
+		return nil, fmt.Errorf("analysis: invalid scenario %d", int(scenario))
+	}
+	mats, err := compileMatrices(e, configs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Outcome, len(configs))
+	err = engine.ForEach(opt.Workers, len(configs), func(i int) error {
+		o, err := runCell(mats[i], configs[i], scenario, 1)
+		if err != nil {
+			return err
+		}
+		out[i] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunConfigsSequential is the reference implementation of RunConfigs.
+func RunConfigsSequential(e DisasterEnsemble, configs []topology.Config, scenario threat.Scenario) ([]Outcome, error) {
 	if len(configs) == 0 {
 		return nil, errors.New("analysis: no configurations")
 	}
 	out := make([]Outcome, 0, len(configs))
 	for _, cfg := range configs {
-		o, err := Run(e, cfg, scenario)
+		o, err := RunSequential(e, cfg, scenario)
 		if err != nil {
 			return nil, err
 		}
@@ -96,11 +213,50 @@ func RunConfigs(e DisasterEnsemble, configs []topology.Config, scenario threat.S
 
 // RunMatrix analyzes every configuration under every scenario,
 // returning results keyed by scenario in the paper's presentation
-// order.
+// order. All (config, scenario) cells are evaluated in parallel
+// against per-config failure matrices compiled once.
 func RunMatrix(e DisasterEnsemble, configs []topology.Config) (map[threat.Scenario][]Outcome, error) {
+	return RunMatrixOpt(e, configs, Options{})
+}
+
+// RunMatrixOpt is RunMatrix with an explicit worker bound.
+func RunMatrixOpt(e DisasterEnsemble, configs []topology.Config, opt Options) (map[threat.Scenario][]Outcome, error) {
+	if len(configs) == 0 {
+		return nil, errors.New("analysis: no configurations")
+	}
+	if e == nil {
+		return nil, errors.New("analysis: nil ensemble")
+	}
+	mats, err := compileMatrices(e, configs)
+	if err != nil {
+		return nil, err
+	}
+	scenarios := threat.Scenarios()
+	cells := make([]Outcome, len(scenarios)*len(configs))
+	err = engine.ForEach(opt.Workers, len(cells), func(k int) error {
+		si, ci := k/len(configs), k%len(configs)
+		o, err := runCell(mats[ci], configs[ci], scenarios[si], 1)
+		if err != nil {
+			return err
+		}
+		cells[k] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[threat.Scenario][]Outcome, len(scenarios))
+	for si, sc := range scenarios {
+		out[sc] = cells[si*len(configs) : (si+1)*len(configs)]
+	}
+	return out, nil
+}
+
+// RunMatrixSequential is the reference implementation of RunMatrix.
+func RunMatrixSequential(e DisasterEnsemble, configs []topology.Config) (map[threat.Scenario][]Outcome, error) {
 	out := make(map[threat.Scenario][]Outcome, len(threat.Scenarios()))
 	for _, sc := range threat.Scenarios() {
-		res, err := RunConfigs(e, configs, sc)
+		res, err := RunConfigsSequential(e, configs, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -127,4 +283,14 @@ func StateProbabilities(o Outcome) []float64 {
 		out = append(out, o.Profile.Probability(s))
 	}
 	return out
+}
+
+// failureVectorInto fills dst (reusing its capacity) with the failure
+// flags of realization r, preferring the ensemble's allocation-free
+// append path when it has one.
+func failureVectorInto(e DisasterEnsemble, dst []bool, r int, assetIDs []string) ([]bool, error) {
+	if ap, ok := e.(engine.VectorAppender); ok {
+		return ap.AppendFailureVector(dst[:0], r, assetIDs)
+	}
+	return e.FailureVector(r, assetIDs)
 }

@@ -93,16 +93,15 @@ func RunDowntime(e DisasterEnsemble, cfg topology.Config, scenario threat.Scenar
 	if err := cfg.Validate(); err != nil {
 		return DowntimeOutcome{}, err
 	}
-	siteAssets := make([]string, len(cfg.Sites))
-	for i, s := range cfg.Sites {
-		siteAssets[i] = s.AssetID
-	}
+	assets := siteAssets(cfg)
 	cap := scenario.Capability()
 	profile := stats.NewProfile()
 	downtimes := make([]float64, 0, e.Size())
 	var total time.Duration
+	flooded := make([]bool, 0, len(assets))
 	for r := 0; r < e.Size(); r++ {
-		flooded, err := e.FailureVector(r, siteAssets)
+		var err error
+		flooded, err = failureVectorInto(e, flooded, r, assets)
 		if err != nil {
 			return DowntimeOutcome{}, err
 		}

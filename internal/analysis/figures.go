@@ -3,8 +3,10 @@ package analysis
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"compoundthreat/internal/assets"
+	"compoundthreat/internal/engine"
 	"compoundthreat/internal/hazard"
 	"compoundthreat/internal/surge"
 	"compoundthreat/internal/terrain"
@@ -77,6 +79,7 @@ type FigureResult struct {
 // paper figures against it. Generate it once and evaluate many figures.
 type CaseStudy struct {
 	ensemble *hazard.Ensemble
+	workers  int
 }
 
 // NewCaseStudy wraps an existing ensemble.
@@ -86,6 +89,9 @@ func NewCaseStudy(e *hazard.Ensemble) (*CaseStudy, error) {
 	}
 	return &CaseStudy{ensemble: e}, nil
 }
+
+// SetWorkers bounds evaluation parallelism (0 = runtime.NumCPU()).
+func (cs *CaseStudy) SetWorkers(n int) { cs.workers = n }
 
 // NewOahuCaseStudy builds the full Oahu case study: terrain, assets,
 // surge solver, and the calibrated hurricane ensemble. realizations
@@ -116,23 +122,71 @@ func (cs *CaseStudy) EvaluateFigure(f Figure) (FigureResult, error) {
 	if err != nil {
 		return FigureResult{}, err
 	}
-	outcomes, err := RunConfigs(cs.ensemble, configs, f.Scenario)
+	outcomes, err := RunConfigsOpt(cs.ensemble, configs, f.Scenario, Options{Workers: cs.workers})
 	if err != nil {
 		return FigureResult{}, err
 	}
 	return FigureResult{Figure: f, Outcomes: outcomes}, nil
 }
 
-// EvaluateAllFigures evaluates every paper figure in order.
+// EvaluateAllFigures evaluates every paper figure in order. The work
+// is flattened to (figure, configuration) cells and evaluated in
+// parallel, with failure matrices compiled once per distinct site set
+// and shared across figures.
 func (cs *CaseStudy) EvaluateAllFigures() ([]FigureResult, error) {
 	figs := PaperFigures()
-	out := make([]FigureResult, 0, len(figs))
-	for _, f := range figs {
-		r, err := cs.EvaluateFigure(f)
+
+	// Flatten figures into cells, compiling each distinct site set once
+	// (figures share placements, and configurations within a placement
+	// share site subsets).
+	type cell struct {
+		fig int // index into figs
+		cfg topology.Config
+		mat *engine.FailureMatrix
+	}
+	var cells []cell
+	mats := make(map[string]*engine.FailureMatrix)
+	out := make([]FigureResult, len(figs))
+	for fi, f := range figs {
+		configs, err := topology.StandardConfigs(f.Placement)
 		if err != nil {
 			return nil, fmt.Errorf("figure %d: %w", f.ID, err)
 		}
-		out = append(out, r)
+		out[fi] = FigureResult{Figure: f, Outcomes: make([]Outcome, len(configs))}
+		for _, cfg := range configs {
+			key := strings.Join(siteAssets(cfg), "\x1f")
+			m, ok := mats[key]
+			if !ok {
+				var err error
+				m, err = engine.NewFailureMatrix(cs.ensemble, siteAssets(cfg))
+				if err != nil {
+					return nil, fmt.Errorf("figure %d: %s: %w", f.ID, cfg.Name, err)
+				}
+				mats[key] = m
+			}
+			cells = append(cells, cell{fig: fi, cfg: cfg, mat: m})
+		}
+	}
+
+	// Position of each cell within its figure's outcome slice.
+	pos := make([]int, len(cells))
+	seen := make(map[int]int, len(figs))
+	for i, c := range cells {
+		pos[i] = seen[c.fig]
+		seen[c.fig]++
+	}
+
+	err := engine.ForEach(cs.workers, len(cells), func(i int) error {
+		c := cells[i]
+		o, err := runCell(c.mat, c.cfg, figs[c.fig].Scenario, 1)
+		if err != nil {
+			return fmt.Errorf("figure %d: %w", figs[c.fig].ID, err)
+		}
+		out[c.fig].Outcomes[pos[i]] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -76,15 +76,21 @@ func (de *DependentEnsemble) Size() int { return de.base.Size() }
 // FailureVector returns effective failures: direct failure or the
 // failure of any (transitive) support asset.
 func (de *DependentEnsemble) FailureVector(r int, assetIDs []string) ([]bool, error) {
-	out := make([]bool, len(assetIDs))
-	for i, id := range assetIDs {
+	return de.AppendFailureVector(make([]bool, 0, len(assetIDs)), r, assetIDs)
+}
+
+// AppendFailureVector appends the effective failed flags of the given
+// assets in realization r to dst and returns the extended slice — the
+// append variant consumed by the analysis engine.
+func (de *DependentEnsemble) AppendFailureVector(dst []bool, r int, assetIDs []string) ([]bool, error) {
+	for _, id := range assetIDs {
 		f, err := de.failed(r, id)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = f
+		dst = append(dst, f)
 	}
-	return out, nil
+	return dst, nil
 }
 
 func (de *DependentEnsemble) failed(r int, id string) (bool, error) {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"compoundthreat/internal/attack"
+	"compoundthreat/internal/engine"
 	"compoundthreat/internal/stats"
 	"compoundthreat/internal/threat"
 	"compoundthreat/internal/topology"
@@ -39,6 +40,8 @@ type PowerSweepRequest struct {
 	TrialsPerRealization int
 	// Seed drives the attack randomness.
 	Seed int64
+	// Workers bounds parallelism across sweep points (0 = NumCPU).
+	Workers int
 }
 
 func (r PowerSweepRequest) validate() error {
@@ -49,6 +52,8 @@ func (r PowerSweepRequest) validate() error {
 		return errors.New("analysis: no sweep points")
 	case r.TrialsPerRealization < 0:
 		return errors.New("analysis: negative trials")
+	case r.Workers < 0:
+		return errors.New("analysis: negative workers")
 	}
 	for _, s := range r.Successes {
 		if s < 0 || s > 1 {
@@ -58,7 +63,18 @@ func (r PowerSweepRequest) validate() error {
 	return r.Config.Validate()
 }
 
-// RunPowerSweep evaluates the configuration across the success grid.
+// pointSeed derives the attack-randomness seed of (point, realization)
+// so points are independent and runs reproducible regardless of worker
+// scheduling.
+func pointSeed(base int64, point, realization int) int64 {
+	return base + int64(point)*1e9 + int64(realization)
+}
+
+// RunPowerSweep evaluates the configuration across the success grid,
+// running sweep points in parallel against a failure matrix compiled
+// once. Results are bit-identical to RunPowerSweepSequential: the
+// attack randomness is seeded per (point, realization), independent of
+// scheduling.
 func RunPowerSweep(req PowerSweepRequest) ([]PowerPoint, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
@@ -67,10 +83,52 @@ func RunPowerSweep(req PowerSweepRequest) ([]PowerPoint, error) {
 	if trials == 0 {
 		trials = 1
 	}
-	siteAssets := make([]string, len(req.Config.Sites))
-	for i, s := range req.Config.Sites {
-		siteAssets[i] = s.AssetID
+	m, err := engine.NewFailureMatrix(req.Ensemble, siteAssets(req.Config))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", req.Config.Name, err)
 	}
+	cols, err := m.Columns(siteAssets(req.Config))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PowerPoint, len(req.Successes))
+	err = engine.ForEach(req.Workers, len(req.Successes), func(pi int) error {
+		success := req.Successes[pi]
+		power := attack.Power{
+			Capability:       req.Capability,
+			IntrusionSuccess: success,
+			IsolationSuccess: success,
+		}
+		profile := stats.NewProfile()
+		flooded := make([]bool, 0, len(cols))
+		for r := 0; r < m.Rows(); r++ {
+			flooded = m.Gather(flooded[:0], r, cols)
+			p, err := attack.ProfileUnderPower(req.Config, flooded, power, trials, pointSeed(req.Seed, pi, r))
+			if err != nil {
+				return err
+			}
+			profile.Merge(p)
+		}
+		out[pi] = PowerPoint{Success: success, Profile: profile}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunPowerSweepSequential is the reference implementation of
+// RunPowerSweep: a plain nested loop over points and realizations.
+func RunPowerSweepSequential(req PowerSweepRequest) ([]PowerPoint, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	trials := req.TrialsPerRealization
+	if trials == 0 {
+		trials = 1
+	}
+	assets := siteAssets(req.Config)
 	out := make([]PowerPoint, 0, len(req.Successes))
 	for pi, success := range req.Successes {
 		power := attack.Power{
@@ -80,14 +138,11 @@ func RunPowerSweep(req PowerSweepRequest) ([]PowerPoint, error) {
 		}
 		profile := stats.NewProfile()
 		for r := 0; r < req.Ensemble.Size(); r++ {
-			flooded, err := req.Ensemble.FailureVector(r, siteAssets)
+			flooded, err := req.Ensemble.FailureVector(r, assets)
 			if err != nil {
 				return nil, err
 			}
-			// Seed per (point, realization) so points are independent
-			// and runs reproducible.
-			seed := req.Seed + int64(pi)*1e9 + int64(r)
-			p, err := attack.ProfileUnderPower(req.Config, flooded, power, trials, seed)
+			p, err := attack.ProfileUnderPower(req.Config, flooded, power, trials, pointSeed(req.Seed, pi, r))
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,100 @@
+package attack
+
+// Analyzer is the allocation-free evaluation path of the worst-case
+// attacker. WorstCase validates its inputs and allocates a fresh
+// SystemState and Plan on every call, which is fine for one-off
+// evaluations but dominates the realization loop of an ensemble sweep
+// (1000+ calls per (configuration, scenario) cell). An Analyzer
+// validates the configuration and capability once, preallocates the
+// scratch state, and then evaluates post-disaster flood vectors with
+// zero per-call allocations, producing exactly the same operational
+// state as WorstCase for every input.
+
+import (
+	"errors"
+
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// errFloodedLength is returned without allocating on the hot path.
+var errFloodedLength = errors.New("attack: flooded vector length does not match configuration sites")
+
+// Analyzer evaluates many post-disaster states against one
+// (configuration, capability) pair without per-call allocations. It is
+// not safe for concurrent use; give each worker its own Analyzer.
+type Analyzer struct {
+	cfg topology.Config
+	cap threat.Capability
+	st  opstate.SystemState
+}
+
+// NewAnalyzer validates the configuration and capability once and
+// returns an analyzer with preallocated scratch state.
+func NewAnalyzer(cfg topology.Config, cap threat.Capability) (*Analyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cap.Validate(); err != nil {
+		return nil, err
+	}
+	return &Analyzer{cfg: cfg, cap: cap, st: opstate.NewSystemState(len(cfg.Sites))}, nil
+}
+
+// Sites returns the number of sites in the analyzed configuration.
+func (a *Analyzer) Sites() int { return len(a.cfg.Sites) }
+
+// Evaluate runs the greedy worst-case attack against the flooded
+// vector and returns the resulting operational state. It performs no
+// allocations and agrees with WorstCase on every input.
+func (a *Analyzer) Evaluate(flooded []bool) (opstate.State, error) {
+	if len(flooded) != len(a.cfg.Sites) {
+		return 0, errFloodedLength
+	}
+	copy(a.st.Flooded, flooded)
+	return a.run()
+}
+
+// EvaluateMask is Evaluate for a bit-packed flood vector: bit i of
+// mask marks site i as flooded. The configuration must have at most 64
+// sites (guaranteed for every configuration family in this module).
+func (a *Analyzer) EvaluateMask(mask uint64) (opstate.State, error) {
+	for i := range a.st.Flooded {
+		a.st.Flooded[i] = mask&(1<<uint(i)) != 0
+	}
+	return a.run()
+}
+
+// run executes the greedy policy of WorstCase against a.st.Flooded,
+// reusing the scratch state.
+func (a *Analyzer) run() (opstate.State, error) {
+	st := a.st
+	for i := range st.Isolated {
+		st.Isolated[i] = false
+		st.Intrusions[i] = 0
+	}
+
+	// Rule 1: compromise safety if possible.
+	need := a.cfg.IntrusionsTolerated + 1
+	if a.cap.Intrusions >= need && placeIntrusions(a.cfg, st, nil, need) {
+		return opstate.EvaluateUnchecked(a.cfg, st)
+	}
+	for i := range st.Intrusions {
+		st.Intrusions[i] = 0
+	}
+
+	// Rule 2: isolate the most valuable functioning sites first.
+	remaining := a.cap.Isolations
+	for i := 0; i < len(a.cfg.Sites) && remaining > 0; i++ {
+		if st.SiteFunctional(i) {
+			st.Isolated[i] = true
+			remaining--
+		}
+	}
+
+	// Rule 3: spend the intrusion budget on functioning sites.
+	placeIntrusions(a.cfg, st, nil, a.cap.Intrusions)
+
+	return opstate.EvaluateUnchecked(a.cfg, st)
+}

@@ -1,0 +1,136 @@
+package attack
+
+import (
+	"testing"
+
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// analyzerConfigs is the configuration family the analyzer must agree
+// with WorstCase on, spanning 1-3 sites and all architectures.
+func analyzerConfigs() []topology.Config {
+	return []topology.Config{
+		topology.NewConfig2("p"),
+		topology.NewConfig22("p", "s"),
+		topology.NewConfig6("p"),
+		topology.NewConfig66("p", "s"),
+		topology.NewConfig666("p", "s", "d"),
+	}
+}
+
+func analyzerCapabilities() []threat.Capability {
+	return []threat.Capability{
+		{},
+		{Intrusions: 1},
+		{Isolations: 1},
+		{Intrusions: 1, Isolations: 1},
+		{Intrusions: 2, Isolations: 2},
+	}
+}
+
+// TestAnalyzerMatchesWorstCase sweeps every flood pattern of every
+// configuration under every capability and checks that the reusable
+// analyzer lands on exactly the WorstCase state.
+func TestAnalyzerMatchesWorstCase(t *testing.T) {
+	for _, cfg := range analyzerConfigs() {
+		for _, cap := range analyzerCapabilities() {
+			an, err := NewAnalyzer(cfg, cap)
+			if err != nil {
+				t.Fatalf("%s: NewAnalyzer: %v", cfg.Name, err)
+			}
+			if an.Sites() != len(cfg.Sites) {
+				t.Fatalf("%s: Sites() = %d, want %d", cfg.Name, an.Sites(), len(cfg.Sites))
+			}
+			n := len(cfg.Sites)
+			flooded := make([]bool, n)
+			for mask := uint64(0); mask < 1<<n; mask++ {
+				for i := range flooded {
+					flooded[i] = mask&(1<<i) != 0
+				}
+				want, err := WorstCase(cfg, flooded, cap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := an.Evaluate(flooded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want.State {
+					t.Errorf("%s cap=%+v flooded=%v: Evaluate = %v, WorstCase = %v",
+						cfg.Name, cap, flooded, got, want.State)
+				}
+				gotMask, err := an.EvaluateMask(mask)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotMask != got {
+					t.Errorf("%s cap=%+v mask=%b: EvaluateMask = %v, Evaluate = %v",
+						cfg.Name, cap, mask, gotMask, got)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzerReuse runs the same analyzer over alternating inputs to
+// confirm the scratch state fully resets between evaluations.
+func TestAnalyzerReuse(t *testing.T) {
+	cfg := topology.NewConfig666("p", "s", "d")
+	cap := threat.HurricaneIntrusionIsolation.Capability()
+	an, err := NewAnalyzer(cfg, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]bool{
+		{false, false, false},
+		{true, true, true},
+		{false, false, false},
+		{true, false, false},
+		{false, false, false},
+	}
+	want := make(map[string]interface{})
+	for pass := 0; pass < 3; pass++ {
+		for _, in := range inputs {
+			got, err := an.Evaluate(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := ""
+			for _, f := range in {
+				if f {
+					key += "1"
+				} else {
+					key += "0"
+				}
+			}
+			if prev, ok := want[key]; ok && prev != got {
+				t.Fatalf("pattern %s: state changed across reuse: %v then %v", key, prev, got)
+			}
+			want[key] = got
+			ref, err := WorstCase(cfg, in, cap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref.State {
+				t.Errorf("pattern %s: Evaluate = %v, WorstCase = %v", key, got, ref.State)
+			}
+		}
+	}
+}
+
+func TestAnalyzerValidation(t *testing.T) {
+	if _, err := NewAnalyzer(topology.Config{}, threat.Capability{}); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := NewAnalyzer(topology.NewConfig2("p"), threat.Capability{Intrusions: -1}); err == nil {
+		t.Error("invalid capability should error")
+	}
+	an, err := NewAnalyzer(topology.NewConfig22("p", "s"), threat.Capability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.Evaluate([]bool{true}); err == nil {
+		t.Error("wrong flooded length should error")
+	}
+}

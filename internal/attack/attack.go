@@ -107,8 +107,8 @@ func WorstCase(cfg topology.Config, flooded []bool, cap threat.Capability) (Resu
 
 // placeIntrusions greedily places up to budget intrusions into
 // functional sites (respecting per-site replica counts), updating both
-// the state and the plan. It reports whether the full budget was
-// placed.
+// the state and the plan (perSite may be nil when no plan is kept). It
+// reports whether the full budget was placed.
 func placeIntrusions(cfg topology.Config, st opstate.SystemState, perSite []int, budget int) bool {
 	for i := range cfg.Sites {
 		if budget == 0 {
@@ -120,7 +120,9 @@ func placeIntrusions(cfg topology.Config, st opstate.SystemState, perSite []int,
 		room := cfg.Sites[i].Replicas - st.Intrusions[i]
 		take := min(room, budget)
 		st.Intrusions[i] += take
-		perSite[i] += take
+		if perSite != nil {
+			perSite[i] += take
+		}
 		budget -= take
 	}
 	return budget == 0

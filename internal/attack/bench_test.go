@@ -19,6 +19,45 @@ func BenchmarkWorstCase(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzerEvaluate measures the reusable-scratch evaluation
+// path against BenchmarkWorstCase (same input): with validation hoisted
+// into construction and no per-call SystemState, it runs with
+// 0 allocs/op (verify with -benchmem).
+func BenchmarkAnalyzerEvaluate(b *testing.B) {
+	cfg := topology.NewConfig666("p", "s", "d")
+	flooded := []bool{true, false, false}
+	cap := threat.Capability{Intrusions: 1, Isolations: 1}
+	an, err := NewAnalyzer(cfg, cap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.Evaluate(flooded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzerEvaluateMask is the bitmask entry point used by the
+// engine's memoizer.
+func BenchmarkAnalyzerEvaluateMask(b *testing.B) {
+	cfg := topology.NewConfig666("p", "s", "d")
+	cap := threat.Capability{Intrusions: 1, Isolations: 1}
+	an, err := NewAnalyzer(cfg, cap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.EvaluateMask(uint64(i) & 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkWorstCaseExhaustive(b *testing.B) {
 	cfg := topology.NewConfig666("p", "s", "d")
 	flooded := []bool{true, false, false}

@@ -1,0 +1,73 @@
+package engine_test
+
+// Allocation benchmarks for the engine hot path: the per-realization
+// loop of AddRange must not allocate (run with -benchmem to verify
+// 0 allocs/op).
+
+import (
+	"testing"
+
+	"compoundthreat/internal/engine"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+func benchFixture(b *testing.B) (*engine.FailureMatrix, topology.Config, threat.Capability) {
+	assets := []string{"p", "s", "d"}
+	e := randomEnsemble(b, 42, 1000, assets)
+	m, err := engine.NewFailureMatrix(e, assets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, topology.NewConfig666("p", "s", "d"), threat.HurricaneIntrusionIsolation.Capability()
+}
+
+// BenchmarkAddRange measures the memoized inner loop over 1000
+// realizations. The memo is warmed before the timer so the steady-state
+// figure is pure bit-extraction plus a table lookup: 0 allocs/op.
+func BenchmarkAddRange(b *testing.B) {
+	m, cfg, cap := benchFixture(b)
+	ev, err := engine.NewEvaluator(m, cfg, cap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var warm engine.Counts
+	if err := ev.AddRange(&warm, 0, m.Rows()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var counts engine.Counts
+		if err := ev.AddRange(&counts, 0, m.Rows()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCellCounts measures a full cold cell evaluation, including
+// evaluator construction and memo fill.
+func BenchmarkCellCounts(b *testing.B) {
+	m, cfg, cap := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.CellCounts(m, cfg, cap, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatrixCompile measures compiling the 1000-realization
+// failure matrix itself.
+func BenchmarkMatrixCompile(b *testing.B) {
+	assets := []string{"p", "s", "d"}
+	e := randomEnsemble(b, 42, 1000, assets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.NewFailureMatrix(e, assets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"compoundthreat/internal/attack"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/stats"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// maxMemoSites bounds the per-pattern memo table (2^S entries). Every
+// configuration family in this module has at most four sites; beyond
+// the bound the evaluator falls back to per-realization evaluation,
+// which is still allocation-free.
+const maxMemoSites = 16
+
+// Counts is a fixed-size operational-state histogram, indexed by
+// opstate.State. It is the allocation-free accumulator of the
+// realization loop; convert to a stats.Profile once per cell.
+type Counts [int(opstate.Gray) + 1]int
+
+// Add merges other into c.
+func (c *Counts) Add(other *Counts) {
+	for i, n := range other {
+		c[i] += n
+	}
+}
+
+// Total returns the number of recorded outcomes.
+func (c *Counts) Total() int {
+	var t int
+	for _, n := range c {
+		t += n
+	}
+	return t
+}
+
+// Profile converts the histogram to a stats.Profile, adding states in
+// severity order so the result is identical to sequential accumulation.
+func (c *Counts) Profile() *stats.Profile {
+	p := stats.NewProfile()
+	for _, s := range opstate.States() {
+		p.AddN(s, c[s])
+	}
+	return p
+}
+
+// Evaluator evaluates one (configuration, attacker capability) cell
+// against a compiled failure matrix. It memoizes the worst-case
+// operational state per flooded-site pattern: the greedy attacker is a
+// pure function of which sites the disaster took out, so a
+// configuration with S sites needs at most 2^S attack evaluations no
+// matter how many realizations the ensemble has. Not safe for
+// concurrent use; give each worker its own Evaluator.
+type Evaluator struct {
+	m    *FailureMatrix
+	cols []int
+	an   *attack.Analyzer
+	// memo[p] is the outcome of flooded pattern p once have[p] is set.
+	memo  []opstate.State
+	have  []bool
+	flood []bool // scratch for the non-memoized fallback
+}
+
+// NewEvaluator resolves the configuration's site assets to matrix
+// columns and validates the configuration and capability once.
+func NewEvaluator(m *FailureMatrix, cfg topology.Config, cap threat.Capability) (*Evaluator, error) {
+	an, err := attack.NewAnalyzer(cfg, cap)
+	if err != nil {
+		return nil, err
+	}
+	siteAssets := make([]string, len(cfg.Sites))
+	for i, s := range cfg.Sites {
+		siteAssets[i] = s.AssetID
+	}
+	cols, err := m.Columns(siteAssets)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Evaluator{m: m, cols: cols, an: an}
+	if len(cols) <= maxMemoSites {
+		ev.memo = make([]opstate.State, 1<<uint(len(cols)))
+		ev.have = make([]bool, 1<<uint(len(cols)))
+	} else {
+		ev.flood = make([]bool, 0, len(cols))
+	}
+	return ev, nil
+}
+
+// AddRange evaluates realizations [lo, hi) into counts. The loop body
+// performs no allocations: patterns are read straight from the
+// bit-packed matrix and outcomes come from the memo table (filled
+// lazily through the reusable analyzer).
+func (ev *Evaluator) AddRange(counts *Counts, lo, hi int) error {
+	if ev.memo != nil {
+		for r := lo; r < hi; r++ {
+			p := ev.m.Pattern(r, ev.cols)
+			if !ev.have[p] {
+				s, err := ev.an.EvaluateMask(p)
+				if err != nil {
+					return err
+				}
+				ev.memo[p], ev.have[p] = s, true
+			}
+			counts[ev.memo[p]]++
+		}
+		return nil
+	}
+	for r := lo; r < hi; r++ {
+		ev.flood = ev.m.Gather(ev.flood[:0], r, ev.cols)
+		s, err := ev.an.Evaluate(ev.flood)
+		if err != nil {
+			return err
+		}
+		counts[s]++
+	}
+	return nil
+}
+
+// CellCounts evaluates every realization of the cell, splitting the
+// realization range into per-worker chunks (each with its own
+// Evaluator) and merging chunk histograms in fixed index order, so the
+// result is bit-identical to a sequential pass.
+func CellCounts(m *FailureMatrix, cfg topology.Config, cap threat.Capability, workers int) (Counts, error) {
+	var total Counts
+	workers = Workers(workers)
+	if workers <= 1 || m.Rows() < 2*workers {
+		ev, err := NewEvaluator(m, cfg, cap)
+		if err != nil {
+			return Counts{}, err
+		}
+		err = ev.AddRange(&total, 0, m.Rows())
+		return total, err
+	}
+	parts := chunks(m.Rows(), workers)
+	results := make([]Counts, len(parts))
+	err := ForEach(workers, len(parts), func(i int) error {
+		ev, err := NewEvaluator(m, cfg, cap)
+		if err != nil {
+			return err
+		}
+		return ev.AddRange(&results[i], parts[i].lo, parts[i].hi)
+	})
+	if err != nil {
+		return Counts{}, err
+	}
+	for i := range results {
+		total.Add(&results[i])
+	}
+	return total, nil
+}
+
+// CellProfile is CellCounts rendered as a stats.Profile.
+func CellProfile(m *FailureMatrix, cfg topology.Config, cap threat.Capability, workers int) (*stats.Profile, error) {
+	counts, err := CellCounts(m, cfg, cap, workers)
+	if err != nil {
+		return nil, err
+	}
+	return counts.Profile(), nil
+}

@@ -128,15 +128,22 @@ func (fe *FragilityEnsemble) draw(r int, assetID string) float64 {
 // FailureVector returns, for realization r, the failed flags for the
 // given asset IDs in order (analysis.DisasterEnsemble).
 func (fe *FragilityEnsemble) FailureVector(r int, assetIDs []string) ([]bool, error) {
-	out := make([]bool, len(assetIDs))
-	for i, id := range assetIDs {
+	return fe.AppendFailureVector(make([]bool, 0, len(assetIDs)), r, assetIDs)
+}
+
+// AppendFailureVector appends the sampled failed flags of the given
+// assets in realization r to dst and returns the extended slice — the
+// allocation-free variant of FailureVector used by the analysis
+// engine.
+func (fe *FragilityEnsemble) AppendFailureVector(dst []bool, r int, assetIDs []string) ([]bool, error) {
+	for _, id := range assetIDs {
 		f, err := fe.Failed(r, id)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = f
+		dst = append(dst, f)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // FailureRate returns the fraction of realizations in which the asset

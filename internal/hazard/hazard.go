@@ -408,18 +408,29 @@ func (e *Ensemble) FailureVector(r int, assetIDs []string) ([]bool, error) {
 	return e.FloodVector(r, assetIDs)
 }
 
+// AppendFailureVector appends the failed flags of the given assets in
+// realization r to dst and returns the extended slice. It is the
+// allocation-free variant of FailureVector used by the analysis
+// engine: with a pre-sized dst, the call performs no allocations.
+func (e *Ensemble) AppendFailureVector(dst []bool, r int, assetIDs []string) ([]bool, error) {
+	if r < 0 || r >= len(e.depths) {
+		return nil, fmt.Errorf("hazard: realization %d out of range [0, %d)", r, len(e.depths))
+	}
+	row, th := e.depths[r], e.cfg.FloodThresholdMeters
+	for _, id := range assetIDs {
+		i, ok := e.assetIdx[id]
+		if !ok {
+			return nil, fmt.Errorf("hazard: unknown asset %q", id)
+		}
+		dst = append(dst, row[i] > th)
+	}
+	return dst, nil
+}
+
 // FloodVector returns, for realization r, the flooded flags for the
 // given asset IDs in order.
 func (e *Ensemble) FloodVector(r int, assetIDs []string) ([]bool, error) {
-	out := make([]bool, len(assetIDs))
-	for i, id := range assetIDs {
-		f, err := e.Failed(r, id)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = f
-	}
-	return out, nil
+	return e.AppendFailureVector(make([]bool, 0, len(assetIDs)), r, assetIDs)
 }
 
 func splitmix(seed, i int64) int64 {

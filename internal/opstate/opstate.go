@@ -142,7 +142,16 @@ func Evaluate(cfg topology.Config, st SystemState) (State, error) {
 	if err := st.validateFor(cfg); err != nil {
 		return 0, err
 	}
+	return EvaluateUnchecked(cfg, st)
+}
 
+// EvaluateUnchecked is Evaluate without the validation pass. Callers
+// must guarantee that cfg is valid and st is shaped for it (slices of
+// len(cfg.Sites), per-site intrusions within replica counts); it exists
+// for hot loops — attack.Analyzer and the analysis engine — that
+// validate once and then evaluate millions of states without
+// allocating.
+func EvaluateUnchecked(cfg topology.Config, st SystemState) (State, error) {
 	var effective int
 	for i, k := range st.Intrusions {
 		if st.SiteFunctional(i) {

@@ -4,6 +4,13 @@
 // flagged as control-site candidates) and ranks them by the resulting
 // operational-state profile, reproducing the paper's Waiau-to-Kahe
 // finding and generalizing it to full placement search.
+//
+// The search compiles the ensemble's failure flags for the whole
+// candidate universe into one bit-packed matrix and evaluates the
+// candidate placements in parallel against it, instead of re-walking
+// the full ensemble once per candidate pair. SearchPairsSequential and
+// SearchSecondSiteSequential are the plain reference implementations
+// the fast path is cross-checked against in tests.
 package placement
 
 import (
@@ -13,6 +20,7 @@ import (
 
 	"compoundthreat/internal/analysis"
 	"compoundthreat/internal/assets"
+	"compoundthreat/internal/engine"
 	"compoundthreat/internal/opstate"
 	"compoundthreat/internal/threat"
 	"compoundthreat/internal/topology"
@@ -58,6 +66,9 @@ type Request struct {
 	// Build maps a placement to the configuration under study
 	// (nil = the "6+6+6" configuration).
 	Build func(topology.Placement) topology.Config
+	// Workers bounds parallelism across candidate placements
+	// (0 = runtime.NumCPU()).
+	Workers int
 }
 
 func (r *Request) setDefaults() {
@@ -81,6 +92,8 @@ func (r *Request) validate() error {
 		return errors.New("placement: primary site required")
 	case !r.Scenario.Valid():
 		return fmt.Errorf("placement: invalid scenario %d", int(r.Scenario))
+	case r.Workers < 0:
+		return errors.New("placement: negative workers")
 	}
 	if _, ok := r.Inventory.ByID(r.Primary); !ok {
 		return fmt.Errorf("placement: unknown primary asset %q", r.Primary)
@@ -88,16 +101,11 @@ func (r *Request) validate() error {
 	return nil
 }
 
-// SearchPairs evaluates every (second site, data center) pair of
-// control-site candidates and returns candidates ranked best first
-// (ties broken lexicographically for determinism).
-func SearchPairs(req Request) ([]Candidate, error) {
-	req.setDefaults()
-	if err := req.validate(); err != nil {
-		return nil, err
-	}
+// pairPlacements enumerates every (second site, data center) pair of
+// control-site candidates in deterministic inventory order.
+func pairPlacements(req Request) []topology.Placement {
 	candidates := req.Inventory.ControlSiteCandidates()
-	var out []Candidate
+	var out []topology.Placement
 	for _, second := range candidates {
 		if second.ID == req.Primary {
 			continue
@@ -106,19 +114,37 @@ func SearchPairs(req Request) ([]Candidate, error) {
 			if dc.ID == req.Primary || dc.ID == second.ID {
 				continue
 			}
-			p := topology.Placement{Primary: req.Primary, Second: second.ID, DataCenter: dc.ID}
-			cand, err := evaluate(req, p)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, cand)
+			out = append(out, topology.Placement{Primary: req.Primary, Second: second.ID, DataCenter: dc.ID})
 		}
 	}
-	if len(out) == 0 {
-		return nil, errors.New("placement: no candidate placements")
+	return out
+}
+
+// secondSitePlacements enumerates second-site candidates with the data
+// center fixed.
+func secondSitePlacements(req Request, dataCenter string) []topology.Placement {
+	var out []topology.Placement
+	for _, second := range req.Inventory.ControlSiteCandidates() {
+		if second.ID == req.Primary || second.ID == dataCenter {
+			continue
+		}
+		out = append(out, topology.Placement{Primary: req.Primary, Second: second.ID, DataCenter: dataCenter})
 	}
-	rank(out)
-	return out, nil
+	return out
+}
+
+// SearchPairs evaluates every (second site, data center) pair of
+// control-site candidates and returns candidates ranked best first
+// (ties broken lexicographically for determinism). Candidates are
+// evaluated in parallel against one failure matrix compiled over the
+// whole candidate universe; results are bit-identical to
+// SearchPairsSequential.
+func SearchPairs(req Request) ([]Candidate, error) {
+	req.setDefaults()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	return search(req, pairPlacements(req))
 }
 
 // SearchSecondSite holds the data center fixed and varies only the
@@ -132,28 +158,94 @@ func SearchSecondSite(req Request, dataCenter string) ([]Candidate, error) {
 	if _, ok := req.Inventory.ByID(dataCenter); !ok {
 		return nil, fmt.Errorf("placement: unknown data center asset %q", dataCenter)
 	}
-	var out []Candidate
-	for _, second := range req.Inventory.ControlSiteCandidates() {
-		if second.ID == req.Primary || second.ID == dataCenter {
-			continue
-		}
-		p := topology.Placement{Primary: req.Primary, Second: second.ID, DataCenter: dataCenter}
-		cand, err := evaluate(req, p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, cand)
-	}
-	if len(out) == 0 {
+	return search(req, secondSitePlacements(req, dataCenter))
+}
+
+// search evaluates the placements on the engine path: one matrix over
+// the union of every candidate configuration's site assets, then a
+// parallel sweep over placements.
+func search(req Request, placements []topology.Placement) ([]Candidate, error) {
+	if len(placements) == 0 {
 		return nil, errors.New("placement: no candidate placements")
+	}
+	// Build every configuration up front and collect the site-asset
+	// universe, so the ensemble is compiled exactly once.
+	configs := make([]topology.Config, len(placements))
+	var universe []string
+	seen := map[string]bool{}
+	for i, p := range placements {
+		configs[i] = req.Build(p)
+		for _, s := range configs[i].Sites {
+			if !seen[s.AssetID] {
+				seen[s.AssetID] = true
+				universe = append(universe, s.AssetID)
+			}
+		}
+	}
+	m, err := engine.NewFailureMatrix(req.Ensemble, universe)
+	if err != nil {
+		return nil, fmt.Errorf("placement: %w", err)
+	}
+	out := make([]Candidate, len(placements))
+	err = engine.ForEach(req.Workers, len(placements), func(i int) error {
+		profile, err := engine.CellProfile(m, configs[i], req.Scenario.Capability(), 1)
+		if err != nil {
+			return fmt.Errorf("placement: %s/%s: %w", placements[i].Second, placements[i].DataCenter, err)
+		}
+		outcome := analysis.Outcome{Config: configs[i], Scenario: req.Scenario, Profile: profile}
+		out[i] = Candidate{Placement: placements[i], Score: req.Objective(outcome), Outcome: outcome}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	rank(out)
 	return out, nil
 }
 
-func evaluate(req Request, p topology.Placement) (Candidate, error) {
+// SearchPairsSequential is the reference implementation of
+// SearchPairs: every candidate pair re-runs the full ensemble through
+// analysis.RunSequential.
+func SearchPairsSequential(req Request) ([]Candidate, error) {
+	req.setDefaults()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	return searchSequential(req, pairPlacements(req))
+}
+
+// SearchSecondSiteSequential is the reference implementation of
+// SearchSecondSite.
+func SearchSecondSiteSequential(req Request, dataCenter string) ([]Candidate, error) {
+	req.setDefaults()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := req.Inventory.ByID(dataCenter); !ok {
+		return nil, fmt.Errorf("placement: unknown data center asset %q", dataCenter)
+	}
+	return searchSequential(req, secondSitePlacements(req, dataCenter))
+}
+
+func searchSequential(req Request, placements []topology.Placement) ([]Candidate, error) {
+	if len(placements) == 0 {
+		return nil, errors.New("placement: no candidate placements")
+	}
+	out := make([]Candidate, 0, len(placements))
+	for _, p := range placements {
+		cand, err := evaluateSequential(req, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cand)
+	}
+	rank(out)
+	return out, nil
+}
+
+func evaluateSequential(req Request, p topology.Placement) (Candidate, error) {
 	cfg := req.Build(p)
-	outcome, err := analysis.Run(req.Ensemble, cfg, req.Scenario)
+	outcome, err := analysis.RunSequential(req.Ensemble, cfg, req.Scenario)
 	if err != nil {
 		return Candidate{}, fmt.Errorf("placement: %s/%s: %w", p.Second, p.DataCenter, err)
 	}

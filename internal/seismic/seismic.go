@@ -233,15 +233,26 @@ func (e *Ensemble) Failed(r int, assetID string) (bool, error) {
 // FailureVector returns, for realization r, the failed flags for the
 // given asset IDs in order (analysis.DisasterEnsemble).
 func (e *Ensemble) FailureVector(r int, assetIDs []string) ([]bool, error) {
-	out := make([]bool, len(assetIDs))
-	for i, id := range assetIDs {
-		f, err := e.Failed(r, id)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = f
+	return e.AppendFailureVector(make([]bool, 0, len(assetIDs)), r, assetIDs)
+}
+
+// AppendFailureVector appends the failed flags of the given assets in
+// realization r to dst and returns the extended slice — the
+// allocation-free variant of FailureVector used by the analysis
+// engine.
+func (e *Ensemble) AppendFailureVector(dst []bool, r int, assetIDs []string) ([]bool, error) {
+	if r < 0 || r >= len(e.pga) {
+		return nil, fmt.Errorf("seismic: realization %d out of range [0, %d)", r, len(e.pga))
 	}
-	return out, nil
+	row := e.pga[r]
+	for _, id := range assetIDs {
+		i, ok := e.assetIdx[id]
+		if !ok {
+			return nil, fmt.Errorf("seismic: unknown asset %q", id)
+		}
+		dst = append(dst, row[i] > e.capacity[i])
+	}
+	return dst, nil
 }
 
 // FailureRate returns the fraction of realizations in which the asset
