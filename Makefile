@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench verify
+.PHONY: all build test vet race fmt-check bench-smoke bench bench-check verify
 
 all: build
 
@@ -16,6 +16,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Fail when any Go file is not gofmt-formatted; prints the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 # One iteration of every Figure-class benchmark: a fast smoke test that
 # the engine path still evaluates the paper figures end to end.
 bench-smoke:
@@ -26,6 +33,13 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/engine/ ./internal/attack/
+
+# Benchmark regression gate: run the Figure smoke benchmarks and
+# compare against the recorded baseline, failing on >3x slowdowns.
+bench-check:
+	$(GO) test -run '^$$' -bench 'Figure' -benchtime 1x . > bench-smoke.out
+	@cat bench-smoke.out
+	$(GO) run ./tools/benchcheck -baseline BENCH_1.json -input bench-smoke.out
 
 # The documented verification gate: vet, build, race-enabled tests, and
 # the benchmark smoke run.

@@ -17,6 +17,7 @@ import (
 	"compoundthreat/internal/analysis"
 	"compoundthreat/internal/attack"
 	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/obs"
 	"compoundthreat/internal/opstate"
 	"compoundthreat/internal/scada"
 	"compoundthreat/internal/threat"
@@ -177,6 +178,22 @@ func BenchmarkFigureAllSequential(b *testing.B) {
 // failure matrices.
 func BenchmarkFigureAllEngine(b *testing.B) {
 	cs := benchCaseStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.EvaluateAllFigures(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigureAllEngineMetrics is BenchmarkFigureAllEngine with a
+// live metrics recorder enabled: the overhead of full instrumentation
+// on the all-figures sweep. Compare against BenchmarkFigureAllEngine;
+// BENCH_2.json records the measured gap (<5%).
+func BenchmarkFigureAllEngineMetrics(b *testing.B) {
+	cs := benchCaseStudy(b)
+	obs.Enable(obs.New())
+	b.Cleanup(func() { obs.Enable(nil) })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cs.EvaluateAllFigures(); err != nil {

@@ -4,11 +4,14 @@
 // Usage:
 //
 //	compoundsim [-fig N] [-realizations N] [-seed S] [-csv] [-table1]
-//	            [-workers N]
+//	            [-workers N] [-metrics report.json] [-pprof addr]
 //
 // Without -fig it evaluates every figure. -csv emits machine-readable
 // rows instead of terminal tables. -workers bounds analysis
-// parallelism (0 = one worker per CPU).
+// parallelism (0 = one worker per CPU). -metrics writes a JSON run
+// report (per-phase wall time, memo statistics, worker utilization,
+// per-figure state tallies) on exit; -pprof serves net/http/pprof for
+// the lifetime of the run.
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"compoundthreat/internal/analysis"
 	"compoundthreat/internal/assets"
 	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/opstate"
 	"compoundthreat/internal/report"
 	"compoundthreat/internal/seismic"
 	"compoundthreat/internal/surge"
@@ -28,6 +33,9 @@ import (
 	"compoundthreat/internal/topology"
 )
 
+// main delegates to run so deferred cleanup (metrics flush, pprof
+// shutdown) executes before the process exits; os.Exit here would skip
+// it.
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "compoundsim:", err)
@@ -35,7 +43,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("compoundsim", flag.ContinueOnError)
 	figID := fs.Int("fig", 0, "evaluate a single figure (6-11); 0 = all")
 	realizations := fs.Int("realizations", 1000, "hurricane realizations")
@@ -50,12 +58,23 @@ func run(args []string) error {
 	quake := fs.Bool("quake", false, "use the earthquake hazard (south-flank fault) instead of the hurricane")
 	fragilityBeta := fs.Float64("fragility", 0, "replace the 0.5 m threshold with a lognormal fragility curve of this dispersion (0 = off)")
 	workers := fs.Int("workers", 0, "analysis worker bound (0 = one per CPU)")
+	var ocli obs.CLI
+	ocli.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 0 {
 		return fmt.Errorf("negative workers %d", *workers)
 	}
+	if err := ocli.Start("compoundsim", args, os.Stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ocli.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	rec := ocli.Recorder()
 	opt := analysis.Options{Workers: *workers}
 
 	if *quake {
@@ -72,10 +91,13 @@ func run(args []string) error {
 		cfg.Seed = *seed
 	}
 	fmt.Fprintf(os.Stderr, "generating %d hurricane realizations...\n", cfg.Realizations)
+	genSpan := rec.StartSpan("cli.generate_ensemble")
 	ensemble, err := gen.Generate(cfg)
+	genSpan.End()
 	if err != nil {
 		return err
 	}
+	rec.Put("realizations", cfg.Realizations)
 	cs, err := analysis.NewCaseStudy(ensemble)
 	if err != nil {
 		return err
@@ -119,6 +141,7 @@ func run(args []string) error {
 		}
 		figures = []analysis.Figure{f}
 	}
+	var tallies []figureTally
 	for _, f := range figures {
 		start := time.Now()
 		res, err := cs.EvaluateFigure(f)
@@ -126,6 +149,9 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "figure %d evaluated in %v\n", f.ID, time.Since(start).Round(time.Microsecond))
+		if rec != nil {
+			tallies = append(tallies, tallyFigure(res)...)
+		}
 		if *csv {
 			if err := report.WriteFigureCSV(os.Stdout, res); err != nil {
 				return err
@@ -137,7 +163,41 @@ func run(args []string) error {
 		}
 		fmt.Println()
 	}
+	rec.Put("figures", tallies)
 	return nil
+}
+
+// figureTally is the run report's record of one (figure,
+// configuration) cell: raw operational-state counts over the
+// ensemble, so the reproduced paper numbers travel with the
+// performance profile of the run that produced them.
+type figureTally struct {
+	Figure   int            `json:"figure"`
+	Config   string         `json:"config"`
+	Scenario string         `json:"scenario"`
+	Total    int            `json:"total"`
+	States   map[string]int `json:"states"`
+}
+
+// tallyFigure flattens a figure result into report rows.
+func tallyFigure(res analysis.FigureResult) []figureTally {
+	out := make([]figureTally, 0, len(res.Outcomes))
+	for _, o := range res.Outcomes {
+		states := make(map[string]int)
+		for _, s := range opstate.States() {
+			if n := o.Profile.Count(s); n > 0 {
+				states[s.String()] = n
+			}
+		}
+		out = append(out, figureTally{
+			Figure:   res.Figure.ID,
+			Config:   o.Config.Name,
+			Scenario: o.Scenario.String(),
+			Total:    o.Profile.Total(),
+			States:   states,
+		})
+	}
+	return out
 }
 
 // runExtended evaluates the extended configuration family (Babay et

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compoundthreat/internal/analysis"
+	"compoundthreat/internal/cmdtest"
+	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/surge"
+	"compoundthreat/internal/terrain"
+	"compoundthreat/internal/topology"
+
+	oahuassets "compoundthreat/internal/assets"
+)
+
+func TestMain(m *testing.M) {
+	cmdtest.MaybeRunMain(main)
+	os.Exit(m.Run())
+}
+
+// TestBadFlagExitsNonZero re-executes main with an undefined flag and
+// asserts the process exits non-zero with a usage message.
+func TestBadFlagExitsNonZero(t *testing.T) {
+	cmdtest.AssertBadFlagExit(t)
+}
+
+// TestMetricsReport runs the Figure 9 evaluation with -metrics and
+// checks the run report: phase timings, memo statistics, worker
+// accounting, and per-figure state tallies that match the sequential
+// reference implementation exactly.
+func TestMetricsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests in -short mode")
+	}
+	const realizations = 50
+	path := filepath.Join(t.TempDir(), "report.json")
+	args := []string{"-realizations", "50", "-fig", "9", "-metrics", path}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Default() != nil {
+		t.Fatal("run left the process-wide recorder enabled")
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("run report is not valid JSON: %v", err)
+	}
+	if rep.Schema != obs.ReportSchema || rep.Command != "compoundsim" {
+		t.Fatalf("report header = %q / %q", rep.Schema, rep.Command)
+	}
+
+	// Phase timings for generation and evaluation must be present.
+	phases := map[string]obs.PhaseReport{}
+	for _, p := range rep.Phases {
+		phases[p.Name] = p
+	}
+	for _, name := range []string{"cli.generate_ensemble", "analysis.figure", "engine.matrix_compile", "engine.foreach_wall", "engine.worker_busy"} {
+		p, ok := phases[name]
+		if !ok || p.Count == 0 {
+			t.Errorf("phase %q missing from run report", name)
+		}
+	}
+
+	// Memo statistics: hits + misses account for every realization of
+	// every (config, scenario) cell; figure 9 has five configurations.
+	hits, misses := rep.Counters["engine.memo_hits"], rep.Counters["engine.memo_misses"]
+	if want := int64(5 * realizations); hits+misses != want {
+		t.Errorf("memo hits %d + misses %d = %d, want %d", hits, misses, hits+misses, want)
+	}
+	if rep.Counters["engine.realizations"] != int64(5*realizations) {
+		t.Errorf("engine.realizations = %d", rep.Counters["engine.realizations"])
+	}
+	if rep.Counters["analysis.cells"] != 5 {
+		t.Errorf("analysis.cells = %d, want 5", rep.Counters["analysis.cells"])
+	}
+	if rep.Counters["engine.foreach_workers"] < 1 {
+		t.Errorf("engine.foreach_workers = %d", rep.Counters["engine.foreach_workers"])
+	}
+	if h, ok := rep.Histogram["engine.tasks_per_worker"]; !ok || h.Count == 0 {
+		t.Error("tasks_per_worker histogram missing")
+	}
+
+	// Per-figure tallies must match the sequential reference on the
+	// same ensemble.
+	var results struct {
+		Realizations int           `json:"realizations"`
+		Figures      []figureTally `json:"figures"`
+	}
+	resBytes, err := json.Marshal(rep.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(resBytes, &results); err != nil {
+		t.Fatal(err)
+	}
+	if results.Realizations != realizations {
+		t.Fatalf("results.realizations = %d", results.Realizations)
+	}
+	if len(results.Figures) != 5 {
+		t.Fatalf("tallies = %d rows, want 5 (one per configuration)", len(results.Figures))
+	}
+
+	gen, err := hazard.NewGenerator(terrain.NewOahu(), surge.DefaultParams(), oahuassets.Oahu())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hazard.OahuScenario()
+	cfg.Realizations = realizations
+	ensemble, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := analysis.FigureByID(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs, err := topology.StandardConfigs(fig.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := analysis.RunConfigsSequential(ensemble, configs, fig.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range want {
+		got := results.Figures[i]
+		if got.Figure != 9 || got.Config != o.Config.Name || got.Total != o.Profile.Total() {
+			t.Errorf("tally[%d] = %+v, want config %s total %d", i, got, o.Config.Name, o.Profile.Total())
+			continue
+		}
+		for _, s := range opstate.States() {
+			if got.States[s.String()] != o.Profile.Count(s) {
+				t.Errorf("tally[%d] %s %s = %d, want %d (sequential reference)",
+					i, got.Config, s, got.States[s.String()], o.Profile.Count(s))
+			}
+		}
+	}
+}

@@ -20,12 +20,15 @@ import (
 	"compoundthreat/internal/assets"
 	"compoundthreat/internal/hazard"
 	"compoundthreat/internal/mesh"
+	"compoundthreat/internal/obs"
 	"compoundthreat/internal/report"
 	"compoundthreat/internal/surge"
 	"compoundthreat/internal/terrain"
 	"compoundthreat/internal/wind"
 )
 
+// main delegates to run so deferred cleanup (metrics flush, pprof
+// shutdown) executes before the process exits.
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "hazardgen:", err)
@@ -33,7 +36,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("hazardgen", flag.ContinueOnError)
 	realizations := fs.Int("realizations", 1000, "hurricane realizations")
 	seed := fs.Int64("seed", 0, "ensemble seed override (0 = calibrated default)")
@@ -45,9 +48,20 @@ func run(args []string) error {
 	trackIdx := fs.Int("track", -1, "print the storm track of one realization and exit")
 	mapFlag := fs.Bool("map", false, "render an ASCII map of the region and assets")
 	mapRealization := fs.Int("map-realization", -1, "overlay one realization's inundation field on the map")
+	var ocli obs.CLI
+	ocli.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := ocli.Start("hazardgen", args, os.Stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ocli.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	rec := ocli.Recorder()
 
 	inv := assets.Oahu()
 	if *listAssets {
@@ -77,10 +91,13 @@ func run(args []string) error {
 	}
 
 	fmt.Fprintf(os.Stderr, "generating %d realizations...\n", cfg.Realizations)
+	genSpan := rec.StartSpan("cli.generate_ensemble")
 	ensemble, err := gen.Generate(cfg)
+	genSpan.End()
 	if err != nil {
 		return err
 	}
+	rec.Put("realizations", cfg.Realizations)
 
 	if *correlate != "" {
 		parts := strings.Split(*correlate, ",")

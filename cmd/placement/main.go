@@ -6,7 +6,7 @@
 // Usage:
 //
 //	placement [-scenario both] [-realizations N] [-pairs] [-top K]
-//	          [-workers N]
+//	          [-workers N] [-metrics report.json] [-pprof addr]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"compoundthreat/internal/assets"
 	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/obs"
 	"compoundthreat/internal/opstate"
 	"compoundthreat/internal/placement"
 	"compoundthreat/internal/surge"
@@ -24,6 +25,8 @@ import (
 	"compoundthreat/internal/threat"
 )
 
+// main delegates to run so deferred cleanup (metrics flush, pprof
+// shutdown) executes before the process exits.
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "placement:", err)
@@ -31,16 +34,27 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("placement", flag.ContinueOnError)
 	scenarioName := fs.String("scenario", "both", "threat scenario: hurricane, intrusion, isolation, or both")
 	realizations := fs.Int("realizations", 1000, "hurricane realizations")
 	pairs := fs.Bool("pairs", false, "search (second, data center) pairs instead of second site only")
 	top := fs.Int("top", 10, "show the top K candidates")
 	workers := fs.Int("workers", 0, "search worker bound (0 = one per CPU)")
+	var ocli obs.CLI
+	ocli.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := ocli.Start("placement", args, os.Stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ocli.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	rec := ocli.Recorder()
 
 	scenario, err := threat.ParseScenario(*scenarioName)
 	if err != nil {
@@ -54,7 +68,9 @@ func run(args []string) error {
 	cfg := hazard.OahuScenario()
 	cfg.Realizations = *realizations
 	fmt.Fprintf(os.Stderr, "generating %d realizations...\n", cfg.Realizations)
+	genSpan := rec.StartSpan("cli.generate_ensemble")
 	ensemble, err := gen.Generate(cfg)
+	genSpan.End()
 	if err != nil {
 		return err
 	}
@@ -77,6 +93,15 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "searched %d placements in %v\n", len(candidates), time.Since(start).Round(time.Microsecond))
+	if rec != nil && len(candidates) > 0 {
+		best := candidates[0]
+		rec.Put("best_placement", map[string]any{
+			"second":      best.Placement.Second,
+			"data_center": best.Placement.DataCenter,
+			"score":       best.Score,
+		})
+		rec.Put("candidates", len(candidates))
+	}
 
 	fmt.Printf("placement study: primary=%s scenario=%q config=6+6+6\n",
 		assets.HonoluluCC, scenario)

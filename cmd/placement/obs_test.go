@@ -1,0 +1,19 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"compoundthreat/internal/cmdtest"
+)
+
+func TestMain(m *testing.M) {
+	cmdtest.MaybeRunMain(main)
+	os.Exit(m.Run())
+}
+
+// TestBadFlagExitsNonZero re-executes main with an undefined flag and
+// asserts the process exits non-zero with a usage message.
+func TestBadFlagExitsNonZero(t *testing.T) {
+	cmdtest.AssertBadFlagExit(t)
+}

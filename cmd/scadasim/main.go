@@ -14,11 +14,14 @@ import (
 	"os"
 
 	"compoundthreat/internal/attack"
+	"compoundthreat/internal/obs"
 	"compoundthreat/internal/scada"
 	"compoundthreat/internal/threat"
 	"compoundthreat/internal/topology"
 )
 
+// main delegates to run so deferred cleanup (metrics flush, pprof
+// shutdown) executes before the process exits.
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "scadasim:", err)
@@ -26,7 +29,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("scadasim", flag.ContinueOnError)
 	configName := fs.String("config", "6+6+6", `configuration: 2, 2-2, 6, 6-6, 6+6+6, 4, 4-4, or 3+3+3+3`)
 	scenarioName := fs.String("scenario", "hurricane", "threat scenario: hurricane, intrusion, isolation, or both")
@@ -34,9 +37,20 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	restoreAt := fs.Duration("restore", 0, "repair flooded sites at this simulated time (0 = never)")
 	attackEnd := fs.Duration("attack-end", 0, "lift site isolations at this simulated time (0 = never)")
+	var ocli obs.CLI
+	ocli.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := ocli.Start("scadasim", args, os.Stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ocli.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	rec := ocli.Recorder()
 
 	configs, err := topology.ExtendedConfigs(topology.ExtendedPlacement{
 		Placement: topology.Placement{
@@ -90,6 +104,7 @@ func run(args []string) error {
 	// Behavioral run with the attacker's concrete plan.
 	params := scada.DefaultParams()
 	params.Seed = *seed
+	simSpan := rec.StartSpan("cli.simulate")
 	result, err := scada.Run(cfg, scada.Scenario{
 		Flooded:           flooded,
 		Isolated:          predicted.Plan.IsolatedSites,
@@ -97,8 +112,19 @@ func run(args []string) error {
 		RestoreFloodedAt:  *restoreAt,
 		AttackEndsAt:      *attackEnd,
 	}, params)
+	simSpan.End()
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		rec.Put("simulation", map[string]any{
+			"config":           cfg.Name,
+			"scenario":         scenario.String(),
+			"analytical_state": predicted.State.String(),
+			"measured_state":   result.State.String(),
+			"delivered":        result.Delivered,
+			"proposed":         result.Proposed,
+		})
 	}
 
 	fmt.Printf("configuration:    %s (%s)\n", cfg.Name, cfg.Arch)

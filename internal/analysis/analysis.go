@@ -20,6 +20,7 @@ import (
 
 	"compoundthreat/internal/attack"
 	"compoundthreat/internal/engine"
+	"compoundthreat/internal/obs"
 	"compoundthreat/internal/opstate"
 	"compoundthreat/internal/stats"
 	"compoundthreat/internal/threat"
@@ -108,6 +109,7 @@ func RunOpt(e DisasterEnsemble, cfg topology.Config, scenario threat.Scenario, o
 // runCell evaluates one (config, scenario) cell against a compiled
 // matrix.
 func runCell(m *engine.FailureMatrix, cfg topology.Config, scenario threat.Scenario, workers int) (Outcome, error) {
+	obs.Default().Counter("analysis.cells").Add(1)
 	profile, err := engine.CellProfile(m, cfg, scenario.Capability(), workers)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("analysis: %s: %w", cfg.Name, err)
@@ -145,6 +147,7 @@ func RunSequential(e DisasterEnsemble, cfg topology.Config, scenario threat.Scen
 // interface); evaluation afterwards reads only the immutable matrices
 // and parallelizes freely.
 func compileMatrices(e DisasterEnsemble, configs []topology.Config) ([]*engine.FailureMatrix, error) {
+	defer obs.Default().StartSpan("analysis.compile_matrices").End()
 	mats := make([]*engine.FailureMatrix, len(configs))
 	for i, cfg := range configs {
 		if err := cfg.Validate(); err != nil {
@@ -180,6 +183,7 @@ func RunConfigsOpt(e DisasterEnsemble, configs []topology.Config, scenario threa
 	if err != nil {
 		return nil, err
 	}
+	defer obs.Default().StartSpan("analysis.run_configs").End()
 	out := make([]Outcome, len(configs))
 	err = engine.ForEach(opt.Workers, len(configs), func(i int) error {
 		o, err := runCell(mats[i], configs[i], scenario, 1)
@@ -231,6 +235,7 @@ func RunMatrixOpt(e DisasterEnsemble, configs []topology.Config, opt Options) (m
 	if err != nil {
 		return nil, err
 	}
+	defer obs.Default().StartSpan("analysis.run_matrix").End()
 	scenarios := threat.Scenarios()
 	cells := make([]Outcome, len(scenarios)*len(configs))
 	err = engine.ForEach(opt.Workers, len(cells), func(k int) error {

@@ -8,6 +8,7 @@ import (
 	"compoundthreat/internal/assets"
 	"compoundthreat/internal/engine"
 	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/obs"
 	"compoundthreat/internal/surge"
 	"compoundthreat/internal/terrain"
 	"compoundthreat/internal/threat"
@@ -118,6 +119,7 @@ func (cs *CaseStudy) Ensemble() *hazard.Ensemble { return cs.ensemble }
 // EvaluateFigure runs the five standard configurations for the figure's
 // placement and scenario.
 func (cs *CaseStudy) EvaluateFigure(f Figure) (FigureResult, error) {
+	defer obs.Default().StartSpan("analysis.figure").End()
 	configs, err := topology.StandardConfigs(f.Placement)
 	if err != nil {
 		return FigureResult{}, err
@@ -134,6 +136,7 @@ func (cs *CaseStudy) EvaluateFigure(f Figure) (FigureResult, error) {
 // parallel, with failure matrices compiled once per distinct site set
 // and shared across figures.
 func (cs *CaseStudy) EvaluateAllFigures() ([]FigureResult, error) {
+	defer obs.Default().StartSpan("analysis.all_figures").End()
 	figs := PaperFigures()
 
 	// Flatten figures into cells, compiling each distinct site set once

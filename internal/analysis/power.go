@@ -11,6 +11,7 @@ import (
 
 	"compoundthreat/internal/attack"
 	"compoundthreat/internal/engine"
+	"compoundthreat/internal/obs"
 	"compoundthreat/internal/stats"
 	"compoundthreat/internal/threat"
 	"compoundthreat/internal/topology"
@@ -79,6 +80,8 @@ func RunPowerSweep(req PowerSweepRequest) ([]PowerPoint, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
+	defer obs.Default().StartSpan("analysis.power_sweep").End()
+	obs.Default().Counter("analysis.power_points").Add(int64(len(req.Successes)))
 	trials := req.TrialsPerRealization
 	if trials == 0 {
 		trials = 1

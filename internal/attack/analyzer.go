@@ -13,6 +13,7 @@ package attack
 import (
 	"errors"
 
+	"compoundthreat/internal/obs"
 	"compoundthreat/internal/opstate"
 	"compoundthreat/internal/threat"
 	"compoundthreat/internal/topology"
@@ -28,6 +29,9 @@ type Analyzer struct {
 	cfg topology.Config
 	cap threat.Capability
 	st  opstate.SystemState
+	// evals counts greedy evaluations; nil (a free no-op) when
+	// observability is disabled at construction time.
+	evals *obs.Counter
 }
 
 // NewAnalyzer validates the configuration and capability once and
@@ -39,7 +43,12 @@ func NewAnalyzer(cfg topology.Config, cap threat.Capability) (*Analyzer, error) 
 	if err := cap.Validate(); err != nil {
 		return nil, err
 	}
-	return &Analyzer{cfg: cfg, cap: cap, st: opstate.NewSystemState(len(cfg.Sites))}, nil
+	return &Analyzer{
+		cfg:   cfg,
+		cap:   cap,
+		st:    opstate.NewSystemState(len(cfg.Sites)),
+		evals: obs.Default().Counter("attack.analyzer_evals"),
+	}, nil
 }
 
 // Sites returns the number of sites in the analyzed configuration.
@@ -69,6 +78,7 @@ func (a *Analyzer) EvaluateMask(mask uint64) (opstate.State, error) {
 // run executes the greedy policy of WorstCase against a.st.Flooded,
 // reusing the scratch state.
 func (a *Analyzer) run() (opstate.State, error) {
+	a.evals.Add(1)
 	st := a.st
 	for i := range st.Isolated {
 		st.Isolated[i] = false

@@ -1,0 +1,70 @@
+// Package cmdtest holds shared helpers for testing the command-line
+// entry points, in particular that a bad flag makes the real main()
+// exit non-zero with a usage message — which requires re-executing the
+// test binary, since main exits the process.
+package cmdtest
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// RunMainEnv is the environment variable that redirects a re-executed
+// test binary into the command's main().
+const RunMainEnv = "CMDTEST_RUN_MAIN"
+
+// argsEnv carries the command-line arguments for the re-executed main.
+const argsEnv = "CMDTEST_ARGS"
+
+// MaybeRunMain is called from a package's TestMain: when the process
+// was re-executed by AssertBadFlagExit it replaces os.Args with the
+// requested arguments and hands control to mainFn (which is expected
+// to os.Exit). It returns true when it consumed the process, false
+// when tests should run normally.
+func MaybeRunMain(mainFn func()) bool {
+	if os.Getenv(RunMainEnv) != "1" {
+		return false
+	}
+	args := []string{os.Args[0]}
+	if raw := os.Getenv(argsEnv); raw != "" {
+		args = append(args, strings.Split(raw, "\x1f")...)
+	}
+	os.Args = args
+	mainFn()
+	// mainFn returned instead of exiting: report success explicitly so
+	// the parent sees exit code 0.
+	os.Exit(0)
+	return true
+}
+
+// AssertBadFlagExit re-executes the test binary, routing it into the
+// command's main() with an undefined flag, and asserts the process
+// exits non-zero and prints a usage message on stderr.
+func AssertBadFlagExit(t *testing.T) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		RunMainEnv+"=1",
+		argsEnv+"=-definitely-not-a-flag")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("main with a bad flag exited cleanly (err=%v); stderr:\n%s", err, stderr.String())
+	}
+	if code := ee.ExitCode(); code == 0 {
+		t.Fatalf("main with a bad flag exited 0; stderr:\n%s", stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "Usage of") || !strings.Contains(out, "-definitely-not-a-flag") {
+		t.Fatalf("stderr lacks a usage message naming the bad flag:\n%s", out)
+	}
+}

@@ -29,6 +29,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"compoundthreat/internal/obs"
 )
 
 // Source is the minimal ensemble view the engine compiles from. It is
@@ -66,15 +69,31 @@ func Workers(n int) int {
 // so callers must make fn(i) write only to its own slot of any shared
 // output — then results are deterministic regardless of scheduling.
 // The first error observed stops the remaining work and is returned.
+//
+// When observability is enabled (obs.Enable), every call records its
+// wall time ("engine.foreach_wall"), per-worker busy time
+// ("engine.worker_busy"), and a tasks-per-worker histogram; with it
+// disabled the pool is unchanged and allocation-free.
 func ForEach(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	rec := obs.Default()
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
+	if rec != nil {
+		defer rec.StartSpan("engine.foreach_wall").End()
+		rec.Counter("engine.foreach_calls").Add(1)
+		rec.Counter("engine.foreach_tasks").Add(int64(n))
+		rec.Counter("engine.foreach_workers").Add(int64(workers))
+	}
 	if workers <= 1 {
+		if rec != nil {
+			defer rec.StartSpan("engine.worker_busy").End()
+			rec.Histogram("engine.tasks_per_worker").Observe(int64(n))
+		}
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
 				return err
@@ -93,6 +112,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var tasks int64
+			var start time.Time
+			if rec != nil {
+				start = time.Now()
+				defer func() {
+					rec.Timer("engine.worker_busy").Record(time.Since(start))
+					rec.Histogram("engine.tasks_per_worker").Observe(tasks)
+				}()
+			}
 			for {
 				if failed.Load() {
 					return
@@ -101,6 +129,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
+				tasks++
 				if err := fn(i); err != nil {
 					mu.Lock()
 					if firstErr == nil {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"compoundthreat/internal/attack"
+	"compoundthreat/internal/obs"
 	"compoundthreat/internal/opstate"
 	"compoundthreat/internal/stats"
 	"compoundthreat/internal/threat"
@@ -60,6 +61,12 @@ type Evaluator struct {
 	memo  []opstate.State
 	have  []bool
 	flood []bool // scratch for the non-memoized fallback
+	// Observability counters, resolved once at construction; nil (and
+	// therefore free) when instrumentation is disabled.
+	memoHits      *obs.Counter
+	memoMisses    *obs.Counter
+	fallbackEvals *obs.Counter
+	realizations  *obs.Counter
 }
 
 // NewEvaluator resolves the configuration's site assets to matrix
@@ -78,6 +85,12 @@ func NewEvaluator(m *FailureMatrix, cfg topology.Config, cap threat.Capability) 
 		return nil, err
 	}
 	ev := &Evaluator{m: m, cols: cols, an: an}
+	if rec := obs.Default(); rec != nil {
+		ev.memoHits = rec.Counter("engine.memo_hits")
+		ev.memoMisses = rec.Counter("engine.memo_misses")
+		ev.fallbackEvals = rec.Counter("engine.fallback_evals")
+		ev.realizations = rec.Counter("engine.realizations")
+	}
 	if len(cols) <= maxMemoSites {
 		ev.memo = make([]opstate.State, 1<<uint(len(cols)))
 		ev.have = make([]bool, 1<<uint(len(cols)))
@@ -93,9 +106,11 @@ func NewEvaluator(m *FailureMatrix, cfg topology.Config, cap threat.Capability) 
 // lazily through the reusable analyzer).
 func (ev *Evaluator) AddRange(counts *Counts, lo, hi int) error {
 	if ev.memo != nil {
+		misses := 0
 		for r := lo; r < hi; r++ {
 			p := ev.m.Pattern(r, ev.cols)
 			if !ev.have[p] {
+				misses++
 				s, err := ev.an.EvaluateMask(p)
 				if err != nil {
 					return err
@@ -104,6 +119,11 @@ func (ev *Evaluator) AddRange(counts *Counts, lo, hi int) error {
 			}
 			counts[ev.memo[p]]++
 		}
+		// Flush memo statistics once per range: the loop body itself
+		// stays branch-light and allocation-free in both modes.
+		ev.memoHits.Add(int64(hi - lo - misses))
+		ev.memoMisses.Add(int64(misses))
+		ev.realizations.Add(int64(hi - lo))
 		return nil
 	}
 	for r := lo; r < hi; r++ {
@@ -114,6 +134,8 @@ func (ev *Evaluator) AddRange(counts *Counts, lo, hi int) error {
 		}
 		counts[s]++
 	}
+	ev.fallbackEvals.Add(int64(hi - lo))
+	ev.realizations.Add(int64(hi - lo))
 	return nil
 }
 

@@ -3,6 +3,8 @@ package engine
 import (
 	"errors"
 	"fmt"
+
+	"compoundthreat/internal/obs"
 )
 
 // FailureMatrix is a bit-packed (realization × asset) failure table
@@ -30,6 +32,8 @@ func NewFailureMatrix(src Source, assetIDs []string) (*FailureMatrix, error) {
 	if len(assetIDs) == 0 {
 		return nil, errors.New("engine: no assets")
 	}
+	rec := obs.Default()
+	defer rec.StartSpan("engine.matrix_compile").End()
 	m := &FailureMatrix{
 		ids:    append([]string(nil), assetIDs...),
 		col:    make(map[string]int, len(assetIDs)),
@@ -68,6 +72,11 @@ func NewFailureMatrix(src Source, assetIDs []string) (*FailureMatrix, error) {
 				m.bits[base+c>>6] |= 1 << uint(c&63)
 			}
 		}
+	}
+	if rec != nil {
+		rec.Counter("engine.matrices_compiled").Add(1)
+		rec.Counter("engine.matrix_rows").Add(int64(m.rows))
+		rec.Counter("engine.matrix_cells").Add(int64(m.rows) * int64(len(m.ids)))
 	}
 	return m, nil
 }

@@ -1,0 +1,227 @@
+package engine_test
+
+// Tests for the engine's observability hooks: when a recorder is
+// enabled the memo, matrix, and worker-pool metrics must add up
+// exactly; when it is disabled the hot path must stay allocation-free
+// (the contract the 0-allocs benchmarks measure).
+
+import (
+	"testing"
+
+	"compoundthreat/internal/engine"
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// withRecorder installs a fresh recorder for the test and restores the
+// disabled default afterwards.
+func withRecorder(t *testing.T) *obs.Recorder {
+	t.Helper()
+	rec := obs.New()
+	obs.Enable(rec)
+	t.Cleanup(func() { obs.Enable(nil) })
+	return rec
+}
+
+// TestEvaluatorMemoMetrics checks the memo accounting: hits + misses
+// equals realizations, and misses equals the number of distinct
+// flooded patterns (each filled exactly once).
+func TestEvaluatorMemoMetrics(t *testing.T) {
+	assets := []string{"p", "s", "d"}
+	e := randomEnsemble(t, 7, 500, assets)
+	m, err := engine.NewFailureMatrix(e, assets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := withRecorder(t)
+	cfg := topology.NewConfig666("p", "s", "d")
+	cap := threat.HurricaneIntrusionIsolation.Capability()
+	ev, err := engine.NewEvaluator(m, cfg, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts engine.Counts
+	if err := ev.AddRange(&counts, 0, m.Rows()); err != nil {
+		t.Fatal(err)
+	}
+
+	cols, err := m.Columns(assets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[uint64]bool{}
+	for r := 0; r < m.Rows(); r++ {
+		distinct[m.Pattern(r, cols)] = true
+	}
+
+	hits := rec.Counter("engine.memo_hits").Value()
+	misses := rec.Counter("engine.memo_misses").Value()
+	if misses != int64(len(distinct)) {
+		t.Errorf("memo misses = %d, want %d distinct patterns", misses, len(distinct))
+	}
+	if hits+misses != int64(m.Rows()) {
+		t.Errorf("hits %d + misses %d != %d realizations", hits, misses, m.Rows())
+	}
+	if got := rec.Counter("engine.realizations").Value(); got != int64(m.Rows()) {
+		t.Errorf("realizations counter = %d, want %d", got, m.Rows())
+	}
+	// The analyzer runs exactly once per memo miss on this path.
+	if evals := rec.Counter("attack.analyzer_evals").Value(); evals != misses {
+		t.Errorf("analyzer evals = %d, want %d (one per miss)", evals, misses)
+	}
+}
+
+// TestMatrixCompileMetrics checks the compile-phase span and counters.
+func TestMatrixCompileMetrics(t *testing.T) {
+	assets := []string{"a", "b", "c", "d"}
+	e := randomEnsemble(t, 3, 120, assets)
+	rec := withRecorder(t)
+	if _, err := engine.NewFailureMatrix(e, assets); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter("engine.matrices_compiled").Value(); got != 1 {
+		t.Errorf("matrices_compiled = %d, want 1", got)
+	}
+	if got := rec.Counter("engine.matrix_rows").Value(); got != 120 {
+		t.Errorf("matrix_rows = %d, want 120", got)
+	}
+	if got := rec.Counter("engine.matrix_cells").Value(); got != 480 {
+		t.Errorf("matrix_cells = %d, want 480", got)
+	}
+	rep := rec.Report("test", nil)
+	found := false
+	for _, p := range rep.Phases {
+		if p.Name == "engine.matrix_compile" && p.Count == 1 && p.TotalNS > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no engine.matrix_compile phase in report: %+v", rep.Phases)
+	}
+}
+
+// TestForEachMetrics checks the worker-pool accounting for both the
+// sequential and the parallel path.
+func TestForEachMetrics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rec := obs.New()
+		obs.Enable(rec)
+		const n = 37
+		if err := engine.ForEach(workers, n, func(i int) error { return nil }); err != nil {
+			obs.Enable(nil)
+			t.Fatal(err)
+		}
+		obs.Enable(nil)
+		if got := rec.Counter("engine.foreach_calls").Value(); got != 1 {
+			t.Errorf("workers=%d: foreach_calls = %d, want 1", workers, got)
+		}
+		if got := rec.Counter("engine.foreach_tasks").Value(); got != n {
+			t.Errorf("workers=%d: foreach_tasks = %d, want %d", workers, got, n)
+		}
+		if got := rec.Counter("engine.foreach_workers").Value(); got != int64(workers) {
+			t.Errorf("workers=%d: foreach_workers = %d", workers, got)
+		}
+		h := rec.Histogram("engine.tasks_per_worker")
+		if h.Count() != int64(workers) {
+			t.Errorf("workers=%d: tasks_per_worker count = %d", workers, h.Count())
+		}
+		if h.Sum() != n {
+			t.Errorf("workers=%d: tasks_per_worker sum = %d, want %d", workers, h.Sum(), n)
+		}
+		if busy := rec.Timer("engine.worker_busy"); busy.Count() != int64(workers) {
+			t.Errorf("workers=%d: worker_busy count = %d", workers, busy.Count())
+		}
+	}
+}
+
+// TestInstrumentedResultsUnchanged cross-checks that enabling the
+// recorder does not change any computed outcome.
+func TestInstrumentedResultsUnchanged(t *testing.T) {
+	assets := []string{"p", "s", "d"}
+	e := randomEnsemble(t, 11, 400, assets)
+	cfg := topology.NewConfig666("p", "s", "d")
+	cap := threat.HurricaneIntrusionIsolation.Capability()
+
+	m, err := engine.NewFailureMatrix(e, assets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := engine.CellCounts(m, cfg, cap, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withRecorder(t)
+	m2, err := engine.NewFailureMatrix(e, assets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented, err := engine.CellCounts(m2, cfg, cap, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != instrumented {
+		t.Fatalf("instrumented counts %v != plain counts %v", instrumented, plain)
+	}
+}
+
+// TestAddRangeNoAllocsDisabled pins the hard requirement: with
+// observability off, the evaluator's realization loop performs zero
+// allocations.
+func TestAddRangeNoAllocsDisabled(t *testing.T) {
+	assets := []string{"p", "s", "d"}
+	e := randomEnsemble(t, 42, 300, assets)
+	m, err := engine.NewFailureMatrix(e, assets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := engine.NewEvaluator(m, topology.NewConfig666("p", "s", "d"),
+		threat.HurricaneIntrusionIsolation.Capability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warm engine.Counts
+	if err := ev.AddRange(&warm, 0, m.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		var counts engine.Counts
+		if err := ev.AddRange(&counts, 0, m.Rows()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AddRange allocated %v times per run with observability disabled", allocs)
+	}
+}
+
+// TestAddRangeNoAllocsEnabled: the same loop stays allocation-free
+// with a live recorder — metrics are atomics resolved at construction.
+func TestAddRangeNoAllocsEnabled(t *testing.T) {
+	assets := []string{"p", "s", "d"}
+	e := randomEnsemble(t, 42, 300, assets)
+	m, err := engine.NewFailureMatrix(e, assets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRecorder(t)
+	ev, err := engine.NewEvaluator(m, topology.NewConfig666("p", "s", "d"),
+		threat.HurricaneIntrusionIsolation.Capability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warm engine.Counts
+	if err := ev.AddRange(&warm, 0, m.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		var counts engine.Counts
+		if err := ev.AddRange(&counts, 0, m.Rows()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AddRange allocated %v times per run with observability enabled", allocs)
+	}
+}

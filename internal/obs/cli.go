@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// CLI wires the standard observability flags shared by the command
+// line tools: -metrics <file> writes a JSON run report on exit and
+// -pprof <addr> serves net/http/pprof for the lifetime of the run.
+//
+// Usage inside a command's run() function:
+//
+//	var cli obs.CLI
+//	cli.Register(fs)
+//	// ... fs.Parse ...
+//	if err := cli.Start("toolname", args, os.Stderr); err != nil {
+//	    return err
+//	}
+//	defer func() {
+//	    if cerr := cli.Close(); err == nil {
+//	        err = cerr
+//	    }
+//	}()
+//
+// Close must run on every exit path (hence the run() error pattern in
+// the commands: deferred cleanup cannot run when main os.Exits
+// directly), otherwise the report is never flushed and the pprof
+// listener leaks.
+type CLI struct {
+	// MetricsPath is the -metrics flag value.
+	MetricsPath string
+	// PprofAddr is the -pprof flag value.
+	PprofAddr string
+
+	command   string
+	args      []string
+	rec       *Recorder
+	stopPprof func() error
+}
+
+// Register binds the -metrics and -pprof flags.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.MetricsPath, "metrics", "", "write a JSON run report to this file")
+	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// Start enables the process-wide recorder (when -metrics was given)
+// and starts the pprof listener (when -pprof was given). diag, when
+// non-nil, receives one line announcing the pprof address.
+func (c *CLI) Start(command string, args []string, diag io.Writer) error {
+	c.command = command
+	c.args = args
+	if c.MetricsPath != "" {
+		c.rec = New()
+		Enable(c.rec)
+	}
+	if c.PprofAddr != "" {
+		bound, stop, err := StartPprof(c.PprofAddr)
+		if err != nil {
+			return err
+		}
+		c.stopPprof = stop
+		if diag != nil {
+			fmt.Fprintf(diag, "pprof listening on http://%s/debug/pprof/\n", bound)
+		}
+	}
+	return nil
+}
+
+// Recorder returns the run's recorder (nil when -metrics was not
+// given; all Recorder methods are nil-safe).
+func (c *CLI) Recorder() *Recorder { return c.rec }
+
+// Close stops the pprof listener, disables the process-wide recorder,
+// and flushes the run report. It is idempotent.
+func (c *CLI) Close() error {
+	var first error
+	if c.stopPprof != nil {
+		first = c.stopPprof()
+		c.stopPprof = nil
+	}
+	if c.rec != nil {
+		Enable(nil)
+		if err := c.rec.WriteReportFile(c.MetricsPath, c.command, c.args); err != nil && first == nil {
+			first = err
+		}
+		c.rec = nil
+	}
+	return first
+}

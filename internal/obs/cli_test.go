@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCLILifecycle drives the full flag -> Start -> record -> Close
+// flow and checks the report lands on disk with the recorded data.
+func TestCLILifecycle(t *testing.T) {
+	path := t.TempDir() + "/run.json"
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	var cli CLI
+	cli.Register(fs)
+	if err := fs.Parse([]string{"-metrics", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Start("tool", []string{"-metrics", path}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if Default() == nil {
+		t.Fatal("Start must enable the default recorder when -metrics is set")
+	}
+	Default().Counter("tool.work").Add(3)
+	cli.Recorder().Put("answer", 42)
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if Default() != nil {
+		t.Fatal("Close must disable the default recorder")
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != ReportSchema || rep.Command != "tool" {
+		t.Fatalf("report header = %q/%q", rep.Schema, rep.Command)
+	}
+	if rep.Counters["tool.work"] != 3 {
+		t.Fatalf("counters = %v", rep.Counters)
+	}
+
+	// Close is idempotent.
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCLIDisabled checks that without flags Start/Close are inert.
+func TestCLIDisabled(t *testing.T) {
+	var cli CLI
+	if err := cli.Start("tool", nil, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if Default() != nil {
+		t.Fatal("recorder enabled without -metrics")
+	}
+	if cli.Recorder() != nil {
+		t.Fatal("Recorder() must be nil without -metrics")
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCLIPprof starts the pprof listener on an ephemeral port, fetches
+// the index, and shuts it down.
+func TestCLIPprof(t *testing.T) {
+	var diag bytes.Buffer
+	cli := CLI{PprofAddr: "127.0.0.1:0"}
+	if err := cli.Start("tool", nil, &diag); err != nil {
+		t.Fatal(err)
+	}
+	line := diag.String()
+	if !strings.Contains(line, "pprof listening on") {
+		t.Fatalf("diagnostic line = %q", line)
+	}
+	url := strings.TrimSpace(strings.TrimPrefix(line, "pprof listening on "))
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("profile")) {
+		t.Fatalf("pprof index status %d body %q", resp.StatusCode, body[:min(len(body), 200)])
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The listener is down after Close.
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("pprof listener still serving after Close")
+	}
+}

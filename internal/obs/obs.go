@@ -1,0 +1,314 @@
+// Package obs is the zero-dependency observability layer of the
+// analysis pipeline: atomic counters, monotonic timers with a span API
+// for phase timing, and power-of-two histograms, aggregated by a
+// Recorder that renders one machine-readable JSON run report.
+//
+// Instrumentation is opt-in and allocation-free when disabled. The
+// package-level Default recorder is nil until a CLI (or test) calls
+// Enable; every method on a nil *Recorder, *Counter, *Timer,
+// *Histogram, or zero Span is a safe no-op, so hot paths resolve their
+// instruments once at construction time and pay a single nil-check
+// branch per event when observability is off. When it is on, events
+// cost one atomic add (counters/histograms) or one monotonic clock
+// read (spans) — no locks and no allocations on the recording paths.
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultRecorder is the process-wide recorder used by instrumented
+// code. It is nil (all instrumentation disabled) until Enable is
+// called.
+var defaultRecorder atomic.Pointer[Recorder]
+
+// Enable installs r as the process-wide default recorder; Enable(nil)
+// disables instrumentation again. Instruments already resolved from a
+// previous recorder keep recording into it, so callers should enable
+// observability before constructing the objects they want observed.
+func Enable(r *Recorder) {
+	defaultRecorder.Store(r)
+}
+
+// Default returns the process-wide recorder, or nil when
+// instrumentation is disabled. All Recorder methods are nil-safe, so
+// callers may use the result unconditionally.
+func Default() *Recorder {
+	return defaultRecorder.Load()
+}
+
+// Recorder aggregates named instruments and renders them as a run
+// report. Instrument resolution (Counter, Timer, Histogram) takes a
+// lock and is meant for construction-time code; the returned
+// instruments record lock-free. A nil *Recorder resolves nil
+// instruments, whose methods all no-op.
+type Recorder struct {
+	start time.Time
+	now   func() time.Time // injectable clock for deterministic tests
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+	hists    map[string]*Histogram
+	results  map[string]any
+}
+
+// New returns an empty recorder using the real monotonic clock.
+func New() *Recorder {
+	return newRecorder(time.Now)
+}
+
+func newRecorder(now func() time.Time) *Recorder {
+	return &Recorder{
+		start:    now(),
+		now:      now,
+		counters: make(map[string]*Counter),
+		timers:   make(map[string]*Timer),
+		hists:    make(map[string]*Histogram),
+		results:  make(map[string]any),
+	}
+}
+
+// Counter resolves (creating on first use) the named counter. Returns
+// nil — a valid no-op counter — on a nil recorder.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer resolves (creating on first use) the named timer. Returns nil
+// on a nil recorder.
+func (r *Recorder) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = newTimer()
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Histogram resolves (creating on first use) the named histogram.
+// Returns nil on a nil recorder.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Put attaches an arbitrary JSON-renderable value to the run report's
+// results section (e.g. per-figure state tallies). No-op on a nil
+// recorder.
+func (r *Recorder) Put(key string, v any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results[key] = v
+}
+
+// StartSpan starts timing one occurrence of the named phase; call End
+// on the returned span to record it. On a nil recorder it returns a
+// zero Span whose End is a no-op and performs no clock read.
+func (r *Recorder) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, t: r.Timer(name), start: r.now()}
+}
+
+// Span is one in-flight phase timing. The zero Span is valid and
+// records nothing.
+type Span struct {
+	r     *Recorder
+	t     *Timer
+	start time.Time
+}
+
+// End records the span's duration into its timer. Safe to call on a
+// zero Span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Record(s.r.now().Sub(s.start))
+}
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter
+// ignores all updates.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Timer accumulates phase durations: occurrence count, total, min, and
+// max, all maintained with atomics so concurrent workers may record
+// into one timer. A nil *Timer ignores all updates.
+type Timer struct {
+	count atomic.Int64
+	total atomic.Int64 // nanoseconds
+	min   atomic.Int64 // nanoseconds; MaxInt64 until first record
+	max   atomic.Int64 // nanoseconds
+}
+
+func newTimer() *Timer {
+	t := &Timer{}
+	t.min.Store(int64(1<<63 - 1))
+	return t
+}
+
+// Record adds one duration observation.
+func (t *Timer) Record(d time.Duration) {
+	if t == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	t.count.Add(1)
+	t.total.Add(ns)
+	atomicMin(&t.min, ns)
+	atomicMax(&t.max, ns)
+}
+
+// Count returns the number of recorded durations.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.total.Load())
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket
+// i counts observations v with bits.Len64(v) == i, i.e. v in
+// [2^(i-1), 2^i), which spans 1 ns to ~9.2 s when observing
+// nanoseconds. Bucket 0 counts non-positive observations; the last
+// bucket absorbs everything larger.
+const histBuckets = 34
+
+// Histogram is a fixed-size power-of-two histogram with atomic
+// buckets, plus count/sum/min/max. A nil *Histogram ignores all
+// updates.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // MaxInt64 until first observation
+	max     atomic.Int64 // MinInt64 until first observation
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(int64(1<<63 - 1))
+	h.max.Store(-int64(1<<63-1) - 1)
+	return h
+}
+
+// bucketIndex maps an observation to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	atomicMin(&h.min, v)
+	atomicMax(&h.max, v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// atomicMin lowers p to v if v is smaller.
+func atomicMin(p *atomic.Int64, v int64) {
+	for {
+		cur := p.Load()
+		if v >= cur || p.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// atomicMax raises p to v if v is larger.
+func atomicMax(p *atomic.Int64, v int64) {
+	for {
+		cur := p.Load()
+		if v <= cur || p.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

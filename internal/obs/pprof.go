@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartPprof serves the net/http/pprof handlers on addr (e.g.
+// "localhost:6060") and returns the bound address plus a function that
+// shuts the listener down. The handlers are mounted on a private mux,
+// not http.DefaultServeMux.
+func StartPprof(addr string) (bound string, stop func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	done := make(chan error, 1)
+	go func() {
+		done <- srv.Serve(ln)
+	}()
+	stop = func() error {
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+	return ln.Addr().String(), stop, nil
+}

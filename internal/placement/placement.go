@@ -21,6 +21,7 @@ import (
 	"compoundthreat/internal/analysis"
 	"compoundthreat/internal/assets"
 	"compoundthreat/internal/engine"
+	"compoundthreat/internal/obs"
 	"compoundthreat/internal/opstate"
 	"compoundthreat/internal/threat"
 	"compoundthreat/internal/topology"
@@ -168,6 +169,8 @@ func search(req Request, placements []topology.Placement) ([]Candidate, error) {
 	if len(placements) == 0 {
 		return nil, errors.New("placement: no candidate placements")
 	}
+	defer obs.Default().StartSpan("placement.search").End()
+	obs.Default().Counter("placement.candidates").Add(int64(len(placements)))
 	// Build every configuration up front and collect the site-asset
 	// universe, so the ensemble is compiled exactly once.
 	configs := make([]topology.Config, len(placements))

@@ -1,0 +1,183 @@
+// Command benchcheck gates CI on benchmark regressions: it parses `go
+// test -bench` output, compares the Figure-class benchmarks against the
+// recorded baseline (BENCH_1.json), and exits non-zero when any of them
+// is slower than the allowed ratio.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Figure -benchtime 1x . > bench.out
+//	go run ./tools/benchcheck -baseline BENCH_1.json -input bench.out
+//
+// The threshold is deliberately loose (3x by default): single-iteration
+// smoke runs on shared CI machines are noisy, and the gate exists to
+// catch order-of-magnitude regressions — an accidental re-lock in the
+// hot loop, a lost memo table — not few-percent drift.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// nameToKey maps stripped benchmark names to BENCH_1.json headline
+// keys. Benchmarks outside this table are ignored; every mapped
+// benchmark must appear in the input, so a silent rename or deletion
+// also fails the gate.
+var nameToKey = map[string]string{
+	"BenchmarkFigure9Sequential":        "figure9_sequential_ns_per_op",
+	"BenchmarkFigure9Workers/workers=1": "figure9_engine_workers1_ns_per_op",
+	"BenchmarkFigure9Workers/workers=8": "figure9_engine_workers8_ns_per_op",
+	"BenchmarkFigureAllSequential":      "all_figures_sequential_ns_per_op",
+	"BenchmarkFigureAllEngine":          "all_figures_engine_ns_per_op",
+}
+
+// baseline is the subset of BENCH_1.json that benchcheck consumes.
+type baseline struct {
+	Headline map[string]float64 `json:"headline"`
+}
+
+// result is one compared benchmark.
+type result struct {
+	Name       string
+	Key        string
+	NsPerOp    float64
+	BaselineNs float64
+	Ratio      float64
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_1.json", "baseline JSON file with a headline section")
+	input := flag.String("input", "", "benchmark output file (default: stdin)")
+	maxRatio := flag.Float64("max-ratio", 3.0, "fail when ns/op exceeds baseline by more than this factor")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
+	}
+
+	results, err := check(base.Headline, in, *maxRatio)
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	for _, r := range results {
+		verdict := "ok"
+		if r.Ratio > *maxRatio {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %12.0f ns/op  baseline %12.0f  ratio %5.2f  %s\n",
+			r.Name, r.NsPerOp, r.BaselineNs, r.Ratio, verdict)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcheck: benchmark regression beyond %.1fx baseline\n", *maxRatio)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmarks within %.1fx of baseline\n", len(results), *maxRatio)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}
+
+// check parses benchmark output and compares every mapped benchmark
+// against the baseline. It errors when a mapped benchmark is missing
+// from the input or the baseline, so the gate cannot rot silently.
+func check(headline map[string]float64, r io.Reader, maxRatio float64) ([]result, error) {
+	seen := map[string]result{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		key, mapped := nameToKey[name]
+		if !mapped {
+			continue
+		}
+		base, ok := headline[key]
+		if !ok || base <= 0 {
+			return nil, fmt.Errorf("baseline has no usable %q entry for %s", key, name)
+		}
+		// Keep the slowest sample if a benchmark ran more than once.
+		if prev, dup := seen[name]; !dup || ns > prev.NsPerOp {
+			seen[name] = result{Name: name, Key: key, NsPerOp: ns, BaselineNs: base, Ratio: ns / base}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var missing []string
+	for name := range nameToKey {
+		if _, ok := seen[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("benchmarks missing from input: %s", strings.Join(missing, ", "))
+	}
+	// Deterministic report order: follow the baseline key order is not
+	// available from a map, so sort by name via simple insertion over
+	// the fixed table size.
+	out := make([]result, 0, len(seen))
+	for _, r := range seen {
+		out = append(out, r)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// parseLine extracts (name, ns/op) from one `go test -bench` output
+// line, stripping the -GOMAXPROCS suffix from the benchmark name.
+func parseLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	nsIdx := -1
+	for i, f := range fields {
+		if f == "ns/op" {
+			nsIdx = i
+			break
+		}
+	}
+	if nsIdx < 2 {
+		return "", 0, false
+	}
+	ns, err := strconv.ParseFloat(fields[nsIdx-1], 64)
+	if err != nil {
+		return "", 0, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name, ns, true
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleBaseline mirrors BENCH_1.json's headline section.
+var sampleBaseline = map[string]float64{
+	"figure9_sequential_ns_per_op":      1895967,
+	"figure9_engine_workers1_ns_per_op": 207073,
+	"figure9_engine_workers8_ns_per_op": 234426,
+	"all_figures_sequential_ns_per_op":  14750375,
+	"all_figures_engine_ns_per_op":      566260,
+}
+
+const healthyOutput = `
+goos: linux
+goarch: amd64
+pkg: compoundthreat
+BenchmarkFigure9Sequential-4        	       1	 1900000 ns/op
+BenchmarkFigure9Workers/workers=1-4 	       1	  210000 ns/op
+BenchmarkFigure9Workers/workers=4-4 	       1	  220000 ns/op
+BenchmarkFigure9Workers/workers=8-4 	       1	  230000 ns/op
+BenchmarkFigureAllSequential-4      	       1	14800000 ns/op
+BenchmarkFigureAllEngine-4          	       1	  570000 ns/op
+BenchmarkFigureAllEngineMetrics-4   	       1	  590000 ns/op
+PASS
+`
+
+func TestCheckHealthy(t *testing.T) {
+	results, err := check(sampleBaseline, strings.NewReader(healthyOutput), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d results, want 5 (unmapped benchmarks must be ignored)", len(results))
+	}
+	for _, r := range results {
+		if r.Ratio > 3 {
+			t.Errorf("%s ratio %.2f flagged on healthy output", r.Name, r.Ratio)
+		}
+	}
+	// Results are sorted by name.
+	for i := 1; i < len(results); i++ {
+		if results[i].Name < results[i-1].Name {
+			t.Fatalf("results out of order: %s before %s", results[i-1].Name, results[i].Name)
+		}
+	}
+}
+
+func TestCheckFlagsRegression(t *testing.T) {
+	slow := strings.Replace(healthyOutput,
+		"BenchmarkFigureAllEngine-4          	       1	  570000 ns/op",
+		"BenchmarkFigureAllEngine-4          	       1	 9900000 ns/op", 1)
+	results, err := check(sampleBaseline, strings.NewReader(slow), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := 0
+	for _, r := range results {
+		if r.Ratio > 3 {
+			flagged++
+			if r.Name != "BenchmarkFigureAllEngine" {
+				t.Errorf("flagged %s, want BenchmarkFigureAllEngine", r.Name)
+			}
+		}
+	}
+	if flagged != 1 {
+		t.Fatalf("flagged %d benchmarks, want 1", flagged)
+	}
+}
+
+func TestCheckMissingBenchmark(t *testing.T) {
+	partial := strings.Replace(healthyOutput,
+		"BenchmarkFigureAllEngine-4          	       1	  570000 ns/op\n", "", 1)
+	if _, err := check(sampleBaseline, strings.NewReader(partial), 3); err == nil {
+		t.Fatal("check accepted output missing a mapped benchmark")
+	}
+}
+
+func TestCheckMissingBaselineKey(t *testing.T) {
+	base := map[string]float64{}
+	for k, v := range sampleBaseline {
+		base[k] = v
+	}
+	delete(base, "all_figures_engine_ns_per_op")
+	if _, err := check(base, strings.NewReader(healthyOutput), 3); err == nil {
+		t.Fatal("check accepted a baseline missing a mapped key")
+	}
+}
+
+func TestCheckKeepsSlowestDuplicate(t *testing.T) {
+	dup := healthyOutput + "BenchmarkFigureAllEngine-4          	       1	  999000 ns/op\n"
+	results, err := check(sampleBaseline, strings.NewReader(dup), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Name == "BenchmarkFigureAllEngine" && r.NsPerOp != 999000 {
+			t.Fatalf("duplicate handling kept %v ns/op, want the slower 999000", r.NsPerOp)
+		}
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkFigure9Sequential-4 	 1 	 1900000 ns/op", "BenchmarkFigure9Sequential", 1900000, true},
+		{"BenchmarkFigure9Workers/workers=8-16 	 1 	 230000 ns/op 	 0 B/op", "BenchmarkFigure9Workers/workers=8", 230000, true},
+		{"BenchmarkTiny 	 1000000 	 0.25 ns/op", "BenchmarkTiny", 0.25, true},
+		{"goos: linux", "", 0, false},
+		{"PASS", "", 0, false},
+		{"ok  	compoundthreat	12.3s", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseLine(c.line)
+		if name != c.name || ns != c.ns || ok != c.ok {
+			t.Errorf("parseLine(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.line, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
