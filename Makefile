@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench-smoke bench bench-check verify
+.PHONY: all build test vet race fmt-check bench-smoke bench-compress bench bench-check verify
 
 all: build
 
@@ -28,19 +28,31 @@ fmt-check:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Figure' -benchtime 1x .
 
+# The deduplicated-sweep benchmarks: a fast smoke test that the
+# compressed weighted path still runs end to end. 100 iterations (a few
+# milliseconds total — these sweeps run in tens of microseconds) so the
+# measurement is steady-state rather than first-iteration warmup.
+bench-compress:
+	$(GO) test -run '^$$' -bench 'Compressed' -benchtime 100x .
+
 # Full benchmark sweep with allocation counts (slow: regenerates the
 # 1000-realization ensemble).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/engine/ ./internal/attack/
 
-# Benchmark regression gate: run the Figure smoke benchmarks and
-# compare against the recorded baseline, failing on >3x slowdowns.
+# Benchmark regression gate: run the Figure smoke benchmarks against
+# BENCH_1.json (uncompressed engine reference) and the Compressed
+# benchmarks against BENCH_3.json (deduplicated sweeps), failing on
+# >3x slowdowns in either set.
 bench-check:
 	$(GO) test -run '^$$' -bench 'Figure' -benchtime 1x . > bench-smoke.out
 	@cat bench-smoke.out
 	$(GO) run ./tools/benchcheck -baseline BENCH_1.json -input bench-smoke.out
+	$(GO) test -run '^$$' -bench 'Compressed' -benchtime 100x . > bench-compress.out
+	@cat bench-compress.out
+	$(GO) run ./tools/benchcheck -set compressed -baseline BENCH_3.json -input bench-compress.out
 
 # The documented verification gate: vet, build, race-enabled tests, and
-# the benchmark smoke run.
-verify: vet build race bench-smoke
+# the benchmark smoke runs.
+verify: vet build race bench-smoke bench-compress

@@ -139,6 +139,9 @@ func BenchmarkFigure9Sequential(b *testing.B) {
 // several worker bounds. Compare against BenchmarkFigure9Sequential
 // for the speedup; the gain is dominated by the bit-packed matrix and
 // per-flood-pattern memoization, so it holds even at workers=1.
+// Dedup is pinned off: this is the uncompressed engine reference that
+// BENCH_1.json gates; BenchmarkCompressedFigure9 measures the default
+// compressed path against BENCH_3.json.
 func BenchmarkFigure9Workers(b *testing.B) {
 	cs, configs, scenario := benchFigureConfigs(b, 9)
 	for _, workers := range []int{1, 4, 8} {
@@ -146,7 +149,7 @@ func BenchmarkFigure9Workers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				opt := analysis.Options{Workers: workers}
+				opt := analysis.Options{Workers: workers, NoCompress: true}
 				if _, err := analysis.RunConfigsOpt(cs.Ensemble(), configs, scenario, opt); err != nil {
 					b.Fatal(err)
 				}
@@ -175,9 +178,13 @@ func BenchmarkFigureAllSequential(b *testing.B) {
 
 // BenchmarkFigureAllEngine evaluates all six paper figures through
 // EvaluateAllFigures: flattened (figure, config) cells with shared
-// failure matrices.
+// failure matrices. Dedup is pinned off — this is the uncompressed
+// engine reference that BENCH_1.json gates; see
+// BenchmarkCompressedAllFigures for the default compressed path.
 func BenchmarkFigureAllEngine(b *testing.B) {
 	cs := benchCaseStudy(b)
+	cs.SetCompress(false)
+	b.Cleanup(func() { cs.SetCompress(true) })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cs.EvaluateAllFigures(); err != nil {
@@ -192,8 +199,12 @@ func BenchmarkFigureAllEngine(b *testing.B) {
 // BENCH_2.json records the measured gap (<5%).
 func BenchmarkFigureAllEngineMetrics(b *testing.B) {
 	cs := benchCaseStudy(b)
+	cs.SetCompress(false)
 	obs.Enable(obs.New())
-	b.Cleanup(func() { obs.Enable(nil) })
+	b.Cleanup(func() {
+		obs.Enable(nil)
+		cs.SetCompress(true)
+	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cs.EvaluateAllFigures(); err != nil {
@@ -375,14 +386,17 @@ func BenchmarkSCADASimulation(b *testing.B) {
 }
 
 // BenchmarkPlacementSearch measures the §VII placement search over all
-// candidate pairs.
+// candidate pairs, with dedup pinned off as the uncompressed engine
+// reference; BenchmarkCompressedSearchPairs measures the default
+// compressed search.
 func BenchmarkPlacementSearch(b *testing.B) {
 	cs := benchCaseStudy(b)
 	req := PlacementRequest{
-		Ensemble:  cs.Ensemble(),
-		Inventory: OahuAssets(),
-		Primary:   HonoluluCC,
-		Scenario:  HurricaneIntrusionIsolation,
+		Ensemble:   cs.Ensemble(),
+		Inventory:  OahuAssets(),
+		Primary:    HonoluluCC,
+		Scenario:   HurricaneIntrusionIsolation,
+		NoCompress: true,
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	compoundsim [-fig N] [-realizations N] [-seed S] [-csv] [-table1]
-//	            [-workers N] [-metrics report.json] [-pprof addr]
+//	            [-workers N] [-compress=false] [-metrics report.json]
+//	            [-pprof addr]
 //
 // Without -fig it evaluates every figure. -csv emits machine-readable
 // rows instead of terminal tables. -workers bounds analysis
@@ -58,6 +59,7 @@ func run(args []string) (err error) {
 	quake := fs.Bool("quake", false, "use the earthquake hazard (south-flank fault) instead of the hurricane")
 	fragilityBeta := fs.Float64("fragility", 0, "replace the 0.5 m threshold with a lognormal fragility curve of this dispersion (0 = off)")
 	workers := fs.Int("workers", 0, "analysis worker bound (0 = one per CPU)")
+	compress := fs.Bool("compress", true, "deduplicate identical failure-matrix rows before evaluation")
 	var ocli obs.CLI
 	ocli.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -75,7 +77,7 @@ func run(args []string) (err error) {
 		}
 	}()
 	rec := ocli.Recorder()
-	opt := analysis.Options{Workers: *workers}
+	opt := analysis.Options{Workers: *workers, NoCompress: !*compress}
 
 	if *quake {
 		return runQuake(*realizations, *seed, opt)
@@ -103,6 +105,7 @@ func run(args []string) (err error) {
 		return err
 	}
 	cs.SetWorkers(*workers)
+	cs.SetCompress(*compress)
 
 	if *table1 {
 		if err := report.WriteTableI(os.Stdout); err != nil {
@@ -118,7 +121,7 @@ func run(args []string) (err error) {
 	}
 
 	if *power != "" {
-		return runPowerSweep(ensemble, *power, *csv, *workers)
+		return runPowerSweep(ensemble, *power, *csv, opt)
 	}
 	if *extended {
 		return runExtended(ensemble, *csv, opt)
@@ -380,7 +383,7 @@ func runDowntime(e *hazard.Ensemble) error {
 
 // runPowerSweep traces the configuration's profile as attacker success
 // probability grows (the paper's SVII realistic-attacker question).
-func runPowerSweep(e *hazard.Ensemble, configName string, csv bool, workers int) error {
+func runPowerSweep(e *hazard.Ensemble, configName string, csv bool, opt analysis.Options) error {
 	configs, err := topology.StandardConfigs(topology.Placement{
 		Primary:    assets.HonoluluCC,
 		Second:     assets.Waiau,
@@ -405,7 +408,8 @@ func runPowerSweep(e *hazard.Ensemble, configName string, csv bool, workers int)
 		Capability: threat.HurricaneIntrusionIsolation.Capability(),
 		Successes:  []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1},
 		Seed:       1,
-		Workers:    workers,
+		Workers:    opt.Workers,
+		NoCompress: opt.NoCompress,
 	})
 	if err != nil {
 		return err

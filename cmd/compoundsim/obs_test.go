@@ -71,11 +71,36 @@ func TestMetricsReport(t *testing.T) {
 		}
 	}
 
-	// Memo statistics: hits + misses account for every realization of
-	// every (config, scenario) cell; figure 9 has five configurations.
+	// Dedup statistics: the failure matrix is compressed once (dedup is
+	// on by default), and the report carries both the raw counters and
+	// the derived dedup block.
+	distinct := rep.Counters["engine.distinct_patterns"]
+	if distinct < 1 || distinct > realizations {
+		t.Fatalf("engine.distinct_patterns = %d, want within [1, %d]", distinct, realizations)
+	}
+	if got := rep.Counters["engine.dedup_input_rows"]; got != realizations {
+		t.Errorf("engine.dedup_input_rows = %d, want %d", got, realizations)
+	}
+	if rep.Dedup == nil {
+		t.Fatal("dedup block missing from run report")
+	}
+	if rep.Dedup.InputRows != realizations || rep.Dedup.DistinctRows != distinct {
+		t.Errorf("dedup block = %+v, want input %d distinct %d", rep.Dedup, realizations, distinct)
+	}
+	if want := float64(distinct) / float64(realizations); rep.Dedup.Ratio != want {
+		t.Errorf("dedup ratio = %v, want %v", rep.Dedup.Ratio, want)
+	}
+	if rep.Dedup.CompressWallNS <= 0 {
+		t.Errorf("dedup compress_wall_ns = %d, want > 0", rep.Dedup.CompressWallNS)
+	}
+
+	// Memo statistics: each of the five configuration cells evaluates
+	// only the distinct flood patterns, while the realization counter
+	// still accounts for the full weighted coverage.
 	hits, misses := rep.Counters["engine.memo_hits"], rep.Counters["engine.memo_misses"]
-	if want := int64(5 * realizations); hits+misses != want {
-		t.Errorf("memo hits %d + misses %d = %d, want %d", hits, misses, hits+misses, want)
+	if want := 5 * distinct; hits+misses != want {
+		t.Errorf("memo hits %d + misses %d = %d, want %d (5 cells x %d distinct patterns)",
+			hits, misses, hits+misses, want, distinct)
 	}
 	if rep.Counters["engine.realizations"] != int64(5*realizations) {
 		t.Errorf("engine.realizations = %d", rep.Counters["engine.realizations"])

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	placement [-scenario both] [-realizations N] [-pairs] [-top K]
-//	          [-workers N] [-metrics report.json] [-pprof addr]
+//	          [-workers N] [-compress=false] [-metrics report.json]
+//	          [-pprof addr]
 package main
 
 import (
@@ -41,6 +42,7 @@ func run(args []string) (err error) {
 	pairs := fs.Bool("pairs", false, "search (second, data center) pairs instead of second site only")
 	top := fs.Int("top", 10, "show the top K candidates")
 	workers := fs.Int("workers", 0, "search worker bound (0 = one per CPU)")
+	compress := fs.Bool("compress", true, "deduplicate identical failure-matrix rows before evaluation")
 	var ocli obs.CLI
 	ocli.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -76,11 +78,12 @@ func run(args []string) (err error) {
 	}
 
 	req := placement.Request{
-		Ensemble:  ensemble,
-		Inventory: inv,
-		Primary:   assets.HonoluluCC,
-		Scenario:  scenario,
-		Workers:   *workers,
+		Ensemble:   ensemble,
+		Inventory:  inv,
+		Primary:    assets.HonoluluCC,
+		Scenario:   scenario,
+		Workers:    *workers,
+		NoCompress: !*compress,
 	}
 	start := time.Now()
 	var candidates []placement.Candidate

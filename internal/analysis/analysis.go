@@ -51,6 +51,12 @@ type Options struct {
 	// runtime.NumCPU(); 1 runs single-threaded (still on the
 	// allocation-free engine path).
 	Workers int
+	// NoCompress disables failure-matrix row deduplication. By default
+	// the compiled matrix is compressed to its distinct rows once and
+	// every (configuration, scenario) cell is evaluated per distinct
+	// pattern with multiplicities — bit-identical to the full walk.
+	// Set NoCompress to walk every realization per cell instead.
+	NoCompress bool
 }
 
 // Outcome is the result of analyzing one configuration under one
@@ -99,18 +105,66 @@ func RunOpt(e DisasterEnsemble, cfg topology.Config, scenario threat.Scenario, o
 	if err := validateCell(e, cfg, scenario); err != nil {
 		return Outcome{}, err
 	}
-	m, err := engine.NewFailureMatrix(e, siteAssets(cfg))
+	v, err := compileView(e, siteAssets(cfg), opt)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("analysis: %s: %w", cfg.Name, err)
 	}
-	return runCell(m, cfg, scenario, opt.Workers)
+	return runCell(v, cfg, scenario, opt.Workers)
+}
+
+// compiledView bundles a compiled failure matrix with its optional
+// deduplicated row view; cells evaluate against the compressed view
+// when present, recycling evaluators (and their 2^S memo tables)
+// across the sweep's cells through the pool.
+type compiledView struct {
+	m    *engine.FailureMatrix
+	cm   *engine.CompressedMatrix
+	pool *engine.EvaluatorPool
+}
+
+// compileView compiles the ensemble's failure flags for the given
+// assets and, unless disabled, compresses the rows to distinct
+// patterns once so every subsequent cell is O(distinct rows).
+func compileView(e DisasterEnsemble, assetIDs []string, opt Options) (compiledView, error) {
+	m, err := engine.NewFailureMatrix(e, assetIDs)
+	if err != nil {
+		return compiledView{}, err
+	}
+	v := compiledView{m: m}
+	if !opt.NoCompress {
+		v.cm = engine.Compress(m, opt.Workers)
+		v.pool = &engine.EvaluatorPool{}
+	}
+	return v, nil
 }
 
 // runCell evaluates one (config, scenario) cell against a compiled
-// matrix.
-func runCell(m *engine.FailureMatrix, cfg topology.Config, scenario threat.Scenario, workers int) (Outcome, error) {
+// view.
+func runCell(v compiledView, cfg topology.Config, scenario threat.Scenario, workers int) (Outcome, error) {
 	obs.Default().Counter("analysis.cells").Add(1)
-	profile, err := engine.CellProfile(m, cfg, scenario.Capability(), workers)
+	var (
+		profile *stats.Profile
+		err     error
+	)
+	switch {
+	case v.cm != nil && engine.Workers(workers) <= 1:
+		// Single-worker compressed cell: one weighted pass over the
+		// distinct rows with a pooled evaluator, so sweeps spanning many
+		// cells reuse memo tables instead of re-allocating per cell.
+		var ev *engine.Evaluator
+		ev, err = v.pool.Get(v.m, cfg, scenario.Capability())
+		if err == nil {
+			var counts engine.Counts
+			if err = ev.AddWeighted(&counts, v.cm, 0, v.cm.DistinctRows()); err == nil {
+				profile = counts.Profile()
+			}
+			v.pool.Put(ev)
+		}
+	case v.cm != nil:
+		profile, err = engine.CellProfileCompressed(v.cm, cfg, scenario.Capability(), workers)
+	default:
+		profile, err = engine.CellProfile(v.m, cfg, scenario.Capability(), workers)
+	}
 	if err != nil {
 		return Outcome{}, fmt.Errorf("analysis: %s: %w", cfg.Name, err)
 	}
@@ -142,24 +196,43 @@ func RunSequential(e DisasterEnsemble, cfg topology.Config, scenario threat.Scen
 	return Outcome{Config: cfg, Scenario: scenario, Profile: profile}, nil
 }
 
-// compileMatrices compiles one failure matrix per configuration.
-// Compilation stays sequential (it touches the ensemble through its
-// interface); evaluation afterwards reads only the immutable matrices
-// and parallelizes freely.
-func compileMatrices(e DisasterEnsemble, configs []topology.Config) ([]*engine.FailureMatrix, error) {
-	defer obs.Default().StartSpan("analysis.compile_matrices").End()
-	mats := make([]*engine.FailureMatrix, len(configs))
-	for i, cfg := range configs {
+// assetUniverse validates every configuration and returns the union
+// of their site assets in first-occurrence order.
+func assetUniverse(configs []topology.Config) ([]string, error) {
+	var universe []string
+	seen := make(map[string]bool)
+	for _, cfg := range configs {
 		if err := cfg.Validate(); err != nil {
 			return nil, err
 		}
-		m, err := engine.NewFailureMatrix(e, siteAssets(cfg))
-		if err != nil {
-			return nil, fmt.Errorf("analysis: %s: %w", cfg.Name, err)
+		for _, s := range cfg.Sites {
+			if !seen[s.AssetID] {
+				seen[s.AssetID] = true
+				universe = append(universe, s.AssetID)
+			}
 		}
-		mats[i] = m
 	}
-	return mats, nil
+	return universe, nil
+}
+
+// compileUniverse compiles one failure matrix over the union of the
+// configurations' site assets (each configuration resolves its own
+// column subset at evaluation time), then optionally compresses it.
+// One compile + one compression serve every (config, scenario) cell.
+// Compilation stays sequential (it touches the ensemble through its
+// interface); evaluation afterwards reads only the immutable view and
+// parallelizes freely.
+func compileUniverse(e DisasterEnsemble, configs []topology.Config, opt Options) (compiledView, error) {
+	defer obs.Default().StartSpan("analysis.compile_matrices").End()
+	universe, err := assetUniverse(configs)
+	if err != nil {
+		return compiledView{}, err
+	}
+	v, err := compileView(e, universe, opt)
+	if err != nil {
+		return compiledView{}, fmt.Errorf("analysis: %w", err)
+	}
+	return v, nil
 }
 
 // RunConfigs analyzes several configurations under one scenario,
@@ -179,14 +252,14 @@ func RunConfigsOpt(e DisasterEnsemble, configs []topology.Config, scenario threa
 	if !scenario.Valid() {
 		return nil, fmt.Errorf("analysis: invalid scenario %d", int(scenario))
 	}
-	mats, err := compileMatrices(e, configs)
+	v, err := compileUniverse(e, configs, opt)
 	if err != nil {
 		return nil, err
 	}
 	defer obs.Default().StartSpan("analysis.run_configs").End()
 	out := make([]Outcome, len(configs))
 	err = engine.ForEach(opt.Workers, len(configs), func(i int) error {
-		o, err := runCell(mats[i], configs[i], scenario, 1)
+		o, err := runCell(v, configs[i], scenario, 1)
 		if err != nil {
 			return err
 		}
@@ -231,7 +304,7 @@ func RunMatrixOpt(e DisasterEnsemble, configs []topology.Config, opt Options) (m
 	if e == nil {
 		return nil, errors.New("analysis: nil ensemble")
 	}
-	mats, err := compileMatrices(e, configs)
+	v, err := compileUniverse(e, configs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -240,7 +313,7 @@ func RunMatrixOpt(e DisasterEnsemble, configs []topology.Config, opt Options) (m
 	cells := make([]Outcome, len(scenarios)*len(configs))
 	err = engine.ForEach(opt.Workers, len(cells), func(k int) error {
 		si, ci := k/len(configs), k%len(configs)
-		o, err := runCell(mats[ci], configs[ci], scenarios[si], 1)
+		o, err := runCell(v, configs[ci], scenarios[si], 1)
 		if err != nil {
 			return err
 		}

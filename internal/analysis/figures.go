@@ -3,7 +3,6 @@ package analysis
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"compoundthreat/internal/assets"
 	"compoundthreat/internal/engine"
@@ -79,8 +78,9 @@ type FigureResult struct {
 // CaseStudy bundles the Oahu ensemble with the machinery to evaluate
 // paper figures against it. Generate it once and evaluate many figures.
 type CaseStudy struct {
-	ensemble *hazard.Ensemble
-	workers  int
+	ensemble   *hazard.Ensemble
+	workers    int
+	noCompress bool
 }
 
 // NewCaseStudy wraps an existing ensemble.
@@ -93,6 +93,16 @@ func NewCaseStudy(e *hazard.Ensemble) (*CaseStudy, error) {
 
 // SetWorkers bounds evaluation parallelism (0 = runtime.NumCPU()).
 func (cs *CaseStudy) SetWorkers(n int) { cs.workers = n }
+
+// SetCompress toggles failure-matrix row deduplication (on by
+// default). Results are bit-identical either way; disabling it walks
+// every realization per cell.
+func (cs *CaseStudy) SetCompress(on bool) { cs.noCompress = !on }
+
+// options renders the case study's tuning knobs as engine Options.
+func (cs *CaseStudy) options() Options {
+	return Options{Workers: cs.workers, NoCompress: cs.noCompress}
+}
 
 // NewOahuCaseStudy builds the full Oahu case study: terrain, assets,
 // surge solver, and the calibrated hurricane ensemble. realizations
@@ -124,7 +134,7 @@ func (cs *CaseStudy) EvaluateFigure(f Figure) (FigureResult, error) {
 	if err != nil {
 		return FigureResult{}, err
 	}
-	outcomes, err := RunConfigsOpt(cs.ensemble, configs, f.Scenario, Options{Workers: cs.workers})
+	outcomes, err := RunConfigsOpt(cs.ensemble, configs, f.Scenario, cs.options())
 	if err != nil {
 		return FigureResult{}, err
 	}
@@ -133,22 +143,22 @@ func (cs *CaseStudy) EvaluateFigure(f Figure) (FigureResult, error) {
 
 // EvaluateAllFigures evaluates every paper figure in order. The work
 // is flattened to (figure, configuration) cells and evaluated in
-// parallel, with failure matrices compiled once per distinct site set
-// and shared across figures.
+// parallel against one failure matrix compiled over the union of the
+// figures' site assets — compiled (and, by default, compressed to its
+// distinct rows) exactly once and shared across every cell.
 func (cs *CaseStudy) EvaluateAllFigures() ([]FigureResult, error) {
 	defer obs.Default().StartSpan("analysis.all_figures").End()
 	figs := PaperFigures()
 
-	// Flatten figures into cells, compiling each distinct site set once
-	// (figures share placements, and configurations within a placement
-	// share site subsets).
+	// Flatten figures into cells and collect every configuration so one
+	// universe matrix serves the whole sweep (figures share placements,
+	// and configurations within a placement share site subsets).
 	type cell struct {
 		fig int // index into figs
 		cfg topology.Config
-		mat *engine.FailureMatrix
 	}
 	var cells []cell
-	mats := make(map[string]*engine.FailureMatrix)
+	var allConfigs []topology.Config
 	out := make([]FigureResult, len(figs))
 	for fi, f := range figs {
 		configs, err := topology.StandardConfigs(f.Placement)
@@ -157,18 +167,13 @@ func (cs *CaseStudy) EvaluateAllFigures() ([]FigureResult, error) {
 		}
 		out[fi] = FigureResult{Figure: f, Outcomes: make([]Outcome, len(configs))}
 		for _, cfg := range configs {
-			key := strings.Join(siteAssets(cfg), "\x1f")
-			m, ok := mats[key]
-			if !ok {
-				var err error
-				m, err = engine.NewFailureMatrix(cs.ensemble, siteAssets(cfg))
-				if err != nil {
-					return nil, fmt.Errorf("figure %d: %s: %w", f.ID, cfg.Name, err)
-				}
-				mats[key] = m
-			}
-			cells = append(cells, cell{fig: fi, cfg: cfg, mat: m})
+			cells = append(cells, cell{fig: fi, cfg: cfg})
 		}
+		allConfigs = append(allConfigs, configs...)
+	}
+	v, err := compileUniverse(cs.ensemble, allConfigs, cs.options())
+	if err != nil {
+		return nil, err
 	}
 
 	// Position of each cell within its figure's outcome slice.
@@ -179,9 +184,9 @@ func (cs *CaseStudy) EvaluateAllFigures() ([]FigureResult, error) {
 		seen[c.fig]++
 	}
 
-	err := engine.ForEach(cs.workers, len(cells), func(i int) error {
+	err = engine.ForEach(cs.workers, len(cells), func(i int) error {
 		c := cells[i]
-		o, err := runCell(c.mat, c.cfg, figs[c.fig].Scenario, 1)
+		o, err := runCell(v, c.cfg, figs[c.fig].Scenario, 1)
 		if err != nil {
 			return fmt.Errorf("figure %d: %w", figs[c.fig].ID, err)
 		}

@@ -8,6 +8,7 @@ package analysis
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"compoundthreat/internal/attack"
 	"compoundthreat/internal/engine"
@@ -43,6 +44,13 @@ type PowerSweepRequest struct {
 	Seed int64
 	// Workers bounds parallelism across sweep points (0 = NumCPU).
 	Workers int
+	// NoCompress disables row deduplication for the deterministic
+	// sweep endpoints (success 0 and 1), where the attacker's outcome
+	// is a pure function of the flood pattern and the compressed
+	// weighted path is bit-identical to the per-realization walk.
+	// Interior points always walk realizations: their outcomes depend
+	// on the per-(point, realization) attack randomness.
+	NoCompress bool
 }
 
 func (r PowerSweepRequest) validate() error {
@@ -62,6 +70,15 @@ func (r PowerSweepRequest) validate() error {
 		}
 	}
 	return r.Config.Validate()
+}
+
+// deterministicPower reports whether the probabilistic attacker's
+// outcome is independent of the randomness draws: with both success
+// probabilities at exactly 0 or 1, every attempt deterministically
+// fails or lands.
+func deterministicPower(p attack.Power) bool {
+	return (p.IntrusionSuccess == 0 || p.IntrusionSuccess == 1) &&
+		(p.IsolationSuccess == 0 || p.IsolationSuccess == 1)
 }
 
 // pointSeed derives the attack-randomness seed of (point, realization)
@@ -94,6 +111,10 @@ func RunPowerSweep(req PowerSweepRequest) ([]PowerPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	var cm *engine.CompressedMatrix
+	if !req.NoCompress {
+		cm = engine.Compress(m, req.Workers)
+	}
 	out := make([]PowerPoint, len(req.Successes))
 	err = engine.ForEach(req.Workers, len(req.Successes), func(pi int) error {
 		success := req.Successes[pi]
@@ -103,6 +124,25 @@ func RunPowerSweep(req PowerSweepRequest) ([]PowerPoint, error) {
 			IsolationSuccess: success,
 		}
 		profile := stats.NewProfile()
+		if cm != nil && deterministicPower(power) {
+			// At the grid endpoints every planned attempt succeeds (or
+			// fails) regardless of the randomness draws, so the outcome
+			// is a pure function of the flood pattern: evaluate each
+			// distinct pattern once, weighted by multiplicity × trials.
+			obs.Default().Counter("analysis.power_points_compressed").Add(1)
+			rng := rand.New(rand.NewSource(pointSeed(req.Seed, pi, 0)))
+			flooded := make([]bool, 0, len(cols))
+			for i := 0; i < cm.DistinctRows(); i++ {
+				flooded = cm.Gather(flooded[:0], i, cols)
+				res, err := attack.WorstCaseProbabilistic(req.Config, flooded, power, rng)
+				if err != nil {
+					return err
+				}
+				profile.AddN(res.State, cm.Weight(i)*trials)
+			}
+			out[pi] = PowerPoint{Success: success, Profile: profile}
+			return nil
+		}
 		flooded := make([]bool, 0, len(cols))
 		for r := 0; r < m.Rows(); r++ {
 			flooded = m.Gather(flooded[:0], r, cols)

@@ -37,18 +37,35 @@ type Analyzer struct {
 // NewAnalyzer validates the configuration and capability once and
 // returns an analyzer with preallocated scratch state.
 func NewAnalyzer(cfg topology.Config, cap threat.Capability) (*Analyzer, error) {
+	a := &Analyzer{evals: obs.Default().Counter("attack.analyzer_evals")}
+	if err := a.Reset(cfg, cap); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Reset rebinds the analyzer to a new (configuration, capability)
+// pair, validating both and reusing the scratch state's slices when
+// their capacity allows. Sweeps over many configurations reset one
+// analyzer per worker instead of allocating a fresh SystemState per
+// cell.
+func (a *Analyzer) Reset(cfg topology.Config, capability threat.Capability) error {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return err
 	}
-	if err := cap.Validate(); err != nil {
-		return nil, err
+	if err := capability.Validate(); err != nil {
+		return err
 	}
-	return &Analyzer{
-		cfg:   cfg,
-		cap:   cap,
-		st:    opstate.NewSystemState(len(cfg.Sites)),
-		evals: obs.Default().Counter("attack.analyzer_evals"),
-	}, nil
+	a.cfg, a.cap = cfg, capability
+	n := len(cfg.Sites)
+	if cap(a.st.Flooded) >= n && cap(a.st.Isolated) >= n && cap(a.st.Intrusions) >= n {
+		a.st.Flooded = a.st.Flooded[:n]
+		a.st.Isolated = a.st.Isolated[:n]
+		a.st.Intrusions = a.st.Intrusions[:n]
+	} else {
+		a.st = opstate.NewSystemState(n)
+	}
+	return nil
 }
 
 // Sites returns the number of sites in the analyzed configuration.
@@ -68,9 +85,13 @@ func (a *Analyzer) Evaluate(flooded []bool) (opstate.State, error) {
 // EvaluateMask is Evaluate for a bit-packed flood vector: bit i of
 // mask marks site i as flooded. The configuration must have at most 64
 // sites (guaranteed for every configuration family in this module).
+// The unpack loop tests only the mask's low bit and shifts once per
+// site — no per-bit variable shifts in the hot path.
 func (a *Analyzer) EvaluateMask(mask uint64) (opstate.State, error) {
-	for i := range a.st.Flooded {
-		a.st.Flooded[i] = mask&(1<<uint(i)) != 0
+	flooded := a.st.Flooded
+	for i := range flooded {
+		flooded[i] = mask&1 != 0
+		mask >>= 1
 	}
 	return a.run()
 }

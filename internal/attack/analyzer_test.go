@@ -8,7 +8,9 @@ import (
 )
 
 // analyzerConfigs is the configuration family the analyzer must agree
-// with WorstCase on, spanning 1-3 sites and all architectures.
+// with WorstCase on: the paper's five standard configurations plus the
+// extended family, spanning 1-4 sites and all architectures. The
+// four-site 3-3-3-3 exercises mask bits beyond the standard range.
 func analyzerConfigs() []topology.Config {
 	return []topology.Config{
 		topology.NewConfig2("p"),
@@ -16,6 +18,9 @@ func analyzerConfigs() []topology.Config {
 		topology.NewConfig6("p"),
 		topology.NewConfig66("p", "s"),
 		topology.NewConfig666("p", "s", "d"),
+		topology.NewConfig4("p"),
+		topology.NewConfig44("p", "s"),
+		topology.NewConfig3333("p", "s", "d", "e"),
 	}
 }
 
@@ -116,6 +121,62 @@ func TestAnalyzerReuse(t *testing.T) {
 				t.Errorf("pattern %s: Evaluate = %v, WorstCase = %v", key, got, ref.State)
 			}
 		}
+	}
+}
+
+// TestAnalyzerResetAcrossCells rebinds ONE analyzer across every
+// (configuration, capability) cell — including shrinking and growing
+// site counts — and exhaustively checks EvaluateMask against a fresh
+// analyzer's Evaluate for every mask below 2^Sites. This is the
+// contract the engine's evaluator pool depends on: reusing scratch
+// across cells never changes a result.
+func TestAnalyzerResetAcrossCells(t *testing.T) {
+	reused, err := NewAnalyzer(topology.NewConfig2("p"), threat.Capability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range analyzerConfigs() {
+		for _, cap := range analyzerCapabilities() {
+			if err := reused.Reset(cfg, cap); err != nil {
+				t.Fatalf("%s: Reset: %v", cfg.Name, err)
+			}
+			fresh, err := NewAnalyzer(cfg, cap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := len(cfg.Sites)
+			flooded := make([]bool, n)
+			for mask := uint64(0); mask < 1<<n; mask++ {
+				for i := range flooded {
+					flooded[i] = mask&(1<<i) != 0
+				}
+				want, err := fresh.Evaluate(flooded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := reused.EvaluateMask(mask)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("%s cap=%+v mask=%b: reused EvaluateMask = %v, fresh Evaluate = %v",
+						cfg.Name, cap, mask, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzerResetValidation(t *testing.T) {
+	an, err := NewAnalyzer(topology.NewConfig66("p", "s"), threat.Capability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Reset(topology.Config{}, threat.Capability{}); err == nil {
+		t.Error("Reset with invalid config should error")
+	}
+	if err := an.Reset(topology.NewConfig2("p"), threat.Capability{Isolations: -1}); err == nil {
+		t.Error("Reset with invalid capability should error")
 	}
 }
 

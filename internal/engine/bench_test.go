@@ -85,6 +85,60 @@ func BenchmarkCellCounts(b *testing.B) {
 	}
 }
 
+// BenchmarkCompress measures deduplicating the 1000-realization
+// matrix itself — the one-off cost a sweep pays before its cells drop
+// to O(distinct rows).
+func BenchmarkCompress(b *testing.B) {
+	m, _, _ := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Compress(m, 1)
+	}
+}
+
+// BenchmarkAddWeighted measures the weighted inner loop over the
+// distinct rows of the compressed 1000-realization matrix. Like
+// AddRange, the warmed steady state is bit-extraction plus a table
+// lookup — 0 allocs/op — but over ~8 distinct patterns instead of
+// 1000 realizations.
+func BenchmarkAddWeighted(b *testing.B) {
+	m, cfg, cap := benchFixture(b)
+	cm := engine.Compress(m, 1)
+	ev, err := engine.NewEvaluator(m, cfg, cap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var warm engine.Counts
+	if err := ev.AddWeighted(&warm, cm, 0, cm.DistinctRows()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var counts engine.Counts
+		if err := ev.AddWeighted(&counts, cm, 0, cm.DistinctRows()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCellCountsCompressed measures a full cold compressed cell:
+// evaluator construction, memo fill, and the weighted walk. Compare
+// against BenchmarkCellCounts for the per-cell dedup win once the
+// compression cost is amortized across a sweep.
+func BenchmarkCellCountsCompressed(b *testing.B) {
+	m, cfg, cap := benchFixture(b)
+	cm := engine.Compress(m, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.CellCountsCompressed(cm, cfg, cap, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMatrixCompile measures compiling the 1000-realization
 // failure matrix itself.
 func BenchmarkMatrixCompile(b *testing.B) {

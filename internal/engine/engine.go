@@ -55,6 +55,17 @@ type VectorAppender interface {
 	AppendFailureVector(dst []bool, r int, assetIDs []string) ([]bool, error)
 }
 
+// ColumnAppender is the optional column-major accessor: implementations
+// append one asset's failure flags for every realization as a
+// little-endian bitset (bit r%64 of word r/64 is realization r; bits
+// past the realization count are ignored). The engine prefers it for
+// matrix compilation — the asset resolves once per column instead of
+// once per (realization, asset) cell, and the transpose into row-major
+// words walks only the set bits.
+type ColumnAppender interface {
+	AppendFailureBits(dst []uint64, assetID string) ([]uint64, error)
+}
+
 // Workers resolves a worker-count option: values above zero are used
 // as given, zero (the default) means runtime.NumCPU().
 func Workers(n int) int {

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"compoundthreat/internal/obs"
 )
@@ -47,29 +48,60 @@ func NewFailureMatrix(src Source, assetIDs []string) (*FailureMatrix, error) {
 		m.col[id] = i
 	}
 	m.bits = make([]uint64, m.rows*m.stride)
-	ap, _ := src.(VectorAppender)
-	buf := make([]bool, 0, len(m.ids))
-	for r := 0; r < m.rows; r++ {
-		var (
-			vec []bool
-			err error
-		)
-		if ap != nil {
-			vec, err = ap.AppendFailureVector(buf[:0], r, m.ids)
-			buf = vec[:0]
-		} else {
-			vec, err = src.FailureVector(r, m.ids)
+	if ca, ok := src.(ColumnAppender); ok {
+		// Column-major fast path: resolve each asset once, fetch its
+		// whole realization column as a bitset, and transpose by walking
+		// only the set bits — failures are sparse, so this touches far
+		// fewer cells than a row-major walk over every (row, asset) pair.
+		words := (m.rows + 63) / 64
+		colbuf := make([]uint64, 0, words)
+		for c, id := range m.ids {
+			col, err := ca.AppendFailureBits(colbuf[:0], id)
+			if err != nil {
+				return nil, fmt.Errorf("engine: asset %q: %w", id, err)
+			}
+			if len(col) != words {
+				return nil, fmt.Errorf("engine: asset %q: got %d column words, want %d", id, len(col), words)
+			}
+			if rem := m.rows & 63; rem != 0 {
+				col[words-1] &= 1<<uint(rem) - 1
+			}
+			word, bit := c>>6, uint64(1)<<uint(c&63)
+			for w, bw := range col {
+				base := w * 64
+				for bw != 0 {
+					r := base + bits.TrailingZeros64(bw)
+					bw &= bw - 1
+					m.bits[r*m.stride+word] |= bit
+				}
+			}
+			colbuf = col[:0]
 		}
-		if err != nil {
-			return nil, fmt.Errorf("engine: realization %d: %w", r, err)
-		}
-		if len(vec) != len(m.ids) {
-			return nil, fmt.Errorf("engine: realization %d: got %d flags, want %d", r, len(vec), len(m.ids))
-		}
-		base := r * m.stride
-		for c, failed := range vec {
-			if failed {
-				m.bits[base+c>>6] |= 1 << uint(c&63)
+	} else {
+		ap, _ := src.(VectorAppender)
+		buf := make([]bool, 0, len(m.ids))
+		for r := 0; r < m.rows; r++ {
+			var (
+				vec []bool
+				err error
+			)
+			if ap != nil {
+				vec, err = ap.AppendFailureVector(buf[:0], r, m.ids)
+				buf = vec[:0]
+			} else {
+				vec, err = src.FailureVector(r, m.ids)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("engine: realization %d: %w", r, err)
+			}
+			if len(vec) != len(m.ids) {
+				return nil, fmt.Errorf("engine: realization %d: got %d flags, want %d", r, len(vec), len(m.ids))
+			}
+			base := r * m.stride
+			for c, failed := range vec {
+				if failed {
+					m.bits[base+c>>6] |= 1 << uint(c&63)
+				}
 			}
 		}
 	}
@@ -95,15 +127,20 @@ func (m *FailureMatrix) Column(assetID string) (int, bool) {
 
 // Columns resolves several asset IDs to column indices.
 func (m *FailureMatrix) Columns(assetIDs []string) ([]int, error) {
-	out := make([]int, len(assetIDs))
-	for i, id := range assetIDs {
+	return m.ColumnsAppend(make([]int, 0, len(assetIDs)), assetIDs)
+}
+
+// ColumnsAppend is the allocation-free variant of Columns: it appends
+// the resolved column indices to dst and returns the extended slice.
+func (m *FailureMatrix) ColumnsAppend(dst []int, assetIDs []string) ([]int, error) {
+	for _, id := range assetIDs {
 		c, ok := m.col[id]
 		if !ok {
 			return nil, fmt.Errorf("engine: asset %q not in failure matrix", id)
 		}
-		out[i] = c
+		dst = append(dst, c)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Failed reports cell (r, c).

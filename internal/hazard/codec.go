@@ -57,6 +57,7 @@ func NewEnsembleFromDepths(cfg EnsembleConfig, assetIDs []string, depths [][]flo
 		}
 		e.depths[r] = append([]float64(nil), row...)
 	}
+	e.buildFailureColumns()
 	return e, nil
 }
 

@@ -143,6 +143,30 @@ type Ensemble struct {
 	assetIdx map[string]int
 	// depths[r][a] is the peak inundation at asset a in realization r.
 	depths [][]float64
+	// failedBits is the asset-major, bit-packed failure plane
+	// precomputed at construction: bit r%64 of
+	// failedBits[a*words + r/64] (words = ceil(realizations/64))
+	// reports whether asset a floods in realization r. It makes the
+	// column-major accessor the engine compiles matrices through a
+	// contiguous copy per asset.
+	failedBits []uint64
+}
+
+// buildFailureColumns precomputes the asset-major failure bitsets
+// served by AppendFailureBits. Both constructors call it once, after
+// depths are final.
+func (e *Ensemble) buildFailureColumns() {
+	words := (len(e.depths) + 63) / 64
+	e.failedBits = make([]uint64, len(e.assetIDs)*words)
+	th := e.cfg.FloodThresholdMeters
+	for r, row := range e.depths {
+		w, bit := r>>6, uint64(1)<<uint(r&63)
+		for a, d := range row {
+			if d > th {
+				e.failedBits[a*words+w] |= bit
+			}
+		}
+	}
 }
 
 // Generator produces ensembles for one region.
@@ -308,6 +332,7 @@ func (g *Generator) Generate(cfg EnsembleConfig) (*Ensemble, error) {
 		return nil, err
 	default:
 	}
+	e.buildFailureColumns()
 	return e, nil
 }
 
@@ -431,6 +456,20 @@ func (e *Ensemble) AppendFailureVector(dst []bool, r int, assetIDs []string) ([]
 // given asset IDs in order.
 func (e *Ensemble) FloodVector(r int, assetIDs []string) ([]bool, error) {
 	return e.AppendFailureVector(make([]bool, 0, len(assetIDs)), r, assetIDs)
+}
+
+// AppendFailureBits appends the asset's failure flags for every
+// realization as a little-endian bitset (bit r%64 of word r/64 is
+// realization r) — the column-major accessor the analysis engine
+// prefers for matrix compilation: the asset ID resolves once per
+// column and the precomputed bitset is a contiguous copy.
+func (e *Ensemble) AppendFailureBits(dst []uint64, assetID string) ([]uint64, error) {
+	i, ok := e.assetIdx[assetID]
+	if !ok {
+		return nil, fmt.Errorf("hazard: unknown asset %q", assetID)
+	}
+	words := (len(e.depths) + 63) / 64
+	return append(dst, e.failedBits[i*words:(i+1)*words]...), nil
 }
 
 func splitmix(seed, i int64) int64 {

@@ -25,7 +25,22 @@ type Report struct {
 	Phases    []PhaseReport         `json:"phases"`
 	Counters  map[string]int64      `json:"counters"`
 	Histogram map[string]HistReport `json:"histograms"`
+	Dedup     *DedupReport          `json:"dedup,omitempty"`
 	Results   map[string]any        `json:"results,omitempty"`
+}
+
+// DedupReport summarizes failure-matrix row deduplication for the
+// run: how many realization rows went in, how many distinct patterns
+// came out, their ratio (distinct/input; 1.0 = incompressible), and
+// the wall time spent compressing. Present only when the run
+// compressed at least one matrix (the engine.dedup_* counters were
+// recorded). The underlying counters also appear verbatim in
+// Counters; this block is the derived, human-oriented view.
+type DedupReport struct {
+	InputRows      int64   `json:"input_rows"`
+	DistinctRows   int64   `json:"distinct_rows"`
+	Ratio          float64 `json:"ratio"`
+	CompressWallNS int64   `json:"compress_wall_ns"`
 }
 
 // PhaseReport is one timer rendered for the report.
@@ -108,6 +123,19 @@ func (r *Recorder) Report(command string, args []string) Report {
 			}
 		}
 		rep.Histogram[name] = hr
+	}
+	if in := rep.Counters["engine.dedup_input_rows"]; in > 0 {
+		d := &DedupReport{
+			InputRows:    in,
+			DistinctRows: rep.Counters["engine.distinct_patterns"],
+			Ratio:        float64(rep.Counters["engine.distinct_patterns"]) / float64(in),
+		}
+		for _, p := range rep.Phases {
+			if p.Name == "engine.compress" {
+				d.CompressWallNS = p.TotalNS
+			}
+		}
+		rep.Dedup = d
 	}
 	if len(r.results) > 0 {
 		rep.Results = make(map[string]any, len(r.results))

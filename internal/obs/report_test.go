@@ -109,6 +109,35 @@ func TestReportGolden(t *testing.T) {
 	}
 }
 
+// TestReportDedupBlock: a run that recorded the engine dedup counters
+// gets the derived dedup block — input rows, distinct rows, their
+// ratio, and the compression phase's wall time — while runs without
+// them omit it (keeping schema v1, as the golden test proves).
+func TestReportDedupBlock(t *testing.T) {
+	clock := &fakeClock{
+		t:    time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		step: time.Millisecond,
+	}
+	r := newRecorder(clock.now)
+	r.Counter("engine.dedup_input_rows").Add(1000)
+	r.Counter("engine.distinct_patterns").Add(40)
+	r.StartSpan("engine.compress").End() // one clock step = 1ms
+	rep := r.Report("compoundsim", nil)
+	d := rep.Dedup
+	if d == nil {
+		t.Fatal("dedup block missing")
+	}
+	if d.InputRows != 1000 || d.DistinctRows != 40 {
+		t.Errorf("dedup block = %+v, want 1000 input / 40 distinct", d)
+	}
+	if d.Ratio != 0.04 {
+		t.Errorf("ratio = %v, want 0.04", d.Ratio)
+	}
+	if d.CompressWallNS != time.Millisecond.Nanoseconds() {
+		t.Errorf("compress_wall_ns = %d, want %d", d.CompressWallNS, time.Millisecond.Nanoseconds())
+	}
+}
+
 // TestReportEmptyTimer checks that a resolved-but-never-recorded timer
 // reports zero min/max instead of the MaxInt64 sentinel.
 func TestReportEmptyTimer(t *testing.T) {

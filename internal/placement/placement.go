@@ -70,6 +70,11 @@ type Request struct {
 	// Workers bounds parallelism across candidate placements
 	// (0 = runtime.NumCPU()).
 	Workers int
+	// NoCompress disables failure-matrix row deduplication. By default
+	// the candidate-universe matrix is compressed once and every
+	// candidate pair is evaluated per distinct flood pattern with
+	// multiplicities — bit-identical to walking every realization.
+	NoCompress bool
 }
 
 func (r *Request) setDefaults() {
@@ -103,10 +108,18 @@ func (r *Request) validate() error {
 }
 
 // pairPlacements enumerates every (second site, data center) pair of
-// control-site candidates in deterministic inventory order.
+// control-site candidates in deterministic inventory order. The
+// result slice is allocated once: k candidates distinct from the
+// primary yield exactly k·(k−1) ordered pairs.
 func pairPlacements(req Request) []topology.Placement {
 	candidates := req.Inventory.ControlSiteCandidates()
-	var out []topology.Placement
+	k := 0
+	for _, c := range candidates {
+		if c.ID != req.Primary {
+			k++
+		}
+	}
+	out := make([]topology.Placement, 0, k*(k-1))
 	for _, second := range candidates {
 		if second.ID == req.Primary {
 			continue
@@ -122,10 +135,18 @@ func pairPlacements(req Request) []topology.Placement {
 }
 
 // secondSitePlacements enumerates second-site candidates with the data
-// center fixed.
+// center fixed. The result slice is allocated once at its exact size:
+// every candidate except the primary and the fixed data center.
 func secondSitePlacements(req Request, dataCenter string) []topology.Placement {
-	var out []topology.Placement
-	for _, second := range req.Inventory.ControlSiteCandidates() {
+	candidates := req.Inventory.ControlSiteCandidates()
+	k := 0
+	for _, c := range candidates {
+		if c.ID != req.Primary && c.ID != dataCenter {
+			k++
+		}
+	}
+	out := make([]topology.Placement, 0, k)
+	for _, second := range candidates {
 		if second.ID == req.Primary || second.ID == dataCenter {
 			continue
 		}
@@ -189,13 +210,34 @@ func search(req Request, placements []topology.Placement) ([]Candidate, error) {
 	if err != nil {
 		return nil, fmt.Errorf("placement: %w", err)
 	}
+	// Compress the candidate-universe matrix once; every one of the
+	// O(C²) pair candidates then evaluates only the distinct flood
+	// patterns. A shared evaluator pool recycles the 2^S memo tables
+	// and analyzer scratch across cells instead of re-allocating them
+	// per placement.
+	var cm *engine.CompressedMatrix
+	if !req.NoCompress {
+		cm = engine.Compress(m, req.Workers)
+	}
+	capability := req.Scenario.Capability()
+	var pool engine.EvaluatorPool
 	out := make([]Candidate, len(placements))
 	err = engine.ForEach(req.Workers, len(placements), func(i int) error {
-		profile, err := engine.CellProfile(m, configs[i], req.Scenario.Capability(), 1)
+		ev, err := pool.Get(m, configs[i], capability)
 		if err != nil {
 			return fmt.Errorf("placement: %s/%s: %w", placements[i].Second, placements[i].DataCenter, err)
 		}
-		outcome := analysis.Outcome{Config: configs[i], Scenario: req.Scenario, Profile: profile}
+		var counts engine.Counts
+		if cm != nil {
+			err = ev.AddWeighted(&counts, cm, 0, cm.DistinctRows())
+		} else {
+			err = ev.AddRange(&counts, 0, m.Rows())
+		}
+		pool.Put(ev)
+		if err != nil {
+			return fmt.Errorf("placement: %s/%s: %w", placements[i].Second, placements[i].DataCenter, err)
+		}
+		outcome := analysis.Outcome{Config: configs[i], Scenario: req.Scenario, Profile: counts.Profile()}
 		out[i] = Candidate{Placement: placements[i], Score: req.Objective(outcome), Outcome: outcome}
 		return nil
 	})
@@ -259,8 +301,14 @@ func evaluateSequential(req Request, p topology.Placement) (Candidate, error) {
 	}, nil
 }
 
+// rank orders candidates best first under a stable, fully
+// deterministic comparator: score descending, then second site
+// ascending, then data center ascending. (Second, DataCenter) is
+// unique per search, so the order is total and independent of both
+// the input order and the sort algorithm; TestRankDeterministic
+// documents the contract.
 func rank(out []Candidate) {
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}

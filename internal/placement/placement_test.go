@@ -163,6 +163,85 @@ func TestCustomObjectiveAndBuild(t *testing.T) {
 	}
 }
 
+// TestRankDeterministic documents rank's ordering contract: score
+// descending, ties broken by second site then data center ascending.
+// Because (Second, DataCenter) is unique per search, the order is total
+// — every permutation of the same candidate set ranks identically.
+func TestRankDeterministic(t *testing.T) {
+	mk := func(second, dc string, score float64) Candidate {
+		return Candidate{
+			Placement: topology.Placement{Primary: "p", Second: second, DataCenter: dc},
+			Score:     score,
+		}
+	}
+	want := []Candidate{
+		mk("a", "b", 0.9),
+		mk("a", "c", 0.5), // three-way score tie: ordered by (second, dc)
+		mk("b", "a", 0.5),
+		mk("b", "c", 0.5),
+		mk("c", "a", 0.1),
+	}
+	perms := [][]int{
+		{0, 1, 2, 3, 4},
+		{4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 3},
+		{3, 4, 0, 2, 1},
+	}
+	for _, perm := range perms {
+		in := make([]Candidate, len(want))
+		for i, j := range perm {
+			in[i] = want[j]
+		}
+		rank(in)
+		for i := range want {
+			if in[i].Placement != want[i].Placement {
+				t.Errorf("perm %v rank %d: %+v, want %+v", perm, i, in[i].Placement, want[i].Placement)
+			}
+		}
+	}
+}
+
+// TestSearchNoCompressMatchesCompressed: the compressed default and the
+// -compress=false escape hatch are the same search — identical ranking,
+// scores, and profiles for every scenario.
+func TestSearchNoCompressMatchesCompressed(t *testing.T) {
+	e, inv := fixture(t)
+	for _, scenario := range threat.Scenarios() {
+		base := Request{
+			Ensemble:  e,
+			Inventory: inv,
+			Primary:   "p",
+			Scenario:  scenario,
+		}
+		compressed, err := SearchPairs(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := base
+		plain.NoCompress = true
+		uncompressed, err := SearchPairs(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(compressed) != len(uncompressed) {
+			t.Fatalf("%v: %d vs %d candidates", scenario, len(compressed), len(uncompressed))
+		}
+		for i := range compressed {
+			c, u := compressed[i], uncompressed[i]
+			if c.Placement != u.Placement || c.Score != u.Score {
+				t.Errorf("%v rank %d: compressed (%+v, %v) != uncompressed (%+v, %v)",
+					scenario, i, c.Placement, c.Score, u.Placement, u.Score)
+			}
+			for _, s := range opstate.States() {
+				if c.Outcome.Profile.Count(s) != u.Outcome.Profile.Count(s) {
+					t.Errorf("%v rank %d: count(%v) = %d, want %d", scenario, i, s,
+						c.Outcome.Profile.Count(s), u.Outcome.Profile.Count(s))
+				}
+			}
+		}
+	}
+}
+
 func TestObjectives(t *testing.T) {
 	p := stats.NewProfile()
 	p.AddN(opstate.Green, 6)

@@ -13,15 +13,19 @@ import (
 	"compoundthreat/internal/opstate"
 )
 
-// Profile counts operational-state outcomes over an ensemble.
+// Profile counts operational-state outcomes over an ensemble. The
+// state space is the four-state severity scale of Table I, so counts
+// live in a fixed array: constructing and filling a profile performs
+// exactly one allocation, which matters in sweeps that build one
+// profile per (configuration, scenario) cell.
 type Profile struct {
-	counts map[opstate.State]int
+	counts [int(opstate.Gray) + 1]int
 	total  int
 }
 
 // NewProfile returns an empty profile.
 func NewProfile() *Profile {
-	return &Profile{counts: make(map[opstate.State]int)}
+	return &Profile{}
 }
 
 // Add records one outcome.

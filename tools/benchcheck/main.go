@@ -1,17 +1,21 @@
 // Command benchcheck gates CI on benchmark regressions: it parses `go
-// test -bench` output, compares the Figure-class benchmarks against the
-// recorded baseline (BENCH_1.json), and exits non-zero when any of them
-// is slower than the allowed ratio.
+// test -bench` output, compares a named set of benchmarks against the
+// recorded baseline, and exits non-zero when any of them is slower
+// than the allowed ratio.
 //
 // Usage:
 //
 //	go test -run '^$' -bench Figure -benchtime 1x . > bench.out
 //	go run ./tools/benchcheck -baseline BENCH_1.json -input bench.out
 //
+//	go test -run '^$' -bench Compressed -benchtime 1x . > compress.out
+//	go run ./tools/benchcheck -set compressed -baseline BENCH_3.json -input compress.out
+//
 // The threshold is deliberately loose (3x by default): single-iteration
 // smoke runs on shared CI machines are noisy, and the gate exists to
 // catch order-of-magnitude regressions — an accidental re-lock in the
-// hot loop, a lost memo table — not few-percent drift.
+// hot loop, a lost memo table, a sweep silently falling off the
+// deduplicated path — not few-percent drift.
 package main
 
 import (
@@ -26,15 +30,29 @@ import (
 )
 
 // nameToKey maps stripped benchmark names to BENCH_1.json headline
-// keys. Benchmarks outside this table are ignored; every mapped
-// benchmark must appear in the input, so a silent rename or deletion
-// also fails the gate.
+// keys — the "figures" set. Benchmarks outside the selected set's
+// table are ignored; every mapped benchmark must appear in the input,
+// so a silent rename or deletion also fails the gate.
 var nameToKey = map[string]string{
 	"BenchmarkFigure9Sequential":        "figure9_sequential_ns_per_op",
 	"BenchmarkFigure9Workers/workers=1": "figure9_engine_workers1_ns_per_op",
 	"BenchmarkFigure9Workers/workers=8": "figure9_engine_workers8_ns_per_op",
 	"BenchmarkFigureAllSequential":      "all_figures_sequential_ns_per_op",
 	"BenchmarkFigureAllEngine":          "all_figures_engine_ns_per_op",
+}
+
+// compressedToKey maps the deduplicated-sweep benchmarks to
+// BENCH_3.json headline keys — the "compressed" set.
+var compressedToKey = map[string]string{
+	"BenchmarkCompressedFigure9":     "figure9_compressed_ns_per_op",
+	"BenchmarkCompressedAllFigures":  "all_figures_compressed_ns_per_op",
+	"BenchmarkCompressedSearchPairs": "searchpairs_compressed_ns_per_op",
+}
+
+// benchSets names the selectable benchmark tables.
+var benchSets = map[string]map[string]string{
+	"figures":    nameToKey,
+	"compressed": compressedToKey,
 }
 
 // baseline is the subset of BENCH_1.json that benchcheck consumes.
@@ -55,7 +73,13 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_1.json", "baseline JSON file with a headline section")
 	input := flag.String("input", "", "benchmark output file (default: stdin)")
 	maxRatio := flag.Float64("max-ratio", 3.0, "fail when ns/op exceeds baseline by more than this factor")
+	setName := flag.String("set", "figures", "benchmark set to gate: figures or compressed")
 	flag.Parse()
+
+	table, ok := benchSets[*setName]
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark set %q (have: figures, compressed)", *setName))
+	}
 
 	in := io.Reader(os.Stdin)
 	if *input != "" {
@@ -75,7 +99,7 @@ func main() {
 		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
 	}
 
-	results, err := check(base.Headline, in, *maxRatio)
+	results, err := check(table, base.Headline, in)
 	if err != nil {
 		fatal(err)
 	}
@@ -101,10 +125,11 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// check parses benchmark output and compares every mapped benchmark
-// against the baseline. It errors when a mapped benchmark is missing
-// from the input or the baseline, so the gate cannot rot silently.
-func check(headline map[string]float64, r io.Reader, maxRatio float64) ([]result, error) {
+// check parses benchmark output and compares every benchmark mapped by
+// the set's table against the baseline. It errors when a mapped
+// benchmark is missing from the input or the baseline, so the gate
+// cannot rot silently.
+func check(table map[string]string, headline map[string]float64, r io.Reader) ([]result, error) {
 	seen := map[string]result{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
@@ -112,7 +137,7 @@ func check(headline map[string]float64, r io.Reader, maxRatio float64) ([]result
 		if !ok {
 			continue
 		}
-		key, mapped := nameToKey[name]
+		key, mapped := table[name]
 		if !mapped {
 			continue
 		}
@@ -129,7 +154,7 @@ func check(headline map[string]float64, r io.Reader, maxRatio float64) ([]result
 		return nil, err
 	}
 	var missing []string
-	for name := range nameToKey {
+	for name := range table {
 		if _, ok := seen[name]; !ok {
 			missing = append(missing, name)
 		}

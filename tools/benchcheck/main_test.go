@@ -29,7 +29,7 @@ PASS
 `
 
 func TestCheckHealthy(t *testing.T) {
-	results, err := check(sampleBaseline, strings.NewReader(healthyOutput), 3)
+	results, err := check(nameToKey, sampleBaseline, strings.NewReader(healthyOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestCheckFlagsRegression(t *testing.T) {
 	slow := strings.Replace(healthyOutput,
 		"BenchmarkFigureAllEngine-4          	       1	  570000 ns/op",
 		"BenchmarkFigureAllEngine-4          	       1	 9900000 ns/op", 1)
-	results, err := check(sampleBaseline, strings.NewReader(slow), 3)
+	results, err := check(nameToKey, sampleBaseline, strings.NewReader(slow))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestCheckFlagsRegression(t *testing.T) {
 func TestCheckMissingBenchmark(t *testing.T) {
 	partial := strings.Replace(healthyOutput,
 		"BenchmarkFigureAllEngine-4          	       1	  570000 ns/op\n", "", 1)
-	if _, err := check(sampleBaseline, strings.NewReader(partial), 3); err == nil {
+	if _, err := check(nameToKey, sampleBaseline, strings.NewReader(partial)); err == nil {
 		t.Fatal("check accepted output missing a mapped benchmark")
 	}
 }
@@ -85,14 +85,14 @@ func TestCheckMissingBaselineKey(t *testing.T) {
 		base[k] = v
 	}
 	delete(base, "all_figures_engine_ns_per_op")
-	if _, err := check(base, strings.NewReader(healthyOutput), 3); err == nil {
+	if _, err := check(nameToKey, base, strings.NewReader(healthyOutput)); err == nil {
 		t.Fatal("check accepted a baseline missing a mapped key")
 	}
 }
 
 func TestCheckKeepsSlowestDuplicate(t *testing.T) {
 	dup := healthyOutput + "BenchmarkFigureAllEngine-4          	       1	  999000 ns/op\n"
-	results, err := check(sampleBaseline, strings.NewReader(dup), 3)
+	results, err := check(nameToKey, sampleBaseline, strings.NewReader(dup))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,6 +100,44 @@ func TestCheckKeepsSlowestDuplicate(t *testing.T) {
 		if r.Name == "BenchmarkFigureAllEngine" && r.NsPerOp != 999000 {
 			t.Fatalf("duplicate handling kept %v ns/op, want the slower 999000", r.NsPerOp)
 		}
+	}
+}
+
+// sampleCompressedBaseline mirrors BENCH_3.json's headline section.
+var sampleCompressedBaseline = map[string]float64{
+	"figure9_compressed_ns_per_op":     30000,
+	"all_figures_compressed_ns_per_op": 60000,
+	"searchpairs_compressed_ns_per_op": 70000,
+}
+
+const compressedOutput = `
+goos: linux
+goarch: amd64
+pkg: compoundthreat
+BenchmarkCompressedFigure9-4      	      10	   31000 ns/op	    2000 B/op	      40 allocs/op
+BenchmarkCompressedAllFigures-4   	      10	   62000 ns/op	    9000 B/op	     200 allocs/op
+BenchmarkCompressedSearchPairs-4  	      10	   71000 ns/op	    8000 B/op	     150 allocs/op
+PASS
+`
+
+// TestCheckCompressedSet gates the deduplicated-sweep benchmarks with
+// their own table, independently of the figures set.
+func TestCheckCompressedSet(t *testing.T) {
+	results, err := check(compressedToKey, sampleCompressedBaseline, strings.NewReader(compressedOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.Ratio > 3 {
+			t.Errorf("%s ratio %.2f flagged on healthy output", r.Name, r.Ratio)
+		}
+	}
+	// The compressed set must not accept figures-set output.
+	if _, err := check(compressedToKey, sampleCompressedBaseline, strings.NewReader(healthyOutput)); err == nil {
+		t.Fatal("compressed set accepted output without the Compressed benchmarks")
 	}
 }
 
