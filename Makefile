@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench-smoke bench-compress bench bench-check verify
+.PHONY: all build test vet race fmt-check bench-smoke bench-compress bench-serve bench bench-check doc-check verify
 
 all: build
 
@@ -35,6 +35,12 @@ bench-smoke:
 bench-compress:
 	$(GO) test -run '^$$' -bench 'Compressed' -benchtime 100x .
 
+# The analysis-server benchmarks: the HTTP serving path (handler stack,
+# compiled-view cache, evaluator pool) over a 1000-realization synthetic
+# ensemble. 100 iterations so cached-path numbers are steady-state.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'Serve' -benchtime 100x ./internal/serve/
+
 # Full benchmark sweep with allocation counts (slow: regenerates the
 # 1000-realization ensemble).
 bench:
@@ -42,9 +48,10 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/engine/ ./internal/attack/
 
 # Benchmark regression gate: run the Figure smoke benchmarks against
-# BENCH_1.json (uncompressed engine reference) and the Compressed
-# benchmarks against BENCH_3.json (deduplicated sweeps), failing on
-# >3x slowdowns in either set.
+# BENCH_1.json (uncompressed engine reference), the Compressed
+# benchmarks against BENCH_3.json (deduplicated sweeps), and the Serve
+# benchmarks against BENCH_4.json (analysis server), failing on >3x
+# slowdowns in any set.
 bench-check:
 	$(GO) test -run '^$$' -bench 'Figure' -benchtime 1x . > bench-smoke.out
 	@cat bench-smoke.out
@@ -52,7 +59,15 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'Compressed' -benchtime 100x . > bench-compress.out
 	@cat bench-compress.out
 	$(GO) run ./tools/benchcheck -set compressed -baseline BENCH_3.json -input bench-compress.out
+	$(GO) test -run '^$$' -bench 'Serve' -benchtime 100x ./internal/serve/ > bench-serve.out
+	@cat bench-serve.out
+	$(GO) run ./tools/benchcheck -set serve -baseline BENCH_4.json -input bench-serve.out
 
-# The documented verification gate: vet, build, race-enabled tests, and
-# the benchmark smoke runs.
-verify: vet build race bench-smoke bench-compress
+# Documentation lint: every package must carry a package comment (see
+# tools/doccheck).
+doc-check:
+	$(GO) run ./tools/doccheck ./...
+
+# The documented verification gate: vet, build, race-enabled tests,
+# documentation lint, and the benchmark smoke runs.
+verify: vet build race doc-check bench-smoke bench-compress bench-serve

@@ -1,0 +1,130 @@
+// Command threatserver is the long-running compound-threat analysis
+// server: it generates the Oahu disaster ensembles once at startup and
+// then answers sweep, figure, and placement queries over HTTP, serving
+// from a cache of precompiled failure matrices (see internal/serve and
+// docs/API.md).
+//
+// Usage:
+//
+//	threatserver [-addr 127.0.0.1:8321] [-realizations N] [-seed S]
+//	             [-quake] [-workers N] [-cache N] [-timeout D]
+//	             [-max-inflight N] [-max-body N] [-drain D]
+//	             [-metrics report.json] [-pprof addr]
+//
+// The hurricane ensemble is always loaded (served as "hurricane");
+// -quake additionally loads the earthquake ensemble (served as
+// "quake"). On SIGINT/SIGTERM the server stops accepting connections
+// immediately and gives in-flight requests up to -drain to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/seismic"
+	"compoundthreat/internal/serve"
+	"compoundthreat/internal/surge"
+	"compoundthreat/internal/terrain"
+)
+
+// main delegates to run so deferred cleanup (metrics flush, pprof
+// shutdown) executes before the process exits.
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "threatserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("threatserver", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8321", "listen address")
+	realizations := fs.Int("realizations", 1000, "disaster realizations per ensemble")
+	seed := fs.Int64("seed", 0, "ensemble seed override (0 = calibrated default)")
+	quake := fs.Bool("quake", false, `also load the earthquake ensemble (served as "quake")`)
+	workers := fs.Int("workers", 0, "evaluation worker bound (0 = one per CPU)")
+	cacheEntries := fs.Int("cache", 0, "compiled-view cache capacity in entries (0 = 64)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	maxInflight := fs.Int("max-inflight", 0, "concurrently evaluating requests (0 = two per CPU)")
+	maxBody := fs.Int64("max-body", 1<<20, "maximum POST body bytes")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
+	var ocli obs.CLI
+	ocli.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Observability must be live before serve.New: the server resolves
+	// its instruments at construction.
+	if err := ocli.Start("threatserver", args, os.Stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ocli.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	rec := ocli.Recorder()
+
+	inv := assets.Oahu()
+	ensembles := make(map[string]serve.Ensemble, 2)
+	gen, err := hazard.NewGenerator(terrain.NewOahu(), surge.DefaultParams(), inv)
+	if err != nil {
+		return err
+	}
+	hcfg := hazard.OahuScenario()
+	hcfg.Realizations = *realizations
+	if *seed != 0 {
+		hcfg.Seed = *seed
+	}
+	fmt.Fprintf(os.Stderr, "generating %d hurricane realizations...\n", hcfg.Realizations)
+	span := rec.StartSpan("cli.generate_ensemble")
+	hurricane, err := gen.Generate(hcfg)
+	span.End()
+	if err != nil {
+		return err
+	}
+	ensembles["hurricane"] = hurricane
+	if *quake {
+		qcfg := seismic.OahuScenario()
+		qcfg.Realizations = *realizations
+		if *seed != 0 {
+			qcfg.Seed = *seed
+		}
+		fmt.Fprintf(os.Stderr, "generating %d earthquake realizations...\n", qcfg.Realizations)
+		qspan := rec.StartSpan("cli.generate_quake_ensemble")
+		quakes, err := seismic.Generate(qcfg, inv)
+		qspan.End()
+		if err != nil {
+			return err
+		}
+		ensembles["quake"] = quakes
+	}
+
+	s, err := serve.New(ensembles, inv, serve.Options{
+		Workers:      *workers,
+		MaxInflight:  *maxInflight,
+		CacheEntries: *cacheEntries,
+		Timeout:      *timeout,
+		MaxBodyBytes: *maxBody,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve.Run(ctx, ln, s.Handler(), *drain, os.Stderr)
+}

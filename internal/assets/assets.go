@@ -1,7 +1,3 @@
-// Package assets defines the power-grid asset inventory: control
-// centers, data centers, power plants, and substations with their
-// geographic locations and surveyed ground elevations. The shipped Oahu
-// inventory mirrors the topology in the paper's Figure 4.
 package assets
 
 import (

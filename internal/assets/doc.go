@@ -1,0 +1,18 @@
+// Package assets defines the power-grid asset inventory: control
+// centers, data centers, power plants, and substations, each with a
+// geographic location and surveyed ground elevation.
+//
+// [Asset] is one facility; [Inventory] is a validated, immutable
+// collection with lookup by ID, filtering by [Type], and enumeration
+// of control-site candidates for placement studies. The shipped
+// [Oahu] inventory mirrors the island topology in the paper's
+// Figure 4 — the Honolulu control center, the Waiau and Kahe power
+// plants, the DRFortress data center, and the substation ring — with
+// elevations chosen so the hurricane ensemble floods them at the
+// rates the paper's case study reports.
+//
+// Ground elevation is the coupling point to the hazard layer: an
+// asset floods in a realization when the peak inundation at its
+// location — realized surge height minus ground elevation — exceeds
+// the hazard package's flood threshold.
+package assets

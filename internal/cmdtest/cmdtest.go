@@ -40,10 +40,12 @@ func MaybeRunMain(mainFn func()) bool {
 	return true
 }
 
-// AssertBadFlagExit re-executes the test binary, routing it into the
-// command's main() with an undefined flag, and asserts the process
-// exits non-zero and prints a usage message on stderr.
-func AssertBadFlagExit(t *testing.T) {
+// Command returns an exec.Cmd that re-executes the test binary,
+// routing it into the command's main() with the given arguments (the
+// package's TestMain must call MaybeRunMain). The caller wires up
+// pipes and runs or starts it — long-running commands such as servers
+// are started, signaled, and waited on.
+func Command(t *testing.T, args ...string) *exec.Cmd {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
@@ -52,10 +54,19 @@ func AssertBadFlagExit(t *testing.T) {
 	cmd := exec.Command(exe)
 	cmd.Env = append(os.Environ(),
 		RunMainEnv+"=1",
-		argsEnv+"=-definitely-not-a-flag")
+		argsEnv+"="+strings.Join(args, "\x1f"))
+	return cmd
+}
+
+// AssertBadFlagExit re-executes the test binary, routing it into the
+// command's main() with an undefined flag, and asserts the process
+// exits non-zero and prints a usage message on stderr.
+func AssertBadFlagExit(t *testing.T) {
+	t.Helper()
+	cmd := Command(t, "-definitely-not-a-flag")
 	var stderr strings.Builder
 	cmd.Stderr = &stderr
-	err = cmd.Run()
+	err := cmd.Run()
 	var ee *exec.ExitError
 	if !errors.As(err, &ee) {
 		t.Fatalf("main with a bad flag exited cleanly (err=%v); stderr:\n%s", err, stderr.String())

@@ -1,9 +1,3 @@
-// Package des is a deterministic discrete-event simulation kernel: a
-// virtual clock and an event queue ordered by (time, schedule order).
-// The SCADA behavioral substrate (netsim, bft, primarybackup, scada)
-// runs on top of it, which lets the repository validate the paper's
-// analytical Table I against running protocol implementations without
-// wall-clock flakiness.
 package des
 
 import (

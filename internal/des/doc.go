@@ -1,0 +1,17 @@
+// Package des is a deterministic discrete-event simulation kernel: a
+// virtual clock and an event queue ordered by (time, schedule order).
+//
+// [Sim] is the simulator; [New] seeds it, and everything scheduled on
+// it runs in virtual time — the SCADA behavioral substrate (netsim,
+// bft, primarybackup, scada) is built on top, which lets the
+// repository validate the paper's analytical Table I against running
+// protocol implementations without wall-clock flakiness.
+//
+// Determinism is the design constraint: ties at the same virtual time
+// fire in schedule order, randomness comes only from the seeded
+// source, and the kernel is strictly single-threaded — all event
+// handlers run on the caller's goroutine, so simulation code needs no
+// locks and two runs with the same seed produce byte-identical event
+// sequences. Tests rely on this to assert exact delivery orders and
+// measured states.
+package des

@@ -1,0 +1,18 @@
+// Package geo provides the geographic primitives used throughout the
+// compound-threat framework: geodetic points, distances and bearings
+// on a spherical Earth, and a local tangent-plane projection used by
+// the mesh and surge solvers.
+//
+// [Point] is a latitude/longitude pair; [DistanceMeters],
+// [BearingDegrees], [Destination], and [Midpoint] implement
+// great-circle geometry on a sphere of [EarthRadiusMeters]. For the
+// planar solvers, [NewProjection] builds an equirectangular local
+// projection around an origin, mapping points to [XY] coordinates in
+// meters; [SegmentDistance] and the Polygon type support
+// point-in-region and distance-to-coastline queries on the projected
+// plane. A spherical Earth (no ellipsoid) keeps errors well under the
+// kilometer-scale resolution of the hazard model while staying
+// dependency-free.
+//
+// All angles in the public API are degrees; all distances are meters.
+package geo

@@ -1,9 +1,3 @@
-// Package geo provides the geographic primitives used throughout the
-// compound-threat framework: geodetic points, distances and bearings on a
-// spherical Earth, and a local tangent-plane projection used by the mesh
-// and surge solvers.
-//
-// All angles in the public API are degrees; all distances are meters.
 package geo
 
 import (

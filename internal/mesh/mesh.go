@@ -1,11 +1,3 @@
-// Package mesh builds a graded quadtree discretization of the study
-// region: fine cells along the shoreline (where surge gradients are
-// steep) that coarsen with distance from the coast, mirroring the way
-// coastal surge models like the paper's ADCIRC run concentrate
-// resolution near the shore. The paper notes its mesh was *coarse* near
-// the shoreline, which produced spotty water-surface elevations that had
-// to be averaged and extended onto land; the surge package reproduces
-// that averaging step over this mesh's shore nodes.
 package mesh
 
 import (

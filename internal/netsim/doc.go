@@ -1,0 +1,19 @@
+// Package netsim simulates the wide-area network connecting SCADA
+// control sites on top of the des kernel: nodes grouped into sites,
+// latency that differs within and across sites, and the failure
+// injections of the compound threat model.
+//
+// [Network] delivers messages between registered [Handler] callbacks
+// with per-link latency from a seeded jitter distribution. The three
+// injections mirror the threat model exactly: site flooding (every
+// node at the site dead — the hurricane), site isolation (the site
+// cut off from the rest of the WAN while remaining internally
+// connected — the network attack), and individual node crashes.
+// Messages in flight toward a dead or isolated destination are
+// dropped, not delayed, matching a fail-stop WAN partition.
+//
+// Like everything on the des kernel the network is single-threaded
+// and deterministic: delivery order is a pure function of the seed,
+// so the bft and primarybackup conformance tests can assert exact
+// protocol behavior under partitions.
+package netsim

@@ -1,9 +1,3 @@
-// Package netsim simulates the wide-area network connecting SCADA
-// control sites: nodes grouped into sites, latency that differs within
-// and across sites, and the failure injections of the compound threat
-// model — site flooding (nodes dead), site isolation (site cut off
-// from the rest of the network while remaining internally connected),
-// and individual node crashes.
 package netsim
 
 import (

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestGaugeLevelAndHighWater: the gauge tracks the instantaneous level
+// and, separately, the highest level ever reached.
+func TestGaugeLevelAndHighWater(t *testing.T) {
+	r := New()
+	g := r.Gauge("serve.inflight")
+	g.Inc()
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 2 {
+		t.Errorf("Value() = %d, want 2", got)
+	}
+	if got := g.High(); got != 3 {
+		t.Errorf("High() = %d, want 3", got)
+	}
+	g.Set(10)
+	g.Add(-10)
+	if got, high := g.Value(), g.High(); got != 0 || high != 10 {
+		t.Errorf("after Set(10)+Add(-10): value %d high %d, want 0 / 10", got, high)
+	}
+}
+
+// TestGaugeNilSafe: all methods no-op on a nil gauge, matching the
+// package's nil-instrument contract.
+func TestGaugeNilSafe(t *testing.T) {
+	var g *Gauge
+	g.Inc()
+	g.Dec()
+	g.Add(5)
+	g.Set(7)
+	if g.Value() != 0 || g.High() != 0 {
+		t.Error("nil gauge must read zero")
+	}
+	var r *Recorder
+	if r.Gauge("x") != nil {
+		t.Error("nil recorder must resolve a nil gauge")
+	}
+}
+
+// TestGaugeConcurrent hammers one gauge from many goroutines; the level
+// must return to zero and the high-water mark must never exceed the
+// goroutine count (every goroutine holds at most one increment).
+func TestGaugeConcurrent(t *testing.T) {
+	r := New()
+	g := r.Gauge("g")
+	const workers = 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Errorf("final level = %d, want 0", got)
+	}
+	if high := g.High(); high < 1 || high > workers {
+		t.Errorf("high-water mark = %d, want within [1, %d]", high, workers)
+	}
+}
+
+// TestReportGauges: a run that resolved gauges gets a gauges section
+// with value and high-water mark; runs without gauges omit the section
+// entirely (keeping schema v1, as the golden test proves).
+func TestReportGauges(t *testing.T) {
+	r := New()
+	rep := r.Report("threatserver", nil)
+	if rep.Gauges != nil {
+		t.Fatal("report without gauges must omit the gauges section")
+	}
+	g := r.Gauge("serve.inflight")
+	g.Set(4)
+	g.Set(1)
+	rep = r.Report("threatserver", nil)
+	gr, ok := rep.Gauges["serve.inflight"]
+	if !ok {
+		t.Fatal("gauges section missing serve.inflight")
+	}
+	if gr.Value != 1 || gr.High != 4 {
+		t.Errorf("gauge report = %+v, want value 1 high 4", gr)
+	}
+	var buf strings.Builder
+	if err := r.WriteReport(&buf, "threatserver", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"gauges"`) {
+		t.Errorf("rendered report lacks gauges section:\n%s", buf.String())
+	}
+}

@@ -53,6 +53,7 @@ type Recorder struct {
 	counters map[string]*Counter
 	timers   map[string]*Timer
 	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
 	results  map[string]any
 }
 
@@ -68,6 +69,7 @@ func newRecorder(now func() time.Time) *Recorder {
 		counters: make(map[string]*Counter),
 		timers:   make(map[string]*Timer),
 		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]*Gauge),
 		results:  make(map[string]any),
 	}
 }
@@ -118,6 +120,22 @@ func (r *Recorder) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Gauge resolves (creating on first use) the named gauge. Returns nil
+// — a valid no-op gauge — on a nil recorder.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Put attaches an arbitrary JSON-renderable value to the run report's
@@ -182,6 +200,56 @@ func (c *Counter) Value() int64 {
 		return 0
 	}
 	return c.n.Load()
+}
+
+// Gauge is an instantaneous level — in-flight requests, queue depth,
+// open connections — that moves both ways, unlike the monotonic
+// Counter. Alongside the level it tracks the high-water mark, so a run
+// report shows peak concurrency, not just whatever the level happened
+// to be at snapshot time. A nil *Gauge ignores all updates.
+type Gauge struct {
+	n    atomic.Int64
+	high atomic.Int64
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	v := g.n.Add(delta)
+	atomicMax(&g.high, v)
+}
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Set forces the gauge to v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.n.Store(v)
+	atomicMax(&g.high, v)
+}
+
+// Value returns the current level (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.n.Load()
+}
+
+// High returns the high-water mark (0 for a nil gauge).
+func (g *Gauge) High() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.high.Load()
 }
 
 // Timer accumulates phase durations: occurrence count, total, min, and

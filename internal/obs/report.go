@@ -25,8 +25,18 @@ type Report struct {
 	Phases    []PhaseReport         `json:"phases"`
 	Counters  map[string]int64      `json:"counters"`
 	Histogram map[string]HistReport `json:"histograms"`
-	Dedup     *DedupReport          `json:"dedup,omitempty"`
-	Results   map[string]any        `json:"results,omitempty"`
+	// Gauges is present only when the run resolved at least one gauge,
+	// so runs without gauges keep rendering the exact v1 layout.
+	Gauges  map[string]GaugeReport `json:"gauges,omitempty"`
+	Dedup   *DedupReport           `json:"dedup,omitempty"`
+	Results map[string]any         `json:"results,omitempty"`
+}
+
+// GaugeReport is one gauge rendered for the report: the level at
+// snapshot time and the high-water mark over the run.
+type GaugeReport struct {
+	Value int64 `json:"value"`
+	High  int64 `json:"high"`
 }
 
 // DedupReport summarizes failure-matrix row deduplication for the
@@ -106,6 +116,12 @@ func (r *Recorder) Report(command string, args []string) Report {
 	sort.Slice(rep.Phases, func(i, j int) bool { return rep.Phases[i].Name < rep.Phases[j].Name })
 	for name, c := range r.counters {
 		rep.Counters[name] = c.n.Load()
+	}
+	if len(r.gauges) > 0 {
+		rep.Gauges = make(map[string]GaugeReport, len(r.gauges))
+		for name, g := range r.gauges {
+			rep.Gauges[name] = GaugeReport{Value: g.Value(), High: g.High()}
+		}
 	}
 	for name, h := range r.hists {
 		hr := HistReport{

@@ -1,0 +1,22 @@
+// Package opstate evaluates the operational state of a SCADA
+// configuration after a compound failure, implementing Table I of the
+// paper with the color-based naming scheme of Babay et al.:
+//
+//   - Green:  fully operational.
+//   - Orange: primary down, cold backup being activated (downtime).
+//   - Red:    not operational until repair or attack end.
+//   - Gray:   system safety compromised; may behave incorrectly.
+//
+// [Evaluate] maps a (configuration, [SystemState]) pair — which sites
+// are flooded or isolated, which replicas are intruded — to a [State]
+// by the architecture-specific rules of Table I: crash-tolerant pairs
+// go gray on any intrusion, BFT configurations tolerate f compromised
+// replicas among reachable sites, cold backups turn red into orange.
+//
+// This is the pipeline's keystone: the analysis engine calls it for
+// every distinct failure pattern (via [EvaluateUnchecked], the
+// validation-free variant on the allocation-free hot path — callers
+// must pre-validate the configuration), and the behavioral substrate's
+// conformance tests assert that running protocol implementations land
+// in the state this package predicts.
+package opstate

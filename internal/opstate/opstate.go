@@ -1,11 +1,3 @@
-// Package opstate evaluates the operational state of a SCADA
-// configuration after a compound failure, implementing Table I of the
-// paper with the color-based naming scheme of Babay et al.:
-//
-//   - Green:  fully operational.
-//   - Orange: primary down, cold backup being activated (downtime).
-//   - Red:    not operational until repair or attack end.
-//   - Gray:   system safety compromised; may behave incorrectly.
 package opstate
 
 import (

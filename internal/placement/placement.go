@@ -107,6 +107,33 @@ func (r *Request) validate() error {
 	return nil
 }
 
+// CandidatePairs enumerates the (second site, data center) pairs that
+// SearchPairs would evaluate for the request, in the same deterministic
+// inventory order, without evaluating them. Callers that bring their
+// own evaluation path (the serving layer evaluates candidates against
+// a cached compressed matrix) reuse this enumeration so they rank
+// exactly the candidate set the batch search does.
+func CandidatePairs(req Request) ([]topology.Placement, error) {
+	req.setDefaults()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	return pairPlacements(req), nil
+}
+
+// CandidateSecondSites is CandidatePairs with the data center fixed:
+// the candidate set of SearchSecondSite.
+func CandidateSecondSites(req Request, dataCenter string) ([]topology.Placement, error) {
+	req.setDefaults()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := req.Inventory.ByID(dataCenter); !ok {
+		return nil, fmt.Errorf("placement: unknown data center asset %q", dataCenter)
+	}
+	return secondSitePlacements(req, dataCenter), nil
+}
+
 // pairPlacements enumerates every (second site, data center) pair of
 // control-site candidates in deterministic inventory order. The
 // result slice is allocated once: k candidates distinct from the
@@ -244,7 +271,7 @@ func search(req Request, placements []topology.Placement) ([]Candidate, error) {
 	if err != nil {
 		return nil, err
 	}
-	rank(out)
+	Rank(out)
 	return out, nil
 }
 
@@ -284,7 +311,7 @@ func searchSequential(req Request, placements []topology.Placement) ([]Candidate
 		}
 		out = append(out, cand)
 	}
-	rank(out)
+	Rank(out)
 	return out, nil
 }
 
@@ -301,13 +328,14 @@ func evaluateSequential(req Request, p topology.Placement) (Candidate, error) {
 	}, nil
 }
 
-// rank orders candidates best first under a stable, fully
+// Rank orders candidates best first under a stable, fully
 // deterministic comparator: score descending, then second site
 // ascending, then data center ascending. (Second, DataCenter) is
 // unique per search, so the order is total and independent of both
 // the input order and the sort algorithm; TestRankDeterministic
-// documents the contract.
-func rank(out []Candidate) {
+// documents the contract. It is exported so alternative evaluation
+// paths (the serving layer) rank under the identical contract.
+func Rank(out []Candidate) {
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score

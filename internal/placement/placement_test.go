@@ -192,7 +192,7 @@ func TestRankDeterministic(t *testing.T) {
 		for i, j := range perm {
 			in[i] = want[j]
 		}
-		rank(in)
+		Rank(in)
 		for i := range want {
 			if in[i].Placement != want[i].Placement {
 				t.Errorf("perm %v rank %d: %+v, want %+v", perm, i, in[i].Placement, want[i].Placement)
@@ -281,5 +281,56 @@ func TestValidation(t *testing.T) {
 	}
 	if _, err := SearchSecondSite(base, "zzz"); err == nil {
 		t.Error("unknown data center should fail")
+	}
+}
+
+// TestCandidateEnumerationMatchesSearch: the exported enumeration
+// returns exactly the candidate set (and order, pre-ranking) that the
+// batch searches evaluate, so alternative evaluation paths built on it
+// cover the same space.
+func TestCandidateEnumerationMatchesSearch(t *testing.T) {
+	e, inv := fixture(t)
+	req := Request{Ensemble: e, Inventory: inv, Primary: "p", Scenario: threat.Hurricane}
+
+	pairs, err := CandidatePairs(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searched, err := SearchPairs(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != len(searched) {
+		t.Fatalf("CandidatePairs = %d placements, SearchPairs evaluated %d", len(pairs), len(searched))
+	}
+	seen := make(map[topology.Placement]bool, len(pairs))
+	for _, p := range pairs {
+		seen[p] = true
+	}
+	for _, c := range searched {
+		if !seen[c.Placement] {
+			t.Errorf("SearchPairs evaluated %+v, missing from CandidatePairs", c.Placement)
+		}
+	}
+
+	seconds, err := CandidateSecondSites(req, "dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seconds) != 2 {
+		t.Fatalf("CandidateSecondSites = %d, want 2", len(seconds))
+	}
+	for _, p := range seconds {
+		if p.DataCenter != "dc" || p.Second == "p" || p.Second == "dc" {
+			t.Errorf("bad second-site candidate %+v", p)
+		}
+	}
+
+	// Validation still applies on the exported enumeration.
+	if _, err := CandidatePairs(Request{Inventory: inv, Primary: "p"}); err == nil {
+		t.Error("CandidatePairs with nil ensemble must fail")
+	}
+	if _, err := CandidateSecondSites(req, "nope"); err == nil {
+		t.Error("CandidateSecondSites with unknown data center must fail")
 	}
 }

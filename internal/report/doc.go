@@ -1,0 +1,14 @@
+// Package report renders analysis results for humans and for
+// downstream plotting: terminal tables, ASCII bar charts matching the
+// paper's figures, and CSV.
+//
+// Each Write* function takes an io.Writer and a result type produced
+// by the analysis package: [WriteFigure] and [WriteFigureCSV] render
+// one paper figure's probability bars, [WriteMatrix] the full
+// scenario-by-configuration outcome grid, [WritePowerSweep] the
+// power-margin sweeps, [WriteDowntime] expected-downtime tables, and
+// [WriteTableI] the static operational-state reference table. The
+// renderers are deliberately dependency-free (no template engine, no
+// plotting library): output is plain text so the CLIs can pipe it
+// anywhere, and the CSV columns are stable enough to regression-test.
+package report

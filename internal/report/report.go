@@ -1,6 +1,3 @@
-// Package report renders analysis results as terminal tables, ASCII
-// bar charts matching the paper's figures, and CSV for downstream
-// plotting.
 package report
 
 import (

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/geo"
+	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/obs"
+)
+
+// benchServer builds a server over a paper-sized (1000-realization)
+// deterministic ensemble covering the four Oahu placement assets.
+func benchServer(b *testing.B, opt Options) *Server {
+	b.Helper()
+	ids := []string{assets.HonoluluCC, assets.Waiau, assets.Kahe, assets.DRFortress}
+	cfg := hazard.OahuScenario()
+	cfg.Realizations = 1000
+	rows := make([][]float64, cfg.Realizations)
+	for r := range rows {
+		rows[r] = []float64{0, 0, 0, 0}
+		// Roughly the paper's flood marginals: correlated coastal sites,
+		// a rarer leeward site, a dry data center.
+		if r%3 == 0 {
+			rows[r][0] = 1 // honolulu-cc
+			if r%2 == 0 {
+				rows[r][1] = 1 // waiau-plant
+			}
+		}
+		if r%20 == 0 {
+			rows[r][2] = 1 // kahe-plant
+		}
+	}
+	e, err := hazard.NewEnsembleFromDepths(cfg, ids, rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	list := make([]assets.Asset, len(ids))
+	for i, id := range ids {
+		list[i] = assets.Asset{
+			ID: id, Name: id, Type: assets.ControlCenter,
+			Location:             geo.Point{Lat: 21.3, Lon: -157.9},
+			ControlSiteCandidate: true,
+		}
+	}
+	inv, err := assets.NewInventory(list)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs.Enable(nil) // benchmarks measure the serving path, not recording
+	s, err := New(map[string]Ensemble{"oahu": e}, inv, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// serveBench issues url once per iteration, failing on any non-200.
+func serveBench(b *testing.B, h http.Handler, url string) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, url, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkServeSweepCached is the serving hot path: a full standard
+// sweep (5 configurations) answered from the warm compiled-view cache.
+func BenchmarkServeSweepCached(b *testing.B) {
+	s := benchServer(b, Options{})
+	const url = "/v1/sweep?scenario=both"
+	if code, _ := get(b, s.Handler(), url); code != http.StatusOK {
+		b.Fatal("warmup failed")
+	}
+	serveBench(b, s.Handler(), url)
+}
+
+// BenchmarkServeSweepCold thrashes a capacity-1 cache with two
+// alternating asset universes, so every request pays a full compile
+// (matrix build + row dedup) plus an eviction — the cache-miss path.
+func BenchmarkServeSweepCold(b *testing.B) {
+	s := benchServer(b, Options{CacheEntries: 1})
+	urls := [2]string{
+		"/v1/sweep?scenario=both&config=2",
+		"/v1/sweep?scenario=both&config=2-2",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, urls[i%2], nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkServeFigureCached answers the paper's Figure 9 (the full
+// compound-threat scenario) from the warm cache.
+func BenchmarkServeFigureCached(b *testing.B) {
+	s := benchServer(b, Options{})
+	const url = "/v1/figure/9"
+	if code, _ := get(b, s.Handler(), url); code != http.StatusOK {
+		b.Fatal("warmup failed")
+	}
+	serveBench(b, s.Handler(), url)
+}
+
+// BenchmarkServePlacementCached ranks every candidate placement pair
+// from the warm cache.
+func BenchmarkServePlacementCached(b *testing.B) {
+	s := benchServer(b, Options{})
+	const url = "/v1/placement?primary=honolulu-cc&scenario=both"
+	if code, _ := get(b, s.Handler(), url); code != http.StatusOK {
+		b.Fatal("warmup failed")
+	}
+	serveBench(b, s.Handler(), url)
+}
+
+// BenchmarkServeSweepParallel drives the cached sweep from parallel
+// clients — the stampede-adjacent steady state the coalescing and
+// bounded-inflight machinery sits under.
+func BenchmarkServeSweepParallel(b *testing.B) {
+	s := benchServer(b, Options{})
+	const url = "/v1/sweep?scenario=both"
+	if code, _ := get(b, s.Handler(), url); code != http.StatusOK {
+		b.Fatal("warmup failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodGet, url, nil)
+			w := httptest.NewRecorder()
+			s.Handler().ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatal("non-200 under parallel load")
+			}
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"compoundthreat/internal/engine"
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/stats"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// view is one compiled (ensemble, asset universe) pair: the bit-packed
+// failure matrix, its deduplicated row view, and an evaluator pool
+// recycling 2^S memo tables across the queries that hit this view.
+// Views are immutable after compilation (the pool is internally
+// synchronized), so any number of request goroutines share one view.
+type view struct {
+	matrix *engine.FailureMatrix
+	cm     *engine.CompressedMatrix
+	pool   engine.EvaluatorPool
+}
+
+// newView compiles the ensemble's failure flags for the asset universe
+// into a bit-packed matrix and deduplicates its rows — the expensive
+// step a cache hit skips.
+func newView(e Ensemble, universe []string, workers int) (*view, error) {
+	m, err := engine.NewFailureMatrix(e, universe)
+	if err != nil {
+		return nil, err
+	}
+	return &view{matrix: m, cm: engine.Compress(m, workers)}, nil
+}
+
+// cell evaluates one (configuration, capability) cell against the
+// view's distinct flood patterns — the serving hot path. One pooled
+// evaluator, one weighted pass, no per-realization work.
+func (v *view) cell(cfg topology.Config, capability threat.Capability) (*stats.Profile, error) {
+	ev, err := v.pool.Get(v.matrix, cfg, capability)
+	if err != nil {
+		return nil, err
+	}
+	var counts engine.Counts
+	err = ev.AddWeighted(&counts, v.cm, 0, v.cm.DistinctRows())
+	v.pool.Put(ev)
+	if err != nil {
+		return nil, err
+	}
+	return counts.Profile(), nil
+}
+
+// cacheEntry is one cache slot. ready is closed when the compile
+// finishes (view or err set); elem is the entry's LRU position once a
+// successful compile is cached.
+type cacheEntry struct {
+	key   string
+	ready chan struct{}
+	view  *view
+	err   error
+	elem  *list.Element
+}
+
+// viewCache is the LRU-bounded, coalescing cache of compiled views.
+//
+// A get for a missing key starts one compile in its own goroutine;
+// every concurrent get for the same key — and the initiator itself —
+// waits on the entry's ready channel or its own context deadline,
+// whichever comes first. A caller that times out abandons the wait
+// only: the compile keeps running and its result still lands in the
+// cache, so the inevitable retry is a hit. Failed compiles are never
+// cached (the entry is removed before ready closes, so a later get
+// retries). Only successful, finished entries occupy LRU capacity —
+// an in-flight compile cannot be evicted.
+//
+// The mutex guards only the index and the LRU list; it is never held
+// across a compile or a wait.
+type viewCache struct {
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	lru     *list.List // of *cacheEntry, front = most recently used
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	evictions *obs.Counter
+}
+
+// newViewCache builds a cache holding at most capacity compiled views.
+// Observability counters resolve against the recorder enabled at
+// construction time, matching the package-wide convention.
+func newViewCache(capacity int) *viewCache {
+	rec := obs.Default()
+	return &viewCache{
+		capacity:  capacity,
+		entries:   make(map[string]*cacheEntry),
+		lru:       list.New(),
+		hits:      rec.Counter("serve.cache_hits"),
+		misses:    rec.Counter("serve.cache_misses"),
+		coalesced: rec.Counter("serve.cache_coalesced"),
+		evictions: rec.Counter("serve.cache_evictions"),
+	}
+}
+
+// get returns the compiled view for key, compiling it with compile on a
+// miss. Concurrent gets for the same key share one compile. The context
+// bounds only this caller's wait, never the compile itself.
+func (c *viewCache) get(ctx context.Context, key string, compile func() (*view, error)) (*view, error) {
+	waited := false
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			e = &cacheEntry{key: key, ready: make(chan struct{})}
+			c.entries[key] = e
+			c.misses.Inc()
+			c.mu.Unlock()
+			// Compile detached from the requesting context: if this caller
+			// times out, the work still completes and warms the cache.
+			go c.fill(e, compile)
+			select {
+			case <-e.ready:
+				return e.view, e.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		select {
+		case <-e.ready:
+			// Finished entries still in the index always compiled
+			// successfully (fill removes failures before closing ready).
+			c.lru.MoveToFront(e.elem)
+			if !waited {
+				c.hits.Inc()
+			}
+			v := e.view
+			c.mu.Unlock()
+			return v, nil
+		default:
+		}
+		// Compile in flight: coalesce onto it.
+		c.coalesced.Inc()
+		c.mu.Unlock()
+		waited = true
+		select {
+		case <-e.ready:
+			// Loop: the entry is now either cached (success) or gone
+			// (failure — this caller retries the compile itself).
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// fill runs one compile and publishes the result.
+func (c *viewCache) fill(e *cacheEntry, compile func() (*view, error)) {
+	sp := obs.Default().StartSpan("serve.compile")
+	v, err := compile()
+	sp.End()
+	c.mu.Lock()
+	e.view, e.err = v, err
+	if err != nil {
+		delete(c.entries, e.key)
+	} else {
+		e.elem = c.lru.PushFront(e)
+		for c.lru.Len() > c.capacity {
+			back := c.lru.Back()
+			old := back.Value.(*cacheEntry)
+			c.lru.Remove(back)
+			delete(c.entries, old.key)
+			c.evictions.Inc()
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+// len returns the number of cached (successfully compiled) views.
+func (c *viewCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/geo"
+	"compoundthreat/internal/obs"
+)
+
+// stubSource is a hand-controlled ensemble for cache and lifecycle
+// tests: its gate can hold compiles in flight (every FailureVector
+// call blocks while the gate is closed), it can be armed to fail, and
+// it counts compile passes (FailureVector calls for realization 0).
+type stubSource struct {
+	ids  []string
+	rows [][]bool
+
+	mu       sync.Mutex
+	gate     chan struct{} // non-nil = closed: calls block until open()
+	fail     bool
+	walks    int
+	baseline int
+}
+
+func (s *stubSource) Size() int          { return len(s.rows) }
+func (s *stubSource) AssetIDs() []string { return append([]string(nil), s.ids...) }
+
+func (s *stubSource) col(id string) int {
+	for i, x := range s.ids {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *stubSource) FailureVector(r int, assetIDs []string) ([]bool, error) {
+	s.mu.Lock()
+	if r == 0 {
+		s.walks++
+	}
+	gate := s.gate
+	fail := s.fail
+	s.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	if fail {
+		return nil, errors.New("stub: induced compile failure")
+	}
+	out := make([]bool, len(assetIDs))
+	for i, id := range assetIDs {
+		c := s.col(id)
+		if c < 0 {
+			return nil, fmt.Errorf("stub: unknown asset %q", id)
+		}
+		out[i] = s.rows[r][c]
+	}
+	return out, nil
+}
+
+func (s *stubSource) FailureRate(assetID string) (float64, error) {
+	c := s.col(assetID)
+	if c < 0 {
+		return 0, fmt.Errorf("stub: unknown asset %q", assetID)
+	}
+	n := 0
+	for _, row := range s.rows {
+		if row[c] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.rows)), nil
+}
+
+// close shuts the gate: subsequent compiles block in FailureVector.
+// It also snapshots the walk count, so awaitCompile and compiles can
+// ignore the fingerprint pass New already ran.
+func (s *stubSource) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gate = make(chan struct{})
+	s.baseline = s.walks
+}
+
+// open releases every call blocked on the gate and future ones.
+func (s *stubSource) open() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gate != nil {
+		close(s.gate)
+		s.gate = nil
+	}
+}
+
+func (s *stubSource) setFail(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fail = v
+}
+
+// compiles returns how many compile passes started since close().
+func (s *stubSource) compiles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walks - s.baseline
+}
+
+func (s *stubSource) awaitCompile(t testing.TB) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.compiles() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no compile started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// stubFixture bundles a stubSource with a matching inventory.
+type stubFixture struct {
+	*stubSource
+	e   Ensemble
+	inv *assets.Inventory
+}
+
+func newStubEnsemble() *stubFixture {
+	src := &stubSource{
+		ids: []string{"a", "b", "c"},
+		rows: [][]bool{
+			{false, false, false},
+			{true, true, false},
+			{true, false, false},
+			{false, false, false},
+		},
+	}
+	list := make([]assets.Asset, len(src.ids))
+	for i, id := range src.ids {
+		list[i] = assets.Asset{
+			ID: id, Name: id, Type: assets.ControlCenter,
+			Location:             geo.Point{Lat: 21.3, Lon: -157.9},
+			ControlSiteCandidate: true,
+		}
+	}
+	inv, err := assets.NewInventory(list)
+	if err != nil {
+		panic(err)
+	}
+	return &stubFixture{stubSource: src, e: src, inv: inv}
+}
+
+// newStubServer builds a server over the stub with a fresh recorder.
+func newStubServer(t testing.TB, opt Options) (*Server, *stubFixture, *obs.Recorder) {
+	t.Helper()
+	stub := newStubEnsemble()
+	rec := obs.New()
+	obs.Enable(rec)
+	t.Cleanup(func() { obs.Enable(nil) })
+	s, err := New(map[string]Ensemble{"stub": stub.e}, stub.inv, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, stub, rec
+}
+
+const stubSweep = "/v1/sweep?primary=a&second=b&data_center=c"
+
+func TestCacheHitOnRepeatQuery(t *testing.T) {
+	s, stub, rec := newStubServer(t, Options{})
+	for i := 0; i < 3; i++ {
+		if code, body := get(t, s.Handler(), stubSweep); code != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %v", i, code, body)
+		}
+	}
+	if v := rec.Counter("serve.cache_misses").Value(); v != 1 {
+		t.Errorf("misses = %d, want 1", v)
+	}
+	if v := rec.Counter("serve.cache_hits").Value(); v != 2 {
+		t.Errorf("hits = %d, want 2", v)
+	}
+	if n := s.cache.len(); n != 1 {
+		t.Errorf("cached views = %d, want 1", n)
+	}
+	// One fingerprint pass at New plus exactly one compile pass.
+	stub.mu.Lock()
+	walks := stub.walks
+	stub.mu.Unlock()
+	if walks != 2 {
+		t.Errorf("ensemble passes = %d, want 2 (fingerprint + one compile)", walks)
+	}
+}
+
+// TestCoalescing is the stampede test: N concurrent identical queries
+// against a cold cache must trigger exactly one compile, with the
+// other N-1 requests coalescing onto it.
+func TestCoalescing(t *testing.T) {
+	const n = 16
+	s, stub, rec := newStubServer(t, Options{MaxInflight: 2 * n, Timeout: time.Minute})
+	stub.close()
+
+	results := make(chan string, n)
+	codes := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			req := httptest.NewRequest(http.MethodGet, stubSweep, nil)
+			w := httptest.NewRecorder()
+			s.Handler().ServeHTTP(w, req)
+			codes <- w.Code
+			results <- w.Body.String()
+		}()
+	}
+
+	// Every request past the first must register as coalesced before
+	// the compile is allowed to finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for rec.Counter("serve.cache_coalesced").Value() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced = %d, want %d", rec.Counter("serve.cache_coalesced").Value(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stub.open()
+
+	first := ""
+	for i := 0; i < n; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("stampede request status %d", code)
+		}
+		body := <-results
+		if first == "" {
+			first = body
+		} else if body != first {
+			t.Error("stampede responses differ")
+		}
+	}
+	if got := stub.compiles(); got != 1 {
+		t.Errorf("compiles = %d, want 1 (stampede must coalesce)", got)
+	}
+	if v := rec.Counter("serve.cache_misses").Value(); v != 1 {
+		t.Errorf("misses = %d, want 1", v)
+	}
+	if v := rec.Counter("serve.cache_coalesced").Value(); v != n-1 {
+		t.Errorf("coalesced = %d, want %d", v, n-1)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	s, _, rec := newStubServer(t, Options{CacheEntries: 1})
+	qa := "/v1/sweep?config=2&primary=a&second=b&data_center=c"   // universe {a}
+	qb := "/v1/sweep?config=2-2&primary=a&second=b&data_center=c" // universe {a,b}
+	for _, q := range []string{qa, qb, qa} {
+		if code, body := get(t, s.Handler(), q); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d, body %v", q, code, body)
+		}
+	}
+	if v := rec.Counter("serve.cache_misses").Value(); v != 3 {
+		t.Errorf("misses = %d, want 3 (capacity 1 thrashes)", v)
+	}
+	if v := rec.Counter("serve.cache_evictions").Value(); v != 2 {
+		t.Errorf("evictions = %d, want 2", v)
+	}
+	if n := s.cache.len(); n != 1 {
+		t.Errorf("cached views = %d, want 1 (capacity)", n)
+	}
+}
+
+// TestCacheLRUOrder: with capacity 2, touching an older entry must
+// protect it — the eviction victim is the least recently used view,
+// not the oldest.
+func TestCacheLRUOrder(t *testing.T) {
+	s, _, rec := newStubServer(t, Options{CacheEntries: 2})
+	qa := "/v1/sweep?config=2&primary=a&second=b&data_center=c"
+	qb := "/v1/sweep?config=2-2&primary=a&second=b&data_center=c"
+	qc := "/v1/sweep?config=6-6&primary=a&second=c&data_center=b" // universe {a,c}
+	// a, b fill the cache; touching a makes b the LRU victim when c
+	// arrives; a third a is then still a hit.
+	for _, q := range []string{qa, qb, qa, qc, qa} {
+		if code, body := get(t, s.Handler(), q); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d, body %v", q, code, body)
+		}
+	}
+	if v := rec.Counter("serve.cache_misses").Value(); v != 3 {
+		t.Errorf("misses = %d, want 3 (a, b, c)", v)
+	}
+	if v := rec.Counter("serve.cache_hits").Value(); v != 2 {
+		t.Errorf("hits = %d, want 2 (both re-gets of a)", v)
+	}
+	if v := rec.Counter("serve.cache_evictions").Value(); v != 1 {
+		t.Errorf("evictions = %d, want 1 (b)", v)
+	}
+}
+
+func TestFailedCompileNotCached(t *testing.T) {
+	s, stub, rec := newStubServer(t, Options{})
+	stub.setFail(true)
+	for i := 0; i < 2; i++ {
+		code, body := get(t, s.Handler(), stubSweep)
+		if code != http.StatusInternalServerError {
+			t.Fatalf("failing compile: status %d, body %v", code, body)
+		}
+	}
+	if v := rec.Counter("serve.cache_misses").Value(); v != 2 {
+		t.Errorf("misses = %d, want 2 (failures must not be cached)", v)
+	}
+	if n := s.cache.len(); n != 0 {
+		t.Errorf("cached views = %d, want 0", n)
+	}
+	stub.setFail(false)
+	if code, body := get(t, s.Handler(), stubSweep); code != http.StatusOK {
+		t.Fatalf("recovered compile: status %d, body %v", code, body)
+	}
+	if n := s.cache.len(); n != 1 {
+		t.Errorf("cached views after recovery = %d, want 1", n)
+	}
+}
+
+// TestTimeoutAbandonsWaitNotCompile: a request that times out while a
+// compile is in flight gets 504, but the compile keeps running and its
+// result lands in the cache — the retry is a hit.
+func TestTimeoutAbandonsWaitNotCompile(t *testing.T) {
+	s, stub, rec := newStubServer(t, Options{Timeout: 50 * time.Millisecond})
+	stub.close()
+	code, body := get(t, s.Handler(), stubSweep)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("gated request: status %d, body %v", code, body)
+	}
+	if e := body["error"].(map[string]any); e["code"] != "timeout" {
+		t.Errorf("error code = %v, want timeout", e["code"])
+	}
+	if v := rec.Counter("serve.timeouts").Value(); v != 1 {
+		t.Errorf("timeouts = %d, want 1", v)
+	}
+
+	stub.open()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.cache.len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned compile never landed in the cache")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, body := get(t, s.Handler(), stubSweep); code != http.StatusOK {
+		t.Fatalf("retry: status %d, body %v", code, body)
+	}
+	if v := rec.Counter("serve.cache_hits").Value(); v != 1 {
+		t.Errorf("retry hits = %d, want 1 (warmed by the abandoned compile)", v)
+	}
+	if got := stub.compiles(); got != 1 {
+		t.Errorf("compiles = %d, want 1", got)
+	}
+}
+
+// TestInflightGauge: the serve.inflight gauge tracks concurrent
+// requests and records the high-water mark.
+func TestInflightGauge(t *testing.T) {
+	const n = 4
+	s, stub, rec := newStubServer(t, Options{MaxInflight: 2 * n, Timeout: time.Minute})
+	stub.close()
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			req := httptest.NewRequest(http.MethodGet, stubSweep, nil)
+			s.Handler().ServeHTTP(httptest.NewRecorder(), req)
+			done <- struct{}{}
+		}()
+	}
+	g := rec.Gauge("serve.inflight")
+	deadline := time.Now().Add(10 * time.Second)
+	for g.Value() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight = %d, want %d", g.Value(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stub.open()
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	if g.Value() != 0 {
+		t.Errorf("inflight after drain = %d, want 0", g.Value())
+	}
+	if g.High() < n {
+		t.Errorf("inflight high-water = %d, want >= %d", g.High(), n)
+	}
+}

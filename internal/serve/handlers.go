@@ -1,0 +1,564 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"compoundthreat/internal/analysis"
+	"compoundthreat/internal/engine"
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/placement"
+	"compoundthreat/internal/stats"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// apiError is an error with an HTTP status and a stable machine code.
+// Handlers return it; the route wrapper renders it as the documented
+// {"error":{"code","message"}} envelope.
+type apiError struct {
+	status  int
+	code    string
+	message string
+}
+
+func (e *apiError) Error() string { return e.message }
+
+func badRequestf(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, code: "bad_request", message: fmt.Sprintf(format, args...)}
+}
+
+func notFoundf(format string, args ...any) error {
+	return &apiError{status: http.StatusNotFound, code: "not_found", message: fmt.Sprintf(format, args...)}
+}
+
+// routes registers every endpoint on the mux, resolving each
+// endpoint's observability instruments once at registration.
+func (s *Server) routes() {
+	s.handle("GET /v1/healthz", "healthz", s.handleHealthz)
+	s.handle("GET /v1/report", "report", s.handleReport)
+	s.handle("GET /v1/sweep", "sweep", s.handleSweepGet)
+	s.handle("POST /v1/sweep", "sweep_post", s.handleSweepPost)
+	s.handle("GET /v1/figure/{id}", "figure", s.handleFigure)
+	s.handle("GET /v1/placement", "placement", s.handlePlacement)
+}
+
+// handle wraps a handler with the per-request machinery shared by
+// every endpoint: the in-flight gauge, a request counter and latency
+// histogram named after the endpoint, the per-request deadline, and
+// error rendering.
+func (s *Server) handle(pattern, name string, fn func(http.ResponseWriter, *http.Request) error) {
+	rec := obs.Default()
+	reqs := rec.Counter("serve.requests." + name)
+	lat := rec.Histogram("serve.latency_ns." + name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Inc()
+		reqs.Inc()
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.Timeout)
+		err := fn(w, r.WithContext(ctx))
+		cancel()
+		s.inflight.Dec()
+		lat.Observe(int64(time.Since(start)))
+		if err != nil {
+			s.writeError(w, err)
+		}
+	})
+}
+
+// writeError renders an error response. Context deadline errors become
+// 504 (the request exceeded Options.Timeout); oversized bodies 413;
+// apiErrors their own status; everything else 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.errs.Inc()
+	status, code := http.StatusInternalServerError, "internal"
+	var ae *apiError
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &ae):
+		status, code = ae.status, ae.code
+	case errors.Is(err, context.DeadlineExceeded):
+		status, code = http.StatusGatewayTimeout, "timeout"
+		s.timeouts.Inc()
+	case errors.As(err, &mbe):
+		status, code = http.StatusRequestEntityTooLarge, "body_too_large"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": err.Error()},
+	})
+}
+
+// writeJSON renders a success response.
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// checkParams rejects query parameters outside the allowed set, so
+// typos ("scenrio=both") fail loudly instead of silently running the
+// default query.
+func checkParams(r *http.Request, allowed ...string) error {
+	ok := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		ok[a] = true
+	}
+	for k := range r.URL.Query() {
+		if !ok[k] {
+			return badRequestf("unknown parameter %q (allowed: %v)", k, allowed)
+		}
+	}
+	return nil
+}
+
+// outcomeJSON is one evaluated (configuration, scenario) cell.
+type outcomeJSON struct {
+	Config        string             `json:"config"`
+	Scenario      string             `json:"scenario"`
+	Realizations  int                `json:"realizations"`
+	Counts        map[string]int     `json:"counts"`
+	Probabilities map[string]float64 `json:"probabilities"`
+}
+
+func renderOutcome(cfg topology.Config, scenario threat.Scenario, p *stats.Profile) outcomeJSON {
+	o := outcomeJSON{
+		Config:        cfg.Name,
+		Scenario:      scenario.String(),
+		Realizations:  p.Total(),
+		Counts:        make(map[string]int, 4),
+		Probabilities: make(map[string]float64, 4),
+	}
+	for _, st := range opstate.States() {
+		o.Counts[st.String()] = p.Count(st)
+		o.Probabilities[st.String()] = p.Probability(st)
+	}
+	return o
+}
+
+// placementJSON renders a topology.Placement.
+type placementJSON struct {
+	Primary    string `json:"primary"`
+	Second     string `json:"second"`
+	DataCenter string `json:"data_center"`
+}
+
+// ---- /v1/healthz ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	if err := checkParams(r); err != nil {
+		return err
+	}
+	type ensembleJSON struct {
+		Name         string `json:"name"`
+		Realizations int    `json:"realizations"`
+		Assets       int    `json:"assets"`
+		Fingerprint  string `json:"fingerprint"`
+	}
+	ens := make([]ensembleJSON, 0, len(s.names))
+	for _, name := range s.names {
+		e := s.ensembles[name]
+		ens = append(ens, ensembleJSON{
+			Name:         name,
+			Realizations: e.e.Size(),
+			Assets:       len(e.assets),
+			Fingerprint:  fmt.Sprintf("%016x", e.hash),
+		})
+	}
+	return writeJSON(w, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"ensembles":      ens,
+		"cache":          map[string]int{"entries": s.cache.len(), "capacity": s.opt.CacheEntries},
+		"max_inflight":   s.opt.MaxInflight,
+	})
+}
+
+// ---- /v1/report ----
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) error {
+	if err := checkParams(r); err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return obs.Default().WriteReport(w, "threatserver", nil)
+}
+
+// ---- /v1/sweep ----
+
+// sweepRequest is the query for GET and POST /v1/sweep. Zero-value
+// fields take the documented defaults: the sole loaded ensemble, the
+// hurricane scenario, the paper's Honolulu/Waiau/DRFortress placement,
+// and all five standard configurations.
+type sweepRequest struct {
+	Ensemble   string   `json:"ensemble"`
+	Scenario   string   `json:"scenario"`
+	Configs    []string `json:"configs"`
+	Primary    string   `json:"primary"`
+	Second     string   `json:"second"`
+	DataCenter string   `json:"data_center"`
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) error {
+	if err := checkParams(r, "ensemble", "scenario", "config", "primary", "second", "data_center"); err != nil {
+		return err
+	}
+	q := r.URL.Query()
+	return s.sweep(w, r, sweepRequest{
+		Ensemble:   q.Get("ensemble"),
+		Scenario:   q.Get("scenario"),
+		Configs:    q["config"],
+		Primary:    q.Get("primary"),
+		Second:     q.Get("second"),
+		DataCenter: q.Get("data_center"),
+	})
+}
+
+func (s *Server) handleSweepPost(w http.ResponseWriter, r *http.Request) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req sweepRequest
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return err
+		}
+		return badRequestf("invalid request body: %v", err)
+	}
+	return s.sweep(w, r, req)
+}
+
+// sweep resolves, validates, evaluates, and renders one sweep query.
+func (s *Server) sweep(w http.ResponseWriter, r *http.Request, req sweepRequest) error {
+	ens, err := s.ensemble(req.Ensemble)
+	if err != nil {
+		return err
+	}
+	scenario, err := parseScenario(req.Scenario)
+	if err != nil {
+		return err
+	}
+	p := analysis.PlacementHWD()
+	if req.Primary != "" {
+		p.Primary = req.Primary
+	}
+	if req.Second != "" {
+		p.Second = req.Second
+	}
+	if req.DataCenter != "" {
+		p.DataCenter = req.DataCenter
+	}
+	configs, err := selectConfigs(p, req.Configs)
+	if err != nil {
+		return err
+	}
+	universe, err := universeOf(configs)
+	if err != nil {
+		return badRequestf("%v", err)
+	}
+	if err := ens.checkAssets(universe); err != nil {
+		return err
+	}
+	outcomes, err := s.evaluate(r.Context(), ens, universe, configs, scenario)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]any{
+		"ensemble":  ens.name,
+		"scenario":  scenario.String(),
+		"placement": placementJSON{p.Primary, p.Second, p.DataCenter},
+		"outcomes":  outcomes,
+	})
+}
+
+// parseScenario maps the API's scenario parameter (empty = hurricane).
+func parseScenario(name string) (threat.Scenario, error) {
+	if name == "" {
+		return threat.Hurricane, nil
+	}
+	sc, err := threat.ParseScenario(name)
+	if err != nil {
+		return 0, badRequestf("%v", err)
+	}
+	return sc, nil
+}
+
+// selectConfigs materializes the requested configuration names for a
+// placement; nil names = the paper's five standard configurations.
+func selectConfigs(p topology.Placement, names []string) ([]topology.Config, error) {
+	if p.Primary == "" || p.Second == "" || p.DataCenter == "" {
+		return nil, badRequestf("placement needs primary, second, and data_center")
+	}
+	if len(names) == 0 {
+		configs, err := topology.StandardConfigs(p)
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		return configs, nil
+	}
+	out := make([]topology.Config, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if seen[name] {
+			return nil, badRequestf("duplicate config %q", name)
+		}
+		seen[name] = true
+		var cfg topology.Config
+		switch name {
+		case "2":
+			cfg = topology.NewConfig2(p.Primary)
+		case "2-2":
+			cfg = topology.NewConfig22(p.Primary, p.Second)
+		case "6":
+			cfg = topology.NewConfig6(p.Primary)
+		case "6-6":
+			cfg = topology.NewConfig66(p.Primary, p.Second)
+		case "6+6+6":
+			cfg = topology.NewConfig666(p.Primary, p.Second, p.DataCenter)
+		default:
+			return nil, badRequestf("unknown config %q (want 2, 2-2, 6, 6-6, or 6+6+6)", name)
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// universeOf validates every configuration and returns the union of
+// their site assets in first-occurrence order — the same universe the
+// batch pipeline compiles, so serving and batch share cache-key shape
+// and results.
+func universeOf(configs []topology.Config) ([]string, error) {
+	var universe []string
+	seen := make(map[string]bool)
+	for _, cfg := range configs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		for _, site := range cfg.Sites {
+			if !seen[site.AssetID] {
+				seen[site.AssetID] = true
+				universe = append(universe, site.AssetID)
+			}
+		}
+	}
+	return universe, nil
+}
+
+// checkAssets rejects queries over assets the ensemble has no failure
+// data for, before anything is compiled.
+func (e *ensembleEntry) checkAssets(universe []string) error {
+	for _, id := range universe {
+		if !e.assets[id] {
+			return badRequestf("ensemble %q has no asset %q", e.name, id)
+		}
+	}
+	return nil
+}
+
+// evaluate runs the (config, scenario) cells against the cached view
+// for (ensemble, universe), holding one evaluation slot throughout.
+func (s *Server) evaluate(ctx context.Context, ens *ensembleEntry, universe []string, configs []topology.Config, scenario threat.Scenario) ([]outcomeJSON, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	v, err := s.viewFor(ctx, ens, universe)
+	if err != nil {
+		return nil, err
+	}
+	capability := scenario.Capability()
+	out := make([]outcomeJSON, len(configs))
+	err = engine.ForEach(s.opt.Workers, len(configs), func(i int) error {
+		p, err := v.cell(configs[i], capability)
+		if err != nil {
+			return err
+		}
+		out[i] = renderOutcome(configs[i], scenario, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---- /v1/figure/{id} ----
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) error {
+	if err := checkParams(r, "ensemble"); err != nil {
+		return err
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return badRequestf("figure id %q is not a number", r.PathValue("id"))
+	}
+	fig, err := analysis.FigureByID(id)
+	if err != nil {
+		return notFoundf("%v", err)
+	}
+	ens, err := s.ensemble(r.URL.Query().Get("ensemble"))
+	if err != nil {
+		return err
+	}
+	configs, err := topology.StandardConfigs(fig.Placement)
+	if err != nil {
+		return badRequestf("%v", err)
+	}
+	universe, err := universeOf(configs)
+	if err != nil {
+		return badRequestf("%v", err)
+	}
+	if err := ens.checkAssets(universe); err != nil {
+		return err
+	}
+	outcomes, err := s.evaluate(r.Context(), ens, universe, configs, fig.Scenario)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]any{
+		"figure":    fig.ID,
+		"title":     fig.Title,
+		"ensemble":  ens.name,
+		"scenario":  fig.Scenario.String(),
+		"placement": placementJSON{fig.Placement.Primary, fig.Placement.Second, fig.Placement.DataCenter},
+		"outcomes":  outcomes,
+	})
+}
+
+// ---- /v1/placement ----
+
+func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) error {
+	if err := checkParams(r, "ensemble", "primary", "scenario", "data_center", "objective", "limit"); err != nil {
+		return err
+	}
+	q := r.URL.Query()
+	ens, err := s.ensemble(q.Get("ensemble"))
+	if err != nil {
+		return err
+	}
+	scenario, err := parseScenario(q.Get("scenario"))
+	if err != nil {
+		return err
+	}
+	primary := q.Get("primary")
+	if primary == "" {
+		return badRequestf("primary parameter required")
+	}
+	objective, objName := placement.GreenProbability, "green"
+	if o := q.Get("objective"); o != "" {
+		switch o {
+		case "green":
+		case "weighted":
+			objective, objName = placement.AvailabilityWeighted, "weighted"
+		default:
+			return badRequestf("unknown objective %q (want green or weighted)", o)
+		}
+	}
+	limit := 0
+	if l := q.Get("limit"); l != "" {
+		limit, err = strconv.Atoi(l)
+		if err != nil || limit <= 0 {
+			return badRequestf("limit %q is not a positive integer", l)
+		}
+	}
+	// The batch search's enumeration defines the candidate set; the
+	// serving layer only swaps the evaluation path for the cached view.
+	req := placement.Request{
+		Ensemble:  ens.e,
+		Inventory: s.inv,
+		Primary:   primary,
+		Scenario:  scenario,
+		Workers:   s.opt.Workers,
+	}
+	var placements []topology.Placement
+	if dc := q.Get("data_center"); dc != "" {
+		placements, err = placement.CandidateSecondSites(req, dc)
+	} else {
+		placements, err = placement.CandidatePairs(req)
+	}
+	if err != nil {
+		return badRequestf("%v", err)
+	}
+	configs := make([]topology.Config, len(placements))
+	for i, p := range placements {
+		configs[i] = topology.NewConfig666(p.Primary, p.Second, p.DataCenter)
+	}
+	universe, err := universeOf(configs)
+	if err != nil {
+		return badRequestf("%v", err)
+	}
+	if err := ens.checkAssets(universe); err != nil {
+		return err
+	}
+	candidates, err := s.evaluatePlacements(r.Context(), ens, universe, placements, configs, scenario, objective)
+	if err != nil {
+		return err
+	}
+	total := len(candidates)
+	if limit > 0 && limit < len(candidates) {
+		candidates = candidates[:limit]
+	}
+	type candidateJSON struct {
+		Placement     placementJSON      `json:"placement"`
+		Score         float64            `json:"score"`
+		Probabilities map[string]float64 `json:"probabilities"`
+	}
+	out := make([]candidateJSON, len(candidates))
+	for i, c := range candidates {
+		probs := make(map[string]float64, 4)
+		for _, st := range opstate.States() {
+			probs[st.String()] = c.Outcome.Profile.Probability(st)
+		}
+		out[i] = candidateJSON{
+			Placement:     placementJSON{c.Placement.Primary, c.Placement.Second, c.Placement.DataCenter},
+			Score:         c.Score,
+			Probabilities: probs,
+		}
+	}
+	return writeJSON(w, map[string]any{
+		"ensemble":         ens.name,
+		"scenario":         scenario.String(),
+		"primary":          primary,
+		"objective":        objName,
+		"total_candidates": total,
+		"candidates":       out,
+	})
+}
+
+// evaluatePlacements scores every candidate placement against the
+// cached view and ranks them under placement.Rank's deterministic
+// contract, so serving and the batch placement CLI order identically.
+func (s *Server) evaluatePlacements(ctx context.Context, ens *ensembleEntry, universe []string, placements []topology.Placement, configs []topology.Config, scenario threat.Scenario, objective placement.Objective) ([]placement.Candidate, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	v, err := s.viewFor(ctx, ens, universe)
+	if err != nil {
+		return nil, err
+	}
+	capability := scenario.Capability()
+	out := make([]placement.Candidate, len(placements))
+	err = engine.ForEach(s.opt.Workers, len(placements), func(i int) error {
+		p, err := v.cell(configs[i], capability)
+		if err != nil {
+			return err
+		}
+		outcome := analysis.Outcome{Config: configs[i], Scenario: scenario, Profile: p}
+		out[i] = placement.Candidate{Placement: placements[i], Score: objective(outcome), Outcome: outcome}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	placement.Rank(out)
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// errCode decodes the documented error envelope and returns its code.
+func errCode(t *testing.T, body map[string]any) string {
+	t.Helper()
+	e, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("no error envelope in %v", body)
+	}
+	if e["message"] == "" {
+		t.Error("error envelope has no message")
+	}
+	code, _ := e["code"].(string)
+	return code
+}
+
+func TestBadRequests(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	tests := []struct {
+		name   string
+		url    string
+		status int
+		code   string
+	}{
+		{"unknown query param", "/v1/sweep?scenrio=both", http.StatusBadRequest, "bad_request"},
+		{"unknown scenario", "/v1/sweep?scenario=volcano", http.StatusBadRequest, "bad_request"},
+		{"unknown config", "/v1/sweep?config=9", http.StatusBadRequest, "bad_request"},
+		{"duplicate config", "/v1/sweep?config=6&config=6", http.StatusBadRequest, "bad_request"},
+		{"unknown ensemble", "/v1/sweep?ensemble=nope", http.StatusNotFound, "not_found"},
+		{"asset outside ensemble", "/v1/sweep?primary=zzz", http.StatusBadRequest, "bad_request"},
+		{"figure below range", "/v1/figure/5", http.StatusNotFound, "not_found"},
+		{"figure above range", "/v1/figure/12", http.StatusNotFound, "not_found"},
+		{"non-numeric figure", "/v1/figure/six", http.StatusBadRequest, "bad_request"},
+		{"figure unknown ensemble", "/v1/figure/6?ensemble=nope", http.StatusNotFound, "not_found"},
+		{"figure unknown param", "/v1/figure/6?scenario=both", http.StatusBadRequest, "bad_request"},
+		{"placement without primary", "/v1/placement", http.StatusBadRequest, "bad_request"},
+		{"placement unknown primary", "/v1/placement?primary=zzz", http.StatusBadRequest, "bad_request"},
+		{"placement unknown objective", "/v1/placement?primary=honolulu-cc&objective=fastest", http.StatusBadRequest, "bad_request"},
+		{"placement zero limit", "/v1/placement?primary=honolulu-cc&limit=0", http.StatusBadRequest, "bad_request"},
+		{"placement non-numeric limit", "/v1/placement?primary=honolulu-cc&limit=all", http.StatusBadRequest, "bad_request"},
+		{"placement unknown data center", "/v1/placement?primary=honolulu-cc&data_center=zzz", http.StatusBadRequest, "bad_request"},
+		{"healthz with params", "/v1/healthz?verbose=1", http.StatusBadRequest, "bad_request"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code, body := get(t, s.Handler(), tt.url)
+			if code != tt.status {
+				t.Fatalf("GET %s: status %d, want %d (body %v)", tt.url, code, tt.status, body)
+			}
+			if got := errCode(t, body); got != tt.code {
+				t.Errorf("GET %s: error code %q, want %q", tt.url, got, tt.code)
+			}
+		})
+	}
+}
+
+func post(t *testing.T, h http.Handler, body string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var decoded map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("non-JSON body %q: %v", w.Body.String(), err)
+	}
+	return w.Code, decoded
+}
+
+func TestBadPostBodies(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxBodyBytes: 256})
+	t.Run("unknown field", func(t *testing.T) {
+		code, body := post(t, s.Handler(), `{"scenario": "both", "scenrio": "oops"}`)
+		if code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400 (body %v)", code, body)
+		}
+		if got := errCode(t, body); got != "bad_request" {
+			t.Errorf("error code %q, want bad_request", got)
+		}
+	})
+	t.Run("malformed JSON", func(t *testing.T) {
+		code, body := post(t, s.Handler(), `{"scenario": `)
+		if code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400 (body %v)", code, body)
+		}
+	})
+	t.Run("oversized body", func(t *testing.T) {
+		big := `{"scenario": "both", "configs": ["` + strings.Repeat("x", 512) + `"]}`
+		code, body := post(t, s.Handler(), big)
+		if code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d, want 413 (body %v)", code, body)
+		}
+		if got := errCode(t, body); got != "body_too_large" {
+			t.Errorf("error code %q, want body_too_large", got)
+		}
+	})
+	t.Run("valid body still works", func(t *testing.T) {
+		code, body := post(t, s.Handler(), `{"scenario": "both"}`)
+		if code != http.StatusOK {
+			t.Fatalf("status %d (body %v)", code, body)
+		}
+	})
+}
+
+// TestErrorsCounted: every error response increments serve.errors.
+func TestErrorsCounted(t *testing.T) {
+	s, rec := newTestServer(t, Options{})
+	get(t, s.Handler(), "/v1/sweep?scenario=volcano")
+	get(t, s.Handler(), "/v1/figure/5")
+	if v := rec.Counter("serve.errors").Value(); v != 2 {
+		t.Errorf("serve.errors = %d, want 2", v)
+	}
+}

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"compoundthreat/internal/analysis"
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/obs"
+)
+
+// Ensemble is what the server serves: a disaster ensemble plus its
+// asset list, used for fingerprinting at load time and for validating
+// query placements before anything is compiled. hazard.Ensemble and
+// seismic.Ensemble both satisfy it. Implementations must be immutable
+// after generation (every ensemble in this module is), since handler
+// goroutines read them concurrently.
+type Ensemble interface {
+	analysis.DisasterEnsemble
+	// AssetIDs returns the IDs of every asset the ensemble covers.
+	AssetIDs() []string
+}
+
+// Options tunes the server. The zero value serves with the documented
+// defaults.
+type Options struct {
+	// Workers bounds engine parallelism inside a single query
+	// (placement sweeps fan candidate evaluation out over it).
+	// 0 = runtime.NumCPU().
+	Workers int
+	// MaxInflight bounds concurrently evaluating queries; excess
+	// requests queue until a slot frees or their deadline expires.
+	// 0 = 2 × runtime.NumCPU().
+	MaxInflight int
+	// CacheEntries bounds the compiled-view LRU cache. 0 = 64.
+	CacheEntries int
+	// Timeout is the per-request deadline, covering queueing, any
+	// compile wait, evaluation, and response encoding. 0 = 10s.
+	Timeout time.Duration
+	// MaxBodyBytes bounds POST request bodies. 0 = 1 MiB.
+	MaxBodyBytes int64
+}
+
+// defaults materializes the documented zero-value defaults.
+func (o Options) defaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 2 * runtime.NumCPU()
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 64
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	return o
+}
+
+// ensembleEntry is one loaded ensemble: the data, its content hash
+// (half of every cache key), and its asset-ID set for query validation.
+type ensembleEntry struct {
+	name   string
+	e      Ensemble
+	hash   uint64
+	assets map[string]bool
+}
+
+// Server answers compound-threat queries over ensembles loaded at
+// construction. It is safe for concurrent use; see the package comment
+// for the caching, coalescing, and bounded-work design.
+type Server struct {
+	opt       Options
+	inv       *assets.Inventory
+	ensembles map[string]*ensembleEntry
+	names     []string // sorted ensemble names
+	cache     *viewCache
+	slots     chan struct{}
+	start     time.Time
+	mux       *http.ServeMux
+
+	inflight *obs.Gauge
+	errs     *obs.Counter
+	timeouts *obs.Counter
+}
+
+// New builds a server over the given ensembles and asset inventory.
+// Ensemble fingerprints are computed here, once; enable observability
+// (obs.Enable) before calling New so the server's instruments record.
+func New(ensembles map[string]Ensemble, inv *assets.Inventory, opt Options) (*Server, error) {
+	if len(ensembles) == 0 {
+		return nil, errors.New("serve: no ensembles")
+	}
+	if inv == nil {
+		return nil, errors.New("serve: nil inventory")
+	}
+	opt = opt.defaults()
+	rec := obs.Default()
+	s := &Server{
+		opt:       opt,
+		inv:       inv,
+		ensembles: make(map[string]*ensembleEntry, len(ensembles)),
+		cache:     newViewCache(opt.CacheEntries),
+		slots:     make(chan struct{}, opt.MaxInflight),
+		start:     time.Now(),
+		inflight:  rec.Gauge("serve.inflight"),
+		errs:      rec.Counter("serve.errors"),
+		timeouts:  rec.Counter("serve.timeouts"),
+	}
+	for name, e := range ensembles {
+		if name == "" {
+			return nil, errors.New("serve: empty ensemble name")
+		}
+		if e == nil || e.Size() <= 0 {
+			return nil, fmt.Errorf("serve: ensemble %q is nil or empty", name)
+		}
+		entry := &ensembleEntry{name: name, e: e, assets: make(map[string]bool)}
+		for _, id := range e.AssetIDs() {
+			entry.assets[id] = true
+		}
+		h, err := fingerprint(e)
+		if err != nil {
+			return nil, fmt.Errorf("serve: fingerprint %q: %w", name, err)
+		}
+		entry.hash = h
+		s.ensembles[name] = entry
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// fingerprint hashes the ensemble's full failure-bit content (FNV-1a
+// over every realization's failure vector plus the asset list), so a
+// cache key names the exact data it was compiled from.
+func fingerprint(e Ensemble) (uint64, error) {
+	ids := e.AssetIDs()
+	sort.Strings(ids)
+	h := uint64(fnv64Offset)
+	hashByte := func(b byte) { h = (h ^ uint64(b)) * fnv64Prime }
+	for _, id := range ids {
+		for i := 0; i < len(id); i++ {
+			hashByte(id[i])
+		}
+		hashByte(0)
+	}
+	var row []bool
+	for r := 0; r < e.Size(); r++ {
+		var err error
+		row, err = appendFailureVector(e, row[:0], r, ids)
+		if err != nil {
+			return 0, err
+		}
+		var acc, n byte
+		for _, failed := range row {
+			acc <<= 1
+			if failed {
+				acc |= 1
+			}
+			if n++; n == 8 {
+				hashByte(acc)
+				acc, n = 0, 0
+			}
+		}
+		if n > 0 {
+			hashByte(acc)
+		}
+	}
+	return h, nil
+}
+
+// fnv64Offset / fnv64Prime are the FNV-1a 64-bit parameters.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
+
+// appendFailureVector prefers the ensemble's allocation-free append
+// path when it has one.
+func appendFailureVector(e Ensemble, dst []bool, r int, ids []string) ([]bool, error) {
+	type vectorAppender interface {
+		AppendFailureVector(dst []bool, r int, assetIDs []string) ([]bool, error)
+	}
+	if ap, ok := e.(vectorAppender); ok {
+		return ap.AppendFailureVector(dst, r, ids)
+	}
+	return e.FailureVector(r, ids)
+}
+
+// Handler returns the server's HTTP handler (all /v1/ routes).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ensemble resolves the ensemble named in a query. An empty name is
+// allowed when exactly one ensemble is loaded.
+func (s *Server) ensemble(name string) (*ensembleEntry, error) {
+	if name == "" {
+		if len(s.names) == 1 {
+			return s.ensembles[s.names[0]], nil
+		}
+		return nil, badRequestf("ensemble parameter required (loaded: %s)", strings.Join(s.names, ", "))
+	}
+	e, ok := s.ensembles[name]
+	if !ok {
+		return nil, notFoundf("unknown ensemble %q (loaded: %s)", name, strings.Join(s.names, ", "))
+	}
+	return e, nil
+}
+
+// viewFor returns the cached compiled view for (ensemble, universe),
+// compiling and caching it on a miss. The universe is the deduplicated
+// union of the query's site assets in first-occurrence order, so every
+// query shape maps to a deterministic key.
+func (s *Server) viewFor(ctx context.Context, ens *ensembleEntry, universe []string) (*view, error) {
+	key := fmt.Sprintf("%016x|%s", ens.hash, strings.Join(universe, "\x1f"))
+	return s.cache.get(ctx, key, func() (*view, error) {
+		return newView(ens.e, universe, s.opt.Workers)
+	})
+}
+
+// acquire takes one evaluation slot, waiting until one frees or the
+// request deadline expires.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Run serves ln with handler until ctx is canceled, then drains
+// gracefully: the listener closes immediately (readiness probes start
+// failing), in-flight requests get up to drain to finish, and only
+// then are remaining connections forcibly closed. diag, when non-nil,
+// receives one line when draining starts. Returns nil on a clean
+// drain; ErrDrainTimeout (wrapped) when the drain deadline forced
+// connections closed.
+func Run(ctx context.Context, ln net.Listener, handler http.Handler, drain time.Duration, diag io.Writer) error {
+	srv := &http.Server{Handler: handler}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	if diag != nil {
+		fmt.Fprintf(diag, "draining (up to %v) ...\n", drain)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	<-done // always http.ErrServerClosed after Shutdown
+	if err != nil {
+		srv.Close()
+		return fmt.Errorf("serve: %w: %w", ErrDrainTimeout, err)
+	}
+	return nil
+}
+
+// ErrDrainTimeout reports that graceful drain ran out of time and
+// in-flight connections were forcibly closed.
+var ErrDrainTimeout = errors.New("drain timed out")

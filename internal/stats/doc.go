@@ -1,0 +1,18 @@
+// Package stats aggregates operational-state outcomes over realization
+// ensembles into probability profiles — the quantity the paper's
+// figures report.
+//
+// The central type is [Profile]: a count of green / orange / red / gray
+// outcomes (see the opstate package for the state semantics) that
+// converts to per-state probabilities. Profiles support weighted adds,
+// so the engine's deduplicated sweeps can accumulate one evaluation per
+// distinct failure pattern with the pattern's multiplicity as weight
+// and still produce counts identical to evaluating every realization.
+//
+// [WilsonInterval] supplies binomial confidence intervals for the
+// estimated probabilities — the paper reports point estimates over
+// 1000-member ensembles, and the interval quantifies the Monte-Carlo
+// error of reproducing them at other ensemble sizes. [Summarize]
+// provides basic descriptive statistics (mean, min, max, quantiles)
+// for scalar series such as per-realization surge depths.
+package stats

@@ -1,6 +1,3 @@
-// Package stats aggregates operational-state outcomes over realization
-// ensembles into probability profiles — the quantity the paper's
-// figures report — with binomial confidence intervals.
 package stats
 
 import (

@@ -1,0 +1,16 @@
+// Package terrain models the land and nearshore bathymetry of the
+// study region: a coastline polygon, a parametric digital elevation
+// model (DEM) built from a coastal ramp plus mountain [Ridge]s, and
+// bathymetric [Shelf] segments that control how strongly storm surge
+// shoals on each stretch of coast, with [Funnel]s (harbor geometry
+// that concentrates surge) and named coastal inundation [Zone]s.
+//
+// [New] validates a [Config] into an immutable [Model]; [NewOahu] and
+// [OahuConfig] ship the calibrated Oahu substitute for the GIS
+// terrain and ADCIRC mesh bathymetry used in the paper (see DESIGN.md
+// §2). The model is parametric rather than gridded so that tests and
+// examples can build alternative regions cheaply, and every query
+// (elevation, depth, zone lookup, distance to coast) is a pure
+// function of the model — safe for concurrent use by the parallel
+// ensemble generators.
+package terrain

@@ -1,12 +1,3 @@
-// Package terrain models the land and nearshore bathymetry of the study
-// region: a coastline polygon, a parametric digital elevation model (DEM)
-// built from a coastal ramp plus mountain ridges, and bathymetric shelves
-// that control how strongly storm surge shoals on each stretch of coast.
-//
-// The shipped Oahu model is a synthetic substitute for the GIS terrain
-// and ADCIRC mesh bathymetry used in the paper; see DESIGN.md §2. It is
-// parametric rather than gridded so that tests and examples can build
-// alternative regions cheaply.
 package terrain
 
 import (

@@ -1,0 +1,22 @@
+// Package threat defines the compound threat model: the four threat
+// scenarios from the paper's §III-B and the attacker capability each
+// one grants.
+//
+// The scenarios form a 2x2 over cyberattack type layered on the
+// hurricane baseline:
+//
+//   - Hurricane: natural hazard only.
+//   - Hurricane + system intrusion: attackers compromise replicas
+//     (tolerated or not depending on the configuration's replication
+//     architecture).
+//   - Hurricane + network isolation: attackers cut a control site off
+//     from the wide-area network.
+//   - Hurricane + both attacks at once.
+//
+// [Scenario] enumerates them, [ParseScenario] maps the CLI spellings
+// ("hurricane", "intrusion", "isolation", "both"), and
+// [Scenario.Capability] returns the [Capability] — which attack types
+// the adversary may exercise — that the analysis engine and the
+// behavioral simulators both consume, so the analytical and simulated
+// paths agree on what each scenario means.
+package threat

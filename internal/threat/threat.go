@@ -1,7 +1,3 @@
-// Package threat defines the compound threat model: the four threat
-// scenarios from the paper (a hurricane baseline and three compound
-// scenarios adding cyberattacks) and the attacker capability each
-// scenario grants.
 package threat
 
 import (

@@ -1,0 +1,24 @@
+// Package topology models SCADA system configurations: control sites
+// (control centers, cold-backup centers, data centers), the replicas
+// they host, and the replication [Architecture] that determines how
+// the system behaves when sites fail or replicas are compromised.
+//
+// The five configurations from the paper are provided as constructors
+// parameterized by the asset IDs hosting each site:
+//
+//   - [NewConfig2]: 1+1 primary/hot-standby at one site ("2").
+//   - [NewConfig22]: primary pair plus a cold-backup site ("2-2").
+//   - [NewConfig6]: 6-replica BFT at one site ("6").
+//   - [NewConfig66]: 6 BFT replicas plus a cold-backup site ("6-6").
+//   - [NewConfig666]: 6 replicas spread 2+2+2 across two control
+//     centers and a data center ("6+6+6" — the paper's
+//     network-attack-resilient configuration).
+//
+// [StandardConfigs] builds all five from a [Placement] (primary,
+// second site, data center) so sweeps, figures, and the serving layer
+// enumerate identical configurations. [ExtendedConfigs] adds the
+// "4", "4-4", and "3+3+3+3" variants of the extended analysis. A
+// [Config]
+// validates itself: site roles, replica counts, and the cold
+// activation delay that drives orange-state downtime.
+package topology

@@ -1,9 +1,3 @@
-// Package topology models SCADA system configurations: control sites
-// (control centers, cold-backup centers, data centers), the replicas
-// they host, and the architecture family that determines how the system
-// behaves when sites fail. The five configurations from the paper —
-// "2", "2-2", "6", "6-6", and "6+6+6" — are provided as constructors
-// parameterized by the assets that host each site.
 package topology
 
 import (

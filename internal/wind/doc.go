@@ -1,0 +1,18 @@
+// Package wind implements the Holland (1980) parametric hurricane
+// model: a radial gradient-wind profile around a moving storm center,
+// with forward-motion asymmetry and surface inflow. It is the storm
+// forcing for the surge solver, standing in for the numerical wind
+// field that drove the paper's ADCIRC simulation (see DESIGN.md §2).
+//
+// A [Track] ([NewTrack], interpolated [TrackPoint]s with central
+// pressure and radius of maximum winds) yields a [State] at any
+// instant, which samples wind [Sample]s (velocity and pressure
+// deficit) at arbitrary positions; [Category] and [Categorize] map
+// peak winds onto the Saffir-Simpson scale used by the storm catalog.
+//
+// Conventions: wind vectors are "blowing toward" directions in the
+// local planar frame (x east, y north), speeds in m/s, pressures in
+// hPa. Sampling is a pure function of (track, time, position), so the
+// parallel ensemble generator samples one shared track from many
+// goroutines without synchronization.
+package wind

@@ -1,11 +1,3 @@
-// Package wind implements the Holland (1980) parametric hurricane model:
-// a radial gradient-wind profile around a moving storm center, with
-// forward-motion asymmetry and surface inflow. It is the storm forcing
-// for the surge solver, standing in for the numerical wind field that
-// drove the paper's ADCIRC simulation (see DESIGN.md §2).
-//
-// Conventions: wind vectors are "blowing toward" directions in the local
-// planar frame (x east, y north), speeds in m/s, pressures in hPa.
 package wind
 
 import (

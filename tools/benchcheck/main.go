@@ -11,6 +11,9 @@
 //	go test -run '^$' -bench Compressed -benchtime 1x . > compress.out
 //	go run ./tools/benchcheck -set compressed -baseline BENCH_3.json -input compress.out
 //
+//	go test -run '^$' -bench Serve -benchtime 100x ./internal/serve/ > serve.out
+//	go run ./tools/benchcheck -set serve -baseline BENCH_4.json -input serve.out
+//
 // The threshold is deliberately loose (3x by default): single-iteration
 // smoke runs on shared CI machines are noisy, and the gate exists to
 // catch order-of-magnitude regressions — an accidental re-lock in the
@@ -49,10 +52,21 @@ var compressedToKey = map[string]string{
 	"BenchmarkCompressedSearchPairs": "searchpairs_compressed_ns_per_op",
 }
 
+// serveToKey maps the analysis-server benchmarks to BENCH_4.json
+// headline keys — the "serve" set.
+var serveToKey = map[string]string{
+	"BenchmarkServeSweepCached":     "serve_sweep_cached_ns_per_op",
+	"BenchmarkServeSweepCold":       "serve_sweep_cold_ns_per_op",
+	"BenchmarkServeFigureCached":    "serve_figure9_cached_ns_per_op",
+	"BenchmarkServePlacementCached": "serve_placement_cached_ns_per_op",
+	"BenchmarkServeSweepParallel":   "serve_sweep_parallel_ns_per_op",
+}
+
 // benchSets names the selectable benchmark tables.
 var benchSets = map[string]map[string]string{
 	"figures":    nameToKey,
 	"compressed": compressedToKey,
+	"serve":      serveToKey,
 }
 
 // baseline is the subset of BENCH_1.json that benchcheck consumes.
@@ -73,12 +87,12 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_1.json", "baseline JSON file with a headline section")
 	input := flag.String("input", "", "benchmark output file (default: stdin)")
 	maxRatio := flag.Float64("max-ratio", 3.0, "fail when ns/op exceeds baseline by more than this factor")
-	setName := flag.String("set", "figures", "benchmark set to gate: figures or compressed")
+	setName := flag.String("set", "figures", "benchmark set to gate: figures, compressed, or serve")
 	flag.Parse()
 
 	table, ok := benchSets[*setName]
 	if !ok {
-		fatal(fmt.Errorf("unknown benchmark set %q (have: figures, compressed)", *setName))
+		fatal(fmt.Errorf("unknown benchmark set %q (have: figures, compressed, serve)", *setName))
 	}
 
 	in := io.Reader(os.Stdin)

@@ -141,6 +141,48 @@ func TestCheckCompressedSet(t *testing.T) {
 	}
 }
 
+// sampleServeBaseline mirrors BENCH_4.json's headline section.
+var sampleServeBaseline = map[string]float64{
+	"serve_sweep_cached_ns_per_op":     45000,
+	"serve_sweep_cold_ns_per_op":       31000,
+	"serve_figure9_cached_ns_per_op":   31000,
+	"serve_placement_cached_ns_per_op": 33000,
+	"serve_sweep_parallel_ns_per_op":   35000,
+}
+
+const serveOutput = `
+goos: linux
+goarch: amd64
+pkg: compoundthreat/internal/serve
+BenchmarkServeSweepCached-4       	     100	   46000 ns/op	   16500 B/op	     178 allocs/op
+BenchmarkServeSweepCold-4         	     100	   32000 ns/op	   20200 B/op	     110 allocs/op
+BenchmarkServeFigureCached-4      	     100	   30000 ns/op	   16400 B/op	     181 allocs/op
+BenchmarkServePlacementCached-4   	     100	   34000 ns/op	   17400 B/op	     154 allocs/op
+BenchmarkServeSweepParallel-4     	     100	   33000 ns/op	   16500 B/op	     178 allocs/op
+PASS
+`
+
+// TestCheckServeSet gates the analysis-server benchmarks with their
+// own table, independently of the batch sets.
+func TestCheckServeSet(t *testing.T) {
+	results, err := check(serveToKey, sampleServeBaseline, strings.NewReader(serveOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d results, want 5", len(results))
+	}
+	for _, r := range results {
+		if r.Ratio > 3 {
+			t.Errorf("%s ratio %.2f flagged on healthy output", r.Name, r.Ratio)
+		}
+	}
+	// The serve set must not accept batch-benchmark output.
+	if _, err := check(serveToKey, sampleServeBaseline, strings.NewReader(healthyOutput)); err == nil {
+		t.Fatal("serve set accepted output without the Serve benchmarks")
+	}
+}
+
 func TestParseLine(t *testing.T) {
 	cases := []struct {
 		line string

@@ -1,0 +1,149 @@
+// Command doccheck lints package documentation: every Go package in
+// the tree must carry a package comment. Library packages need a
+// comment starting with the canonical "Package <name> " prefix so
+// `go doc` renders a summary; main packages need any package comment
+// (conventionally "Command <name> ..." describing the binary).
+//
+// Usage:
+//
+//	go run ./tools/doccheck ./...
+//
+// Arguments are directory roots ("./..." walks recursively, a plain
+// directory checks just that package). Test files do not satisfy the
+// requirement: the doc comment must live in a non-test file so it
+// ships with the package. Exits non-zero listing every undocumented
+// package.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage: doccheck [dir|dir/...]...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	problems, err := lintRoots(roots)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented package(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: all packages documented")
+}
+
+// lintRoots expands "/..." roots into directories and lints every
+// package found, returning one problem line per violation.
+func lintRoots(roots []string) ([]string, error) {
+	dirs := map[string]bool{}
+	for _, root := range roots {
+		recursive := false
+		if rest, ok := strings.CutSuffix(root, "/..."); ok {
+			root, recursive = rest, true
+			if root == "" {
+				root = "."
+			}
+		}
+		if !recursive {
+			dirs[filepath.Clean(root)] = true
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			// Skip hidden trees and conventional non-package dirs.
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			dirs[filepath.Clean(path)] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	ordered := make([]string, 0, len(dirs))
+	for d := range dirs {
+		ordered = append(ordered, d)
+	}
+	sort.Strings(ordered)
+
+	var problems []string
+	for _, dir := range ordered {
+		ps, err := lintDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, ps...)
+	}
+	return problems, nil
+}
+
+// lintDir checks the package (if any) rooted in one directory. Only
+// non-test files count: the package comment must ship with the
+// package, not hide in its tests.
+func lintDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// docs maps package name -> the best doc comment seen for it; seen
+	// tracks every package name declared in the directory.
+	docs := map[string]string{}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg := f.Name.Name
+		seen[pkg] = true
+		if f.Doc != nil {
+			if text := strings.TrimSpace(f.Doc.Text()); text != "" && docs[pkg] == "" {
+				docs[pkg] = text
+			}
+		}
+	}
+	var problems []string
+	for pkg := range seen {
+		doc := docs[pkg]
+		switch {
+		case doc == "":
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg))
+		case pkg != "main" && !strings.HasPrefix(doc, "Package "+pkg+" "):
+			problems = append(problems, fmt.Sprintf("%s: package %s doc comment does not start with %q", dir, pkg, "Package "+pkg))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}

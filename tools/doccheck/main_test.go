@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a map of relative path -> file contents under
+// a temp dir and returns the root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLintFlagsUndocumentedPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"bare/bare.go": "package bare\n",
+	})
+	problems, err := lintRoots([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "package bare has no package comment") {
+		t.Fatalf("problems = %v, want one no-comment violation for bare", problems)
+	}
+}
+
+func TestLintRequiresCanonicalPrefix(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"lib/lib.go": "// lib does things.\npackage lib\n",
+	})
+	problems, err := lintRoots([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], `does not start with "Package lib"`) {
+		t.Fatalf("problems = %v, want one wrong-prefix violation", problems)
+	}
+}
+
+func TestLintAcceptsDocumentedTree(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		// Doc comment may live in a dedicated doc.go, not the main file.
+		"lib/doc.go": "// Package lib does things, at length.\npackage lib\n",
+		"lib/lib.go": "package lib\n\nfunc F() {}\n",
+		// main packages accept any package comment.
+		"cmd/tool/main.go": "// Command tool runs the thing.\npackage main\n\nfunc main() {}\n",
+		// Non-Go and empty directories are ignored.
+		"docs/README.md": "hello\n",
+	})
+	problems, err := lintRoots([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("problems = %v, want none", problems)
+	}
+}
+
+func TestLintIgnoresTestFilesAndSkippedDirs(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		// The doc comment hides in a test file: does not count.
+		"lib/lib.go":      "package lib\n",
+		"lib/lib_test.go": "// Package lib is documented only in tests.\npackage lib\n",
+		// testdata and hidden trees are never linted.
+		"lib/testdata/fixture.go": "package broken syntax here\n",
+		".hidden/x.go":            "package hidden\n",
+	})
+	problems, err := lintRoots([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "package lib has no package comment") {
+		t.Fatalf("problems = %v, want exactly the lib violation", problems)
+	}
+}
+
+func TestLintNonRecursiveRoot(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"top.go":         "package top\n",
+		"nested/deep.go": "package deep\n",
+	})
+	// Without /... only the named directory is linted.
+	problems, err := lintRoots([]string{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "package top") {
+		t.Fatalf("problems = %v, want only the top-level violation", problems)
+	}
+}
+
+// TestRepoIsClean runs the lint over this repository: the gate that
+// `make doc-check` enforces must hold for the tree the test runs in.
+func TestRepoIsClean(t *testing.T) {
+	problems, err := lintRoots([]string{"../..." /* tools/ */, "../../internal/...", "../../cmd/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("repository packages undocumented:\n%s", strings.Join(problems, "\n"))
+	}
+}
