@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench-smoke bench-compress bench-serve bench bench-check doc-check verify
+.PHONY: all build test vet race fmt-check bench-smoke bench-compress bench-serve bench-trace bench bench-check doc-check verify
 
 all: build
 
@@ -41,6 +41,12 @@ bench-compress:
 bench-serve:
 	$(GO) test -run '^$$' -bench 'Serve' -benchtime 100x ./internal/serve/
 
+# The observability-cost benchmarks: the cached sweep with tracing on
+# vs off plus the live Prometheus exposition render. -benchmem so the
+# zero-extra-allocations claim for the tracing-off path is visible.
+bench-trace:
+	$(GO) test -run '^$$' -bench 'Traced|TracingOff|MetricsRender' -benchtime 100x -benchmem ./internal/serve/
+
 # Full benchmark sweep with allocation counts (slow: regenerates the
 # 1000-realization ensemble).
 bench:
@@ -49,8 +55,9 @@ bench:
 
 # Benchmark regression gate: run the Figure smoke benchmarks against
 # BENCH_1.json (uncompressed engine reference), the Compressed
-# benchmarks against BENCH_3.json (deduplicated sweeps), and the Serve
-# benchmarks against BENCH_4.json (analysis server), failing on >3x
+# benchmarks against BENCH_3.json (deduplicated sweeps), the Serve
+# benchmarks against BENCH_4.json (analysis server), and the tracing
+# benchmarks against BENCH_5.json (observability cost), failing on >3x
 # slowdowns in any set.
 bench-check:
 	$(GO) test -run '^$$' -bench 'Figure' -benchtime 1x . > bench-smoke.out
@@ -62,6 +69,9 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'Serve' -benchtime 100x ./internal/serve/ > bench-serve.out
 	@cat bench-serve.out
 	$(GO) run ./tools/benchcheck -set serve -baseline BENCH_4.json -input bench-serve.out
+	$(GO) test -run '^$$' -bench 'Traced|TracingOff|MetricsRender' -benchtime 100x ./internal/serve/ > bench-trace.out
+	@cat bench-trace.out
+	$(GO) run ./tools/benchcheck -set trace -baseline BENCH_5.json -input bench-trace.out
 
 # Documentation lint: every package must carry a package comment (see
 # tools/doccheck).
@@ -70,4 +80,4 @@ doc-check:
 
 # The documented verification gate: vet, build, race-enabled tests,
 # documentation lint, and the benchmark smoke runs.
-verify: vet build race doc-check bench-smoke bench-compress bench-serve
+verify: vet build race doc-check bench-smoke bench-compress bench-serve bench-trace

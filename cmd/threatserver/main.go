@@ -9,18 +9,32 @@
 //	threatserver [-addr 127.0.0.1:8321] [-realizations N] [-seed S]
 //	             [-quake] [-workers N] [-cache N] [-timeout D]
 //	             [-max-inflight N] [-max-body N] [-drain D]
-//	             [-metrics report.json] [-pprof addr]
+//	             [-trace-buffer N] [-slow-trace D] [-access-log FILE]
+//	             [-runtime-interval D] [-metrics report.json] [-pprof addr]
 //
 // The hurricane ensemble is always loaded (served as "hurricane");
 // -quake additionally loads the earthquake ensemble (served as
-// "quake"). On SIGINT/SIGTERM the server stops accepting connections
-// immediately and gives in-flight requests up to -drain to finish.
+// "quake"). Unlike the batch CLIs, the server always runs with a live
+// recorder so GET /v1/metrics exposes Prometheus text exposition;
+// -metrics additionally writes the JSON run report at exit. Tracing is
+// on by default (-trace-buffer 0 disables it): every request gets a
+// trace whose spans are served at GET /v1/traces, and traces at or
+// over -slow-trace are retained in a separate slow ring. -access-log
+// writes one structured JSON line per request ("-" for stderr).
+//
+// On SIGINT/SIGTERM the server stops accepting connections
+// immediately, gives in-flight requests up to -drain to finish, then
+// flushes the access log, prints a trace-buffer summary, and finally
+// writes the -metrics report — in that order, so every shutdown
+// artifact covers the full run.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -57,13 +71,19 @@ func run(args []string) (err error) {
 	maxInflight := fs.Int("max-inflight", 0, "concurrently evaluating requests (0 = two per CPU)")
 	maxBody := fs.Int64("max-body", 1<<20, "maximum POST body bytes")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
+	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained per ring for /v1/traces (0 = tracing off)")
+	slowTrace := fs.Duration("slow-trace", 250*time.Millisecond, "retain traces at or over this duration in the slow ring (0 = slow ring off)")
+	accessLog := fs.String("access-log", "", `write one JSON access-log line per request to this file ("-" = stderr)`)
+	runtimeInterval := fs.Duration("runtime-interval", 10*time.Second, "runtime sampler interval for goroutine/heap/GC gauges (0 = off)")
 	var ocli obs.CLI
 	ocli.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	// Observability must be live before serve.New: the server resolves
-	// its instruments at construction.
+	// its instruments and tracer at construction. A server always runs
+	// with a recorder (for /v1/metrics); -metrics decides only whether
+	// the JSON report is also written at exit.
 	if err := ocli.Start("threatserver", args, os.Stderr); err != nil {
 		return err
 	}
@@ -73,6 +93,43 @@ func run(args []string) (err error) {
 		}
 	}()
 	rec := ocli.Recorder()
+	if rec == nil {
+		rec = obs.New()
+		obs.Enable(rec)
+		defer obs.Enable(nil)
+	}
+	var tracer *obs.Tracer
+	if *traceBuffer > 0 {
+		tracer = obs.NewTracer(*traceBuffer, *slowTrace)
+		obs.EnableTracing(tracer)
+		defer obs.EnableTracing(nil)
+	}
+	stopSampler := obs.StartRuntimeSampler(rec, *runtimeInterval)
+	defer stopSampler()
+
+	// The access log is buffered; the flush runs after the drain so the
+	// file holds every served request when the process exits.
+	var accessW io.Writer
+	flushAccess := func() error { return nil }
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, ferr := os.Create(*accessLog)
+		if ferr != nil {
+			return ferr
+		}
+		bw := bufio.NewWriter(f)
+		accessW = bw
+		flushAccess = func() error {
+			if ferr := bw.Flush(); ferr != nil {
+				f.Close()
+				return ferr
+			}
+			return f.Close()
+		}
+	}
 
 	inv := assets.Oahu()
 	ensembles := make(map[string]serve.Ensemble, 2)
@@ -115,6 +172,7 @@ func run(args []string) (err error) {
 		CacheEntries: *cacheEntries,
 		Timeout:      *timeout,
 		MaxBodyBytes: *maxBody,
+		AccessLog:    accessW,
 	})
 	if err != nil {
 		return err
@@ -126,5 +184,23 @@ func run(args []string) (err error) {
 	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve.Run(ctx, ln, s.Handler(), *drain, os.Stderr)
+	err = serve.Run(ctx, ln, s.Handler(), *drain, os.Stderr)
+
+	// Shutdown artifacts, in documented order: the drain above already
+	// finished every in-flight request, so the access log flush covers
+	// them all, the trace summary counts them, and the deferred
+	// ocli.Close writes the -metrics report last.
+	stopSampler()
+	if ferr := flushAccess(); ferr != nil && err == nil {
+		err = ferr
+	}
+	if *accessLog != "" && *accessLog != "-" {
+		fmt.Fprintf(os.Stderr, "access log flushed to %s\n", *accessLog)
+	}
+	if tracer != nil {
+		st := tracer.Stats()
+		fmt.Fprintf(os.Stderr, "trace summary: started=%d finished=%d slow=%d dropped_spans=%d retained=%d\n",
+			st.Started, st.Finished, st.Slow, st.DroppedSpans, len(tracer.Recent()))
+	}
+	return err
 }

@@ -212,6 +212,107 @@ func TestServeQueryDrain(t *testing.T) {
 	}
 }
 
+// getRaw fetches a URL and returns the raw body, for non-JSON
+// endpoints such as /v1/metrics.
+func (s *server) getRaw(path string) (int, string) {
+	s.t.Helper()
+	resp, err := http.Get(s.base + path)
+	if err != nil {
+		s.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// TestShutdownFlushOrdering boots a server with an access log and
+// tracing, serves a few requests, SIGTERMs it, and asserts the
+// shutdown drains in the documented order — the draining line, then
+// the access-log flush, then the trace-buffer summary — and that the
+// flushed access log holds one well-formed JSON line per request.
+func TestShutdownFlushOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests in -short mode")
+	}
+	logPath := filepath.Join(t.TempDir(), "access.log")
+	s, stop := startServer(t, "-access-log", logPath, "-slow-trace", "1ns")
+
+	paths := []string{
+		"/v1/healthz",
+		"/v1/sweep?scenario=both",
+		"/v1/sweep?scenario=both", // warm-cache repeat: logged as a hit
+	}
+	for _, p := range paths {
+		if code, body := s.get(p); code != http.StatusOK {
+			t.Fatalf("GET %s = %d %v", p, code, body)
+		}
+	}
+	// The live exposition endpoints serve while the process runs.
+	if code, text := s.getRaw("/v1/metrics"); code != http.StatusOK || !strings.Contains(text, "serve_requests_sweep_total") {
+		t.Errorf("/v1/metrics = %d, body:\n%s", code, text)
+	}
+	code, body := s.get("/v1/traces")
+	if code != http.StatusOK || body["enabled"] != true {
+		t.Errorf("/v1/traces = %d %v", code, body)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("SIGTERM exit = %v, want clean", err)
+	}
+	s.mu.Lock()
+	errOut := s.stderr.String()
+	s.mu.Unlock()
+	drainIdx := strings.Index(errOut, "draining")
+	flushIdx := strings.Index(errOut, "access log flushed")
+	summaryIdx := strings.Index(errOut, "trace summary:")
+	if drainIdx < 0 || flushIdx < 0 || summaryIdx < 0 {
+		t.Fatalf("stderr lacks drain/flush/summary lines:\n%s", errOut)
+	}
+	if !(drainIdx < flushIdx && flushIdx < summaryIdx) {
+		t.Fatalf("shutdown lines out of order (drain@%d flush@%d summary@%d):\n%s",
+			drainIdx, flushIdx, summaryIdx, errOut)
+	}
+
+	// Every served request — including the /v1/traces poll — must be in
+	// the flushed log as one valid JSON line.
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	wantLines := len(paths) + 2 // + /v1/metrics + /v1/traces
+	if len(lines) != wantLines {
+		t.Fatalf("access log lines = %d, want %d:\n%s", len(lines), wantLines, raw)
+	}
+	sawHit := false
+	for i, line := range lines {
+		var e struct {
+			RequestID  string `json:"request_id"`
+			TraceID    string `json:"trace_id"`
+			Endpoint   string `json:"endpoint"`
+			Status     int    `json:"status"`
+			Bytes      int64  `json:"bytes"`
+			DurationNS int64  `json:"duration_ns"`
+			Cache      string `json:"cache"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("access log line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if e.RequestID == "" || e.TraceID == "" || e.Endpoint == "" || e.Status != 200 || e.Bytes <= 0 || e.DurationNS <= 0 {
+			t.Errorf("access log line %d incomplete: %s", i, line)
+		}
+		if e.Cache == "hit" {
+			sawHit = true
+		}
+	}
+	if !sawHit {
+		t.Error("no access log line recorded a cache hit for the repeated sweep")
+	}
+}
+
 // TestEphemeralPortAndSeed: a second server on its own port with a
 // fixed seed serves the single-ensemble default (no ensemble param
 // needed) and rejects oversized bodies per -max-body.

@@ -15,6 +15,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -243,6 +244,14 @@ func RunConfigs(e DisasterEnsemble, configs []topology.Config, scenario threat.S
 
 // RunConfigsOpt is RunConfigs with an explicit worker bound.
 func RunConfigsOpt(e DisasterEnsemble, configs []topology.Config, scenario threat.Scenario, opt Options) ([]Outcome, error) {
+	return RunConfigsCtx(context.Background(), e, configs, scenario, opt)
+}
+
+// RunConfigsCtx is RunConfigsOpt with request-scoped tracing: when ctx
+// carries a trace span (obs.SpanFromContext), the compile and the
+// parallel cell sweep are recorded as child spans. The context does
+// not cancel the computation; it only carries the trace.
+func RunConfigsCtx(ctx context.Context, e DisasterEnsemble, configs []topology.Config, scenario threat.Scenario, opt Options) ([]Outcome, error) {
 	if len(configs) == 0 {
 		return nil, errors.New("analysis: no configurations")
 	}
@@ -252,13 +261,15 @@ func RunConfigsOpt(e DisasterEnsemble, configs []topology.Config, scenario threa
 	if !scenario.Valid() {
 		return nil, fmt.Errorf("analysis: invalid scenario %d", int(scenario))
 	}
+	csp := obs.SpanFromContext(ctx).StartChild("analysis.compile")
 	v, err := compileUniverse(e, configs, opt)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
 	defer obs.Default().StartSpan("analysis.run_configs").End()
 	out := make([]Outcome, len(configs))
-	err = engine.ForEach(opt.Workers, len(configs), func(i int) error {
+	err = engine.ForEachCtx(ctx, opt.Workers, len(configs), func(i int) error {
 		o, err := runCell(v, configs[i], scenario, 1)
 		if err != nil {
 			return err
@@ -298,20 +309,29 @@ func RunMatrix(e DisasterEnsemble, configs []topology.Config) (map[threat.Scenar
 
 // RunMatrixOpt is RunMatrix with an explicit worker bound.
 func RunMatrixOpt(e DisasterEnsemble, configs []topology.Config, opt Options) (map[threat.Scenario][]Outcome, error) {
+	return RunMatrixCtx(context.Background(), e, configs, opt)
+}
+
+// RunMatrixCtx is RunMatrixOpt with request-scoped tracing, mirroring
+// RunConfigsCtx: the compile and the (config, scenario) cell sweep
+// become child spans of any trace span carried by ctx.
+func RunMatrixCtx(ctx context.Context, e DisasterEnsemble, configs []topology.Config, opt Options) (map[threat.Scenario][]Outcome, error) {
 	if len(configs) == 0 {
 		return nil, errors.New("analysis: no configurations")
 	}
 	if e == nil {
 		return nil, errors.New("analysis: nil ensemble")
 	}
+	csp := obs.SpanFromContext(ctx).StartChild("analysis.compile")
 	v, err := compileUniverse(e, configs, opt)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
 	defer obs.Default().StartSpan("analysis.run_matrix").End()
 	scenarios := threat.Scenarios()
 	cells := make([]Outcome, len(scenarios)*len(configs))
-	err = engine.ForEach(opt.Workers, len(cells), func(k int) error {
+	err = engine.ForEachCtx(ctx, opt.Workers, len(cells), func(k int) error {
 		si, ci := k/len(configs), k%len(configs)
 		o, err := runCell(v, configs[ci], scenarios[si], 1)
 		if err != nil {

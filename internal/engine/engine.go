@@ -26,6 +26,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -73,6 +74,18 @@ func Workers(n int) int {
 		return n
 	}
 	return runtime.NumCPU()
+}
+
+// ForEachCtx is ForEach with request-scoped tracing: when ctx carries
+// a trace span (obs.SpanFromContext), the whole fan-out is recorded as
+// an "engine.foreach" child span, so a slow request's trace shows the
+// time spent inside the parallel sweep. With tracing off it costs one
+// nil check over ForEach.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	sp := obs.SpanFromContext(ctx).StartChild("engine.foreach")
+	err := ForEach(workers, n, fn)
+	sp.End()
+	return err
 }
 
 // ForEach runs fn(i) for every i in [0, n) across up to workers

@@ -1,7 +1,10 @@
 // Package obs is the zero-dependency observability layer of the
 // analysis pipeline: atomic counters, monotonic timers with a span API
 // for phase timing, and power-of-two histograms, aggregated by a
-// Recorder that renders one machine-readable JSON run report.
+// Recorder that renders one machine-readable JSON run report. On top
+// of the aggregates it offers request-scoped tracing (trace.go),
+// Prometheus text exposition of every instrument (prom.go), and a
+// background runtime sampler feeding gauges (runtime.go).
 //
 // Instrumentation is opt-in and allocation-free when disabled. The
 // package-level Default recorder is nil until a CLI (or test) calls
@@ -296,6 +299,24 @@ func (t *Timer) Total() time.Duration {
 	return time.Duration(t.total.Load())
 }
 
+// Min returns the shortest recorded duration, or 0 before the first
+// record (and on a nil timer).
+func (t *Timer) Min() time.Duration {
+	if t == nil || t.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(t.min.Load())
+}
+
+// Max returns the longest recorded duration, or 0 before the first
+// record (and on a nil timer).
+func (t *Timer) Max() time.Duration {
+	if t == nil || t.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(t.max.Load())
+}
+
 // histBuckets is the number of power-of-two histogram buckets: bucket
 // i counts observations v with bits.Len64(v) == i, i.e. v in
 // [2^(i-1), 2^i), which spans 1 ns to ~9.2 s when observing
@@ -359,6 +380,89 @@ func (h *Histogram) Sum() int64 {
 		return 0
 	}
 	return h.sum.Load()
+}
+
+// Min returns the smallest observation, or 0 before the first one (and
+// on a nil histogram).
+func (h *Histogram) Min() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observation, or 0 before the first one (and
+// on a nil histogram).
+func (h *Histogram) Max() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observations
+// from the power-of-two buckets: it finds the bucket holding the
+// target rank, interpolates linearly inside the bucket's [2^(i-1),
+// 2^i) bounds, and clamps the estimate to the exact observed min and
+// max — so Quantile(0) is exactly Min, Quantile(1) is exactly Max, and
+// everything between is accurate to within one power-of-two bucket.
+// Returns 0 on an empty (or nil) histogram; q outside [0, 1] is
+// clamped. The estimate is approximate while concurrent observations
+// race the read, like every other snapshot in this package.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	min, max := float64(h.min.Load()), float64(h.max.Load())
+	if q <= 0 {
+		return min
+	}
+	if q >= 1 {
+		return max
+	}
+	rank := q * float64(n)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo, hi := bucketBounds(i)
+			v := lo + (hi-lo)*(rank-float64(cum))/float64(c)
+			if v < min {
+				v = min
+			}
+			if v > max {
+				v = max
+			}
+			return v
+		}
+		cum += c
+	}
+	return max
+}
+
+// bucketBounds returns bucket i's [lo, hi) value range. Bucket 0
+// holds non-positive observations; the last bucket has no upper bound
+// and reports its lower power of two twice (Quantile clamps to the
+// observed max anyway).
+func bucketBounds(i int) (float64, float64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo := float64(int64(1) << uint(i-1))
+	if i >= histBuckets-1 {
+		return lo, lo
+	}
+	return lo, float64(int64(1) << uint(i))
 }
 
 // atomicMin lowers p to v if v is smaller.

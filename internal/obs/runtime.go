@@ -1,0 +1,70 @@
+package obs
+
+// Runtime sampler: a background goroutine that periodically copies Go
+// runtime health (goroutine count, heap bytes, GC activity) into
+// gauges, so /v1/metrics and the end-of-run report show how the
+// process itself is doing, not just the work it served.
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// StartRuntimeSampler starts a goroutine that samples runtime stats
+// into r's gauges every interval:
+//
+//	runtime.goroutines          current goroutine count
+//	runtime.heap_alloc_bytes    live heap bytes (MemStats.HeapAlloc)
+//	runtime.heap_sys_bytes      heap bytes obtained from the OS
+//	runtime.gc_pause_total_ns   cumulative stop-the-world pause time
+//	runtime.gc_count            completed GC cycles
+//
+// plus a runtime.samples counter. The first sample is taken
+// immediately. The returned stop function is idempotent and blocks
+// until the goroutine has exited. A nil recorder or non-positive
+// interval returns a no-op stop.
+func StartRuntimeSampler(r *Recorder, interval time.Duration) (stop func()) {
+	if r == nil || interval <= 0 {
+		return func() {}
+	}
+	goroutines := r.Gauge("runtime.goroutines")
+	heapAlloc := r.Gauge("runtime.heap_alloc_bytes")
+	heapSys := r.Gauge("runtime.heap_sys_bytes")
+	gcPause := r.Gauge("runtime.gc_pause_total_ns")
+	gcCount := r.Gauge("runtime.gc_count")
+	samples := r.Counter("runtime.samples")
+
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		gcPause.Set(int64(ms.PauseTotalNs))
+		gcCount.Set(int64(ms.NumGC))
+		samples.Inc()
+	}
+	sample()
+
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
+}

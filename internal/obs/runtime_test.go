@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRuntimeSampler starts the sampler and checks the gauges carry a
+// real first sample immediately, then stops it (twice — stop must be
+// idempotent).
+func TestRuntimeSampler(t *testing.T) {
+	r := New()
+	stop := StartRuntimeSampler(r, time.Hour) // immediate sample, no ticks
+	defer stop()
+	if r.Gauge("runtime.goroutines").Value() <= 0 {
+		t.Fatal("goroutine gauge not sampled")
+	}
+	if r.Gauge("runtime.heap_alloc_bytes").Value() <= 0 {
+		t.Fatal("heap gauge not sampled")
+	}
+	if r.Counter("runtime.samples").Value() != 1 {
+		t.Fatalf("samples = %d, want exactly the immediate one", r.Counter("runtime.samples").Value())
+	}
+	stop()
+	stop()
+}
+
+// TestRuntimeSamplerTicks checks periodic sampling actually fires.
+func TestRuntimeSamplerTicks(t *testing.T) {
+	r := New()
+	stop := StartRuntimeSampler(r, time.Millisecond)
+	defer stop()
+	deadline := time.After(2 * time.Second)
+	for r.Counter("runtime.samples").Value() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("sampler did not tick within 2s")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestRuntimeSamplerDisabled checks the no-op paths.
+func TestRuntimeSamplerDisabled(t *testing.T) {
+	StartRuntimeSampler(nil, time.Second)()  // nil recorder
+	StartRuntimeSampler(New(), 0)()          // non-positive interval
+	StartRuntimeSampler(New(), -time.Hour)() // ditto
+}

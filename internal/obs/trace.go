@@ -1,0 +1,503 @@
+package obs
+
+// Request-scoped tracing. Where the Recorder aggregates (how long did
+// all compiles take?), a Trace explains one request (where did THIS
+// slow query spend its time?): a tree of named spans with parent
+// links, started from a handler and threaded through the serving path
+// via context.Context. Completed traces land in fixed-capacity
+// lock-free ring buffers — one for everything recent, one reserved for
+// traces over the tracer's slow threshold, so a burst of fast requests
+// cannot evict the slow outlier an operator is hunting.
+//
+// The contract matches the rest of the package: a nil *Tracer, nil
+// *Trace, or nil *TraceSpan is a safe no-op on every method, so
+// instrumented code calls unconditionally and pays only a nil check
+// when tracing is off. When tracing is on, each span costs one small
+// allocation (traces are request-scoped, so the total is bounded by
+// maxTraceSpans per request); ring publication is one atomic store.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxTraceSpans bounds the spans retained per trace, so a pathological
+// request (a placement sweep spawning a span per candidate, say)
+// cannot hold unbounded memory. Spans past the cap are counted and
+// dropped; Report surfaces the count.
+const maxTraceSpans = 512
+
+// defaultTracer is the process-wide tracer used by instrumented code.
+// It is nil (tracing disabled) until EnableTracing is called.
+var defaultTracer atomic.Pointer[Tracer]
+
+// EnableTracing installs t as the process-wide tracer;
+// EnableTracing(nil) disables tracing again. As with Enable, code that
+// resolves the tracer at construction time keeps the one it resolved.
+func EnableTracing(t *Tracer) {
+	defaultTracer.Store(t)
+}
+
+// DefaultTracer returns the process-wide tracer, or nil when tracing
+// is disabled. All Tracer methods are nil-safe.
+func DefaultTracer() *Tracer {
+	return defaultTracer.Load()
+}
+
+// Tracer owns the completed-trace ring buffers and hands out new
+// traces. Safe for concurrent use; a nil *Tracer no-ops everywhere.
+type Tracer struct {
+	slow time.Duration
+	now  func() time.Time
+
+	idBase uint64
+	nextID atomic.Uint64
+
+	started      atomic.Int64
+	finished     atomic.Int64
+	slowCount    atomic.Int64
+	droppedSpans atomic.Int64
+
+	recent traceRing
+	slowly traceRing
+}
+
+// NewTracer builds a tracer retaining the last capacity completed
+// traces (capacity <= 0 means 256) plus, separately, the last capacity
+// traces whose total duration reached slowThreshold. A slowThreshold
+// <= 0 disables the slow ring.
+func NewTracer(capacity int, slowThreshold time.Duration) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{
+		slow:   slowThreshold,
+		now:    time.Now,
+		idBase: uint64(time.Now().UnixNano()),
+		recent: newTraceRing(capacity),
+		slowly: newTraceRing(capacity),
+	}
+}
+
+// SlowThreshold returns the duration at or above which a finished
+// trace is retained in the slow ring (0 = slow retention disabled, or
+// nil tracer).
+func (tr *Tracer) SlowThreshold() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	return tr.slow
+}
+
+// Capacity returns the per-ring trace capacity (0 on a nil tracer).
+func (tr *Tracer) Capacity() int {
+	if tr == nil {
+		return 0
+	}
+	return len(tr.recent.slots)
+}
+
+// TracerStats is a snapshot of a tracer's lifetime counters.
+type TracerStats struct {
+	// Started counts traces handed out by Start.
+	Started int64
+	// Finished counts traces that reached Finish.
+	Finished int64
+	// Slow counts finished traces at or over the slow threshold.
+	Slow int64
+	// DroppedSpans counts spans discarded because their trace was
+	// already finished or at maxTraceSpans.
+	DroppedSpans int64
+}
+
+// Stats returns the tracer's lifetime counters (zero on nil).
+func (tr *Tracer) Stats() TracerStats {
+	if tr == nil {
+		return TracerStats{}
+	}
+	return TracerStats{
+		Started:      tr.started.Load(),
+		Finished:     tr.finished.Load(),
+		Slow:         tr.slowCount.Load(),
+		DroppedSpans: tr.droppedSpans.Load(),
+	}
+}
+
+// traceID derives the next process-unique trace ID: a splitmix64-style
+// mix of a per-tracer base (wall time at construction) and an atomic
+// counter, so IDs are unique within a process and almost surely across
+// restarts, without global locks or a random source.
+func (tr *Tracer) traceID() uint64 {
+	z := tr.idBase + tr.nextID.Add(1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Start begins a new trace with a root span of the same name. Returns
+// nil — a valid no-op trace — on a nil tracer.
+func (tr *Tracer) Start(name string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.started.Add(1)
+	t := &Trace{tr: tr, id: tr.traceID(), name: name, start: tr.now()}
+	t.root = &TraceSpan{t: t, id: 1, name: name, start: t.start}
+	t.spans = append(t.spans, t.root)
+	return t
+}
+
+// Recent returns a newest-first snapshot of the recently completed
+// traces (nil on a nil tracer).
+func (tr *Tracer) Recent() []*Trace {
+	if tr == nil {
+		return nil
+	}
+	return tr.recent.snapshot()
+}
+
+// Slow returns a newest-first snapshot of the retained slow traces
+// (nil on a nil tracer).
+func (tr *Tracer) Slow() []*Trace {
+	if tr == nil {
+		return nil
+	}
+	return tr.slowly.snapshot()
+}
+
+// Trace is one in-flight or completed request trace: a tree of spans
+// linked by parent IDs, rooted at the span Start created. All methods
+// are safe on a nil *Trace and safe for concurrent use (parallel
+// engine workers may open spans on one trace).
+type Trace struct {
+	tr    *Tracer
+	id    uint64
+	name  string
+	start time.Time
+	root  *TraceSpan
+
+	mu       sync.Mutex
+	spans    []*TraceSpan
+	dropped  int64
+	finished bool
+	dur      time.Duration
+}
+
+// ID returns the 16-hex-digit trace ID ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return fmt.Sprintf("%016x", t.id)
+}
+
+// Name returns the trace's name ("" on nil).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Duration returns the trace's total duration: zero until Finish.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dur
+}
+
+// Slow reports whether the finished trace reached the tracer's slow
+// threshold.
+func (t *Trace) Slow() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.finished && t.tr.slow > 0 && t.dur >= t.tr.slow
+}
+
+// Root returns the trace's root span (nil on a nil trace).
+func (t *Trace) Root() *TraceSpan {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// newSpan appends a span under the given parent ID, enforcing the
+// finished and capacity guards.
+func (t *Trace) newSpan(parent int32, name string) *TraceSpan {
+	if t == nil {
+		return nil
+	}
+	now := t.tr.now()
+	t.mu.Lock()
+	if t.finished || len(t.spans) >= maxTraceSpans {
+		if !t.finished {
+			t.dropped++
+		}
+		t.mu.Unlock()
+		t.tr.droppedSpans.Add(1)
+		return nil
+	}
+	s := &TraceSpan{t: t, id: int32(len(t.spans)) + 1, parent: parent, name: name, start: now}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// StartSpan opens a span directly under the root. No-op (returns nil)
+// on a nil or finished trace.
+func (t *Trace) StartSpan(name string) *TraceSpan {
+	return t.newSpan(1, name)
+}
+
+// Finish closes the trace: every still-open span is ended at the
+// trace's end time, the total duration is fixed, and the trace is
+// published to the tracer's recent ring (and the slow ring when it
+// reached the threshold). Idempotent and nil-safe; spans opened after
+// Finish are dropped.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	end := t.tr.now()
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	t.dur = end.Sub(t.start)
+	for _, s := range t.spans {
+		if !s.ended {
+			s.ended = true
+			s.dur = end.Sub(s.start)
+		}
+	}
+	slow := t.tr.slow > 0 && t.dur >= t.tr.slow
+	t.mu.Unlock()
+	t.tr.finished.Add(1)
+	t.tr.recent.push(t)
+	if slow {
+		t.tr.slowCount.Add(1)
+		t.tr.slowly.push(t)
+	}
+}
+
+// TraceSpan is one timed phase inside a trace, linked to its parent by
+// ID. All methods are safe on a nil *TraceSpan.
+type TraceSpan struct {
+	t      *Trace
+	id     int32
+	parent int32 // 0 = the root span itself
+	name   string
+	start  time.Time
+
+	// Guarded by t.mu.
+	dur   time.Duration
+	ended bool
+	notes []traceNote
+}
+
+// traceNote is one key/value annotation on a span.
+type traceNote struct{ key, value string }
+
+// StartChild opens a span under this one. No-op (returns nil) on a
+// nil span or a finished trace.
+func (s *TraceSpan) StartChild(name string) *TraceSpan {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(s.id, name)
+}
+
+// End fixes the span's duration. Idempotent; spans still open when
+// their trace finishes are ended at the trace's end time.
+func (s *TraceSpan) End() {
+	if s == nil {
+		return
+	}
+	end := s.t.tr.now()
+	s.t.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = end.Sub(s.start)
+	}
+	s.t.mu.Unlock()
+}
+
+// Annotate attaches a key/value note to the span (e.g. the cache
+// outcome). No-op on nil or once the trace has finished.
+func (s *TraceSpan) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if !s.t.finished {
+		s.notes = append(s.notes, traceNote{key, value})
+	}
+	s.t.mu.Unlock()
+}
+
+// ---- context propagation ----
+
+// traceCtxKey and spanCtxKey key the trace and current span in a
+// context. Distinct types so a trace and its active span travel
+// independently.
+type (
+	traceCtxKey struct{}
+	spanCtxKey  struct{}
+)
+
+// ContextWithTrace returns ctx carrying the trace. A nil trace returns
+// ctx unchanged (no allocation on the disabled path).
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFromContext returns the trace carried by ctx, or nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// ContextWithSpan returns ctx carrying s as the current span. A nil
+// span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *TraceSpan) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the current span carried by ctx, or nil —
+// on which StartChild, End, and Annotate are all no-ops, so callers
+// chain unconditionally: obs.SpanFromContext(ctx).StartChild("phase").
+func SpanFromContext(ctx context.Context) *TraceSpan {
+	s, _ := ctx.Value(spanCtxKey{}).(*TraceSpan)
+	return s
+}
+
+// ---- completed-trace ring buffer ----
+
+// traceRing is a fixed-capacity lock-free ring of completed traces:
+// one atomic fetch-add claims a slot, one atomic store publishes into
+// it. Writers never block; a reader snapshots newest-first.
+type traceRing struct {
+	slots []atomic.Pointer[Trace]
+	pos   atomic.Uint64
+}
+
+func newTraceRing(capacity int) traceRing {
+	return traceRing{slots: make([]atomic.Pointer[Trace], capacity)}
+}
+
+func (r *traceRing) push(t *Trace) {
+	if len(r.slots) == 0 {
+		return
+	}
+	i := r.pos.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+// snapshot returns the retained traces, newest first. Concurrent
+// pushes may momentarily leave a just-claimed slot holding its older
+// value; the snapshot is approximate by design.
+func (r *traceRing) snapshot() []*Trace {
+	n := r.pos.Load()
+	size := uint64(len(r.slots))
+	if size == 0 {
+		return nil
+	}
+	count := n
+	if count > size {
+		count = size
+	}
+	out := make([]*Trace, 0, count)
+	for k := uint64(0); k < count; k++ {
+		if t := r.slots[(n-1-k)%size].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ---- JSON rendering ----
+
+// TraceReport is one trace rendered for /v1/traces: header fields plus
+// the span tree (children nested under their parents).
+type TraceReport struct {
+	TraceID      string       `json:"trace_id"`
+	Name         string       `json:"name"`
+	StartedAt    time.Time    `json:"started_at"`
+	DurationNS   int64        `json:"duration_ns"`
+	Slow         bool         `json:"slow"`
+	DroppedSpans int64        `json:"dropped_spans,omitempty"`
+	Spans        []SpanReport `json:"spans"`
+}
+
+// SpanReport is one span in a TraceReport. StartNS is the offset from
+// the trace start, so a flame view needs no absolute timestamps.
+type SpanReport struct {
+	Name       string            `json:"name"`
+	StartNS    int64             `json:"start_ns"`
+	DurationNS int64             `json:"duration_ns"`
+	Notes      map[string]string `json:"notes,omitempty"`
+	Children   []SpanReport      `json:"children,omitempty"`
+}
+
+// Report renders the trace with its span tree rebuilt from parent
+// links. Zero-value report on nil. Safe to call concurrently with
+// span recording; finished traces are immutable.
+func (t *Trace) Report() TraceReport {
+	if t == nil {
+		return TraceReport{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rep := TraceReport{
+		TraceID:      t.ID(),
+		Name:         t.name,
+		StartedAt:    t.start,
+		DurationNS:   t.dur.Nanoseconds(),
+		Slow:         t.finished && t.tr.slow > 0 && t.dur >= t.tr.slow,
+		DroppedSpans: t.dropped,
+	}
+	// children[id] lists the span IDs whose parent is id; span IDs are
+	// 1-based positions in t.spans, so the tree rebuilds in one pass.
+	children := make(map[int32][]*TraceSpan, len(t.spans))
+	for _, s := range t.spans[1:] {
+		children[s.parent] = append(children[s.parent], s)
+	}
+	var render func(s *TraceSpan) SpanReport
+	render = func(s *TraceSpan) SpanReport {
+		sr := SpanReport{
+			Name:       s.name,
+			StartNS:    s.start.Sub(t.start).Nanoseconds(),
+			DurationNS: s.dur.Nanoseconds(),
+		}
+		if len(s.notes) > 0 {
+			sr.Notes = make(map[string]string, len(s.notes))
+			for _, n := range s.notes {
+				sr.Notes[n.key] = n.value
+			}
+		}
+		for _, c := range children[s.id] {
+			sr.Children = append(sr.Children, render(c))
+		}
+		return sr
+	}
+	rep.Spans = []SpanReport{render(t.spans[0])}
+	return rep
+}

@@ -1,0 +1,262 @@
+// Package promtext is a minimal parser and validator for the
+// Prometheus text exposition format (version 0.0.4) — just enough to
+// let tests assert that what obs.WritePrometheus and /v1/metrics emit
+// is well-formed: samples parse, every sample is covered by a # TYPE
+// line, histogram le buckets are cumulative and end at +Inf, and
+// _count/_sum agree with the buckets. It is a test dependency, not a
+// scrape client.
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed metric sample.
+type Sample struct {
+	// Name is the metric name (e.g. "serve_latency_ns_sweep_bucket").
+	Name string
+	// Labels holds the label set, possibly empty.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Metrics is a parsed exposition: samples in input order plus the
+// declared # TYPE per metric family.
+type Metrics struct {
+	Samples []Sample
+	Types   map[string]string // family name -> counter|gauge|histogram|summary|untyped
+}
+
+// Get returns the value of the first sample with the given name and no
+// labels, and whether one exists.
+func (m *Metrics) Get(name string) (float64, bool) {
+	for _, s := range m.Samples {
+		if s.Name == name && len(s.Labels) == 0 {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Buckets returns the le -> cumulative count samples of a histogram
+// family, sorted by bound (+Inf last).
+func (m *Metrics) Buckets(family string) []Sample {
+	var out []Sample
+	for _, s := range m.Samples {
+		if s.Name == family+"_bucket" {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return leBound(out[i].Labels["le"]) < leBound(out[j].Labels["le"])
+	})
+	return out
+}
+
+func leBound(le string) float64 {
+	if le == "+Inf" {
+		return math.Inf(1)
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// Parse parses a text exposition, validating line syntax and that
+// every sample belongs to a family with a declared # TYPE. It does not
+// require any particular metrics to be present.
+func Parse(text string) (*Metrics, error) {
+	m := &Metrics{Types: make(map[string]string)}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := m.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if m.familyOf(s.Name) == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no # TYPE declaration", ln+1, s.Name)
+		}
+		m.Samples = append(m.Samples, s)
+	}
+	return m, nil
+}
+
+// Validate runs the cross-sample checks: for every histogram family,
+// buckets are cumulative (non-decreasing toward +Inf), the +Inf bucket
+// exists, and it equals the family's _count sample.
+func (m *Metrics) Validate() error {
+	for family, typ := range m.Types {
+		if typ != "histogram" {
+			continue
+		}
+		buckets := m.Buckets(family)
+		if len(buckets) == 0 {
+			return fmt.Errorf("histogram %s has no buckets", family)
+		}
+		last := buckets[len(buckets)-1]
+		if last.Labels["le"] != "+Inf" {
+			return fmt.Errorf("histogram %s: last bucket le=%q, want +Inf", family, last.Labels["le"])
+		}
+		prev := -1.0
+		for _, b := range buckets {
+			if math.IsNaN(leBound(b.Labels["le"])) {
+				return fmt.Errorf("histogram %s: unparseable le=%q", family, b.Labels["le"])
+			}
+			if b.Value < prev {
+				return fmt.Errorf("histogram %s: bucket le=%q count %v below previous %v (not cumulative)",
+					family, b.Labels["le"], b.Value, prev)
+			}
+			prev = b.Value
+		}
+		count, ok := m.Get(family + "_count")
+		if !ok {
+			return fmt.Errorf("histogram %s missing _count", family)
+		}
+		if count != last.Value {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", family, last.Value, count)
+		}
+		if _, ok := m.Get(family + "_sum"); !ok {
+			return fmt.Errorf("histogram %s missing _sum", family)
+		}
+	}
+	return nil
+}
+
+// familyOf maps a sample name to the family its # TYPE was declared
+// under: histogram samples append _bucket/_sum/_count, summaries
+// _sum/_count.
+func (m *Metrics) familyOf(name string) string {
+	if _, ok := m.Types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, ok := m.Types[base]; ok && (t == "histogram" || t == "summary") {
+			return base
+		}
+	}
+	return ""
+}
+
+func (m *Metrics) parseComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) >= 2 && fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if prev, ok := m.Types[name]; ok && prev != typ {
+			return fmt.Errorf("metric %s redeclared as %s (was %s)", name, typ, prev)
+		}
+		m.Types[name] = typ
+	}
+	return nil // other comments (# HELP, free text) are ignored
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	// A timestamp after the value is permitted by the format; we emit
+	// none, but tolerate one.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, into map[string]string) error {
+	body = strings.TrimSpace(body)
+	if body == "" {
+		return nil
+	}
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label %q", part)
+		}
+		key := strings.TrimSpace(part[:eq])
+		val := strings.TrimSpace(part[eq+1:])
+		if !validName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		unq, err := strconv.Unquote(val)
+		if err != nil {
+			return fmt.Errorf("label %s value %s not quoted: %w", key, val, err)
+		}
+		into[key] = unq
+	}
+	return nil
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -11,9 +11,10 @@ import (
 	"compoundthreat/internal/obs"
 )
 
-// benchServer builds a server over a paper-sized (1000-realization)
-// deterministic ensemble covering the four Oahu placement assets.
-func benchServer(b *testing.B, opt Options) *Server {
+// benchFixture builds the paper-sized (1000-realization) deterministic
+// ensemble covering the four Oahu placement assets, shared by every
+// serving benchmark.
+func benchFixture(b *testing.B) (map[string]Ensemble, *assets.Inventory) {
 	b.Helper()
 	ids := []string{assets.HonoluluCC, assets.Waiau, assets.Kahe, assets.DRFortress}
 	cfg := hazard.OahuScenario()
@@ -49,8 +50,17 @@ func benchServer(b *testing.B, opt Options) *Server {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return map[string]Ensemble{"oahu": e}, inv
+}
+
+// benchServer builds a server over the benchmark fixture with
+// observability disabled — it measures the pure serving path. The
+// traced variants live in bench_trace_test.go.
+func benchServer(b *testing.B, opt Options) *Server {
+	b.Helper()
+	ensembles, inv := benchFixture(b)
 	obs.Enable(nil) // benchmarks measure the serving path, not recording
-	s, err := New(map[string]Ensemble{"oahu": e}, inv, opt)
+	s, err := New(ensembles, inv, opt)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -25,13 +25,22 @@ type view struct {
 
 // newView compiles the ensemble's failure flags for the asset universe
 // into a bit-packed matrix and deduplicates its rows — the expensive
-// step a cache hit skips.
-func newView(e Ensemble, universe []string, workers int) (*view, error) {
+// step a cache hit skips. ctx carries only the initiating request's
+// trace (the compile itself is never canceled): the two phases are
+// recorded as child spans, so a cold query's trace shows matrix build
+// vs row dedup.
+func newView(ctx context.Context, e Ensemble, universe []string, workers int) (*view, error) {
+	sp := obs.SpanFromContext(ctx)
+	msp := sp.StartChild("compile.matrix")
 	m, err := engine.NewFailureMatrix(e, universe)
+	msp.End()
 	if err != nil {
 		return nil, err
 	}
-	return &view{matrix: m, cm: engine.Compress(m, workers)}, nil
+	dsp := sp.StartChild("compile.dedup")
+	cm := engine.Compress(m, workers)
+	dsp.End()
+	return &view{matrix: m, cm: cm}, nil
 }
 
 // cell evaluates one (configuration, capability) cell against the
@@ -107,8 +116,13 @@ func newViewCache(capacity int) *viewCache {
 
 // get returns the compiled view for key, compiling it with compile on a
 // miss. Concurrent gets for the same key share one compile. The context
-// bounds only this caller's wait, never the compile itself.
-func (c *viewCache) get(ctx context.Context, key string, compile func() (*view, error)) (*view, error) {
+// bounds only this caller's wait, never the compile itself; the compile
+// does inherit the context's trace, so a cold request's trace shows the
+// compile it initiated. Each caller's cache outcome (hit, miss,
+// coalesced) is classified onto its request metadata for the access
+// log.
+func (c *viewCache) get(ctx context.Context, key string, compile func(context.Context) (*view, error)) (*view, error) {
+	meta := metaFromContext(ctx)
 	waited := false
 	for {
 		c.mu.Lock()
@@ -118,9 +132,11 @@ func (c *viewCache) get(ctx context.Context, key string, compile func() (*view, 
 			c.entries[key] = e
 			c.misses.Inc()
 			c.mu.Unlock()
-			// Compile detached from the requesting context: if this caller
-			// times out, the work still completes and warms the cache.
-			go c.fill(e, compile)
+			meta.setCache(cacheMiss)
+			// Compile detached from the requesting context's cancelation:
+			// if this caller times out, the work still completes and warms
+			// the cache. WithoutCancel keeps the trace values.
+			go c.fill(context.WithoutCancel(ctx), e, compile)
 			select {
 			case <-e.ready:
 				return e.view, e.err
@@ -135,6 +151,7 @@ func (c *viewCache) get(ctx context.Context, key string, compile func() (*view, 
 			c.lru.MoveToFront(e.elem)
 			if !waited {
 				c.hits.Inc()
+				meta.setCache(cacheHit)
 			}
 			v := e.view
 			c.mu.Unlock()
@@ -144,6 +161,7 @@ func (c *viewCache) get(ctx context.Context, key string, compile func() (*view, 
 		// Compile in flight: coalesce onto it.
 		c.coalesced.Inc()
 		c.mu.Unlock()
+		meta.setCache(cacheCoalesced)
 		waited = true
 		select {
 		case <-e.ready:
@@ -155,10 +173,15 @@ func (c *viewCache) get(ctx context.Context, key string, compile func() (*view, 
 	}
 }
 
-// fill runs one compile and publishes the result.
-func (c *viewCache) fill(e *cacheEntry, compile func() (*view, error)) {
+// fill runs one compile and publishes the result. ctx carries the
+// initiating request's trace (never a deadline): the compile is
+// recorded both in the aggregate serve.compile timer and as a
+// "compile" span of that trace.
+func (c *viewCache) fill(ctx context.Context, e *cacheEntry, compile func(context.Context) (*view, error)) {
 	sp := obs.Default().StartSpan("serve.compile")
-	v, err := compile()
+	tsp := obs.SpanFromContext(ctx).StartChild("compile")
+	v, err := compile(obs.ContextWithSpan(ctx, tsp))
+	tsp.End()
 	sp.End()
 	c.mu.Lock()
 	e.view, e.err = v, err

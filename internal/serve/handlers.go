@@ -43,39 +43,20 @@ func notFoundf(format string, args ...any) error {
 func (s *Server) routes() {
 	s.handle("GET /v1/healthz", "healthz", s.handleHealthz)
 	s.handle("GET /v1/report", "report", s.handleReport)
+	s.handle("GET /v1/metrics", "metrics", s.handleMetrics)
+	s.handle("GET /v1/traces", "traces", s.handleTraces)
 	s.handle("GET /v1/sweep", "sweep", s.handleSweepGet)
 	s.handle("POST /v1/sweep", "sweep_post", s.handleSweepPost)
 	s.handle("GET /v1/figure/{id}", "figure", s.handleFigure)
 	s.handle("GET /v1/placement", "placement", s.handlePlacement)
 }
 
-// handle wraps a handler with the per-request machinery shared by
-// every endpoint: the in-flight gauge, a request counter and latency
-// histogram named after the endpoint, the per-request deadline, and
-// error rendering.
-func (s *Server) handle(pattern, name string, fn func(http.ResponseWriter, *http.Request) error) {
-	rec := obs.Default()
-	reqs := rec.Counter("serve.requests." + name)
-	lat := rec.Histogram("serve.latency_ns." + name)
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		s.inflight.Inc()
-		reqs.Inc()
-		ctx, cancel := context.WithTimeout(r.Context(), s.opt.Timeout)
-		err := fn(w, r.WithContext(ctx))
-		cancel()
-		s.inflight.Dec()
-		lat.Observe(int64(time.Since(start)))
-		if err != nil {
-			s.writeError(w, err)
-		}
-	})
-}
-
-// writeError renders an error response. Context deadline errors become
-// 504 (the request exceeded Options.Timeout); oversized bodies 413;
-// apiErrors their own status; everything else 500.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// writeError renders an error response and returns the status it
+// wrote, for the middleware's status-class histograms and access log.
+// Context deadline errors become 504 (the request exceeded
+// Options.Timeout); oversized bodies 413; apiErrors their own status;
+// everything else 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) int {
 	s.errs.Inc()
 	status, code := http.StatusInternalServerError, "internal"
 	var ae *apiError
@@ -94,12 +75,23 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	json.NewEncoder(w).Encode(map[string]any{
 		"error": map[string]string{"code": code, "message": err.Error()},
 	})
+	return status
 }
 
 // writeJSON renders a success response.
 func writeJSON(w http.ResponseWriter, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	return json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONTraced is writeJSON recorded as an "encode" span of any
+// trace carried by ctx, so a slow trace separates evaluation time from
+// response encoding.
+func writeJSONTraced(ctx context.Context, w http.ResponseWriter, v any) error {
+	sp := obs.SpanFromContext(ctx).StartChild("encode")
+	err := writeJSON(w, v)
+	sp.End()
+	return err
 }
 
 // checkParams rejects query parameters outside the allowed set, so
@@ -190,6 +182,66 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) error {
 	return obs.Default().WriteReport(w, "threatserver", nil)
 }
 
+// ---- /v1/metrics ----
+
+// handleMetrics renders every instrument of the process-wide recorder
+// in Prometheus text exposition format. With observability disabled it
+// still answers 200 with a comment line, so scrapes never error.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	if err := checkParams(r); err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return obs.Default().WritePrometheus(w)
+}
+
+// ---- /v1/traces ----
+
+// handleTraces returns the tracer's completed-trace ring buffers as
+// JSON: the recent ring plus the separately retained slow ring, newest
+// first, each trace rendered with its full span tree. limit bounds the
+// traces returned per ring.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) error {
+	if err := checkParams(r, "limit"); err != nil {
+		return err
+	}
+	limit := 0
+	if l := r.URL.Query().Get("limit"); l != "" {
+		var err error
+		limit, err = strconv.Atoi(l)
+		if err != nil || limit <= 0 {
+			return badRequestf("limit %q is not a positive integer", l)
+		}
+	}
+	if s.tracer == nil {
+		return writeJSON(w, map[string]any{"enabled": false})
+	}
+	render := func(traces []*obs.Trace) []obs.TraceReport {
+		if limit > 0 && limit < len(traces) {
+			traces = traces[:limit]
+		}
+		out := make([]obs.TraceReport, len(traces))
+		for i, t := range traces {
+			out[i] = t.Report()
+		}
+		return out
+	}
+	st := s.tracer.Stats()
+	return writeJSON(w, map[string]any{
+		"enabled":           true,
+		"capacity":          s.tracer.Capacity(),
+		"slow_threshold_ns": s.tracer.SlowThreshold().Nanoseconds(),
+		"stats": map[string]int64{
+			"started":       st.Started,
+			"finished":      st.Finished,
+			"slow":          st.Slow,
+			"dropped_spans": st.DroppedSpans,
+		},
+		"recent": render(s.tracer.Recent()),
+		"slow":   render(s.tracer.Slow()),
+	})
+}
+
 // ---- /v1/sweep ----
 
 // sweepRequest is the query for GET and POST /v1/sweep. Zero-value
@@ -235,14 +287,41 @@ func (s *Server) handleSweepPost(w http.ResponseWriter, r *http.Request) error {
 }
 
 // sweep resolves, validates, evaluates, and renders one sweep query.
+// Each stage is recorded as a span of the request's trace (when
+// tracing is on), so a slow sweep's trace reads
+// validate → cache (→ compile) → evaluate → encode.
 func (s *Server) sweep(w http.ResponseWriter, r *http.Request, req sweepRequest) error {
-	ens, err := s.ensemble(req.Ensemble)
+	ctx := r.Context()
+	vsp := obs.SpanFromContext(ctx).StartChild("validate")
+	ens, scenario, p, configs, universe, err := s.validateSweep(req)
+	vsp.End()
 	if err != nil {
 		return err
 	}
-	scenario, err := parseScenario(req.Scenario)
+	outcomes, err := s.evaluate(ctx, ens, universe, configs, scenario)
 	if err != nil {
 		return err
+	}
+	return writeJSONTraced(ctx, w, map[string]any{
+		"ensemble":  ens.name,
+		"scenario":  scenario.String(),
+		"placement": placementJSON{p.Primary, p.Second, p.DataCenter},
+		"outcomes":  outcomes,
+	})
+}
+
+// validateSweep resolves and validates everything a sweep query names:
+// the ensemble, the scenario, the placement-adjusted configurations,
+// and their asset universe.
+func (s *Server) validateSweep(req sweepRequest) (*ensembleEntry, threat.Scenario, topology.Placement, []topology.Config, []string, error) {
+	var zero topology.Placement
+	ens, err := s.ensemble(req.Ensemble)
+	if err != nil {
+		return nil, 0, zero, nil, nil, err
+	}
+	scenario, err := parseScenario(req.Scenario)
+	if err != nil {
+		return nil, 0, zero, nil, nil, err
 	}
 	p := analysis.PlacementHWD()
 	if req.Primary != "" {
@@ -256,25 +335,16 @@ func (s *Server) sweep(w http.ResponseWriter, r *http.Request, req sweepRequest)
 	}
 	configs, err := selectConfigs(p, req.Configs)
 	if err != nil {
-		return err
+		return nil, 0, zero, nil, nil, err
 	}
 	universe, err := universeOf(configs)
 	if err != nil {
-		return badRequestf("%v", err)
+		return nil, 0, zero, nil, nil, badRequestf("%v", err)
 	}
 	if err := ens.checkAssets(universe); err != nil {
-		return err
+		return nil, 0, zero, nil, nil, err
 	}
-	outcomes, err := s.evaluate(r.Context(), ens, universe, configs, scenario)
-	if err != nil {
-		return err
-	}
-	return writeJSON(w, map[string]any{
-		"ensemble":  ens.name,
-		"scenario":  scenario.String(),
-		"placement": placementJSON{p.Primary, p.Second, p.DataCenter},
-		"outcomes":  outcomes,
-	})
+	return ens, scenario, p, configs, universe, nil
 }
 
 // parseScenario maps the API's scenario parameter (empty = hurricane).
@@ -363,6 +433,8 @@ func (e *ensembleEntry) checkAssets(universe []string) error {
 
 // evaluate runs the (config, scenario) cells against the cached view
 // for (ensemble, universe), holding one evaluation slot throughout.
+// The cell sweep is recorded as an "evaluate" span of the request's
+// trace.
 func (s *Server) evaluate(ctx context.Context, ens *ensembleEntry, universe []string, configs []topology.Config, scenario threat.Scenario) ([]outcomeJSON, error) {
 	release, err := s.acquire(ctx)
 	if err != nil {
@@ -375,7 +447,8 @@ func (s *Server) evaluate(ctx context.Context, ens *ensembleEntry, universe []st
 	}
 	capability := scenario.Capability()
 	out := make([]outcomeJSON, len(configs))
-	err = engine.ForEach(s.opt.Workers, len(configs), func(i int) error {
+	esp := obs.SpanFromContext(ctx).StartChild("evaluate")
+	err = engine.ForEachCtx(obs.ContextWithSpan(ctx, esp), s.opt.Workers, len(configs), func(i int) error {
 		p, err := v.cell(configs[i], capability)
 		if err != nil {
 			return err
@@ -383,6 +456,7 @@ func (s *Server) evaluate(ctx context.Context, ens *ensembleEntry, universe []st
 		out[i] = renderOutcome(configs[i], scenario, p)
 		return nil
 	})
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -392,37 +466,18 @@ func (s *Server) evaluate(ctx context.Context, ens *ensembleEntry, universe []st
 // ---- /v1/figure/{id} ----
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) error {
-	if err := checkParams(r, "ensemble"); err != nil {
-		return err
-	}
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil {
-		return badRequestf("figure id %q is not a number", r.PathValue("id"))
-	}
-	fig, err := analysis.FigureByID(id)
-	if err != nil {
-		return notFoundf("%v", err)
-	}
-	ens, err := s.ensemble(r.URL.Query().Get("ensemble"))
+	ctx := r.Context()
+	vsp := obs.SpanFromContext(ctx).StartChild("validate")
+	ens, fig, configs, universe, err := s.validateFigure(r)
+	vsp.End()
 	if err != nil {
 		return err
 	}
-	configs, err := topology.StandardConfigs(fig.Placement)
-	if err != nil {
-		return badRequestf("%v", err)
-	}
-	universe, err := universeOf(configs)
-	if err != nil {
-		return badRequestf("%v", err)
-	}
-	if err := ens.checkAssets(universe); err != nil {
-		return err
-	}
-	outcomes, err := s.evaluate(r.Context(), ens, universe, configs, fig.Scenario)
+	outcomes, err := s.evaluate(ctx, ens, universe, configs, fig.Scenario)
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, map[string]any{
+	return writeJSONTraced(ctx, w, map[string]any{
 		"figure":    fig.ID,
 		"title":     fig.Title,
 		"ensemble":  ens.name,
@@ -432,78 +487,56 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) error {
 	})
 }
 
-// ---- /v1/placement ----
-
-func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) error {
-	if err := checkParams(r, "ensemble", "primary", "scenario", "data_center", "objective", "limit"); err != nil {
-		return err
+// validateFigure resolves and validates a figure query: the figure ID,
+// the ensemble, and the figure's standard configurations and universe.
+func (s *Server) validateFigure(r *http.Request) (*ensembleEntry, analysis.Figure, []topology.Config, []string, error) {
+	var zero analysis.Figure
+	if err := checkParams(r, "ensemble"); err != nil {
+		return nil, zero, nil, nil, err
 	}
-	q := r.URL.Query()
-	ens, err := s.ensemble(q.Get("ensemble"))
+	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		return err
+		return nil, zero, nil, nil, badRequestf("figure id %q is not a number", r.PathValue("id"))
 	}
-	scenario, err := parseScenario(q.Get("scenario"))
+	fig, err := analysis.FigureByID(id)
 	if err != nil {
-		return err
+		return nil, zero, nil, nil, notFoundf("%v", err)
 	}
-	primary := q.Get("primary")
-	if primary == "" {
-		return badRequestf("primary parameter required")
-	}
-	objective, objName := placement.GreenProbability, "green"
-	if o := q.Get("objective"); o != "" {
-		switch o {
-		case "green":
-		case "weighted":
-			objective, objName = placement.AvailabilityWeighted, "weighted"
-		default:
-			return badRequestf("unknown objective %q (want green or weighted)", o)
-		}
-	}
-	limit := 0
-	if l := q.Get("limit"); l != "" {
-		limit, err = strconv.Atoi(l)
-		if err != nil || limit <= 0 {
-			return badRequestf("limit %q is not a positive integer", l)
-		}
-	}
-	// The batch search's enumeration defines the candidate set; the
-	// serving layer only swaps the evaluation path for the cached view.
-	req := placement.Request{
-		Ensemble:  ens.e,
-		Inventory: s.inv,
-		Primary:   primary,
-		Scenario:  scenario,
-		Workers:   s.opt.Workers,
-	}
-	var placements []topology.Placement
-	if dc := q.Get("data_center"); dc != "" {
-		placements, err = placement.CandidateSecondSites(req, dc)
-	} else {
-		placements, err = placement.CandidatePairs(req)
-	}
+	ens, err := s.ensemble(r.URL.Query().Get("ensemble"))
 	if err != nil {
-		return badRequestf("%v", err)
+		return nil, zero, nil, nil, err
 	}
-	configs := make([]topology.Config, len(placements))
-	for i, p := range placements {
-		configs[i] = topology.NewConfig666(p.Primary, p.Second, p.DataCenter)
+	configs, err := topology.StandardConfigs(fig.Placement)
+	if err != nil {
+		return nil, zero, nil, nil, badRequestf("%v", err)
 	}
 	universe, err := universeOf(configs)
 	if err != nil {
-		return badRequestf("%v", err)
+		return nil, zero, nil, nil, badRequestf("%v", err)
 	}
 	if err := ens.checkAssets(universe); err != nil {
+		return nil, zero, nil, nil, err
+	}
+	return ens, fig, configs, universe, nil
+}
+
+// ---- /v1/placement ----
+
+func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) error {
+	ctx := r.Context()
+	vsp := obs.SpanFromContext(ctx).StartChild("validate")
+	pq, err := s.validatePlacement(r)
+	vsp.End()
+	if err != nil {
 		return err
 	}
-	candidates, err := s.evaluatePlacements(r.Context(), ens, universe, placements, configs, scenario, objective)
+	candidates, err := s.evaluatePlacements(ctx, pq.ens, pq.universe, pq.placements, pq.configs, pq.scenario, pq.objective)
 	if err != nil {
 		return err
 	}
 	total := len(candidates)
-	if limit > 0 && limit < len(candidates) {
-		candidates = candidates[:limit]
+	if pq.limit > 0 && pq.limit < len(candidates) {
+		candidates = candidates[:pq.limit]
 	}
 	type candidateJSON struct {
 		Placement     placementJSON      `json:"placement"`
@@ -522,14 +555,95 @@ func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) error {
 			Probabilities: probs,
 		}
 	}
-	return writeJSON(w, map[string]any{
-		"ensemble":         ens.name,
-		"scenario":         scenario.String(),
-		"primary":          primary,
-		"objective":        objName,
+	return writeJSONTraced(ctx, w, map[string]any{
+		"ensemble":         pq.ens.name,
+		"scenario":         pq.scenario.String(),
+		"primary":          pq.primary,
+		"objective":        pq.objName,
 		"total_candidates": total,
 		"candidates":       out,
 	})
+}
+
+// placementQuery is one validated /v1/placement query: everything
+// handlePlacement needs after validation.
+type placementQuery struct {
+	ens        *ensembleEntry
+	scenario   threat.Scenario
+	primary    string
+	objective  placement.Objective
+	objName    string
+	limit      int
+	placements []topology.Placement
+	configs    []topology.Config
+	universe   []string
+}
+
+// validatePlacement resolves and validates a placement query,
+// enumerating the candidate set exactly as the batch search does (the
+// serving layer only swaps the evaluation path for the cached view).
+func (s *Server) validatePlacement(r *http.Request) (placementQuery, error) {
+	var pq placementQuery
+	if err := checkParams(r, "ensemble", "primary", "scenario", "data_center", "objective", "limit"); err != nil {
+		return pq, err
+	}
+	q := r.URL.Query()
+	ens, err := s.ensemble(q.Get("ensemble"))
+	if err != nil {
+		return pq, err
+	}
+	pq.ens = ens
+	pq.scenario, err = parseScenario(q.Get("scenario"))
+	if err != nil {
+		return pq, err
+	}
+	pq.primary = q.Get("primary")
+	if pq.primary == "" {
+		return pq, badRequestf("primary parameter required")
+	}
+	pq.objective, pq.objName = placement.GreenProbability, "green"
+	if o := q.Get("objective"); o != "" {
+		switch o {
+		case "green":
+		case "weighted":
+			pq.objective, pq.objName = placement.AvailabilityWeighted, "weighted"
+		default:
+			return pq, badRequestf("unknown objective %q (want green or weighted)", o)
+		}
+	}
+	if l := q.Get("limit"); l != "" {
+		pq.limit, err = strconv.Atoi(l)
+		if err != nil || pq.limit <= 0 {
+			return pq, badRequestf("limit %q is not a positive integer", l)
+		}
+	}
+	req := placement.Request{
+		Ensemble:  ens.e,
+		Inventory: s.inv,
+		Primary:   pq.primary,
+		Scenario:  pq.scenario,
+		Workers:   s.opt.Workers,
+	}
+	if dc := q.Get("data_center"); dc != "" {
+		pq.placements, err = placement.CandidateSecondSites(req, dc)
+	} else {
+		pq.placements, err = placement.CandidatePairs(req)
+	}
+	if err != nil {
+		return pq, badRequestf("%v", err)
+	}
+	pq.configs = make([]topology.Config, len(pq.placements))
+	for i, p := range pq.placements {
+		pq.configs[i] = topology.NewConfig666(p.Primary, p.Second, p.DataCenter)
+	}
+	pq.universe, err = universeOf(pq.configs)
+	if err != nil {
+		return pq, badRequestf("%v", err)
+	}
+	if err := ens.checkAssets(pq.universe); err != nil {
+		return pq, err
+	}
+	return pq, nil
 }
 
 // evaluatePlacements scores every candidate placement against the
@@ -547,7 +661,8 @@ func (s *Server) evaluatePlacements(ctx context.Context, ens *ensembleEntry, uni
 	}
 	capability := scenario.Capability()
 	out := make([]placement.Candidate, len(placements))
-	err = engine.ForEach(s.opt.Workers, len(placements), func(i int) error {
+	esp := obs.SpanFromContext(ctx).StartChild("evaluate")
+	err = engine.ForEachCtx(obs.ContextWithSpan(ctx, esp), s.opt.Workers, len(placements), func(i int) error {
 		p, err := v.cell(configs[i], capability)
 		if err != nil {
 			return err
@@ -556,6 +671,7 @@ func (s *Server) evaluatePlacements(ctx context.Context, ens *ensembleEntry, uni
 		out[i] = placement.Candidate{Placement: placements[i], Score: objective(outcome), Outcome: outcome}
 		return nil
 	})
+	esp.End()
 	if err != nil {
 		return nil, err
 	}

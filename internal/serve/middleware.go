@@ -1,0 +1,227 @@
+package serve
+
+// Per-request middleware: the handle wrapper in this file is the one
+// place every endpoint passes through, so it owns the cross-cutting
+// request machinery — instrument recording, per-endpoint × status-class
+// latency histograms, request/trace ID assignment, request-scoped
+// tracing, and structured access logging.
+//
+// The disabled path is the contract: with tracing and access logging
+// off, a request pays exactly what it paid before this file existed —
+// the counters and histograms (atomic adds on pre-resolved
+// instruments) and the deadline context. Traces, metadata, counting
+// writers, and ID headers are only materialized when a tracer or an
+// access log is configured.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compoundthreat/internal/obs"
+)
+
+// handle wraps a handler with the per-request machinery shared by
+// every endpoint: the in-flight gauge, a request counter, latency
+// histograms (total and per status class), the per-request deadline,
+// request/trace IDs, tracing, access logging, and error rendering.
+// Instruments resolve once at registration.
+func (s *Server) handle(pattern, name string, fn func(http.ResponseWriter, *http.Request) error) {
+	rec := obs.Default()
+	reqs := rec.Counter("serve.requests." + name)
+	lat := rec.Histogram("serve.latency_ns." + name)
+	// Status-class histograms index by status/100; classes 0 and 1 are
+	// never produced by this server and stay nil (a valid no-op).
+	var byClass [6]*obs.Histogram
+	for c := 2; c <= 5; c++ {
+		byClass[c] = rec.Histogram("serve.latency_ns." + name + "." + strconv.Itoa(c) + "xx")
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Inc()
+		reqs.Inc()
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.Timeout)
+
+		var (
+			trace *obs.Trace
+			meta  *requestMeta
+			cw    *countingWriter
+		)
+		if s.tracer != nil || s.access != nil {
+			meta = &requestMeta{id: s.reqID.Add(1)}
+			ctx = contextWithMeta(ctx, meta)
+			w.Header().Set("X-Request-Id", strconv.FormatUint(meta.id, 10))
+			trace = s.tracer.Start(name)
+			if trace != nil {
+				ctx = obs.ContextWithSpan(obs.ContextWithTrace(ctx, trace), trace.Root())
+				w.Header().Set("X-Trace-Id", trace.ID())
+			}
+			if s.access != nil {
+				cw = &countingWriter{ResponseWriter: w}
+				w = cw
+			}
+		}
+
+		err := fn(w, r.WithContext(ctx))
+		cancel()
+		s.inflight.Dec()
+		dur := time.Since(start)
+		lat.Observe(int64(dur))
+		status := http.StatusOK
+		if err != nil {
+			status = s.writeError(w, err)
+		}
+		if c := status / 100; c >= 2 && c <= 5 {
+			byClass[c].Observe(int64(dur))
+		}
+		trace.Finish()
+		if s.access != nil {
+			s.access.log(accessEntry{
+				Time:       start.UTC().Format(time.RFC3339Nano),
+				RequestID:  strconv.FormatUint(meta.id, 10),
+				TraceID:    trace.ID(),
+				Method:     r.Method,
+				Path:       r.URL.Path,
+				Endpoint:   name,
+				Status:     cw.statusCode(status),
+				Bytes:      cw.bytes,
+				DurationNS: dur.Nanoseconds(),
+				Cache:      meta.cacheOutcome(),
+			})
+		}
+	})
+}
+
+// requestMeta is mutable per-request metadata shared between the
+// middleware and the serving path below it (currently the compiled-view
+// cache outcome). It travels by context; a request without tracing or
+// access logging never allocates one.
+type requestMeta struct {
+	id    uint64
+	cache atomic.Int32 // cacheNone until the cache classifies the request
+}
+
+// Cache outcome codes, in first-wins order of arrival.
+const (
+	cacheNone int32 = iota
+	cacheMiss
+	cacheHit
+	cacheCoalesced
+)
+
+// setCache records the request's cache outcome; the first call wins
+// (one request touches the cache once, but a retry loop after a failed
+// coalesce must not relabel the request). Nil-safe.
+func (m *requestMeta) setCache(outcome int32) {
+	if m == nil {
+		return
+	}
+	m.cache.CompareAndSwap(cacheNone, outcome)
+}
+
+// cacheOutcome renders the outcome for the access log: "" when the
+// request never touched the view cache.
+func (m *requestMeta) cacheOutcome() string {
+	if m == nil {
+		return ""
+	}
+	switch m.cache.Load() {
+	case cacheMiss:
+		return "miss"
+	case cacheHit:
+		return "hit"
+	case cacheCoalesced:
+		return "coalesced"
+	}
+	return ""
+}
+
+// metaCtxKey keys the requestMeta in a request context.
+type metaCtxKey struct{}
+
+func contextWithMeta(ctx context.Context, m *requestMeta) context.Context {
+	return context.WithValue(ctx, metaCtxKey{}, m)
+}
+
+// metaFromContext returns the request's metadata, or nil (on which
+// setCache no-ops) for contexts outside an instrumented request.
+func metaFromContext(ctx context.Context) *requestMeta {
+	m, _ := ctx.Value(metaCtxKey{}).(*requestMeta)
+	return m
+}
+
+// countingWriter wraps a ResponseWriter to capture the status code and
+// body bytes for the access log. Only allocated when logging is on.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *countingWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *countingWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// statusCode returns the status actually written, falling back to the
+// wrapper's computed status for handlers that wrote nothing.
+func (w *countingWriter) statusCode(fallback int) int {
+	if w.status != 0 {
+		return w.status
+	}
+	return fallback
+}
+
+// accessEntry is one structured access-log line.
+type accessEntry struct {
+	Time       string `json:"time"`
+	RequestID  string `json:"request_id"`
+	TraceID    string `json:"trace_id,omitempty"`
+	Method     string `json:"method"`
+	Path       string `json:"path"`
+	Endpoint   string `json:"endpoint"`
+	Status     int    `json:"status"`
+	Bytes      int64  `json:"bytes"`
+	DurationNS int64  `json:"duration_ns"`
+	Cache      string `json:"cache,omitempty"`
+}
+
+// accessLogger serializes one JSON line per request to a writer.
+// Handler goroutines log concurrently, so the write is mutex-guarded;
+// buffering and flushing are the owner's concern (cmd/threatserver
+// wraps the log file in a bufio.Writer it flushes at shutdown).
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newAccessLogger(w io.Writer) *accessLogger {
+	return &accessLogger{w: w}
+}
+
+func (l *accessLogger) log(e accessEntry) {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return // an accessEntry always marshals; nothing sane to do here
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	l.w.Write(line)
+	l.mu.Unlock()
+}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"compoundthreat/internal/analysis"
@@ -47,6 +48,10 @@ type Options struct {
 	Timeout time.Duration
 	// MaxBodyBytes bounds POST request bodies. 0 = 1 MiB.
 	MaxBodyBytes int64
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (see accessEntry). The server serializes writes; the
+	// caller owns buffering and flushing. nil = access logging off.
+	AccessLog io.Writer
 }
 
 // defaults materializes the documented zero-value defaults.
@@ -94,6 +99,12 @@ type Server struct {
 	inflight *obs.Gauge
 	errs     *obs.Counter
 	timeouts *obs.Counter
+
+	// tracer and access are resolved once at New (both may be nil =
+	// disabled); reqID numbers requests for X-Request-Id and the log.
+	tracer *obs.Tracer
+	access *accessLogger
+	reqID  atomic.Uint64
 }
 
 // New builds a server over the given ensembles and asset inventory.
@@ -118,6 +129,10 @@ func New(ensembles map[string]Ensemble, inv *assets.Inventory, opt Options) (*Se
 		inflight:  rec.Gauge("serve.inflight"),
 		errs:      rec.Counter("serve.errors"),
 		timeouts:  rec.Counter("serve.timeouts"),
+		tracer:    obs.DefaultTracer(),
+	}
+	if opt.AccessLog != nil {
+		s.access = newAccessLogger(opt.AccessLog)
 	}
 	for name, e := range ensembles {
 		if name == "" {
@@ -223,12 +238,20 @@ func (s *Server) ensemble(name string) (*ensembleEntry, error) {
 // viewFor returns the cached compiled view for (ensemble, universe),
 // compiling and caching it on a miss. The universe is the deduplicated
 // union of the query's site assets in first-occurrence order, so every
-// query shape maps to a deterministic key.
+// query shape maps to a deterministic key. The whole lookup — and, on
+// a miss, the wait for the compile — is recorded as a "cache" span of
+// the request's trace, annotated with this caller's outcome.
 func (s *Server) viewFor(ctx context.Context, ens *ensembleEntry, universe []string) (*view, error) {
 	key := fmt.Sprintf("%016x|%s", ens.hash, strings.Join(universe, "\x1f"))
-	return s.cache.get(ctx, key, func() (*view, error) {
-		return newView(ens.e, universe, s.opt.Workers)
+	csp := obs.SpanFromContext(ctx).StartChild("cache")
+	v, err := s.cache.get(obs.ContextWithSpan(ctx, csp), key, func(cctx context.Context) (*view, error) {
+		return newView(cctx, ens.e, universe, s.opt.Workers)
 	})
+	if m := metaFromContext(ctx); m != nil {
+		csp.Annotate("outcome", m.cacheOutcome())
+	}
+	csp.End()
+	return v, err
 }
 
 // acquire takes one evaluation slot, waiting until one frees or the

@@ -14,6 +14,9 @@
 //	go test -run '^$' -bench Serve -benchtime 100x ./internal/serve/ > serve.out
 //	go run ./tools/benchcheck -set serve -baseline BENCH_4.json -input serve.out
 //
+//	go test -run '^$' -bench 'Traced|TracingOff|MetricsRender' -benchtime 100x ./internal/serve/ > trace.out
+//	go run ./tools/benchcheck -set trace -baseline BENCH_5.json -input trace.out
+//
 // The threshold is deliberately loose (3x by default): single-iteration
 // smoke runs on shared CI machines are noisy, and the gate exists to
 // catch order-of-magnitude regressions — an accidental re-lock in the
@@ -62,11 +65,21 @@ var serveToKey = map[string]string{
 	"BenchmarkServeSweepParallel":   "serve_sweep_parallel_ns_per_op",
 }
 
+// traceToKey maps the observability-cost benchmarks (traced vs
+// tracing-off sweep, Prometheus exposition render) to BENCH_5.json
+// headline keys — the "trace" set.
+var traceToKey = map[string]string{
+	"BenchmarkTracedSweep":     "serve_sweep_traced_ns_per_op",
+	"BenchmarkTracingOffSweep": "serve_sweep_tracing_off_ns_per_op",
+	"BenchmarkMetricsRender":   "serve_metrics_render_ns_per_op",
+}
+
 // benchSets names the selectable benchmark tables.
 var benchSets = map[string]map[string]string{
 	"figures":    nameToKey,
 	"compressed": compressedToKey,
 	"serve":      serveToKey,
+	"trace":      traceToKey,
 }
 
 // baseline is the subset of BENCH_1.json that benchcheck consumes.
@@ -87,12 +100,12 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_1.json", "baseline JSON file with a headline section")
 	input := flag.String("input", "", "benchmark output file (default: stdin)")
 	maxRatio := flag.Float64("max-ratio", 3.0, "fail when ns/op exceeds baseline by more than this factor")
-	setName := flag.String("set", "figures", "benchmark set to gate: figures, compressed, or serve")
+	setName := flag.String("set", "figures", "benchmark set to gate: figures, compressed, serve, or trace")
 	flag.Parse()
 
 	table, ok := benchSets[*setName]
 	if !ok {
-		fatal(fmt.Errorf("unknown benchmark set %q (have: figures, compressed, serve)", *setName))
+		fatal(fmt.Errorf("unknown benchmark set %q (have: figures, compressed, serve, trace)", *setName))
 	}
 
 	in := io.Reader(os.Stdin)
