@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench-smoke bench-compress bench-serve bench-trace bench bench-check doc-check verify
+.PHONY: all build test vet race fmt-check bench-smoke bench-compress bench-serve bench-trace bench-placement bench bench-check doc-check verify
 
 all: build
 
@@ -47,6 +47,13 @@ bench-serve:
 bench-trace:
 	$(GO) test -run '^$$' -bench 'Traced|TracingOff|MetricsRender' -benchtime 100x -benchmem ./internal/serve/
 
+# The placement-search benchmarks: the word-parallel pair kernel vs the
+# evaluator path over the real Oahu ensemble, plus the k-site greedy
+# (1024-candidate synthetic universe) and branch-and-bound searches.
+# 20 iterations keeps the whole run around a second.
+bench-placement:
+	$(GO) test -run '^$$' -bench 'Pairs|KSite' -benchtime 20x ./internal/placement/
+
 # Full benchmark sweep with allocation counts (slow: regenerates the
 # 1000-realization ensemble).
 bench:
@@ -56,9 +63,10 @@ bench:
 # Benchmark regression gate: run the Figure smoke benchmarks against
 # BENCH_1.json (uncompressed engine reference), the Compressed
 # benchmarks against BENCH_3.json (deduplicated sweeps), the Serve
-# benchmarks against BENCH_4.json (analysis server), and the tracing
-# benchmarks against BENCH_5.json (observability cost), failing on >3x
-# slowdowns in any set.
+# benchmarks against BENCH_4.json (analysis server), the tracing
+# benchmarks against BENCH_5.json (observability cost), and the
+# placement-search benchmarks against BENCH_6.json (pair kernel +
+# k-site search), failing on >3x slowdowns in any set.
 bench-check:
 	$(GO) test -run '^$$' -bench 'Figure' -benchtime 1x . > bench-smoke.out
 	@cat bench-smoke.out
@@ -72,6 +80,9 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'Traced|TracingOff|MetricsRender' -benchtime 100x ./internal/serve/ > bench-trace.out
 	@cat bench-trace.out
 	$(GO) run ./tools/benchcheck -set trace -baseline BENCH_5.json -input bench-trace.out
+	$(GO) test -run '^$$' -bench 'Pairs|KSite' -benchtime 20x ./internal/placement/ > bench-placement.out
+	@cat bench-placement.out
+	$(GO) run ./tools/benchcheck -set placement -baseline BENCH_6.json -input bench-placement.out
 
 # Documentation lint: every package must carry a package comment (see
 # tools/doccheck).
@@ -80,4 +91,4 @@ doc-check:
 
 # The documented verification gate: vet, build, race-enabled tests,
 # documentation lint, and the benchmark smoke runs.
-verify: vet build race doc-check bench-smoke bench-compress bench-serve bench-trace
+verify: vet build race doc-check bench-smoke bench-compress bench-serve bench-trace bench-placement

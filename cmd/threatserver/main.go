@@ -9,6 +9,7 @@
 //	threatserver [-addr 127.0.0.1:8321] [-realizations N] [-seed S]
 //	             [-quake] [-workers N] [-cache N] [-timeout D]
 //	             [-max-inflight N] [-max-body N] [-drain D]
+//	             [-job-timeout D] [-job-retention N]
 //	             [-trace-buffer N] [-slow-trace D] [-access-log FILE]
 //	             [-runtime-interval D] [-metrics report.json] [-pprof addr]
 //
@@ -74,6 +75,8 @@ func run(args []string) (err error) {
 	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained per ring for /v1/traces (0 = tracing off)")
 	slowTrace := fs.Duration("slow-trace", 250*time.Millisecond, "retain traces at or over this duration in the slow ring (0 = slow ring off)")
 	accessLog := fs.String("access-log", "", `write one JSON access-log line per request to this file ("-" = stderr)`)
+	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-job deadline for async placement searches")
+	jobRetention := fs.Int("job-retention", 0, "finished placement jobs kept pollable (0 = 64)")
 	runtimeInterval := fs.Duration("runtime-interval", 10*time.Second, "runtime sampler interval for goroutine/heap/GC gauges (0 = off)")
 	var ocli obs.CLI
 	ocli.Register(fs)
@@ -173,6 +176,8 @@ func run(args []string) (err error) {
 		Timeout:      *timeout,
 		MaxBodyBytes: *maxBody,
 		AccessLog:    accessW,
+		JobTimeout:   *jobTimeout,
+		JobRetention: *jobRetention,
 	})
 	if err != nil {
 		return err
@@ -185,6 +190,9 @@ func run(args []string) (err error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err = serve.Run(ctx, ln, s.Handler(), *drain, os.Stderr)
+	// Cancel any still-running placement jobs before the artifact
+	// flushes so their terminal counters land in the -metrics report.
+	s.Close()
 
 	// Shutdown artifacts, in documented order: the drain above already
 	// finished every in-flight request, so the access log flush covers

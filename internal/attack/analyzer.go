@@ -22,6 +22,13 @@ import (
 // errFloodedLength is returned without allocating on the hot path.
 var errFloodedLength = errors.New("attack: flooded vector length does not match configuration sites")
 
+// ErrMaskBits is returned by EvaluateMask, without allocating on the
+// hot path, when the mask has bits set beyond the configuration's
+// sites. Silently ignoring them would let a caller that packed a
+// pattern against the wrong configuration get a plausible-looking
+// answer for a different flood.
+var ErrMaskBits = errors.New("attack: flood mask has bits set beyond the configuration's sites")
+
 // Analyzer evaluates many post-disaster states against one
 // (configuration, capability) pair without per-call allocations. It is
 // not safe for concurrent use; give each worker its own Analyzer.
@@ -85,10 +92,16 @@ func (a *Analyzer) Evaluate(flooded []bool) (opstate.State, error) {
 // EvaluateMask is Evaluate for a bit-packed flood vector: bit i of
 // mask marks site i as flooded. The configuration must have at most 64
 // sites (guaranteed for every configuration family in this module).
-// The unpack loop tests only the mask's low bit and shifts once per
-// site — no per-bit variable shifts in the hot path.
+// Bits at or above the site count return ErrMaskBits. The unpack loop
+// tests only the mask's low bit and shifts once per site — no per-bit
+// variable shifts in the hot path.
 func (a *Analyzer) EvaluateMask(mask uint64) (opstate.State, error) {
 	flooded := a.st.Flooded
+	// A shift count of 64 or more yields 0 in Go, so configurations
+	// with 64 sites accept every mask without a special case.
+	if n := uint(len(flooded)); mask>>n != 0 {
+		return 0, ErrMaskBits
+	}
 	for i := range flooded {
 		flooded[i] = mask&1 != 0
 		mask >>= 1

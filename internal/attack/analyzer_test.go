@@ -195,3 +195,28 @@ func TestAnalyzerValidation(t *testing.T) {
 		t.Error("wrong flooded length should error")
 	}
 }
+
+// TestEvaluateMaskOutOfRange checks that mask bits at or beyond the
+// configuration's site count are rejected with the preallocated
+// ErrMaskBits instead of being silently dropped, for every
+// configuration family, while every in-range mask still evaluates.
+func TestEvaluateMaskOutOfRange(t *testing.T) {
+	for _, cfg := range analyzerConfigs() {
+		an, err := NewAnalyzer(cfg, threat.Capability{Intrusions: 1, Isolations: 1})
+		if err != nil {
+			t.Fatalf("%s: NewAnalyzer: %v", cfg.Name, err)
+		}
+		n := uint(len(cfg.Sites))
+		for _, mask := range []uint64{1 << n, 1<<n | 1, ^uint64(0)} {
+			if _, err := an.EvaluateMask(mask); err != ErrMaskBits {
+				t.Errorf("%s: EvaluateMask(%#x) err = %v, want ErrMaskBits", cfg.Name, mask, err)
+			}
+		}
+		// The error path must not poison the analyzer for valid masks.
+		for mask := uint64(0); mask < 1<<n; mask++ {
+			if _, err := an.EvaluateMask(mask); err != nil {
+				t.Fatalf("%s: EvaluateMask(%#x) after range error: %v", cfg.Name, mask, err)
+			}
+		}
+	}
+}

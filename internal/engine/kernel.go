@@ -1,0 +1,298 @@
+package engine
+
+// Word-parallel mask evaluation. The memoized Evaluator already caps
+// attack-analyzer work at 2^S evaluations per cell, but its per-pattern
+// loop still extracts a packed pattern column-by-column and probes the
+// memo table once per distinct row. For *symmetric* configurations —
+// where the worst-case outcome depends only on how many of the
+// configuration's sites the disaster took out, not which ones — the
+// whole attack model collapses to an (S+1)-entry table indexed by
+// flooded-site count, and a cell evaluation becomes
+//
+//	counts[byCount[popcount(pattern & siteMask)]] += weight
+//
+// per distinct row: one AND, one popcount, two table reads. MaskKernel
+// is that loop; CountKernel is its incremental form for k-site search,
+// where placements grow one site at a time. Both are cross-checked
+// bit-identical to attack.Analyzer.Evaluate over exhaustive small
+// universes in kernel_test.go.
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"compoundthreat/internal/attack"
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/opstate"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// ErrNotSymmetric reports a configuration whose outcome is not a pure
+// function of its flooded-site count.
+var ErrNotSymmetric = errors.New("engine: configuration outcome is not a pure function of flooded-site count")
+
+// SymmetricConfig reports whether the worst-case outcome of cfg
+// depends only on the *number* of flooded sites. SingleSite trivially
+// does. ActiveReplication with a uniform replica count does too: every
+// greedy-attack rule (compromise placement, isolation order, intrusion
+// spending) and the site-quorum check count sites without
+// distinguishing them. PrimaryBackup does not — a flooded cold backup
+// is harmless while a flooded primary costs the activation delay — and
+// neither does a non-uniform replica layout, where intrusion packing
+// depends on which sites survive.
+func SymmetricConfig(cfg topology.Config) bool {
+	switch cfg.Arch {
+	case topology.SingleSite:
+		return len(cfg.Sites) == 1
+	case topology.ActiveReplication:
+		if len(cfg.Sites) == 0 {
+			return false
+		}
+		r := cfg.Sites[0].Replicas
+		for _, s := range cfg.Sites[1:] {
+			if s.Replicas != r {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// StateByCount tabulates the worst-case operational state of a
+// symmetric configuration by flooded-site count: entry c is the
+// outcome with exactly c of the configuration's sites flooded. The
+// table is the entire attack model a kernel needs — S+1 analyzer
+// evaluations replace one per distinct pattern. The configuration and
+// capability are validated here, once, so kernel binds can skip
+// revalidation.
+func StateByCount(cfg topology.Config, capability threat.Capability) ([]opstate.State, error) {
+	if !SymmetricConfig(cfg) {
+		return nil, ErrNotSymmetric
+	}
+	an, err := attack.NewAnalyzer(cfg, capability)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]opstate.State, len(cfg.Sites)+1)
+	for c := range out {
+		// The canonical c-count pattern: the first c sites flooded.
+		s, err := an.EvaluateMask(uint64(1)<<uint(c) - 1)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = s
+	}
+	return out, nil
+}
+
+// MaskKernel evaluates placements against a compressed matrix with
+// word-parallel arithmetic. Bind resolves a placement's site assets
+// into a stride-wide column bitmask once; AddWeighted then classifies
+// every distinct pattern from the popcount of pattern AND mask,
+// indexed into a StateByCount table — no analyzer calls, no memo
+// probes, no per-pattern function calls, and, unlike Evaluator.Reset,
+// no per-placement configuration revalidation. Results are
+// bit-identical to Evaluator.AddWeighted for symmetric configurations.
+// Not safe for concurrent use; give each worker its own kernel.
+type MaskKernel struct {
+	cm      *CompressedMatrix
+	byCount []opstate.State
+	mask    []uint64
+	// Observability counters, resolved once at construction; nil (and
+	// therefore free) when instrumentation is disabled.
+	placements *obs.Counter
+	patterns   *obs.Counter
+}
+
+// NewMaskKernel returns an unbound kernel; Bind it before use.
+func NewMaskKernel() *MaskKernel {
+	rec := obs.Default()
+	return &MaskKernel{
+		placements: rec.Counter("engine.kernel_placements"),
+		patterns:   rec.Counter("engine.kernel_patterns"),
+	}
+}
+
+// Bind rebinds the kernel to (compressed matrix, outcome table,
+// placement sites), reusing the mask storage. byCount must come from
+// StateByCount for a configuration whose site set is exactly siteIDs;
+// site order is irrelevant — symmetry is order-blind.
+func (k *MaskKernel) Bind(cm *CompressedMatrix, byCount []opstate.State, siteIDs []string) error {
+	if err := k.bindStart(cm, byCount, len(siteIDs)); err != nil {
+		return err
+	}
+	for _, id := range siteIDs {
+		if err := k.bindSite(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BindConfig is Bind over a configuration's sites, sparing callers the
+// intermediate ID slice.
+func (k *MaskKernel) BindConfig(cm *CompressedMatrix, byCount []opstate.State, cfg topology.Config) error {
+	if err := k.bindStart(cm, byCount, len(cfg.Sites)); err != nil {
+		return err
+	}
+	for _, s := range cfg.Sites {
+		if err := k.bindSite(s.AssetID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (k *MaskKernel) bindStart(cm *CompressedMatrix, byCount []opstate.State, sites int) error {
+	if len(byCount) != sites+1 {
+		return fmt.Errorf("engine: outcome table has %d entries for %d sites, want %d", len(byCount), sites, sites+1)
+	}
+	if cap(k.mask) >= cm.stride {
+		k.mask = k.mask[:cm.stride]
+		for i := range k.mask {
+			k.mask[i] = 0
+		}
+	} else {
+		k.mask = make([]uint64, cm.stride)
+	}
+	k.cm, k.byCount = cm, byCount
+	k.placements.Add(1)
+	return nil
+}
+
+func (k *MaskKernel) bindSite(id string) error {
+	col, ok := k.cm.src.Column(id)
+	if !ok {
+		return fmt.Errorf("engine: asset %q not in failure matrix", id)
+	}
+	w, bit := col>>6, uint64(1)<<uint(col&63)
+	if k.mask[w]&bit != 0 {
+		return fmt.Errorf("engine: duplicate site asset %q", id)
+	}
+	k.mask[w] |= bit
+	return nil
+}
+
+// AddWeighted classifies distinct rows [lo, hi) into counts, adding
+// each row's multiplicity to its outcome bucket — the word-parallel
+// counterpart of Evaluator.AddWeighted. The loop body performs no
+// allocations and no calls.
+func (k *MaskKernel) AddWeighted(counts *Counts, lo, hi int) {
+	cm := k.cm
+	if cm.stride == 1 {
+		m0 := k.mask[0]
+		for i := lo; i < hi; i++ {
+			counts[k.byCount[bits.OnesCount64(cm.bits[i]&m0)]] += cm.weights[i]
+		}
+	} else {
+		for i := lo; i < hi; i++ {
+			base := i * cm.stride
+			c := 0
+			for w, mw := range k.mask {
+				c += bits.OnesCount64(cm.bits[base+w] & mw)
+			}
+			counts[k.byCount[c]] += cm.weights[i]
+		}
+	}
+	k.patterns.Add(int64(hi - lo))
+}
+
+// CountKernel is the incremental flood-count view a k-site search
+// needs. It extracts each candidate's column as a bitset over the
+// distinct rows and maintains the per-row flooded-site count of a
+// placement grown and shrunk one candidate at a time (Add/Remove).
+// CountsWith scores "current placement plus one more candidate"
+// without mutating it — the greedy gain evaluation — and is safe to
+// call from concurrent goroutines as long as no Add, Remove, or Clear
+// runs concurrently.
+type CountKernel struct {
+	cm    *CompressedMatrix
+	cols  [][]uint64 // per candidate: failure bitset over distinct rows
+	count []uint16   // flooded sites per distinct row, current placement
+}
+
+// NewCountKernel builds the per-candidate bitsets for the given matrix
+// columns. Candidate j of the kernel is cols[j].
+func NewCountKernel(cm *CompressedMatrix, cols []int) (*CountKernel, error) {
+	d := cm.DistinctRows()
+	words := (d + 63) / 64
+	ck := &CountKernel{cm: cm, count: make([]uint16, d)}
+	ck.cols = make([][]uint64, len(cols))
+	backing := make([]uint64, words*len(cols))
+	for j, col := range cols {
+		if col < 0 || col >= len(cm.src.ids) {
+			return nil, fmt.Errorf("engine: column %d out of range [0, %d)", col, len(cm.src.ids))
+		}
+		cb := backing[j*words : (j+1)*words]
+		w, bit := col>>6, uint64(1)<<uint(col&63)
+		for i := 0; i < d; i++ {
+			if cm.bits[i*cm.stride+w]&bit != 0 {
+				cb[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		ck.cols[j] = cb
+	}
+	return ck, nil
+}
+
+// Matrix returns the compressed matrix the kernel runs over.
+func (ck *CountKernel) Matrix() *CompressedMatrix { return ck.cm }
+
+// Candidates returns the number of candidate columns.
+func (ck *CountKernel) Candidates() int { return len(ck.cols) }
+
+// FloodBit returns 1 when candidate j is flooded in distinct row i.
+func (ck *CountKernel) FloodBit(j, i int) uint16 {
+	return uint16(ck.cols[j][i>>6] >> uint(i&63) & 1)
+}
+
+// FloodedCounts returns the live per-distinct-row flooded counts of
+// the current placement. Read-only; valid until the next Add, Remove,
+// or Clear.
+func (ck *CountKernel) FloodedCounts() []uint16 { return ck.count }
+
+// Add floods candidate j in the current placement.
+func (ck *CountKernel) Add(j int) {
+	cb := ck.cols[j]
+	for i := range ck.count {
+		ck.count[i] += uint16(cb[i>>6] >> uint(i&63) & 1)
+	}
+}
+
+// Remove undoes Add(j).
+func (ck *CountKernel) Remove(j int) {
+	cb := ck.cols[j]
+	for i := range ck.count {
+		ck.count[i] -= uint16(cb[i>>6] >> uint(i&63) & 1)
+	}
+}
+
+// Clear empties the current placement.
+func (ck *CountKernel) Clear() {
+	for i := range ck.count {
+		ck.count[i] = 0
+	}
+}
+
+// Counts classifies the current placement's distinct rows into counts
+// through a StateByCount table for the placement's size.
+func (ck *CountKernel) Counts(byCount []opstate.State, counts *Counts) {
+	weights := ck.cm.weights
+	for i, c := range ck.count {
+		counts[byCount[c]] += weights[i]
+	}
+}
+
+// CountsWith is Counts for the current placement plus candidate j,
+// without mutating the placement. byCount must cover size+1 sites.
+func (ck *CountKernel) CountsWith(j int, byCount []opstate.State, counts *Counts) {
+	weights := ck.cm.weights
+	cb := ck.cols[j]
+	for i, c := range ck.count {
+		c += uint16(cb[i>>6] >> uint(i&63) & 1)
+		counts[byCount[c]] += weights[i]
+	}
+}

@@ -1,0 +1,318 @@
+package engine_test
+
+import (
+	"math/bits"
+	"testing"
+
+	"compoundthreat/internal/attack"
+	"compoundthreat/internal/engine"
+	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/threat"
+	"compoundthreat/internal/topology"
+)
+
+// patternEnsemble builds a hazard ensemble whose rows enumerate every
+// flood pattern over the assets, each repeated r+1 times so compressed
+// multiplicities differ per pattern.
+func patternEnsemble(t testing.TB, assetIDs []string) *hazard.Ensemble {
+	t.Helper()
+	n := len(assetIDs)
+	cfg := hazard.OahuScenario()
+	var rows [][]float64
+	for p := 0; p < 1<<uint(n); p++ {
+		row := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if p>>uint(i)&1 != 0 {
+				row[i] = 1.0
+			}
+		}
+		for rep := 0; rep <= p%3; rep++ {
+			rows = append(rows, row)
+		}
+	}
+	cfg.Realizations = len(rows)
+	e, err := hazard.NewEnsembleFromDepths(cfg, assetIDs, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func kernelCapabilities() []threat.Capability {
+	return []threat.Capability{
+		{},
+		{Intrusions: 1},
+		{Isolations: 1},
+		{Intrusions: 1, Isolations: 1},
+		{Intrusions: 2, Isolations: 2},
+		{Intrusions: 3, Isolations: 1},
+	}
+}
+
+// TestSymmetricConfig pins the symmetry predicate: single-site and
+// uniform active replication are symmetric; primary-backup and
+// non-uniform replica layouts are not.
+func TestSymmetricConfig(t *testing.T) {
+	if !engine.SymmetricConfig(topology.NewConfig6("a")) {
+		t.Error("single-site \"6\" should be symmetric")
+	}
+	if !engine.SymmetricConfig(topology.NewConfig666("a", "b", "c")) {
+		t.Error("\"6+6+6\" should be symmetric")
+	}
+	if !engine.SymmetricConfig(topology.NewConfigKSite([]string{"a", "b"})) {
+		t.Error("two-site k-site config should be symmetric")
+	}
+	if engine.SymmetricConfig(topology.NewConfig66("a", "b")) {
+		t.Error("primary-backup should not be symmetric")
+	}
+	skew := topology.NewConfig666("a", "b", "c")
+	skew.Sites[2].Replicas = 3
+	if engine.SymmetricConfig(skew) {
+		t.Error("non-uniform replica counts should not be symmetric")
+	}
+	if _, err := engine.StateByCount(topology.NewConfig66("a", "b"), threat.Capability{}); err != engine.ErrNotSymmetric {
+		t.Errorf("StateByCount on primary-backup: err = %v, want ErrNotSymmetric", err)
+	}
+}
+
+// TestStateByCountExhaustive is the symmetry proof backing every
+// kernel: for each symmetric configuration and capability, every one
+// of the 2^S flood patterns must evaluate (through the full greedy
+// attack analyzer) to exactly the table entry of its popcount.
+func TestStateByCountExhaustive(t *testing.T) {
+	ids := []string{"s0", "s1", "s2", "s3", "s4", "s5"}
+	var configs []topology.Config
+	for k := 1; k <= len(ids); k++ {
+		configs = append(configs, topology.NewConfigKSite(ids[:k]))
+	}
+	configs = append(configs, topology.NewConfig666(ids[0], ids[1], ids[2]))
+	skew := topology.NewConfigKSite(ids[:4])
+	skew.MinActiveSites = 4 // stricter quorum, still symmetric
+	configs = append(configs, skew)
+	for _, cfg := range configs {
+		for _, capability := range kernelCapabilities() {
+			tbl, err := engine.StateByCount(cfg, capability)
+			if err != nil {
+				t.Fatalf("%s/%+v: StateByCount: %v", cfg.Name, capability, err)
+			}
+			an, err := attack.NewAnalyzer(cfg, capability)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := uint(len(cfg.Sites))
+			for mask := uint64(0); mask < 1<<n; mask++ {
+				want, err := an.EvaluateMask(mask)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := tbl[bits.OnesCount64(mask)]; got != want {
+					t.Fatalf("%s/%+v: pattern %#x: table says %v, analyzer says %v",
+						cfg.Name, capability, mask, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMaskKernelMatchesEvaluator cross-checks the word-parallel kernel
+// against the memoized evaluator over an exhaustive pattern universe:
+// identical outcome histograms for every site subset, size, and
+// capability.
+func TestMaskKernelMatchesEvaluator(t *testing.T) {
+	ids := []string{"s0", "s1", "s2", "s3", "s4", "s5"}
+	e := patternEnsemble(t, ids)
+	m, err := engine.NewFailureMatrix(e, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := engine.Compress(m, 1)
+	subsets := [][]string{
+		{ids[0]},
+		{ids[0], ids[1]},
+		{ids[2], ids[0], ids[4]}, // unordered on purpose
+		{ids[1], ids[3], ids[5]},
+		{ids[0], ids[1], ids[2], ids[3]},
+		ids,
+	}
+	kernel := engine.NewMaskKernel()
+	for _, sites := range subsets {
+		cfg := topology.NewConfigKSite(sites)
+		for _, capability := range kernelCapabilities() {
+			tbl, err := engine.StateByCount(cfg, capability)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := kernel.BindConfig(cm, tbl, cfg); err != nil {
+				t.Fatal(err)
+			}
+			var got engine.Counts
+			kernel.AddWeighted(&got, 0, cm.DistinctRows())
+
+			ev, err := engine.NewEvaluator(m, cfg, capability)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want engine.Counts
+			if err := ev.AddWeighted(&want, cm, 0, cm.DistinctRows()); err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("sites %v, capability %+v: kernel %v, evaluator %v", sites, capability, got, want)
+			}
+		}
+	}
+}
+
+// TestMaskKernelMultiWord exercises the stride > 1 path: a 70-asset
+// matrix puts site columns in both words of each row.
+func TestMaskKernelMultiWord(t *testing.T) {
+	ids := make([]string, 70)
+	for i := range ids {
+		ids[i] = "a" + string(rune('A'+i/26)) + string(rune('a'+i%26))
+	}
+	e := randomEnsemble(t, 7, 300, ids)
+	m, err := engine.NewFailureMatrix(e, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := engine.Compress(m, 1)
+	sites := []string{ids[3], ids[40], ids[69]}
+	cfg := topology.NewConfigKSite(sites)
+	capability := threat.Capability{Intrusions: 1, Isolations: 1}
+	tbl, err := engine.StateByCount(cfg, capability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel := engine.NewMaskKernel()
+	if err := kernel.Bind(cm, tbl, sites); err != nil {
+		t.Fatal(err)
+	}
+	var got engine.Counts
+	kernel.AddWeighted(&got, 0, cm.DistinctRows())
+	ev, err := engine.NewEvaluator(m, cfg, capability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want engine.Counts
+	if err := ev.AddWeighted(&want, cm, 0, cm.DistinctRows()); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("multi-word kernel %v, evaluator %v", got, want)
+	}
+}
+
+// TestMaskKernelBindErrors pins the bind-time validation: table size
+// mismatch, unknown assets, and duplicate sites all fail loudly.
+func TestMaskKernelBindErrors(t *testing.T) {
+	ids := []string{"s0", "s1", "s2"}
+	e := patternEnsemble(t, ids)
+	m, err := engine.NewFailureMatrix(e, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := engine.Compress(m, 1)
+	cfg := topology.NewConfigKSite(ids[:2])
+	tbl, err := engine.StateByCount(cfg, threat.Capability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel := engine.NewMaskKernel()
+	if err := kernel.Bind(cm, tbl, ids); err == nil {
+		t.Error("table for 2 sites bound to 3 sites should fail")
+	}
+	if err := kernel.Bind(cm, tbl, []string{"s0", "nope"}); err == nil {
+		t.Error("unknown asset should fail")
+	}
+	if err := kernel.Bind(cm, tbl, []string{"s0", "s0"}); err == nil {
+		t.Error("duplicate site should fail")
+	}
+	if err := kernel.Bind(cm, tbl, ids[:2]); err != nil {
+		t.Errorf("valid bind after errors: %v", err)
+	}
+}
+
+// TestCountKernel checks the incremental kernel against the mask
+// kernel: growing a placement site by site yields the same histograms,
+// CountsWith previews exactly what Add would produce, and Remove and
+// Clear restore earlier states.
+func TestCountKernel(t *testing.T) {
+	ids := []string{"s0", "s1", "s2", "s3", "s4"}
+	e := patternEnsemble(t, ids)
+	m, err := engine.NewFailureMatrix(e, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := engine.Compress(m, 1)
+	cols := make([]int, len(ids))
+	for i := range cols {
+		cols[i] = i
+	}
+	ck, err := engine.NewCountKernel(cm, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Candidates() != len(ids) {
+		t.Fatalf("Candidates() = %d", ck.Candidates())
+	}
+	for j := range cols {
+		for i := 0; i < cm.DistinctRows(); i++ {
+			want := uint16(0)
+			if cm.Pattern(i, cols[j:j+1]) != 0 {
+				want = 1
+			}
+			if got := ck.FloodBit(j, i); got != want {
+				t.Fatalf("FloodBit(%d, %d) = %d, want %d", j, i, got, want)
+			}
+		}
+	}
+
+	capability := threat.Capability{Intrusions: 1, Isolations: 1}
+	kernel := engine.NewMaskKernel()
+	order := []int{2, 0, 4, 1}
+	for grown := 1; grown <= len(order); grown++ {
+		sites := make([]string, grown)
+		for i, j := range order[:grown] {
+			sites[i] = ids[j]
+		}
+		tbl, err := engine.StateByCount(topology.NewConfigKSite(sites), capability)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Preview via CountsWith before mutating.
+		var preview engine.Counts
+		ck.CountsWith(order[grown-1], tbl, &preview)
+
+		ck.Add(order[grown-1])
+		var got engine.Counts
+		ck.Counts(tbl, &got)
+		if got != preview {
+			t.Fatalf("size %d: CountsWith %v != Counts after Add %v", grown, preview, got)
+		}
+
+		if err := kernel.Bind(cm, tbl, sites); err != nil {
+			t.Fatal(err)
+		}
+		var want engine.Counts
+		kernel.AddWeighted(&want, 0, cm.DistinctRows())
+		if got != want {
+			t.Fatalf("size %d: count kernel %v, mask kernel %v", grown, got, want)
+		}
+	}
+	for _, j := range order {
+		ck.Remove(j)
+	}
+	for i, c := range ck.FloodedCounts() {
+		if c != 0 {
+			t.Fatalf("row %d count %d after removing all", i, c)
+		}
+	}
+	ck.Add(1)
+	ck.Clear()
+	for _, c := range ck.FloodedCounts() {
+		if c != 0 {
+			t.Fatal("Clear left non-zero counts")
+		}
+	}
+}

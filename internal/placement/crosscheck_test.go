@@ -58,6 +58,40 @@ func TestSearchPairsMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSearchPairsKernelMatchesEvaluator pins the kernel fast path:
+// for the default symmetric "6+6+6" family, the word-parallel mask
+// kernel (default), the memoized evaluator (NoKernel), and the plain
+// sequential walk all produce byte-identical rankings, scores, and
+// profiles — the kernel is an optimization, never a semantic change.
+func TestSearchPairsKernelMatchesEvaluator(t *testing.T) {
+	e, inv := fixture(t)
+	for _, scenario := range threat.Scenarios() {
+		base := Request{
+			Ensemble:  e,
+			Inventory: inv,
+			Primary:   "p",
+			Scenario:  scenario,
+		}
+		want, err := SearchPairsSequential(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernel, err := SearchPairs(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noKernel := base
+		noKernel.NoKernel = true
+		evaluator, err := SearchPairs(noKernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameCandidates(t, scenario.String()+"/kernel-vs-sequential", kernel, want)
+		sameCandidates(t, scenario.String()+"/evaluator-vs-sequential", evaluator, want)
+		sameCandidates(t, scenario.String()+"/kernel-vs-evaluator", kernel, evaluator)
+	}
+}
+
 func TestSearchSecondSiteMatchesSequential(t *testing.T) {
 	e, inv := fixture(t)
 	base := Request{

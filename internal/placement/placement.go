@@ -16,7 +16,9 @@ package placement
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 
 	"compoundthreat/internal/analysis"
 	"compoundthreat/internal/assets"
@@ -75,6 +77,12 @@ type Request struct {
 	// candidate pair is evaluated per distinct flood pattern with
 	// multiplicities — bit-identical to walking every realization.
 	NoCompress bool
+	// NoKernel disables the word-parallel mask kernel, forcing the
+	// memoized per-pattern evaluator even when the configuration family
+	// is symmetric. The kernel is bit-identical where eligible
+	// (TestSearchPairsKernelMatchesEvaluator); the switch exists for
+	// crosschecks and benchmarks.
+	NoKernel bool
 }
 
 func (r *Request) setDefaults() {
@@ -247,22 +255,42 @@ func search(req Request, placements []topology.Placement) ([]Candidate, error) {
 		cm = engine.Compress(m, req.Workers)
 	}
 	capability := req.Scenario.Capability()
+	// Word-parallel fast path: when the whole candidate family is one
+	// symmetric configuration shape, a single StateByCount table covers
+	// every placement and each cell is popcount arithmetic over the
+	// distinct patterns — no per-placement revalidation, no memo tables.
+	// Bit-identical to the evaluator path (the family being symmetric is
+	// itself cross-checked exhaustively in the engine tests).
+	byCount := kernelTable(configs, capability, cm != nil && !req.NoKernel)
+	var kernels sync.Pool
 	var pool engine.EvaluatorPool
 	out := make([]Candidate, len(placements))
 	err = engine.ForEach(req.Workers, len(placements), func(i int) error {
-		ev, err := pool.Get(m, configs[i], capability)
-		if err != nil {
-			return fmt.Errorf("placement: %s/%s: %w", placements[i].Second, placements[i].DataCenter, err)
-		}
 		var counts engine.Counts
-		if cm != nil {
-			err = ev.AddWeighted(&counts, cm, 0, cm.DistinctRows())
+		if byCount != nil {
+			k, _ := kernels.Get().(*engine.MaskKernel)
+			if k == nil {
+				k = engine.NewMaskKernel()
+			}
+			if err := k.BindConfig(cm, byCount, configs[i]); err != nil {
+				return fmt.Errorf("placement: %s/%s: %w", placements[i].Second, placements[i].DataCenter, err)
+			}
+			k.AddWeighted(&counts, 0, cm.DistinctRows())
+			kernels.Put(k)
 		} else {
-			err = ev.AddRange(&counts, 0, m.Rows())
-		}
-		pool.Put(ev)
-		if err != nil {
-			return fmt.Errorf("placement: %s/%s: %w", placements[i].Second, placements[i].DataCenter, err)
+			ev, err := pool.Get(m, configs[i], capability)
+			if err != nil {
+				return fmt.Errorf("placement: %s/%s: %w", placements[i].Second, placements[i].DataCenter, err)
+			}
+			if cm != nil {
+				err = ev.AddWeighted(&counts, cm, 0, cm.DistinctRows())
+			} else {
+				err = ev.AddRange(&counts, 0, m.Rows())
+			}
+			pool.Put(ev)
+			if err != nil {
+				return fmt.Errorf("placement: %s/%s: %w", placements[i].Second, placements[i].DataCenter, err)
+			}
 		}
 		outcome := analysis.Outcome{Config: configs[i], Scenario: req.Scenario, Profile: counts.Profile()}
 		out[i] = Candidate{Placement: placements[i], Score: req.Objective(outcome), Outcome: outcome}
@@ -273,6 +301,44 @@ func search(req Request, placements []topology.Placement) ([]Candidate, error) {
 	}
 	Rank(out)
 	return out, nil
+}
+
+// kernelTable returns the shared StateByCount table when every
+// configuration is the same symmetric shape (architecture, site count,
+// replica layout, fault model) — the condition under which one
+// flooded-count table is valid for all of them — and nil when any
+// configuration needs the general evaluator.
+func kernelTable(configs []topology.Config, capability threat.Capability, enabled bool) []opstate.State {
+	if !enabled || len(configs) == 0 || !engine.SymmetricConfig(configs[0]) {
+		return nil
+	}
+	for _, c := range configs[1:] {
+		if !sameShape(configs[0], c) {
+			return nil
+		}
+	}
+	tbl, err := engine.StateByCount(configs[0], capability)
+	if err != nil {
+		return nil
+	}
+	return tbl
+}
+
+// sameShape reports whether two configurations differ only in which
+// assets host their sites.
+func sameShape(a, b topology.Config) bool {
+	if a.Arch != b.Arch || len(a.Sites) != len(b.Sites) ||
+		a.IntrusionsTolerated != b.IntrusionsTolerated ||
+		a.RecoverySlots != b.RecoverySlots ||
+		a.MinActiveSites != b.MinActiveSites {
+		return false
+	}
+	for i := range a.Sites {
+		if a.Sites[i].Replicas != b.Sites[i].Replicas {
+			return false
+		}
+	}
+	return true
 }
 
 // SearchPairsSequential is the reference implementation of
@@ -330,15 +396,26 @@ func evaluateSequential(req Request, p topology.Placement) (Candidate, error) {
 
 // Rank orders candidates best first under a stable, fully
 // deterministic comparator: score descending, then second site
-// ascending, then data center ascending. (Second, DataCenter) is
-// unique per search, so the order is total and independent of both
-// the input order and the sort algorithm; TestRankDeterministic
-// documents the contract. It is exported so alternative evaluation
-// paths (the serving layer) rank under the identical contract.
+// ascending, then data center ascending. NaN scores sort after every
+// real score (mutually tied, so the site tie-break orders them): an
+// objective that misbehaves on one candidate degrades that candidate,
+// not the whole ranking — NaN comparisons are always false, so a naive
+// comparator would order NaN entries by input position. (Second,
+// DataCenter) is unique per search, so the order is total and
+// independent of both the input order and the sort algorithm;
+// TestRankDeterministic and TestRankNaNSortsLast document the
+// contract. It is exported so alternative evaluation paths (the
+// serving layer) rank under the identical contract.
 func Rank(out []Candidate) {
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+		si, sj := out[i].Score, out[j].Score
+		if ni, nj := math.IsNaN(si), math.IsNaN(sj); ni || nj {
+			if ni != nj {
+				return nj // the real score sorts first
+			}
+			// Both NaN: tied; fall through to the site tie-break.
+		} else if si != sj {
+			return si > sj
 		}
 		if out[i].Placement.Second != out[j].Placement.Second {
 			return out[i].Placement.Second < out[j].Placement.Second

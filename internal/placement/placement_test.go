@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"math"
 	"testing"
 
 	"compoundthreat/internal/analysis"
@@ -186,6 +187,44 @@ func TestRankDeterministic(t *testing.T) {
 		{4, 3, 2, 1, 0},
 		{2, 0, 4, 1, 3},
 		{3, 4, 0, 2, 1},
+	}
+	for _, perm := range perms {
+		in := make([]Candidate, len(want))
+		for i, j := range perm {
+			in[i] = want[j]
+		}
+		Rank(in)
+		for i := range want {
+			if in[i].Placement != want[i].Placement {
+				t.Errorf("perm %v rank %d: %+v, want %+v", perm, i, in[i].Placement, want[i].Placement)
+			}
+		}
+	}
+}
+
+// TestRankNaNSortsLast documents Rank's NaN contract: candidates with
+// NaN scores sort after every real score (including -Inf), and among
+// themselves fall back to the (Second, DataCenter) tie-break, so a
+// degenerate objective cannot poison the ordering of the rest.
+func TestRankNaNSortsLast(t *testing.T) {
+	nan := math.NaN()
+	mk := func(second, dc string, score float64) Candidate {
+		return Candidate{
+			Placement: topology.Placement{Primary: "p", Second: second, DataCenter: dc},
+			Score:     score,
+		}
+	}
+	want := []Candidate{
+		mk("a", "b", 0.9),
+		mk("c", "d", 0.1),
+		mk("d", "e", math.Inf(-1)),
+		mk("a", "c", nan), // NaN block last, ordered by (second, dc)
+		mk("b", "a", nan),
+	}
+	perms := [][]int{
+		{0, 1, 2, 3, 4},
+		{4, 3, 2, 1, 0},
+		{3, 0, 4, 2, 1},
 	}
 	for _, perm := range perms {
 		in := make([]Candidate, len(want))

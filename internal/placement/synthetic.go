@@ -1,0 +1,137 @@
+package placement
+
+// Synthetic candidate universes for exercising k-site search at
+// production scale. Real ensembles top out at the inventory size
+// (tens of assets); benchmarking and stress-testing the search needs
+// thousands of candidates with realistic structure — spatially
+// correlated failures, not independent coin flips, so compression
+// still finds shared patterns and the branch-and-bound bound still
+// has teeth.
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// syntheticZones groups sites into correlated failure zones: all sites
+// in a zone share a per-realization severity draw, mimicking the
+// spatial correlation of storm surge (nearby substations flood
+// together).
+const syntheticZones = 32
+
+// SyntheticEnsemble is a deterministic, seed-reproducible disaster
+// ensemble over a synthetic candidate universe. It satisfies
+// analysis.DisasterEnsemble and the engine's column-append fast path.
+// Failures are zone-correlated: site i belongs to zone i mod 32, each
+// (realization, zone) pair draws one severity, and a site fails when
+// that severity exceeds the site's own fragility threshold.
+type SyntheticEnsemble struct {
+	ids  []string
+	col  map[string]int
+	rows int
+	// cols[c] is asset c's failure bitset over realizations.
+	cols [][]uint64
+}
+
+// SyntheticUniverse generates n candidate sites ("site-0000"...) under
+// rows disaster realizations from the given seed. The same
+// (n, rows, seed) triple always produces the same ensemble.
+func SyntheticUniverse(n, rows int, seed uint64) (*SyntheticEnsemble, error) {
+	if n < 1 || rows < 1 {
+		return nil, fmt.Errorf("placement: synthetic universe needs positive sites and rows, got %d, %d", n, rows)
+	}
+	e := &SyntheticEnsemble{
+		ids:  make([]string, n),
+		col:  make(map[string]int, n),
+		rows: rows,
+		cols: make([][]uint64, n),
+	}
+	words := (rows + 63) / 64
+	backing := make([]uint64, n*words)
+	// Per-site fragility thresholds in [0.35, 0.95): every site fails
+	// under a bad enough zone draw, none under a mild one.
+	thresholds := make([]float64, n)
+	for i := range thresholds {
+		thresholds[i] = 0.35 + 0.6*u01(splitmix64(seed+uint64(i)*0x9e3779b97f4a7c15+1))
+		e.ids[i] = fmt.Sprintf("site-%04d", i)
+		e.col[e.ids[i]] = i
+		e.cols[i] = backing[i*words : (i+1)*words]
+	}
+	for r := 0; r < rows; r++ {
+		var severity [syntheticZones]float64
+		for z := range severity {
+			severity[z] = u01(splitmix64(seed ^ uint64(r)<<32 ^ uint64(z)*0xbf58476d1ce4e5b9))
+		}
+		for i := 0; i < n; i++ {
+			if severity[i%syntheticZones] > thresholds[i] {
+				e.cols[i][r>>6] |= 1 << uint(r&63)
+			}
+		}
+	}
+	return e, nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mix,
+// dependency-free and stable across platforms.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// u01 maps a random word to [0, 1) with 53 bits of precision.
+func u01(v uint64) float64 { return float64(v>>11) / (1 << 53) }
+
+// Size returns the number of realizations.
+func (e *SyntheticEnsemble) Size() int { return e.rows }
+
+// AssetIDs returns the generated site IDs in index order.
+func (e *SyntheticEnsemble) AssetIDs() []string { return e.ids }
+
+// FailureVector returns the failed flags of the given assets in
+// realization r.
+func (e *SyntheticEnsemble) FailureVector(r int, assetIDs []string) ([]bool, error) {
+	return e.AppendFailureVector(make([]bool, 0, len(assetIDs)), r, assetIDs)
+}
+
+// AppendFailureVector appends realization r's failed flags to dst —
+// the engine's allocation-free row path.
+func (e *SyntheticEnsemble) AppendFailureVector(dst []bool, r int, assetIDs []string) ([]bool, error) {
+	if r < 0 || r >= e.rows {
+		return nil, fmt.Errorf("placement: realization %d out of range [0, %d)", r, e.rows)
+	}
+	for _, id := range assetIDs {
+		c, ok := e.col[id]
+		if !ok {
+			return nil, fmt.Errorf("placement: unknown synthetic site %q", id)
+		}
+		dst = append(dst, e.cols[c][r>>6]>>uint(r&63)&1 != 0)
+	}
+	return dst, nil
+}
+
+// AppendFailureBits appends the asset's realization column as a bitset
+// — the engine's column-major compile fast path, which is what makes
+// thousand-candidate matrix compiles cheap.
+func (e *SyntheticEnsemble) AppendFailureBits(dst []uint64, assetID string) ([]uint64, error) {
+	c, ok := e.col[assetID]
+	if !ok {
+		return nil, fmt.Errorf("placement: unknown synthetic site %q", assetID)
+	}
+	return append(dst, e.cols[c]...), nil
+}
+
+// FailureRate returns the fraction of realizations in which the asset
+// fails.
+func (e *SyntheticEnsemble) FailureRate(assetID string) (float64, error) {
+	c, ok := e.col[assetID]
+	if !ok {
+		return 0, fmt.Errorf("placement: unknown synthetic site %q", assetID)
+	}
+	failed := 0
+	for _, w := range e.cols[c] {
+		failed += bits.OnesCount64(w)
+	}
+	return float64(failed) / float64(e.rows), nil
+}

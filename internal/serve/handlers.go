@@ -49,6 +49,8 @@ func (s *Server) routes() {
 	s.handle("POST /v1/sweep", "sweep_post", s.handleSweepPost)
 	s.handle("GET /v1/figure/{id}", "figure", s.handleFigure)
 	s.handle("GET /v1/placement", "placement", s.handlePlacement)
+	s.handle("POST /v1/placement/search", "placement_search", s.handlePlacementSearch)
+	s.handle("GET /v1/placement/jobs/{id}", "placement_job", s.handlePlacementJob)
 }
 
 // writeError renders an error response and returns the status it

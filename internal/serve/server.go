@@ -52,6 +52,12 @@ type Options struct {
 	// request (see accessEntry). The server serializes writes; the
 	// caller owns buffering and flushing. nil = access logging off.
 	AccessLog io.Writer
+	// JobTimeout is the per-job deadline for async placement searches
+	// (queueing for an evaluation slot plus the search itself). 0 = 5m.
+	JobTimeout time.Duration
+	// JobRetention bounds how many finished placement jobs stay
+	// pollable; the oldest are evicted first. 0 = 64.
+	JobRetention int
 }
 
 // defaults materializes the documented zero-value defaults.
@@ -70,6 +76,12 @@ func (o Options) defaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 5 * time.Minute
+	}
+	if o.JobRetention <= 0 {
+		o.JobRetention = 64
 	}
 	return o
 }
@@ -92,6 +104,7 @@ type Server struct {
 	ensembles map[string]*ensembleEntry
 	names     []string // sorted ensemble names
 	cache     *viewCache
+	jobs      *jobRegistry
 	slots     chan struct{}
 	start     time.Time
 	mux       *http.ServeMux
@@ -124,6 +137,7 @@ func New(ensembles map[string]Ensemble, inv *assets.Inventory, opt Options) (*Se
 		inv:       inv,
 		ensembles: make(map[string]*ensembleEntry, len(ensembles)),
 		cache:     newViewCache(opt.CacheEntries),
+		jobs:      newJobRegistry(opt.JobRetention),
 		slots:     make(chan struct{}, opt.MaxInflight),
 		start:     time.Now(),
 		inflight:  rec.Gauge("serve.inflight"),

@@ -1,6 +1,9 @@
 package topology
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Extended configurations from Babay et al. (DSN 2018), the paper's
 // reference [16], which analyzed a wider family of architectures than
@@ -57,6 +60,38 @@ func NewConfig3333(primary, second, dc1, dc2 string) Config {
 		IntrusionsTolerated: 1,
 		RecoverySlots:       1,
 		MinActiveSites:      3,
+	}
+}
+
+// NewConfigKSite generalizes the intrusion-tolerant replication family
+// to k sites for placement search. One site is the single-site "6";
+// k >= 2 sites run six active replicas each with a majority site
+// quorum (k/2 + 1): k = 3 reproduces "6+6+6"'s 2-of-3 and k = 4 the
+// 3-of-4 of "3+3+3+3", at six replicas per site. The first site is the
+// primary, the rest active replicas in the given priority order. Every
+// size shares the fault model (f = 1, one recovery slot) and a uniform
+// replica count, so the family is symmetric in the engine's sense: the
+// worst-case outcome depends only on how many sites a disaster takes
+// out — the property the k-site search kernels exploit.
+func NewConfigKSite(siteIDs []string) Config {
+	if len(siteIDs) == 1 {
+		return NewConfig6(siteIDs[0])
+	}
+	sites := make([]Site, len(siteIDs))
+	for i, id := range siteIDs {
+		role := RoleActive
+		if i == 0 {
+			role = RolePrimary
+		}
+		sites[i] = Site{AssetID: id, Role: role, Replicas: 6}
+	}
+	return Config{
+		Name:                fmt.Sprintf("6x%d", len(siteIDs)),
+		Arch:                ActiveReplication,
+		Sites:               sites,
+		IntrusionsTolerated: 1,
+		RecoverySlots:       1,
+		MinActiveSites:      len(siteIDs)/2 + 1,
 	}
 }
 

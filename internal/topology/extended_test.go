@@ -62,3 +62,39 @@ func TestConfig4UndersizedRejected(t *testing.T) {
 		t.Error("3 replicas with f=1 should fail 3f+1 sizing")
 	}
 }
+
+// TestNewConfigKSite checks the k-site family: every size validates,
+// k = 1 degenerates to "6", k = 3 matches "6+6+6"'s shape, and the
+// majority quorum follows k/2 + 1.
+func TestNewConfigKSite(t *testing.T) {
+	ids := []string{"a", "b", "c", "d", "e", "f"}
+	for k := 1; k <= len(ids); k++ {
+		cfg := NewConfigKSite(ids[:k])
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("k=%d: Validate: %v", k, err)
+		}
+		if len(cfg.Sites) != k {
+			t.Fatalf("k=%d: got %d sites", k, len(cfg.Sites))
+		}
+		if k == 1 {
+			if cfg.Arch != SingleSite || cfg.Name != "6" {
+				t.Errorf("k=1: got %v %q, want single-site \"6\"", cfg.Arch, cfg.Name)
+			}
+			continue
+		}
+		if cfg.Arch != ActiveReplication {
+			t.Errorf("k=%d: arch = %v", k, cfg.Arch)
+		}
+		if want := k/2 + 1; cfg.MinActiveSites != want {
+			t.Errorf("k=%d: MinActiveSites = %d, want %d", k, cfg.MinActiveSites, want)
+		}
+		for i, s := range cfg.Sites {
+			if s.Replicas != 6 {
+				t.Errorf("k=%d: site %d has %d replicas", k, i, s.Replicas)
+			}
+		}
+	}
+	if got, want := NewConfigKSite(ids[:3]).MinActiveSites, NewConfig666("a", "b", "c").MinActiveSites; got != want {
+		t.Errorf("k=3 quorum %d differs from 6+6+6's %d", got, want)
+	}
+}

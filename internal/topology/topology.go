@@ -146,8 +146,11 @@ func (c Config) Validate() error {
 			return fmt.Errorf("topology: %s: primary-backup needs a positive activation delay", c.Name)
 		}
 	case ActiveReplication:
-		if len(c.Sites) < 3 {
-			return fmt.Errorf("topology: %s: active replication needs >= 3 sites, has %d", c.Name, len(c.Sites))
+		// Two sites is the degenerate minimum: the replication protocol
+		// needs a second site to order updates with (NewConfigKSite's
+		// k = 2 member); one site would be SingleSite in disguise.
+		if len(c.Sites) < 2 {
+			return fmt.Errorf("topology: %s: active replication needs >= 2 sites, has %d", c.Name, len(c.Sites))
 		}
 		if c.MinActiveSites < 2 || c.MinActiveSites > len(c.Sites) {
 			return fmt.Errorf("topology: %s: MinActiveSites %d out of range [2, %d]",

@@ -139,10 +139,10 @@ func TestValidateRejections(t *testing.T) {
 			"active too few sites",
 			func() Config {
 				c := NewConfig666("a", "b", "c")
-				c.Sites = c.Sites[:2]
+				c.Sites = c.Sites[:1]
 				return c
 			},
-			">= 3 sites",
+			">= 2 sites",
 		},
 		{
 			"active MinActiveSites too low",

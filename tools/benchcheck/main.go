@@ -17,6 +17,9 @@
 //	go test -run '^$' -bench 'Traced|TracingOff|MetricsRender' -benchtime 100x ./internal/serve/ > trace.out
 //	go run ./tools/benchcheck -set trace -baseline BENCH_5.json -input trace.out
 //
+//	go test -run '^$' -bench 'Pairs|KSite' -benchtime 1x ./internal/placement/ > placement.out
+//	go run ./tools/benchcheck -set placement -baseline BENCH_6.json -input placement.out
+//
 // The threshold is deliberately loose (3x by default): single-iteration
 // smoke runs on shared CI machines are noisy, and the gate exists to
 // catch order-of-magnitude regressions — an accidental re-lock in the
@@ -74,12 +77,22 @@ var traceToKey = map[string]string{
 	"BenchmarkMetricsRender":   "serve_metrics_render_ns_per_op",
 }
 
+// placementToKey maps the k-site search and pair-kernel benchmarks to
+// BENCH_6.json headline keys — the "placement" set.
+var placementToKey = map[string]string{
+	"BenchmarkPairsKernel":    "pairs_kernel_ns_per_op",
+	"BenchmarkPairsEvaluator": "pairs_evaluator_ns_per_op",
+	"BenchmarkKSiteGreedy":    "ksite_greedy_ns_per_op",
+	"BenchmarkKSiteExact":     "ksite_exact_ns_per_op",
+}
+
 // benchSets names the selectable benchmark tables.
 var benchSets = map[string]map[string]string{
 	"figures":    nameToKey,
 	"compressed": compressedToKey,
 	"serve":      serveToKey,
 	"trace":      traceToKey,
+	"placement":  placementToKey,
 }
 
 // baseline is the subset of BENCH_1.json that benchcheck consumes.
@@ -100,12 +113,12 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_1.json", "baseline JSON file with a headline section")
 	input := flag.String("input", "", "benchmark output file (default: stdin)")
 	maxRatio := flag.Float64("max-ratio", 3.0, "fail when ns/op exceeds baseline by more than this factor")
-	setName := flag.String("set", "figures", "benchmark set to gate: figures, compressed, serve, or trace")
+	setName := flag.String("set", "figures", "benchmark set to gate: figures, compressed, serve, trace, or placement")
 	flag.Parse()
 
 	table, ok := benchSets[*setName]
 	if !ok {
-		fatal(fmt.Errorf("unknown benchmark set %q (have: figures, compressed, serve, trace)", *setName))
+		fatal(fmt.Errorf("unknown benchmark set %q (have: figures, compressed, serve, trace, placement)", *setName))
 	}
 
 	in := io.Reader(os.Stdin)

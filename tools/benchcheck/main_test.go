@@ -183,6 +183,46 @@ func TestCheckServeSet(t *testing.T) {
 	}
 }
 
+// samplePlacementBaseline mirrors BENCH_6.json's headline section.
+var samplePlacementBaseline = map[string]float64{
+	"pairs_kernel_ns_per_op":    2900,
+	"pairs_evaluator_ns_per_op": 10800,
+	"ksite_greedy_ns_per_op":    10200000,
+	"ksite_exact_ns_per_op":     2230000,
+}
+
+const placementOutput = `
+goos: linux
+goarch: amd64
+pkg: compoundthreat/internal/placement
+BenchmarkPairsKernel-4      	     100	    2950 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPairsEvaluator-4   	     100	   10900 ns/op	     120 B/op	       3 allocs/op
+BenchmarkKSiteGreedy-4      	      10	10400000 ns/op
+BenchmarkKSiteExact-4       	      10	 2250000 ns/op
+PASS
+`
+
+// TestCheckPlacementSet gates the k-site search benchmarks with their
+// own table, independently of the other sets.
+func TestCheckPlacementSet(t *testing.T) {
+	results, err := check(placementToKey, samplePlacementBaseline, strings.NewReader(placementOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, r := range results {
+		if r.Ratio > 3 {
+			t.Errorf("%s ratio %.2f flagged on healthy output", r.Name, r.Ratio)
+		}
+	}
+	// The placement set must not accept other sets' output.
+	if _, err := check(placementToKey, samplePlacementBaseline, strings.NewReader(serveOutput)); err == nil {
+		t.Fatal("placement set accepted output without the placement benchmarks")
+	}
+}
+
 func TestParseLine(t *testing.T) {
 	cases := []struct {
 		line string
