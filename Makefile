@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench-smoke bench-compress bench-serve bench-trace bench-placement bench bench-check doc-check verify
+.PHONY: all build test vet race fmt-check fuzz-smoke bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard bench-smoke-all bench bench-check doc-check verify
 
 all: build
 
@@ -54,6 +54,27 @@ bench-trace:
 bench-placement:
 	$(GO) test -run '^$$' -bench 'Pairs|KSite' -benchtime 20x ./internal/placement/
 
+# The sharded-serving benchmarks: the consistent-hash router over two
+# real re-executed worker processes vs direct worker access. One
+# iteration is the smoke test that the multi-process path still boots
+# and serves end to end; cluster startup dominates the runtime.
+bench-shard:
+	$(GO) test -run '^$$' -bench 'Sharded' -benchtime 1x ./internal/shard/
+
+# Every benchmark smoke in one target, so the verify gate stays one
+# line as sets accumulate.
+bench-smoke-all: bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard
+
+# Short fuzz runs over every fuzz target: the hazard ensemble codecs
+# (JSON and CSV readers) and the compressed-matrix wire codec. 30s per
+# target keeps the job a couple of minutes while still churning
+# through millions of hostile inputs; `go test -fuzz` accepts one
+# target per invocation, hence one line each.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzReadJSON' -fuzztime 30s ./internal/hazard/
+	$(GO) test -run '^$$' -fuzz 'FuzzReadCSV' -fuzztime 30s ./internal/hazard/
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeCompressedMatrix' -fuzztime 30s ./internal/engine/
+
 # Full benchmark sweep with allocation counts (slow: regenerates the
 # 1000-realization ensemble).
 bench:
@@ -64,9 +85,11 @@ bench:
 # BENCH_1.json (uncompressed engine reference), the Compressed
 # benchmarks against BENCH_3.json (deduplicated sweeps), the Serve
 # benchmarks against BENCH_4.json (analysis server), the tracing
-# benchmarks against BENCH_5.json (observability cost), and the
+# benchmarks against BENCH_5.json (observability cost), the
 # placement-search benchmarks against BENCH_6.json (pair kernel +
-# k-site search), failing on >3x slowdowns in any set.
+# k-site search), and the sharded-serving benchmarks against
+# BENCH_7.json (router over real worker processes), failing on >3x
+# slowdowns in any set.
 bench-check:
 	$(GO) test -run '^$$' -bench 'Figure' -benchtime 1x . > bench-smoke.out
 	@cat bench-smoke.out
@@ -83,6 +106,9 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'Pairs|KSite' -benchtime 20x ./internal/placement/ > bench-placement.out
 	@cat bench-placement.out
 	$(GO) run ./tools/benchcheck -set placement -baseline BENCH_6.json -input bench-placement.out
+	$(GO) test -run '^$$' -bench 'Sharded' -benchtime 100x ./internal/shard/ > bench-shard.out
+	@cat bench-shard.out
+	$(GO) run ./tools/benchcheck -set shard -baseline BENCH_7.json -input bench-shard.out
 
 # Documentation lint: every package must carry a package comment (see
 # tools/doccheck).
@@ -91,4 +117,4 @@ doc-check:
 
 # The documented verification gate: vet, build, race-enabled tests,
 # documentation lint, and the benchmark smoke runs.
-verify: vet build race doc-check bench-smoke bench-compress bench-serve bench-trace bench-placement
+verify: vet build race doc-check bench-smoke-all

@@ -1,0 +1,108 @@
+// Command threatrouter is the routing tier of a sharded threatserver
+// deployment: it consistent-hashes each query's compiled view onto a
+// fixed pool of threatserver workers, batches identical in-flight
+// reads, retries worker failures onto ring successors, and keeps async
+// placement job polls sticky to the worker that owns them (see
+// internal/shard and docs/API.md).
+//
+// Usage:
+//
+//	threatrouter -backends http://host:8321,http://host:8322
+//	             [-addr 127.0.0.1:8320] [-replicas N] [-timeout D]
+//	             [-hedge D] [-health-interval D] [-max-body N]
+//	             [-drain D] [-metrics report.json] [-pprof addr]
+//
+// The router holds no ensemble data and compiles nothing: it resolves
+// ensemble names to content fingerprints from worker health responses
+// and forwards each query to the worker owning its view. Like the
+// workers it always runs with a live recorder, so GET /v1/metrics
+// exposes the batching split (shard.batch_leaders vs
+// shard.batch_joined), retry/hedge counts, and per-backend traffic;
+// -metrics additionally writes the JSON run report at exit.
+//
+// On SIGINT/SIGTERM the router stops accepting connections, gives
+// in-flight requests up to -drain to finish, and exits; workers drain
+// independently.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/serve"
+	"compoundthreat/internal/shard"
+)
+
+// main delegates to run so deferred cleanup (metrics flush, pprof
+// shutdown) executes before the process exits.
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "threatrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("threatrouter", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8320", "listen address")
+	backends := fs.String("backends", "", "comma-separated worker base URLs (required)")
+	replicas := fs.Int("replicas", 0, "ring points per backend (0 = 64)")
+	timeout := fs.Duration("timeout", 15*time.Second, "per-request deadline, covering retries and hedges")
+	hedge := fs.Duration("hedge", 0, "hedge batchable reads onto a second worker after this delay (0 = off)")
+	healthInterval := fs.Duration("health-interval", 2*time.Second, "worker health probe period")
+	maxBody := fs.Int64("max-body", 1<<20, "maximum POST body bytes")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
+	var ocli obs.CLI
+	ocli.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *backends == "" {
+		return fmt.Errorf("-backends is required (comma-separated worker URLs)")
+	}
+	// The router always runs with a live recorder so /v1/metrics works;
+	// -metrics decides only whether the JSON report is also written.
+	if err := ocli.Start("threatrouter", args, os.Stderr); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ocli.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if ocli.Recorder() == nil {
+		rec := obs.New()
+		obs.Enable(rec)
+		defer obs.Enable(nil)
+	}
+
+	rt, err := shard.New(shard.Options{
+		Backends:       strings.Split(*backends, ","),
+		Replicas:       *replicas,
+		Timeout:        *timeout,
+		Hedge:          *hedge,
+		HealthInterval: *healthInterval,
+		MaxBodyBytes:   *maxBody,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "routing %d backends, listening on %s\n", len(strings.Split(*backends, ",")), ln.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve.Run(ctx, ln, rt.Handler(), *drain, os.Stderr)
+}

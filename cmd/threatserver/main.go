@@ -9,6 +9,7 @@
 //	threatserver [-addr 127.0.0.1:8321] [-realizations N] [-seed S]
 //	             [-quake] [-workers N] [-cache N] [-timeout D]
 //	             [-max-inflight N] [-max-body N] [-drain D]
+//	             [-handoff URL] [-handoff-views N]
 //	             [-job-timeout D] [-job-retention N]
 //	             [-trace-buffer N] [-slow-trace D] [-access-log FILE]
 //	             [-runtime-interval D] [-metrics report.json] [-pprof addr]
@@ -27,7 +28,11 @@
 // immediately, gives in-flight requests up to -drain to finish, then
 // flushes the access log, prints a trace-buffer summary, and finally
 // writes the -metrics report — in that order, so every shutdown
-// artifact covers the full run.
+// artifact covers the full run. With -handoff set, the drained server
+// first streams its hottest compiled views (wire-encoded, capped by
+// -handoff-views) and every finished placement job to the successor at
+// that URL, so a rolling restart keeps the replacement's cache warm
+// and its inherited jobs pollable.
 package main
 
 import (
@@ -75,6 +80,8 @@ func run(args []string) (err error) {
 	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained per ring for /v1/traces (0 = tracing off)")
 	slowTrace := fs.Duration("slow-trace", 250*time.Millisecond, "retain traces at or over this duration in the slow ring (0 = slow ring off)")
 	accessLog := fs.String("access-log", "", `write one JSON access-log line per request to this file ("-" = stderr)`)
+	handoff := fs.String("handoff", "", "successor base URL to stream hot views and finished jobs to after draining")
+	handoffViews := fs.Int("handoff-views", 0, "cap on views streamed at handoff, hottest first (0 = all)")
 	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-job deadline for async placement searches")
 	jobRetention := fs.Int("job-retention", 0, "finished placement jobs kept pollable (0 = 64)")
 	runtimeInterval := fs.Duration("runtime-interval", 10*time.Second, "runtime sampler interval for goroutine/heap/GC gauges (0 = off)")
@@ -190,6 +197,23 @@ func run(args []string) (err error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err = serve.Run(ctx, ln, s.Handler(), *drain, os.Stderr)
+	// Warm handoff runs after the drain (the view set is final) and
+	// before Close (finished jobs are still exportable): the successor
+	// inherits the hottest compiled views and every pollable result.
+	if *handoff != "" {
+		hctx, hcancel := context.WithTimeout(context.Background(), *drain)
+		rep, herr := s.Handoff(hctx, *handoff, *handoffViews)
+		hcancel()
+		if herr != nil {
+			fmt.Fprintf(os.Stderr, "handoff to %s failed: %v\n", *handoff, herr)
+			if err == nil {
+				err = herr
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "handed off %d views (%d skipped) and %d jobs to %s\n",
+				rep.Views, rep.SkippedViews, rep.Jobs, *handoff)
+		}
+	}
 	// Cancel any still-running placement jobs before the artifact
 	// flushes so their terminal counters land in the -metrics report.
 	s.Close()

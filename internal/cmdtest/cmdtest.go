@@ -44,8 +44,9 @@ func MaybeRunMain(mainFn func()) bool {
 // routing it into the command's main() with the given arguments (the
 // package's TestMain must call MaybeRunMain). The caller wires up
 // pipes and runs or starts it — long-running commands such as servers
-// are started, signaled, and waited on.
-func Command(t *testing.T, args ...string) *exec.Cmd {
+// are started, signaled, and waited on. It accepts a testing.TB so
+// benchmarks can spawn worker processes too.
+func Command(t testing.TB, args ...string) *exec.Cmd {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {

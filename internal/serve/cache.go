@@ -207,3 +207,61 @@ func (c *viewCache) len() int {
 	defer c.mu.Unlock()
 	return c.lru.Len()
 }
+
+// keyedView pairs a cache key with its compiled view for listing and
+// export.
+type keyedView struct {
+	key  string
+	view *view
+}
+
+// snapshot returns the finished views hottest-first (LRU front to
+// back). In-flight compiles are excluded; the snapshot holds the views
+// themselves, so it stays valid after later evictions.
+func (c *viewCache) snapshot() []keyedView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]keyedView, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, keyedView{key: e.key, view: e.view})
+	}
+	return out
+}
+
+// peek returns the finished view for key without compiling on a miss
+// and without promoting the entry — an export must not perturb the
+// LRU order it is trying to preserve on the successor.
+func (c *viewCache) peek(key string) (*view, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.elem == nil {
+		return nil, false
+	}
+	return e.view, true
+}
+
+// put inserts an already-compiled view (a warm-handoff import) unless
+// the key is present — finished or compiling — in which case the local
+// copy wins and put reports false. Inserted views occupy LRU capacity
+// exactly like locally compiled ones.
+func (c *viewCache) put(key string, v *view) bool {
+	e := &cacheEntry{key: key, ready: make(chan struct{}), view: v}
+	close(e.ready)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; exists {
+		return false
+	}
+	c.entries[key] = e
+	e.elem = c.lru.PushFront(e)
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		old := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, old.key)
+		c.evictions.Inc()
+	}
+	return true
+}

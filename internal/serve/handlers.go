@@ -38,10 +38,32 @@ func notFoundf(format string, args ...any) error {
 	return &apiError{status: http.StatusNotFound, code: "not_found", message: fmt.Sprintf(format, args...)}
 }
 
+// ErrorStatus reports the HTTP status and machine code an error from
+// this package's request-validation helpers renders as, so the router
+// tier (internal/shard) can reject malformed requests with the exact
+// envelope a worker would have produced. Errors this package does not
+// classify map to 500/"internal".
+func ErrorStatus(err error) (status int, code string) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status, ae.code
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout, "timeout"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
 // routes registers every endpoint on the mux, resolving each
 // endpoint's observability instruments once at registration.
 func (s *Server) routes() {
 	s.handle("GET /v1/healthz", "healthz", s.handleHealthz)
+	s.handle("GET /v1/readyz", "readyz", s.handleReadyz)
+	s.handle("GET /v1/views", "views", s.handleViews)
+	s.handle("GET /v1/views/export", "view_export", s.handleViewExport)
+	s.handle("POST /v1/views/import", "view_import", s.handleViewImport)
+	s.handle("GET /v1/jobs/export", "jobs_export", s.handleJobsExport)
+	s.handle("POST /v1/jobs/import", "jobs_import", s.handleJobsImport)
 	s.handle("GET /v1/report", "report", s.handleReport)
 	s.handle("GET /v1/metrics", "metrics", s.handleMetrics)
 	s.handle("GET /v1/traces", "traces", s.handleTraces)

@@ -202,6 +202,52 @@ func (g *jobRegistry) finish(j *job, res *placement.KResult, err error) {
 	g.mu.Unlock()
 }
 
+// exportDone renders every finished (done) job as a wire envelope,
+// oldest first — the handoff order, so retention eviction on the
+// receiving side keeps the newest results.
+func (g *jobRegistry) exportDone() []jobEnvelope {
+	g.mu.Lock()
+	finished := append([]*job(nil), g.finished...)
+	g.mu.Unlock()
+	out := make([]jobEnvelope, 0, len(finished))
+	for _, j := range finished {
+		if env, ok := envelopeOf(j); ok {
+			out = append(out, env)
+		}
+	}
+	return out
+}
+
+// importDone registers an inherited finished job for polling and — by
+// content key — as a coalescing result-cache hit, exactly like a
+// locally finished job. Existing ids and keys win over imports; the
+// registry's retention bound applies as usual.
+func (g *jobRegistry) importDone(j *job) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false
+	}
+	if _, taken := g.byID[j.id]; taken {
+		return false
+	}
+	if _, taken := g.byKey[j.key]; taken {
+		return false
+	}
+	g.byID[j.id] = j
+	g.byKey[j.key] = j
+	g.finished = append(g.finished, j)
+	for len(g.finished) > g.retention {
+		old := g.finished[0]
+		g.finished = g.finished[1:]
+		delete(g.byID, old.id)
+		if g.byKey[old.key] == old {
+			delete(g.byKey, old.key)
+		}
+	}
+	return true
+}
+
 // close stops accepting submissions and cancels every running job.
 func (g *jobRegistry) close() {
 	g.mu.Lock()
@@ -222,9 +268,10 @@ func (g *jobRegistry) close() {
 
 // Close cancels all running placement jobs and rejects new
 // submissions; poll endpoints keep answering (canceled jobs report
-// their state). Call after Run returns, before process exit, so job
-// goroutines stop deterministically.
+// their state) and /v1/readyz starts failing. Call after Run returns,
+// before process exit, so job goroutines stop deterministically.
 func (s *Server) Close() {
+	s.closed.Store(true)
 	s.jobs.close()
 }
 

@@ -58,6 +58,10 @@ type Options struct {
 	// JobRetention bounds how many finished placement jobs stay
 	// pollable; the oldest are evicted first. 0 = 64.
 	JobRetention int
+	// MaxImportBytes bounds warm-handoff import bodies (wire-encoded
+	// views, finished-job envelopes), which are legitimately larger
+	// than query bodies. 0 = 64 MiB.
+	MaxImportBytes int64
 }
 
 // defaults materializes the documented zero-value defaults.
@@ -82,6 +86,9 @@ func (o Options) defaults() Options {
 	}
 	if o.JobRetention <= 0 {
 		o.JobRetention = 64
+	}
+	if o.MaxImportBytes <= 0 {
+		o.MaxImportBytes = 64 << 20
 	}
 	return o
 }
@@ -112,6 +119,13 @@ type Server struct {
 	inflight *obs.Gauge
 	errs     *obs.Counter
 	timeouts *obs.Counter
+
+	// Warm-handoff instruments and the readiness flag Close flips.
+	viewsExported *obs.Counter
+	viewsImported *obs.Counter
+	handoffViews  *obs.Counter
+	jobsImported  *obs.Counter
+	closed        atomic.Bool
 
 	// tracer and access are resolved once at New (both may be nil =
 	// disabled); reqID numbers requests for X-Request-Id and the log.
@@ -144,6 +158,11 @@ func New(ensembles map[string]Ensemble, inv *assets.Inventory, opt Options) (*Se
 		errs:      rec.Counter("serve.errors"),
 		timeouts:  rec.Counter("serve.timeouts"),
 		tracer:    obs.DefaultTracer(),
+
+		viewsExported: rec.Counter("serve.views_exported"),
+		viewsImported: rec.Counter("serve.views_imported"),
+		handoffViews:  rec.Counter("serve.handoff_views"),
+		jobsImported:  rec.Counter("serve.jobs_imported"),
 	}
 	if opt.AccessLog != nil {
 		s.access = newAccessLogger(opt.AccessLog)

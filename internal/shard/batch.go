@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"context"
+	"sync"
+
+	"compoundthreat/internal/obs"
+)
+
+// response is one buffered backend response: everything a waiter needs
+// to replay the leader's answer byte-for-byte.
+type response struct {
+	status      int
+	contentType string
+	header      map[string]string // extra headers worth forwarding (codec version)
+	body        []byte
+	backend     int // index of the backend that answered, for the X-Shard-Backend header
+}
+
+// batchCall is one in-flight coalesced fetch. The leader closes done
+// after storing res/err; waiters only ever read after done.
+type batchCall struct {
+	done chan struct{}
+	res  *response
+	err  error
+}
+
+// batcher collapses concurrent identical reads into one backend call.
+// The key must capture the full response identity (method, path,
+// canonical query, body — see serve.BatchKey); only requests whose
+// responses are pure functions of the request bytes may be batched.
+type batcher struct {
+	mu      sync.Mutex
+	calls   map[string]*batchCall
+	leaders *obs.Counter
+	joined  *obs.Counter
+}
+
+func newBatcher(rec *obs.Recorder) *batcher {
+	return &batcher{
+		calls:   make(map[string]*batchCall),
+		leaders: rec.Counter("shard.batch_leaders"),
+		joined:  rec.Counter("shard.batch_joined"),
+	}
+}
+
+// do runs fn once per batch of concurrent identical calls. The first
+// caller for a key becomes the leader and executes fn; callers arriving
+// while the leader is in flight wait and share its result. joined
+// reports whether this caller shared another's call. A waiter whose
+// context expires first returns its own context error — the leader's
+// fetch continues for the batch.
+func (b *batcher) do(ctx context.Context, key string, fn func() (*response, error)) (res *response, joined bool, err error) {
+	b.mu.Lock()
+	if c, ok := b.calls[key]; ok {
+		b.mu.Unlock()
+		b.joined.Inc()
+		select {
+		case <-c.done:
+			return c.res, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &batchCall{done: make(chan struct{})}
+	b.calls[key] = c
+	b.mu.Unlock()
+	b.leaders.Inc()
+
+	c.res, c.err = fn()
+	b.mu.Lock()
+	delete(b.calls, key)
+	b.mu.Unlock()
+	close(c.done)
+	return c.res, false, c.err
+}

@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"compoundthreat/internal/obs"
+)
+
+// TestBatcherCoalesces runs many concurrent identical calls through
+// one gate and checks exactly one executes while the rest share its
+// result, with the leaders/joined counters matching.
+func TestBatcherCoalesces(t *testing.T) {
+	rec := obs.New()
+	b := newBatcher(rec)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const n = 16
+
+	var wg sync.WaitGroup
+	results := make([]*response, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := b.do(context.Background(), "k", func() (*response, error) {
+				calls.Add(1)
+				<-gate // hold the leader until all waiters have queued
+				return &response{status: 200, body: []byte("ok")}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	// Wait until every non-leader goroutine has joined the call, then
+	// release the leader.
+	for b.joined.Value() < n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	for i, res := range results {
+		if res == nil || res.status != 200 || string(res.body) != "ok" {
+			t.Fatalf("caller %d got %+v", i, res)
+		}
+	}
+	if l, j := b.leaders.Value(), b.joined.Value(); l != 1 || j != n-1 {
+		t.Fatalf("leaders=%d joined=%d, want 1 and %d", l, j, n-1)
+	}
+}
+
+// TestBatcherDistinctKeysDoNotCoalesce checks two different keys each
+// execute.
+func TestBatcherDistinctKeysDoNotCoalesce(t *testing.T) {
+	b := newBatcher(obs.New())
+	var calls atomic.Int64
+	for _, key := range []string{"a", "b"} {
+		if _, joined, err := b.do(context.Background(), key, func() (*response, error) {
+			calls.Add(1)
+			return &response{status: 200}, nil
+		}); err != nil || joined {
+			t.Fatalf("key %q: joined=%v err=%v", key, joined, err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestBatcherLeaderErrorShared checks waiters receive the leader's
+// error, and that the key is released for the next batch.
+func TestBatcherLeaderErrorShared(t *testing.T) {
+	b := newBatcher(obs.New())
+	boom := errors.New("boom")
+	if _, _, err := b.do(context.Background(), "k", func() (*response, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("leader err = %v, want boom", err)
+	}
+	// The failed call must not wedge the key.
+	res, joined, err := b.do(context.Background(), "k", func() (*response, error) {
+		return &response{status: 200}, nil
+	})
+	if err != nil || joined || res.status != 200 {
+		t.Fatalf("post-failure call: res=%+v joined=%v err=%v", res, joined, err)
+	}
+}
+
+// TestBatcherWaiterContext checks a waiter with an expired context
+// fails its own call without waiting for the leader.
+func TestBatcherWaiterContext(t *testing.T) {
+	b := newBatcher(obs.New())
+	gate := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		b.do(context.Background(), "k", func() (*response, error) {
+			<-gate
+			return &response{status: 200}, nil
+		})
+	}()
+	for b.leaders.Value() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := b.do(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(gate)
+	<-leaderDone
+}

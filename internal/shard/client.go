@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/serve"
+)
+
+// maxBackendBody bounds how much of a backend response the router will
+// buffer. Views travel worker-to-worker, not through the router, so
+// router responses are JSON in the tens of kilobytes; 16 MiB is far
+// above any legitimate payload.
+const maxBackendBody = 16 << 20
+
+// backend is one worker in the pool: its base URL, the health state
+// the prober maintains, the ensemble fingerprints learned from its
+// health responses, and its per-backend instruments.
+type backend struct {
+	index int
+	base  string // "http://host:port", no trailing slash
+	hc    *http.Client
+
+	healthy   atomic.Bool
+	ensembles atomic.Pointer[map[string]string] // name → fingerprint
+
+	requests *obs.Counter
+	errors   *obs.Counter
+}
+
+func newBackend(index int, base string, hc *http.Client, rec *obs.Recorder) *backend {
+	b := &backend{
+		index:    index,
+		base:     strings.TrimSuffix(base, "/"),
+		hc:       hc,
+		requests: rec.Counter("shard.backend_requests." + strconv.Itoa(index)),
+		errors:   rec.Counter("shard.backend_errors." + strconv.Itoa(index)),
+	}
+	empty := map[string]string{}
+	b.ensembles.Store(&empty)
+	return b
+}
+
+// forward replays one client request against this backend and buffers
+// the response. A non-nil error means the backend did not produce a
+// response (transport failure) — the caller should fail over; an HTTP
+// error status comes back as a response for the caller to classify.
+func (b *backend) forward(ctx context.Context, method, path, rawQuery, contentType string, body []byte) (*response, error) {
+	u := b.base + path
+	if rawQuery != "" {
+		u += "?" + rawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	b.requests.Inc()
+	resp, err := b.hc.Do(req)
+	if err != nil {
+		b.errors.Inc()
+		return nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxBackendBody+1))
+	if err != nil {
+		b.errors.Inc()
+		return nil, err
+	}
+	if len(buf) > maxBackendBody {
+		b.errors.Inc()
+		return nil, fmt.Errorf("backend %d response exceeds %d bytes", b.index, maxBackendBody)
+	}
+	if resp.StatusCode/100 == 5 {
+		b.errors.Inc()
+	}
+	res := &response{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		body:        buf,
+		backend:     b.index,
+	}
+	if v := resp.Header.Get(serve.CodecVersionHeader); v != "" {
+		res.header = map[string]string{serve.CodecVersionHeader: v}
+	}
+	return res, nil
+}
+
+// probe refreshes the backend's health and ensemble fingerprints from
+// GET /v1/healthz followed by GET /v1/readyz — a worker that is up but
+// draining (readyz 503) is unhealthy for routing purposes.
+func (b *backend) probe(ctx context.Context) error {
+	var health struct {
+		Ensembles []struct {
+			Name        string `json:"name"`
+			Fingerprint string `json:"fingerprint"`
+		} `json:"ensembles"`
+	}
+	if err := b.getJSON(ctx, "/v1/healthz", &health); err != nil {
+		b.healthy.Store(false)
+		return err
+	}
+	if err := b.getJSON(ctx, "/v1/readyz", &struct{}{}); err != nil {
+		b.healthy.Store(false)
+		return err
+	}
+	m := make(map[string]string, len(health.Ensembles))
+	for _, e := range health.Ensembles {
+		m[e.Name] = e.Fingerprint
+	}
+	b.ensembles.Store(&m)
+	b.healthy.Store(true)
+	return nil
+}
+
+// getJSON fetches one backend endpoint and decodes a 200 JSON body.
+func (b *backend) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBackendBody))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("backend %d: %s: %s", b.index, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// fingerprint resolves an ensemble name ("" = the backend's only
+// ensemble) against this backend's last-probed health response.
+func (b *backend) fingerprint(name string) (string, bool) {
+	m := *b.ensembles.Load()
+	if name == "" {
+		if len(m) != 1 {
+			return "", false
+		}
+		for _, fp := range m {
+			return fp, true
+		}
+	}
+	fp, ok := m[name]
+	return fp, ok
+}

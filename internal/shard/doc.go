@@ -1,0 +1,28 @@
+// Package shard is the routing tier of the sharded serving deployment:
+// a thin stateless router that consistent-hashes each query's compiled
+// view onto a fixed pool of threatserver workers, so every view is
+// compiled (and its LRU slot paid for) on exactly one worker.
+//
+// The router holds no ensemble data. It derives each request's shard
+// identity with the serve package's QueryShape helpers — the same code
+// the workers validate requests with, so router and worker can never
+// disagree about which queries share a view — and resolves ensemble
+// names to content fingerprints from the workers' /v1/healthz
+// responses.
+//
+// Three mechanisms ride on top of the ring:
+//
+//   - Batching: concurrent identical reads collapse into one backend
+//     call; waiters replay the leader's response byte-for-byte. The
+//     leaders/joined split is exported as shard.batch_leaders and
+//     shard.batch_joined.
+//   - Retry and hedging: 2xx/4xx backend responses are deterministic
+//     verdicts returned as-is; 5xx and transport errors fail over to
+//     the next backend on the key's ring sequence. With a hedge delay
+//     configured, a slow primary races a second backend and the first
+//     verdict wins.
+//   - Job stickiness: async placement jobs are worker-local, so the
+//     router learns job_id → backend from 202 submissions and
+//     broadcasts polls for unknown or orphaned jobs (e.g. inherited
+//     over a warm handoff) across the live pool.
+package shard

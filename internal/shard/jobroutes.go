@@ -1,0 +1,52 @@
+package shard
+
+import "sync"
+
+// jobRoutes remembers which backend owns each async placement job, so
+// polls go straight to the worker that accepted the submission. It is
+// a bounded FIFO cache, not a source of truth: a missing or stale
+// entry only costs the poll a broadcast across the live pool (which
+// also re-learns the route), so evicting the oldest entry is always
+// safe.
+type jobRoutes struct {
+	mu    sync.Mutex
+	m     map[string]int
+	order []string
+	max   int
+}
+
+func newJobRoutes(max int) *jobRoutes {
+	if max < 1 {
+		max = 4096
+	}
+	return &jobRoutes{m: make(map[string]int, max), max: max}
+}
+
+// learn records (or refreshes) a job's backend.
+func (j *jobRoutes) learn(id string, backend int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.m[id]; !ok {
+		j.order = append(j.order, id)
+		for len(j.order) > j.max {
+			delete(j.m, j.order[0])
+			j.order = j.order[1:]
+		}
+	}
+	j.m[id] = backend
+}
+
+// lookup returns the backend last seen owning the job.
+func (j *jobRoutes) lookup(id string) (int, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	idx, ok := j.m[id]
+	return idx, ok
+}
+
+// len reports the number of routed jobs, for the router health view.
+func (j *jobRoutes) len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.m)
+}

@@ -1,0 +1,543 @@
+package shard
+
+// Multi-process cluster tests: the test binary re-executes itself as
+// real threatserver-equivalent worker processes (via internal/cmdtest),
+// the router runs in-process on top of them, and a single-process
+// reference server built from the same seeded ensemble provides the
+// ground truth every routed response must match byte for byte.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"compoundthreat/internal/assets"
+	"compoundthreat/internal/cmdtest"
+	"compoundthreat/internal/hazard"
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/serve"
+	"compoundthreat/internal/surge"
+	"compoundthreat/internal/terrain"
+)
+
+func TestMain(m *testing.M) {
+	cmdtest.MaybeRunMain(workerMain)
+	code := m.Run()
+	if benchShared != nil {
+		benchShared.stopAll()
+	}
+	os.Exit(code)
+}
+
+// testEnsemble generates the deterministic Oahu hurricane ensemble the
+// cluster shares: same seed in every worker process and the reference
+// server, so fingerprints — and therefore responses — are identical.
+func testEnsemble(realizations int, seed int64) (serve.Ensemble, *assets.Inventory, error) {
+	inv := assets.Oahu()
+	gen, err := hazard.NewGenerator(terrain.NewOahu(), surge.DefaultParams(), inv)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := hazard.OahuScenario()
+	cfg.Realizations = realizations
+	cfg.Seed = seed
+	ens, err := gen.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ens, inv, nil
+}
+
+// workerMain is the re-executed worker process: a serve.Server over
+// the seeded test ensemble, listening on an ephemeral port it reports
+// on stderr, draining on SIGTERM like the real threatserver.
+func workerMain() {
+	if err := runWorker(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "shard worker:", err)
+		os.Exit(1)
+	}
+}
+
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("shardworker", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address")
+	realizations := fs.Int("realizations", 48, "disaster realizations")
+	seed := fs.Int64("seed", 7, "ensemble seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec := obs.New()
+	obs.Enable(rec)
+	defer obs.Enable(nil)
+	ens, inv, err := testEnsemble(*realizations, *seed)
+	if err != nil {
+		return err
+	}
+	s, err := serve.New(map[string]serve.Ensemble{"hurricane": ens}, inv, serve.Options{})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = serve.Run(ctx, ln, s.Handler(), 10*time.Second, os.Stderr)
+	s.Close()
+	return err
+}
+
+// workerProc is one live worker process.
+type workerProc struct {
+	cmd     *exec.Cmd
+	addr    string
+	done    chan struct{}
+	waitErr error
+}
+
+// startWorker re-executes the test binary as a worker and waits for
+// its listen address.
+func startWorker(tb testing.TB, realizations int) *workerProc {
+	tb.Helper()
+	cmd := cmdtest.Command(tb, "-realizations", fmt.Sprint(realizations))
+	pipe, err := cmd.StderrPipe()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		tb.Fatal(err)
+	}
+	addrLine := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+				addrLine <- a
+			}
+		}
+	}()
+	w := &workerProc{cmd: cmd, done: make(chan struct{})}
+	go func() { w.waitErr = cmd.Wait(); close(w.done) }()
+	select {
+	case w.addr = <-addrLine:
+	case <-w.done:
+		tb.Fatalf("worker exited before listening: %v", w.waitErr)
+	case <-time.After(120 * time.Second):
+		cmd.Process.Kill()
+		tb.Fatal("worker never reported its listen address")
+	}
+	return w
+}
+
+// stop terminates the worker, gracefully first.
+func (w *workerProc) stop() {
+	select {
+	case <-w.done:
+		return
+	default:
+	}
+	w.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-w.done:
+	case <-time.After(30 * time.Second):
+		w.cmd.Process.Kill()
+		<-w.done
+	}
+}
+
+// kill SIGKILLs the worker — the mid-load failure injection.
+func (w *workerProc) kill() {
+	w.cmd.Process.Kill()
+	<-w.done
+}
+
+// cluster is a router over real worker processes.
+type cluster struct {
+	workers []*workerProc
+	rt      *Router
+}
+
+// startCluster boots n worker processes and an in-process router over
+// them, waiting until the router sees every worker healthy. The caller
+// owns shutdown via stopAll (tests register it as a cleanup; the
+// shared benchmark cluster defers it to TestMain).
+func startCluster(tb testing.TB, n, realizations int, opt Options) *cluster {
+	tb.Helper()
+	c := &cluster{}
+	for i := 0; i < n; i++ {
+		c.workers = append(c.workers, startWorker(tb, realizations))
+	}
+	for _, w := range c.workers {
+		opt.Backends = append(opt.Backends, "http://"+w.addr)
+	}
+	if opt.HealthInterval == 0 {
+		opt.HealthInterval = 100 * time.Millisecond
+	}
+	rt, err := New(opt)
+	if err != nil {
+		c.stopAll()
+		tb.Fatal(err)
+	}
+	c.rt = rt
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		healthy := 0
+		for _, b := range rt.backends {
+			if b.healthy.Load() {
+				healthy++
+			}
+		}
+		if healthy == n {
+			return c
+		}
+		if time.Now().After(deadline) {
+			c.stopAll()
+			tb.Fatalf("only %d/%d workers healthy after 60s", healthy, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (c *cluster) stopAll() {
+	if c.rt != nil {
+		c.rt.Close()
+	}
+	for _, w := range c.workers {
+		w.stop()
+	}
+}
+
+// referenceServer builds the single-process ground truth over the
+// identical ensemble.
+func referenceServer(tb testing.TB, realizations int) *serve.Server {
+	tb.Helper()
+	ens, inv, err := testEnsemble(realizations, 7)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s, err := serve.New(map[string]serve.Ensemble{"hurricane": ens}, inv, serve.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(s.Close)
+	return s
+}
+
+// enableObs installs a fresh recorder for the test (router and
+// reference server resolve instruments from the global default).
+func enableObs(tb testing.TB) *obs.Recorder {
+	rec := obs.New()
+	obs.Enable(rec)
+	tb.Cleanup(func() { obs.Enable(nil) })
+	return rec
+}
+
+// roundTrip runs one request against a handler and returns status,
+// body, and the backend tag.
+func roundTrip(h http.Handler, method, url, body string) (int, []byte, string) {
+	var req *http.Request
+	if body != "" {
+		req = httptest.NewRequest(method, url, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+	} else {
+		req = httptest.NewRequest(method, url, nil)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Code, w.Body.Bytes(), w.Header().Get("X-Shard-Backend")
+}
+
+// identityQueries is the read surface the bit-identity and kill tests
+// sweep: distinct universes so the keys spread across the ring.
+var identityQueries = []struct {
+	method, url, body string
+}{
+	{http.MethodGet, "/v1/sweep", ""},
+	{http.MethodGet, "/v1/sweep?scenario=both", ""},
+	{http.MethodGet, "/v1/sweep?scenario=intrusion", ""},
+	{http.MethodPost, "/v1/sweep", `{"scenario":"isolation"}`},
+	{http.MethodGet, "/v1/figure/9", ""},
+	{http.MethodGet, "/v1/figure/6", ""},
+	{http.MethodGet, "/v1/placement?primary=honolulu-cc&scenario=intrusion&limit=3", ""},
+	{http.MethodGet, "/v1/placement?primary=honolulu-cc&scenario=both", ""},
+}
+
+// TestShardedBitIdentity routes the full read surface through a
+// two-worker cluster and checks every response is byte-identical to
+// the single-process reference server, including an async placement
+// search polled to completion on both sides.
+func TestShardedBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster tests in -short mode")
+	}
+	enableObs(t)
+	const realizations = 48
+	c := startCluster(t, 2, realizations, Options{})
+	t.Cleanup(c.stopAll)
+	ref := referenceServer(t, realizations)
+
+	for _, q := range identityQueries {
+		wantCode, want, _ := roundTrip(ref.Handler(), q.method, q.url, q.body)
+		gotCode, got, backend := roundTrip(c.rt.Handler(), q.method, q.url, q.body)
+		if wantCode != http.StatusOK {
+			t.Fatalf("reference %s %s = %d: %s", q.method, q.url, wantCode, want)
+		}
+		if gotCode != wantCode {
+			t.Fatalf("%s %s: router %d, reference %d: %s", q.method, q.url, gotCode, wantCode, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s %s differs (worker %s):\n got: %s\nwant: %s", q.method, q.url, backend, got, want)
+		}
+	}
+
+	// The async search: identical submission on both sides, identical
+	// terminal poll response (modulo the wall-clock age field).
+	search := `{"k":2,"scenario":"both"}`
+	refCode, refSub, _ := roundTrip(ref.Handler(), http.MethodPost, "/v1/placement/search", search)
+	gotCode, gotSub, _ := roundTrip(c.rt.Handler(), http.MethodPost, "/v1/placement/search", search)
+	if refCode != http.StatusAccepted || gotCode != http.StatusAccepted {
+		t.Fatalf("search submits: router %d (%s), reference %d (%s)", gotCode, gotSub, refCode, refSub)
+	}
+	var sub struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(gotSub, &sub); err != nil {
+		t.Fatal(err)
+	}
+	poll := func(h http.Handler) map[string]any {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			code, body, _ := roundTrip(h, http.MethodGet, "/v1/placement/jobs/"+sub.JobID, "")
+			if code != http.StatusOK {
+				t.Fatalf("poll %s: %d: %s", sub.JobID, code, body)
+			}
+			var m map[string]any
+			if err := json.Unmarshal(body, &m); err != nil {
+				t.Fatal(err)
+			}
+			if m["status"] == "done" {
+				delete(m, "age_seconds")
+				return m
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s still %v after 60s", sub.JobID, m["status"])
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	want, _ := json.Marshal(poll(ref.Handler()))
+	got, _ := json.Marshal(poll(c.rt.Handler()))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("job %s result differs:\n got: %s\nwant: %s", sub.JobID, got, want)
+	}
+}
+
+// TestShardedWorkerKill fires sustained load through a two-worker
+// cluster, SIGKILLs one worker mid-load, and checks every response is
+// either the bit-identical correct answer (retried onto the survivor)
+// or the typed backend_unavailable envelope — never a wrong answer —
+// and that the cluster settles back to all-correct service.
+func TestShardedWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster tests in -short mode")
+	}
+	enableObs(t)
+	const realizations = 48
+	c := startCluster(t, 2, realizations, Options{HealthInterval: 100 * time.Millisecond})
+	t.Cleanup(c.stopAll)
+	ref := referenceServer(t, realizations)
+
+	// Ground truth for every query in the battery.
+	want := make(map[string][]byte, len(identityQueries))
+	for _, q := range identityQueries {
+		code, body, _ := roundTrip(ref.Handler(), q.method, q.url, q.body)
+		if code != http.StatusOK {
+			t.Fatalf("reference %s %s = %d", q.method, q.url, code)
+		}
+		want[q.method+q.url] = body
+	}
+
+	// Load loop: every goroutine cycles the battery until told to stop,
+	// classifying each response.
+	var (
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		ok       int
+		shed     int
+		wrong    []string
+		sawAfter int // correct answers observed after the kill
+		killed   bool
+	)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := identityQueries[i%len(identityQueries)]
+				code, body, _ := roundTrip(c.rt.Handler(), q.method, q.url, q.body)
+				mu.Lock()
+				switch {
+				case code == http.StatusOK && bytes.Equal(body, want[q.method+q.url]):
+					ok++
+					if killed {
+						sawAfter++
+					}
+				case code == http.StatusServiceUnavailable && bytes.Contains(body, []byte("backend_unavailable")):
+					shed++
+				default:
+					if len(wrong) < 5 {
+						wrong = append(wrong, fmt.Sprintf("%s %s → %d: %.200s", q.method, q.url, code, body))
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Let the load warm both shards, then kill one worker mid-flight.
+	time.Sleep(500 * time.Millisecond)
+	mu.Lock()
+	killed = true
+	mu.Unlock()
+	c.workers[0].kill()
+
+	// Keep loading until the survivor has proven it serves the full
+	// battery correctly post-kill.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		mu.Lock()
+		settled := sawAfter > 4*len(identityQueries)
+		mu.Unlock()
+		if settled || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if len(wrong) > 0 {
+		t.Fatalf("responses that were neither correct nor typed shed errors:\n%s", strings.Join(wrong, "\n"))
+	}
+	if ok == 0 {
+		t.Fatal("no successful responses at all")
+	}
+	if sawAfter <= 4*len(identityQueries) {
+		t.Fatalf("survivor never settled: %d correct answers after kill (ok=%d shed=%d)", sawAfter, ok, shed)
+	}
+	if c.rt.retries.Value() == 0 {
+		t.Fatal("retries counter did not move across the kill")
+	}
+	t.Logf("load summary: ok=%d shed=%d retries=%d after-kill=%d", ok, shed, c.rt.retries.Value(), sawAfter)
+}
+
+// ---- multi-process load benchmarks (BENCH_7.json) ----
+
+// benchShared is the cluster the benchmarks amortize: two real worker
+// processes plus the in-process router, started on first use and torn
+// down in TestMain.
+var benchShared *cluster
+
+// benchRealizations keeps worker startup short enough for CI smoke
+// runs while giving the sweep a non-trivial evaluation cost.
+const benchRealizations = 100
+
+func benchCluster(b *testing.B) *cluster {
+	b.Helper()
+	if benchShared == nil {
+		obs.Enable(obs.New())
+		benchShared = startCluster(b, 2, benchRealizations, Options{})
+		// Warm every shard so the benchmarks measure cached serving, as
+		// the single-process serve benchmarks do.
+		for _, q := range identityQueries {
+			code, body, _ := roundTrip(benchShared.rt.Handler(), q.method, q.url, q.body)
+			if code != http.StatusOK {
+				b.Fatalf("warmup %s %s: %d: %s", q.method, q.url, code, body)
+			}
+		}
+	}
+	return benchShared
+}
+
+// BenchmarkShardedSweepRouter measures the full routed path: router
+// handler, shard-key derivation, batching gate, HTTP to the owning
+// worker process, cached view evaluation, response replay.
+func BenchmarkShardedSweepRouter(b *testing.B) {
+	c := benchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, body, _ := roundTrip(c.rt.Handler(), http.MethodGet, "/v1/sweep?scenario=both", "")
+		if code != http.StatusOK {
+			b.Fatalf("sweep: %d: %s", code, body)
+		}
+	}
+}
+
+// BenchmarkShardedSweepDirect is the same cached sweep sent straight
+// to the owning worker process — the router's overhead is the delta
+// against BenchmarkShardedSweepRouter.
+func BenchmarkShardedSweepDirect(b *testing.B) {
+	c := benchCluster(b)
+	_, _, backend := roundTrip(c.rt.Handler(), http.MethodGet, "/v1/sweep?scenario=both", "")
+	var base string
+	for i, w := range c.workers {
+		if fmt.Sprint(i) == backend {
+			base = "http://" + w.addr
+		}
+	}
+	if base == "" {
+		b.Fatalf("could not resolve owning worker from backend tag %q", backend)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(base + "/v1/sweep?scenario=both")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Drain before Close so the keep-alive connection is reused —
+		// the router's backend client reads full bodies too.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("sweep: %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkShardedSweepParallel runs identical concurrent sweeps
+// through the router, exercising the batching gate under contention.
+func BenchmarkShardedSweepParallel(b *testing.B) {
+	c := benchCluster(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			code, body, _ := roundTrip(c.rt.Handler(), http.MethodGet, "/v1/sweep?scenario=both", "")
+			if code != http.StatusOK {
+				b.Fatalf("sweep: %d: %s", code, body)
+			}
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingSeqProperties checks the sequence invariants every caller
+// relies on: a permutation of all backends, deterministic for a key.
+func TestRingSeqProperties(t *testing.T) {
+	r := NewRing(5, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.Seq(key)
+		if len(seq) != 5 {
+			t.Fatalf("Seq(%q) has %d entries, want 5", key, len(seq))
+		}
+		seen := make(map[int]bool, 5)
+		for _, idx := range seq {
+			if idx < 0 || idx >= 5 || seen[idx] {
+				t.Fatalf("Seq(%q) = %v is not a permutation of 0..4", key, seq)
+			}
+			seen[idx] = true
+		}
+		again := r.Seq(key)
+		for j := range seq {
+			if seq[j] != again[j] {
+				t.Fatalf("Seq(%q) not deterministic: %v vs %v", key, seq, again)
+			}
+		}
+	}
+}
+
+// TestRingBalance checks that home assignments spread across the pool:
+// with 64 replicas per backend no backend should own a wildly
+// disproportionate share of keys.
+func TestRingBalance(t *testing.T) {
+	const backends, keys = 4, 4000
+	r := NewRing(backends, 64)
+	counts := make([]int, backends)
+	for i := 0; i < keys; i++ {
+		counts[r.Seq(fmt.Sprintf("view-key-%d", i))[0]]++
+	}
+	for idx, c := range counts {
+		if c == 0 {
+			t.Fatalf("backend %d owns no keys: %v", idx, counts)
+		}
+		// Perfect balance is keys/backends; allow a generous 2.5x skew.
+		if c > keys*5/(backends*2) {
+			t.Fatalf("backend %d owns %d of %d keys (counts %v)", idx, c, keys, counts)
+		}
+	}
+}
+
+// TestRingFailoverConsistency checks the property the router's
+// skip-dead-backends failover depends on: removing one backend from
+// consideration only moves that backend's keys; every other key keeps
+// its home.
+func TestRingFailoverConsistency(t *testing.T) {
+	r := NewRing(4, 64)
+	const dead = 2
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		seq := r.Seq(fmt.Sprintf("key-%d", i))
+		home := seq[0]
+		// The failover home skips the dead backend in sequence order.
+		var failoverHome int
+		for _, idx := range seq {
+			if idx != dead {
+				failoverHome = idx
+				break
+			}
+		}
+		if home != dead {
+			if failoverHome != home {
+				t.Fatalf("key %d moved from live backend %d to %d", i, home, failoverHome)
+			}
+		} else {
+			moved++
+			if failoverHome == dead {
+				t.Fatalf("key %d still assigned to dead backend", i)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys homed on the dead backend; test proves nothing")
+	}
+}
+
+// TestRingDegenerateSizes checks the clamping paths.
+func TestRingDegenerateSizes(t *testing.T) {
+	r := NewRing(0, 0)
+	if got := r.Seq("anything"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("degenerate ring Seq = %v, want [0]", got)
+	}
+	if r.Backends() != 1 {
+		t.Fatalf("Backends() = %d, want 1", r.Backends())
+	}
+}

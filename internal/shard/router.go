@@ -1,0 +1,542 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/serve"
+)
+
+// Options configures a Router. The zero value of every field except
+// Backends is usable; defaults() fills it in.
+type Options struct {
+	// Backends is the worker pool, one base URL per worker
+	// ("http://host:port" or "host:port"). Required, order-significant:
+	// the ring hashes backend indexes, so a stable flag order keeps the
+	// key→worker assignment stable across router restarts.
+	Backends []string
+	// Replicas is the number of ring points per backend (0 = 64).
+	Replicas int
+	// Timeout is the per-request deadline, covering every retry and
+	// hedge for the request (0 = 15s).
+	Timeout time.Duration
+	// Hedge launches a second backend attempt if the first has not
+	// answered within this delay (0 = hedging off). Only batchable
+	// reads hedge; submissions never race two workers.
+	Hedge time.Duration
+	// HealthInterval is the backend probe period (0 = 2s).
+	HealthInterval time.Duration
+	// MaxBodyBytes bounds POST bodies (0 = 1 MiB).
+	MaxBodyBytes int64
+	// MaxJobRoutes bounds the job_id→backend table (0 = 4096).
+	MaxJobRoutes int
+}
+
+func (o Options) defaults() Options {
+	if o.Replicas == 0 {
+		o.Replicas = 64
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 15 * time.Second
+	}
+	if o.HealthInterval == 0 {
+		o.HealthInterval = 2 * time.Second
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxJobRoutes == 0 {
+		o.MaxJobRoutes = 4096
+	}
+	return o
+}
+
+// Router consistent-hashes queries onto the backend pool. See the
+// package comment for the routing model.
+type Router struct {
+	opt      Options
+	backends []*backend
+	ring     *Ring
+	batch    *batcher
+	jobs     *jobRoutes
+	mux      *http.ServeMux
+	start    time.Time
+
+	retries   *obs.Counter
+	hedges    *obs.Counter
+	noBackend *obs.Counter
+
+	stop   context.CancelFunc
+	probed sync.WaitGroup
+}
+
+// routerError is a router-originated API error, rendered with the same
+// {"error":{"code","message"}} envelope the workers use.
+type routerError struct {
+	status  int
+	code    string
+	message string
+}
+
+func (e *routerError) Error() string { return e.message }
+
+// errNoBackend is the typed verdict when every candidate backend
+// failed at the transport or 5xx level: the request was never answered
+// and may be retried by the client.
+func errNoBackend(detail string) error {
+	return &routerError{status: http.StatusServiceUnavailable, code: "backend_unavailable", message: detail}
+}
+
+// New builds a router over the backend pool and starts its health
+// prober. Callers own shutdown via Close.
+func New(opt Options) (*Router, error) {
+	opt = opt.defaults()
+	if len(opt.Backends) == 0 {
+		return nil, errors.New("shard: no backends")
+	}
+	rec := obs.Default()
+	hc := &http.Client{} // per-request contexts carry the deadlines
+	rt := &Router{
+		opt:       opt,
+		ring:      NewRing(len(opt.Backends), opt.Replicas),
+		batch:     newBatcher(rec),
+		jobs:      newJobRoutes(opt.MaxJobRoutes),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		retries:   rec.Counter("shard.retries"),
+		hedges:    rec.Counter("shard.hedges"),
+		noBackend: rec.Counter("shard.no_backend"),
+	}
+	seen := make(map[string]bool, len(opt.Backends))
+	for i, base := range opt.Backends {
+		base = strings.TrimSpace(base)
+		if base == "" {
+			return nil, fmt.Errorf("shard: backend %d is empty", i)
+		}
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		if seen[base] {
+			return nil, fmt.Errorf("shard: duplicate backend %s", base)
+		}
+		seen[base] = true
+		rt.backends = append(rt.backends, newBackend(i, base, hc, rec))
+	}
+	rt.routes()
+	ctx, cancel := context.WithCancel(context.Background())
+	rt.stop = cancel
+	rt.probed.Add(1)
+	go rt.prober(ctx)
+	return rt, nil
+}
+
+// Close stops the health prober. In-flight requests finish on their
+// own deadlines.
+func (rt *Router) Close() {
+	rt.stop()
+	rt.probed.Wait()
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// prober keeps backend health and ensemble fingerprints fresh. The
+// first sweep runs immediately so the router can route as soon as the
+// pool answers its first probe.
+func (rt *Router) prober(ctx context.Context) {
+	defer rt.probed.Done()
+	t := time.NewTicker(rt.opt.HealthInterval)
+	defer t.Stop()
+	for {
+		rt.probeAll(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probeAll probes every backend concurrently, bounded by one health
+// interval.
+func (rt *Router) probeAll(ctx context.Context) {
+	pctx, cancel := context.WithTimeout(ctx, rt.opt.HealthInterval)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			b.probe(pctx) // probe records the outcome on the backend
+		}(b)
+	}
+	wg.Wait()
+}
+
+// routes registers the router surface: the worker query endpoints it
+// shards, plus its own health/metrics endpoints.
+func (rt *Router) routes() {
+	rt.handle("GET /v1/healthz", "healthz", rt.handleHealthz)
+	rt.handle("GET /v1/readyz", "readyz", rt.handleReadyz)
+	rt.handle("GET /v1/metrics", "metrics", rt.handleMetrics)
+	rt.handle("GET /v1/sweep", "sweep", rt.handleSweepGet)
+	rt.handle("POST /v1/sweep", "sweep_post", rt.handleSweepPost)
+	rt.handle("GET /v1/figure/{id}", "figure", rt.handleFigure)
+	rt.handle("GET /v1/placement", "placement", rt.handlePlacement)
+	rt.handle("POST /v1/placement/search", "placement_search", rt.handlePlacementSearch)
+	rt.handle("GET /v1/placement/jobs/{id}", "placement_job", rt.handlePlacementJob)
+}
+
+// handle wraps one endpoint with the router's request machinery:
+// request counter, latency histogram, per-request deadline, and error
+// rendering. Instruments resolve once at registration.
+func (rt *Router) handle(pattern, name string, fn func(http.ResponseWriter, *http.Request) error) {
+	rec := obs.Default()
+	reqs := rec.Counter("shard.requests." + name)
+	lat := rec.Histogram("shard.latency_ns." + name)
+	rt.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		ctx, cancel := context.WithTimeout(r.Context(), rt.opt.Timeout)
+		err := fn(w, r.WithContext(ctx))
+		cancel()
+		lat.Observe(int64(time.Since(start)))
+		if err != nil {
+			rt.writeError(w, err)
+		}
+	})
+}
+
+// writeError renders the error envelope. Router-originated errors
+// carry their own status; serve-package validation errors map through
+// serve.ErrorStatus so the router rejects exactly as a worker would.
+func (rt *Router) writeError(w http.ResponseWriter, err error) {
+	var re *routerError
+	var status int
+	var code string
+	if errors.As(err, &re) {
+		status, code = re.status, re.code
+		if code == "backend_unavailable" {
+			rt.noBackend.Inc()
+		}
+	} else {
+		status, code = serve.ErrorStatus(err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": err.Error()},
+	})
+}
+
+// writeResponse replays a buffered backend response to the client,
+// tagging which worker answered.
+func (rt *Router) writeResponse(w http.ResponseWriter, res *response) error {
+	if res.contentType != "" {
+		w.Header().Set("Content-Type", res.contentType)
+	}
+	for k, v := range res.header {
+		w.Header().Set(k, v)
+	}
+	w.Header().Set("X-Shard-Backend", strconv.Itoa(res.backend))
+	w.WriteHeader(res.status)
+	_, err := w.Write(res.body)
+	return err
+}
+
+// shardKey renders a query shape as a ring key. Ensemble names resolve
+// to content fingerprints learned from backend health responses, so
+// renaming an ensemble (or omitting the name where one is loaded)
+// cannot split one view across workers; an unresolvable name routes by
+// name and lets the owning worker return the authoritative 404.
+func (rt *Router) shardKey(shape serve.QueryShape) string {
+	for _, b := range rt.backends {
+		if !b.healthy.Load() {
+			continue
+		}
+		if fp, ok := b.fingerprint(shape.Ensemble); ok {
+			return fp + "\x1f" + shape.Identity
+		}
+	}
+	return "name\x1f" + shape.Ensemble + "\x1f" + shape.Identity
+}
+
+// candidates orders the key's ring sequence for fetching: healthy
+// backends first (in ring order), dead ones after as a last resort for
+// the window where every probe is stale.
+func (rt *Router) candidates(key string) []*backend {
+	seq := rt.ring.Seq(key)
+	live := make([]*backend, 0, len(seq))
+	var dead []*backend
+	for _, i := range seq {
+		b := rt.backends[i]
+		if b.healthy.Load() {
+			live = append(live, b)
+		} else {
+			dead = append(dead, b)
+		}
+	}
+	return append(live, dead...)
+}
+
+// attempt is one backend fetch outcome in flight.
+type attempt struct {
+	res *response
+	err error
+}
+
+// fetch runs the request against the candidate sequence until one
+// backend produces a deterministic verdict (2xx/4xx). Transport
+// failures and 5xx responses fail over to the next candidate; with
+// hedging enabled, a slow first candidate races the second and the
+// first verdict wins. Exhausting the pool is a backend_unavailable
+// verdict.
+func (rt *Router) fetch(ctx context.Context, cands []*backend, method, path, rawQuery, contentType string, body []byte, mayHedge bool) (*response, error) {
+	if len(cands) == 0 {
+		return nil, errNoBackend("no backends configured")
+	}
+	ch := make(chan attempt, len(cands))
+	launched := 0
+	launch := func() {
+		b := cands[launched]
+		launched++
+		go func() {
+			res, err := b.forward(ctx, method, path, rawQuery, contentType, body)
+			ch <- attempt{res: res, err: err}
+		}()
+	}
+	launch()
+	var hedgeC <-chan time.Time
+	if mayHedge && rt.opt.Hedge > 0 && len(cands) > 1 {
+		t := time.NewTimer(rt.opt.Hedge)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	done := 0
+	for {
+		select {
+		case a := <-ch:
+			done++
+			if a.err == nil && serve.IsAPIErrorStatus(a.res.status) {
+				return a.res, nil
+			}
+			if a.err != nil {
+				lastErr = a.err
+			} else {
+				lastErr = fmt.Errorf("backend %d answered %d", a.res.backend, a.res.status)
+			}
+			if launched < len(cands) {
+				rt.retries.Inc()
+				launch()
+			} else if done == launched {
+				return nil, errNoBackend(fmt.Sprintf("all %d backends failed: %v", launched, lastErr))
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(cands) {
+				rt.hedges.Inc()
+				launch()
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// serveSharded is the common read path: derive the shard key, batch
+// identical in-flight reads, fetch with failover, replay the winner.
+func (rt *Router) serveSharded(w http.ResponseWriter, r *http.Request, shape serve.QueryShape, body []byte) error {
+	cands := rt.candidates(rt.shardKey(shape))
+	contentType := r.Header.Get("Content-Type")
+	fetch := func() (*response, error) {
+		return rt.fetch(r.Context(), cands, r.Method, r.URL.Path, r.URL.RawQuery, contentType, body, shape.Batchable)
+	}
+	var res *response
+	var err error
+	if shape.Batchable {
+		res, _, err = rt.batch.do(r.Context(), serve.BatchKey(r, body), fetch)
+	} else {
+		res, err = fetch()
+	}
+	if err != nil {
+		return err
+	}
+	return rt.writeResponse(w, res)
+}
+
+// readBody buffers a bounded POST body.
+func (rt *Router) readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, rt.opt.MaxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > rt.opt.MaxBodyBytes {
+		return nil, &routerError{status: http.StatusRequestEntityTooLarge, code: "body_too_large",
+			message: fmt.Sprintf("request body exceeds %d bytes", rt.opt.MaxBodyBytes)}
+	}
+	return body, nil
+}
+
+func (rt *Router) handleSweepGet(w http.ResponseWriter, r *http.Request) error {
+	shape, err := serve.SweepShape(r.URL.Query(), nil)
+	if err != nil {
+		return err
+	}
+	return rt.serveSharded(w, r, shape, nil)
+}
+
+func (rt *Router) handleSweepPost(w http.ResponseWriter, r *http.Request) error {
+	body, err := rt.readBody(r)
+	if err != nil {
+		return err
+	}
+	shape, err := serve.SweepShape(nil, body)
+	if err != nil {
+		return err
+	}
+	return rt.serveSharded(w, r, shape, body)
+}
+
+func (rt *Router) handleFigure(w http.ResponseWriter, r *http.Request) error {
+	shape, err := serve.FigureShape(r.PathValue("id"), r.URL.Query())
+	if err != nil {
+		return err
+	}
+	return rt.serveSharded(w, r, shape, nil)
+}
+
+func (rt *Router) handlePlacement(w http.ResponseWriter, r *http.Request) error {
+	shape, err := serve.PlacementShape(r.URL.Query())
+	if err != nil {
+		return err
+	}
+	return rt.serveSharded(w, r, shape, nil)
+}
+
+// handlePlacementSearch forwards a submission to the shard owning its
+// candidate universe and learns the resulting job's route.
+func (rt *Router) handlePlacementSearch(w http.ResponseWriter, r *http.Request) error {
+	body, err := rt.readBody(r)
+	if err != nil {
+		return err
+	}
+	shape, err := serve.PlacementSearchShape(body)
+	if err != nil {
+		return err
+	}
+	cands := rt.candidates(rt.shardKey(shape))
+	res, err := rt.fetch(r.Context(), cands, r.Method, r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), body, false)
+	if err != nil {
+		return err
+	}
+	if res.status == http.StatusAccepted || res.status == http.StatusOK {
+		var out struct {
+			JobID string `json:"job_id"`
+		}
+		if json.Unmarshal(res.body, &out) == nil && out.JobID != "" {
+			rt.jobs.learn(out.JobID, res.backend)
+		}
+	}
+	return rt.writeResponse(w, res)
+}
+
+// handlePlacementJob polls a job on its learned backend, falling back
+// to a broadcast across the pool for unknown or relocated jobs (a poll
+// after a warm handoff finds the job on the successor this way).
+func (rt *Router) handlePlacementJob(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	if idx, ok := rt.jobs.lookup(id); ok {
+		b := rt.backends[idx]
+		if b.healthy.Load() {
+			res, err := b.forward(r.Context(), r.Method, r.URL.Path, r.URL.RawQuery, "", nil)
+			if err == nil && serve.IsAPIErrorStatus(res.status) && res.status != http.StatusNotFound {
+				return rt.writeResponse(w, res)
+			}
+		}
+	}
+	var notFound *response
+	var lastErr error
+	for _, b := range rt.candidates("job\x1f" + id) {
+		res, err := b.forward(r.Context(), r.Method, r.URL.Path, r.URL.RawQuery, "", nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if res.status == http.StatusNotFound {
+			notFound = res
+			continue
+		}
+		if serve.IsAPIErrorStatus(res.status) {
+			rt.jobs.learn(id, b.index)
+			return rt.writeResponse(w, res)
+		}
+		lastErr = fmt.Errorf("backend %d answered %d", b.index, res.status)
+	}
+	if notFound != nil {
+		return rt.writeResponse(w, notFound)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no backends configured")
+	}
+	return errNoBackend(fmt.Sprintf("job %s: %v", id, lastErr))
+}
+
+// handleHealthz reports the router's own state: per-backend health,
+// learned fingerprints, and the batching split.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	type backendJSON struct {
+		Index     int               `json:"index"`
+		Base      string            `json:"base"`
+		Healthy   bool              `json:"healthy"`
+		Ensembles map[string]string `json:"ensembles"`
+	}
+	bs := make([]backendJSON, 0, len(rt.backends))
+	healthy := 0
+	for _, b := range rt.backends {
+		h := b.healthy.Load()
+		if h {
+			healthy++
+		}
+		bs = append(bs, backendJSON{Index: b.index, Base: b.base, Healthy: h, Ensembles: *b.ensembles.Load()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(map[string]any{
+		"status":           "ok",
+		"uptime_seconds":   time.Since(rt.start).Seconds(),
+		"backends":         bs,
+		"healthy_backends": healthy,
+		"routed_jobs":      rt.jobs.len(),
+		"batch": map[string]int64{
+			"leaders": rt.batch.leaders.Value(),
+			"joined":  rt.batch.joined.Value(),
+		},
+	})
+}
+
+// handleReadyz reports routability: at least one healthy backend.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) error {
+	for _, b := range rt.backends {
+		if b.healthy.Load() {
+			w.Header().Set("Content-Type", "application/json")
+			return json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+		}
+	}
+	return errNoBackend("no healthy backends")
+}
+
+// handleMetrics serves the router's instruments (batching split,
+// retries, hedges, per-backend traffic) in Prometheus text exposition.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return obs.Default().WritePrometheus(w)
+}

@@ -1,0 +1,411 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"compoundthreat/internal/obs"
+)
+
+// fakeWorker is a scriptable stand-in for a threatserver worker: it
+// answers health probes with a fixed ensemble fingerprint, counts
+// sweep hits, owns an explicit set of job IDs, and can be told to fail
+// every query with a 500.
+type fakeWorker struct {
+	idx    int
+	srv    *httptest.Server
+	sweeps atomic.Int64
+	fail   atomic.Bool
+
+	mu   sync.Mutex
+	gate chan struct{} // non-nil: sweep blocks until closed
+	jobs map[string]bool
+}
+
+func (f *fakeWorker) setGate(ch chan struct{}) {
+	f.mu.Lock()
+	f.gate = ch
+	f.mu.Unlock()
+}
+
+func (f *fakeWorker) ownJob(id string) {
+	f.mu.Lock()
+	f.jobs[id] = true
+	f.mu.Unlock()
+}
+
+func newFakeWorker(t *testing.T, idx int) *fakeWorker {
+	t.Helper()
+	f := &fakeWorker{idx: idx, jobs: make(map[string]bool)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok","ensembles":[{"name":"hurricane","fingerprint":"00000000cafef00d"}]}`)
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		if f.fail.Load() {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		f.mu.Lock()
+		gate := f.gate
+		f.mu.Unlock()
+		if gate != nil {
+			<-gate
+		}
+		f.sweeps.Add(1)
+		fmt.Fprintf(w, `{"worker":%d}`, f.idx)
+	})
+	mux.HandleFunc("POST /v1/placement/search", func(w http.ResponseWriter, r *http.Request) {
+		if f.fail.Load() {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		id := fmt.Sprintf("job-%d", f.idx)
+		f.ownJob(id)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"job_id":%q}`, id)
+	})
+	mux.HandleFunc("GET /v1/placement/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if f.fail.Load() {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		id := r.PathValue("id")
+		f.mu.Lock()
+		owned := f.jobs[id]
+		f.mu.Unlock()
+		if !owned {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintf(w, `{"error":{"code":"not_found","message":"no job %s"}}`, id)
+			return
+		}
+		fmt.Fprintf(w, `{"job_id":%q,"status":"done","worker":%d}`, id, f.idx)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// newTestRouter builds a router over the given fake workers and waits
+// for the first probe sweep to mark them healthy.
+func newTestRouter(t *testing.T, opt Options, workers ...*fakeWorker) *Router {
+	t.Helper()
+	rec := obs.New()
+	obs.Enable(rec)
+	t.Cleanup(func() { obs.Enable(nil) })
+	for _, f := range workers {
+		opt.Backends = append(opt.Backends, f.srv.URL)
+	}
+	if opt.HealthInterval == 0 {
+		opt.HealthInterval = 50 * time.Millisecond
+	}
+	rt, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		healthy := 0
+		for _, b := range rt.backends {
+			if b.healthy.Load() {
+				healthy++
+			}
+		}
+		if healthy == len(workers) {
+			return rt
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d backends healthy after 5s", healthy, len(workers))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// do runs one request through the router handler.
+func do(t *testing.T, rt *Router, method, url string, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body != "" {
+		req = httptest.NewRequest(method, url, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+	} else {
+		req = httptest.NewRequest(method, url, nil)
+	}
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// TestRouterStableSharding checks every identical sweep lands on the
+// same worker, and that the response is tagged with that worker.
+func TestRouterStableSharding(t *testing.T) {
+	a, b := newFakeWorker(t, 0), newFakeWorker(t, 1)
+	rt := newTestRouter(t, Options{}, a, b)
+	first := do(t, rt, http.MethodGet, "/v1/sweep", "")
+	if first.Code != http.StatusOK {
+		t.Fatalf("sweep: %d: %s", first.Code, first.Body.String())
+	}
+	home := first.Header().Get("X-Shard-Backend")
+	if home == "" {
+		t.Fatal("response missing X-Shard-Backend")
+	}
+	for i := 0; i < 10; i++ {
+		w := do(t, rt, http.MethodGet, "/v1/sweep", "")
+		if got := w.Header().Get("X-Shard-Backend"); got != home {
+			t.Fatalf("request %d landed on backend %s, home is %s", i, got, home)
+		}
+	}
+	total := a.sweeps.Load() + b.sweeps.Load()
+	if a.sweeps.Load() != total && b.sweeps.Load() != total {
+		t.Fatalf("sweeps split across workers: a=%d b=%d", a.sweeps.Load(), b.sweeps.Load())
+	}
+}
+
+// TestRouterRejectsLocally checks shape validation fails malformed
+// requests at the router with the worker's envelope, without spending
+// a backend round trip.
+func TestRouterRejectsLocally(t *testing.T) {
+	a := newFakeWorker(t, 0)
+	rt := newTestRouter(t, Options{}, a)
+	w := do(t, rt, http.MethodGet, "/v1/sweep?scenario=bogus", "")
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", w.Code, w.Body.String())
+	}
+	var body struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error.Code != "bad_request" {
+		t.Fatalf("error code %q, want bad_request", body.Error.Code)
+	}
+	if a.sweeps.Load() != 0 {
+		t.Fatalf("malformed sweep reached a worker %d times", a.sweeps.Load())
+	}
+}
+
+// TestRouterFailsOver checks a 500 from the home worker retries onto
+// the survivor and the client still gets a correct answer.
+func TestRouterFailsOver(t *testing.T) {
+	a, b := newFakeWorker(t, 0), newFakeWorker(t, 1)
+	rt := newTestRouter(t, Options{}, a, b)
+	home := do(t, rt, http.MethodGet, "/v1/sweep", "").Header().Get("X-Shard-Backend")
+	workers := []*fakeWorker{a, b}
+	homeIdx := 0
+	if home == "1" {
+		homeIdx = 1
+	}
+	workers[homeIdx].fail.Store(true)
+
+	w := do(t, rt, http.MethodGet, "/v1/sweep", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("failover sweep: %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Shard-Backend"); got == home {
+		t.Fatalf("response still from failed backend %s", got)
+	}
+	if rt.retries.Value() == 0 {
+		t.Fatal("retries counter did not move")
+	}
+}
+
+// TestRouterAllBackendsDown checks the typed backend_unavailable
+// verdict when the whole pool fails.
+func TestRouterAllBackendsDown(t *testing.T) {
+	a, b := newFakeWorker(t, 0), newFakeWorker(t, 1)
+	rt := newTestRouter(t, Options{}, a, b)
+	a.fail.Store(true)
+	b.fail.Store(true)
+	w := do(t, rt, http.MethodGet, "/v1/sweep", "")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", w.Code, w.Body.String())
+	}
+	var body struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error.Code != "backend_unavailable" {
+		t.Fatalf("error code %q, want backend_unavailable", body.Error.Code)
+	}
+	if rt.noBackend.Value() == 0 {
+		t.Fatal("no_backend counter did not move")
+	}
+}
+
+// TestRouterJobStickiness checks a submission's job route is learned
+// and polls go to the owning worker; unknown jobs broadcast to a 404.
+func TestRouterJobStickiness(t *testing.T) {
+	a, b := newFakeWorker(t, 0), newFakeWorker(t, 1)
+	rt := newTestRouter(t, Options{}, a, b)
+	w := do(t, rt, http.MethodPost, "/v1/placement/search", `{"k":2}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", w.Code, w.Body.String())
+	}
+	var sub struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &sub); err != nil {
+		t.Fatal(err)
+	}
+	owner := w.Header().Get("X-Shard-Backend")
+	for i := 0; i < 3; i++ {
+		pw := do(t, rt, http.MethodGet, "/v1/placement/jobs/"+sub.JobID, "")
+		if pw.Code != http.StatusOK {
+			t.Fatalf("poll %d: %d: %s", i, pw.Code, pw.Body.String())
+		}
+		if got := pw.Header().Get("X-Shard-Backend"); got != owner {
+			t.Fatalf("poll answered by %s, owner is %s", got, owner)
+		}
+	}
+	if nw := do(t, rt, http.MethodGet, "/v1/placement/jobs/nope", ""); nw.Code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404: %s", nw.Code, nw.Body.String())
+	}
+}
+
+// TestRouterJobRelocation checks the broadcast fallback: a job that
+// moved to a worker the router never learned about (a warm handoff) is
+// still found.
+func TestRouterJobRelocation(t *testing.T) {
+	a, b := newFakeWorker(t, 0), newFakeWorker(t, 1)
+	rt := newTestRouter(t, Options{}, a, b)
+	b.ownJob("inherited-1")
+	w := do(t, rt, http.MethodGet, "/v1/placement/jobs/inherited-1", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("relocated poll: %d: %s", w.Code, w.Body.String())
+	}
+	// The broadcast should have re-learned the route.
+	if idx, ok := rt.jobs.lookup("inherited-1"); !ok || rt.backends[idx].base != b.srv.URL {
+		t.Fatalf("route not learned from broadcast (ok=%v idx=%d)", ok, idx)
+	}
+}
+
+// TestRouterBatching holds the home worker's sweep open, fires
+// concurrent identical sweeps, and checks exactly one reached the
+// worker while the rest joined the leader's call.
+func TestRouterBatching(t *testing.T) {
+	a := newFakeWorker(t, 0)
+	rt := newTestRouter(t, Options{}, a)
+	gate := make(chan struct{})
+	a.setGate(gate)
+
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = do(t, rt, http.MethodGet, "/v1/sweep", "").Code
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.batch.joined.Value() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("joined=%d after 5s, want %d", rt.batch.joined.Value(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	if got := a.sweeps.Load(); got != 1 {
+		t.Fatalf("worker served %d sweeps, want 1", got)
+	}
+	if l := rt.batch.leaders.Value(); l != 1 {
+		t.Fatalf("batch_leaders = %d, want 1", l)
+	}
+}
+
+// TestRouterHealthEndpoints checks healthz reports the pool and
+// readyz tracks backend health.
+func TestRouterHealthEndpoints(t *testing.T) {
+	a := newFakeWorker(t, 0)
+	rt := newTestRouter(t, Options{HealthInterval: 30 * time.Millisecond}, a)
+	w := do(t, rt, http.MethodGet, "/v1/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	var h struct {
+		HealthyBackends int `json:"healthy_backends"`
+		Backends        []struct {
+			Ensembles map[string]string `json:"ensembles"`
+		} `json:"backends"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.HealthyBackends != 1 {
+		t.Fatalf("healthy_backends = %d, want 1", h.HealthyBackends)
+	}
+	if h.Backends[0].Ensembles["hurricane"] != "00000000cafef00d" {
+		t.Fatalf("fingerprints not learned: %+v", h.Backends[0].Ensembles)
+	}
+	if w := do(t, rt, http.MethodGet, "/v1/readyz", ""); w.Code != http.StatusOK {
+		t.Fatalf("readyz: %d", w.Code)
+	}
+	// Kill the worker; readyz must flip once the probe notices.
+	a.srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if w := do(t, rt, http.MethodGet, "/v1/readyz", ""); w.Code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz still ok 5s after the pool died")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mw := do(t, rt, http.MethodGet, "/v1/metrics", "")
+	if mw.Code != http.StatusOK || !strings.Contains(mw.Body.String(), "shard_batch_leaders") {
+		t.Fatalf("metrics missing shard counters: %d: %.200s", mw.Code, mw.Body.String())
+	}
+}
+
+// TestRouterHedging holds the home worker open past the hedge delay
+// and checks the second worker answers.
+func TestRouterHedging(t *testing.T) {
+	a, b := newFakeWorker(t, 0), newFakeWorker(t, 1)
+	rt := newTestRouter(t, Options{Hedge: 20 * time.Millisecond}, a, b)
+	home := do(t, rt, http.MethodGet, "/v1/sweep", "").Header().Get("X-Shard-Backend")
+	workers := []*fakeWorker{a, b}
+	homeIdx := 0
+	if home == "1" {
+		homeIdx = 1
+	}
+	gate := make(chan struct{})
+	defer close(gate)
+	workers[homeIdx].setGate(gate)
+
+	w := do(t, rt, http.MethodGet, "/v1/sweep", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("hedged sweep: %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Shard-Backend"); got == home {
+		t.Fatalf("hedged response came from the stalled home %s", got)
+	}
+	if rt.hedges.Value() == 0 {
+		t.Fatal("hedges counter did not move")
+	}
+}

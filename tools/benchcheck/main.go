@@ -20,6 +20,9 @@
 //	go test -run '^$' -bench 'Pairs|KSite' -benchtime 1x ./internal/placement/ > placement.out
 //	go run ./tools/benchcheck -set placement -baseline BENCH_6.json -input placement.out
 //
+//	go test -run '^$' -bench Sharded -benchtime 100x ./internal/shard/ > shard.out
+//	go run ./tools/benchcheck -set shard -baseline BENCH_7.json -input shard.out
+//
 // The threshold is deliberately loose (3x by default): single-iteration
 // smoke runs on shared CI machines are noisy, and the gate exists to
 // catch order-of-magnitude regressions — an accidental re-lock in the
@@ -86,6 +89,14 @@ var placementToKey = map[string]string{
 	"BenchmarkKSiteExact":     "ksite_exact_ns_per_op",
 }
 
+// shardToKey maps the sharded-serving benchmarks (router over real
+// worker processes) to BENCH_7.json headline keys — the "shard" set.
+var shardToKey = map[string]string{
+	"BenchmarkShardedSweepRouter":   "sharded_sweep_router_ns_per_op",
+	"BenchmarkShardedSweepDirect":   "sharded_sweep_direct_ns_per_op",
+	"BenchmarkShardedSweepParallel": "sharded_sweep_parallel_ns_per_op",
+}
+
 // benchSets names the selectable benchmark tables.
 var benchSets = map[string]map[string]string{
 	"figures":    nameToKey,
@@ -93,6 +104,7 @@ var benchSets = map[string]map[string]string{
 	"serve":      serveToKey,
 	"trace":      traceToKey,
 	"placement":  placementToKey,
+	"shard":      shardToKey,
 }
 
 // baseline is the subset of BENCH_1.json that benchcheck consumes.
@@ -113,7 +125,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_1.json", "baseline JSON file with a headline section")
 	input := flag.String("input", "", "benchmark output file (default: stdin)")
 	maxRatio := flag.Float64("max-ratio", 3.0, "fail when ns/op exceeds baseline by more than this factor")
-	setName := flag.String("set", "figures", "benchmark set to gate: figures, compressed, serve, trace, or placement")
+	setName := flag.String("set", "figures", "benchmark set to gate: figures, compressed, serve, trace, placement, or shard")
 	flag.Parse()
 
 	table, ok := benchSets[*setName]
