@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check fuzz-smoke bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard bench-smoke-all bench bench-check doc-check verify
+.PHONY: all build test vet race fmt-check fuzz-smoke bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard bench-generate bench-smoke-all bench bench-check doc-check verify
 
 all: build
 
@@ -61,9 +61,16 @@ bench-placement:
 bench-shard:
 	$(GO) test -run '^$$' -bench 'Sharded' -benchtime 1x ./internal/shard/
 
+# The ensemble-generation benchmarks: the single-scan batch pipeline
+# vs the retained reference path, end-to-end (50-realization Oahu
+# ensemble) and per-realization solver micro. -benchmem so the
+# allocation-free steady state of the batch path stays visible.
+bench-generate:
+	$(GO) test -run '^$$' -bench 'Generate(Batch|Reference|Solver)' -benchtime 3x -benchmem ./internal/hazard/
+
 # Every benchmark smoke in one target, so the verify gate stays one
 # line as sets accumulate.
-bench-smoke-all: bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard
+bench-smoke-all: bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard bench-generate
 
 # Short fuzz runs over every fuzz target: the hazard ensemble codecs
 # (JSON and CSV readers) and the compressed-matrix wire codec. 30s per
@@ -87,9 +94,10 @@ bench:
 # benchmarks against BENCH_4.json (analysis server), the tracing
 # benchmarks against BENCH_5.json (observability cost), the
 # placement-search benchmarks against BENCH_6.json (pair kernel +
-# k-site search), and the sharded-serving benchmarks against
-# BENCH_7.json (router over real worker processes), failing on >3x
-# slowdowns in any set.
+# k-site search), the sharded-serving benchmarks against BENCH_7.json
+# (router over real worker processes), and the ensemble-generation
+# benchmarks against BENCH_8.json (single-scan batch pipeline), failing
+# on >3x slowdowns in any set.
 bench-check:
 	$(GO) test -run '^$$' -bench 'Figure' -benchtime 1x . > bench-smoke.out
 	@cat bench-smoke.out
@@ -109,6 +117,9 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'Sharded' -benchtime 100x ./internal/shard/ > bench-shard.out
 	@cat bench-shard.out
 	$(GO) run ./tools/benchcheck -set shard -baseline BENCH_7.json -input bench-shard.out
+	$(GO) test -run '^$$' -bench 'Generate(Batch|Reference|Solver)' -benchtime 3x ./internal/hazard/ > bench-generate.out
+	@cat bench-generate.out
+	$(GO) run ./tools/benchcheck -set generate -baseline BENCH_8.json -input bench-generate.out
 
 # Documentation lint: every package must carry a package comment (see
 # tools/doccheck).

@@ -29,3 +29,91 @@ func BenchmarkGenerateWorkers(b *testing.B) {
 		})
 	}
 }
+
+// benchGenerator builds the Oahu case-study generator once per bench.
+func benchGenerator(b *testing.B) *Generator {
+	b.Helper()
+	gen, err := NewGenerator(terrain.NewOahu(), surge.DefaultParams(), assets.Oahu())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen
+}
+
+// BenchmarkGenerateBatch is the end-to-end single-scan pipeline on a
+// 50-realization Oahu ensemble (single worker, so the number isolates
+// algorithmic cost from parallelism).
+func BenchmarkGenerateBatch(b *testing.B) {
+	gen := benchGenerator(b)
+	cfg := OahuScenario()
+	cfg.Realizations = 50
+	cfg.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateReference is the same workload through the retained
+// per-consumer reference path.
+func BenchmarkGenerateReference(b *testing.B) {
+	gen := benchGenerator(b)
+	cfg := OahuScenario()
+	cfg.Realizations = 50
+	cfg.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.GenerateReference(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateSolverBatch is the per-realization surge evaluation
+// alone: one PeakAverages scan of the compiled plan.
+func BenchmarkGenerateSolverBatch(b *testing.B) {
+	gen := benchGenerator(b)
+	p, err := gen.compilePlan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := gen.Track(OahuScenario(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sc surge.Scratch
+	peaks := make([]float64, p.be.NumRegions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.be.PeakAverages(tr, &sc, peaks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateSolverReference is the per-realization surge
+// evaluation of the reference path: one Inundation site sweep plus the
+// per-zone RegionPeak re-scans.
+func BenchmarkGenerateSolverReference(b *testing.B) {
+	gen := benchGenerator(b)
+	p, err := gen.compilePlan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := gen.Track(OahuScenario(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := gen.solver.Inundation(tr, p.sites)
+		zoneEta := gen.zonePeaks(tr)
+		_, _ = row, zoneEta
+	}
+}

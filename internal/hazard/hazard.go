@@ -23,6 +23,7 @@ import (
 
 	"compoundthreat/internal/assets"
 	"compoundthreat/internal/geo"
+	"compoundthreat/internal/obs"
 	"compoundthreat/internal/surge"
 	"compoundthreat/internal/terrain"
 	"compoundthreat/internal/wind"
@@ -200,6 +201,16 @@ func (g *Generator) Track(cfg EnsembleConfig, i int) (*wind.Track, error) {
 
 func realizationTrack(cfg EnsembleConfig, i int) (*wind.Track, error) {
 	rng := rand.New(rand.NewSource(splitmix(cfg.Seed, int64(i))))
+	var tp [2]wind.TrackPoint
+	realizationPoints(cfg, rng, &tp)
+	return wind.NewTrack(tp[:])
+}
+
+// realizationPoints fills out with the two track points of one
+// realization drawn from rng, which must be freshly seeded with
+// splitmix(cfg.Seed, i). It performs no validation (and no
+// allocation); building a Track from the points validates them.
+func realizationPoints(cfg EnsembleConfig, rng *rand.Rand, out *[2]wind.TrackPoint) {
 	b := cfg.Base
 	sp := cfg.Spread
 
@@ -220,19 +231,176 @@ func realizationTrack(cfg EnsembleConfig, i int) (*wind.Track, error) {
 	start := geo.Destination(ref, heading+180, halfDist)
 	end := geo.Destination(ref, heading, halfDist)
 
-	return wind.NewTrack([]wind.TrackPoint{
-		{
-			Offset: 0, Center: start,
-			CentralPressureHPa: pressure, RMaxMeters: rmax, HollandB: b.HollandB,
-		},
-		{
-			Offset: b.Duration, Center: end,
-			CentralPressureHPa: pressure, RMaxMeters: rmax, HollandB: b.HollandB,
-		},
-	})
+	out[0] = wind.TrackPoint{
+		Offset: 0, Center: start,
+		CentralPressureHPa: pressure, RMaxMeters: rmax, HollandB: b.HollandB,
+	}
+	out[1] = wind.TrackPoint{
+		Offset: b.Duration, Center: end,
+		CentralPressureHPa: pressure, RMaxMeters: rmax, HollandB: b.HollandB,
+	}
 }
 
-// Generate runs the full ensemble.
+// genPlan is the per-Generate compilation of the asset inventory: the
+// site list, zone membership, inland attenuation factors, and — for
+// the batch path — the single-scan surge evaluator with one consumer
+// region per zone in use plus one per out-of-zone asset, and the
+// per-asset (consumer, factor, elevation) triple that turns the
+// evaluator's peak averages into inundation depths.
+type genPlan struct {
+	ids    []string
+	sites  []surge.Site
+	zoneOf []int
+	decay  []float64
+
+	be     *surge.BatchEvaluator
+	cons   []int32   // per asset: region index in the batch evaluator
+	factor []float64 // per asset: inland attenuation multiplier
+	elev   []float64 // per asset: ground elevation (meters MSL)
+}
+
+// compilePlan resolves the inventory against the terrain and compiles
+// the batch evaluator.
+func (g *Generator) compilePlan() (*genPlan, error) {
+	list := g.inv.All()
+	p := &genPlan{
+		ids:    make([]string, len(list)),
+		sites:  make([]surge.Site, len(list)),
+		zoneOf: make([]int, len(list)),
+		decay:  make([]float64, len(list)),
+		cons:   make([]int32, len(list)),
+		factor: make([]float64, len(list)),
+		elev:   make([]float64, len(list)),
+	}
+	proj := g.tm.Projection()
+	lambda := g.solver.Params().InlandDecayMeters
+	for i, a := range list {
+		p.ids[i] = a.ID
+		pos := proj.ToXY(a.Location)
+		p.sites[i] = surge.Site{
+			Pos:                   pos,
+			GroundElevationMeters: a.GroundElevationMeters,
+		}
+		p.elev[i] = a.GroundElevationMeters
+		p.zoneOf[i] = -1
+		if z, ok := g.tm.ZoneIndexAt(pos); ok {
+			p.zoneOf[i] = z
+			d := g.tm.DistanceToCoast(pos)
+			if !g.tm.IsLand(pos) {
+				d = 0
+			}
+			p.decay[i] = math.Exp(-d / lambda)
+		}
+	}
+
+	// Batch regions: one per zone actually containing an asset, then one
+	// per out-of-zone asset (its averaging disk). The union of all of
+	// them is what the evaluator scans per time step.
+	zones := g.tm.ZoneGeometries()
+	zoneCons := make([]int, len(zones))
+	for z := range zoneCons {
+		zoneCons[z] = -1
+	}
+	regions := make([]surge.Region, 0, len(zones)+len(list))
+	for _, z := range p.zoneOf {
+		if z >= 0 && zoneCons[z] < 0 {
+			zoneCons[z] = len(regions)
+			regions = append(regions, surge.Region{Center: zones[z].Center, Radius: zones[z].Radius})
+		}
+	}
+	avgRadius := g.solver.Params().AveragingRadiusMeters
+	for i := range list {
+		if z := p.zoneOf[i]; z >= 0 {
+			p.cons[i] = int32(zoneCons[z])
+			p.factor[i] = p.decay[i]
+			continue
+		}
+		p.cons[i] = int32(len(regions))
+		regions = append(regions, surge.Region{Center: p.sites[i].Pos, Radius: avgRadius})
+		d := g.tm.DistanceToCoast(p.sites[i].Pos)
+		if !g.tm.IsLand(p.sites[i].Pos) {
+			d = 0
+		}
+		p.factor[i] = math.Exp(-d / lambda)
+	}
+	be, err := g.solver.NewBatchEvaluator(regions)
+	if err != nil {
+		return nil, err
+	}
+	p.be = be
+	return p, nil
+}
+
+// newEnsembleShell builds an Ensemble with its depth rows backed by
+// one flat allocation, ready for workers to fill in place.
+func newEnsembleShell(cfg EnsembleConfig, ids []string) *Ensemble {
+	e := &Ensemble{
+		cfg:      cfg,
+		assetIDs: ids,
+		assetIdx: make(map[string]int, len(ids)),
+		depths:   make([][]float64, cfg.Realizations),
+	}
+	for i, id := range ids {
+		e.assetIdx[id] = i
+	}
+	flat := make([]float64, cfg.Realizations*len(ids))
+	for r := range e.depths {
+		e.depths[r] = flat[r*len(ids) : (r+1)*len(ids) : (r+1)*len(ids)]
+	}
+	return e
+}
+
+// runRealizations fans realization indices [0, n) out to workers. Each
+// worker gets its own job function from newWorker (so per-worker
+// scratch lives in the closure). The first error cancels the feed —
+// the producer selects on a done channel rather than blocking forever
+// on the unbuffered jobs channel after its workers have exited — and
+// is returned after all workers drain.
+func runRealizations(workers, n int, newWorker func() func(r int) error) error {
+	jobs := make(chan int)
+	done := make(chan struct{})
+	var once sync.Once
+	var genErr error
+	fail := func(err error) {
+		once.Do(func() {
+			genErr = err
+			close(done)
+		})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work := newWorker()
+			for r := range jobs {
+				if err := work(r); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for r := 0; r < n; r++ {
+		select {
+		case jobs <- r:
+		case <-done:
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return genErr
+}
+
+// Generate runs the full ensemble through the single-scan batch
+// pipeline: per realization the storm track is scanned exactly once,
+// every needed shoreline segment's setup is evaluated once per time
+// step into a shared vector, and all zone and site averages are
+// accumulated from it. Results are bit-identical to GenerateReference
+// for every worker count; steady-state workers allocate nothing per
+// realization.
 //
 // Assets inside a terrain inundation zone are evaluated against the
 // zone's common water surface (the paper's averaged-and-extended water
@@ -243,97 +411,128 @@ func (g *Generator) Generate(cfg EnsembleConfig) (*Ensemble, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	list := g.inv.All()
-	ids := make([]string, len(list))
-	sites := make([]surge.Site, len(list))
-	proj := g.tm.Projection()
-	// zoneOf[i] is the zone index of asset i, or -1; decay[i] is the
-	// asset's inland attenuation factor (used only for zone assets).
-	zoneOf := make([]int, len(list))
-	decay := make([]float64, len(list))
-	lambda := g.solver.Params().InlandDecayMeters
-	for i, a := range list {
-		ids[i] = a.ID
-		pos := proj.ToXY(a.Location)
-		sites[i] = surge.Site{
-			Pos:                   pos,
-			GroundElevationMeters: a.GroundElevationMeters,
-		}
-		zoneOf[i] = -1
-		if z, ok := g.tm.ZoneIndexAt(pos); ok {
-			zoneOf[i] = z
-			d := g.tm.DistanceToCoast(pos)
-			if !g.tm.IsLand(pos) {
-				d = 0
-			}
-			decay[i] = math.Exp(-d / lambda)
-		}
-	}
-
-	e := &Ensemble{
-		cfg:      cfg,
-		assetIDs: ids,
-		assetIdx: make(map[string]int, len(ids)),
-		depths:   make([][]float64, cfg.Realizations),
-	}
-	for i, id := range ids {
-		e.assetIdx[id] = i
-	}
-
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	jobs := make(chan int)
-	errs := make(chan error, 1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for r := range jobs {
-				tr, err := realizationTrack(cfg, r)
-				if err != nil {
-					select {
-					case errs <- fmt.Errorf("realization %d: %w", r, err):
-					default:
-					}
-					return
-				}
-				row := g.solver.Inundation(tr, sites)
-				// Re-evaluate zone assets against their zone's common
-				// water surface.
-				var zoneEta []float64
-				for i := range row {
-					z := zoneOf[i]
-					if z < 0 {
-						continue
-					}
-					if zoneEta == nil {
-						zoneEta = g.zonePeaks(tr)
-					}
-					depth := zoneEta[z]*decay[i] - sites[i].GroundElevationMeters
-					if depth < 0 {
-						depth = 0
-					}
-					row[i] = depth
-				}
-				e.depths[r] = row
-			}
-		}()
-	}
-	for r := 0; r < cfg.Realizations; r++ {
-		jobs <- r
-	}
-	close(jobs)
-	wg.Wait()
-	select {
-	case err := <-errs:
+	p, err := g.compilePlan()
+	if err != nil {
 		return nil, err
-	default:
+	}
+	e := newEnsembleShell(cfg, p.ids)
+
+	rec := obs.Default()
+	realCtr := rec.Counter("hazard.realizations")
+	trackT := rec.Timer("hazard.generate.track")
+	setupT := rec.Timer("hazard.generate.setup")
+	zonesT := rec.Timer("hazard.generate.zones")
+	timed := rec != nil
+
+	err = runRealizations(generateWorkers(cfg), cfg.Realizations, func() func(int) error {
+		rng := rand.New(rand.NewSource(0))
+		var tp [2]wind.TrackPoint
+		var tr wind.Track
+		var sc surge.Scratch
+		peaks := make([]float64, p.be.NumRegions())
+		return func(r int) error {
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
+			rng.Seed(splitmix(cfg.Seed, int64(r)))
+			realizationPoints(cfg, rng, &tp)
+			if err := tr.Reset(tp[:]); err != nil {
+				return fmt.Errorf("realization %d: %w", r, err)
+			}
+			if timed {
+				t1 := time.Now()
+				trackT.Record(t1.Sub(t0))
+				t0 = t1
+			}
+			if err := p.be.PeakAverages(&tr, &sc, peaks); err != nil {
+				return fmt.Errorf("realization %d: %w", r, err)
+			}
+			if timed {
+				t1 := time.Now()
+				setupT.Record(t1.Sub(t0))
+				t0 = t1
+			}
+			row := e.depths[r]
+			for i := range row {
+				depth := peaks[p.cons[i]]*p.factor[i] - p.elev[i]
+				if depth < 0 {
+					depth = 0
+				}
+				row[i] = depth
+			}
+			if timed {
+				zonesT.Record(time.Since(t0))
+			}
+			realCtr.Inc()
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sp := rec.StartSpan("hazard.generate.bitplane")
+	e.buildFailureColumns()
+	sp.End()
+	return e, nil
+}
+
+// GenerateReference runs the same ensemble through the historical
+// per-consumer path: per realization, surge.Solver.Inundation scans
+// the track for the site list and RegionPeak re-scans it per zone. It
+// is kept as the independent reference implementation that Generate is
+// cross-checked bit-identical against, and as the baseline of the
+// generation benchmarks.
+func (g *Generator) GenerateReference(cfg EnsembleConfig) (*Ensemble, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := g.compilePlan()
+	if err != nil {
+		return nil, err
+	}
+	e := newEnsembleShell(cfg, p.ids)
+	err = runRealizations(generateWorkers(cfg), cfg.Realizations, func() func(int) error {
+		return func(r int) error {
+			tr, err := realizationTrack(cfg, r)
+			if err != nil {
+				return fmt.Errorf("realization %d: %w", r, err)
+			}
+			row := g.solver.Inundation(tr, p.sites)
+			// Re-evaluate zone assets against their zone's common water
+			// surface.
+			var zoneEta []float64
+			for i := range row {
+				z := p.zoneOf[i]
+				if z < 0 {
+					continue
+				}
+				if zoneEta == nil {
+					zoneEta = g.zonePeaks(tr)
+				}
+				depth := zoneEta[z]*p.decay[i] - p.sites[i].GroundElevationMeters
+				if depth < 0 {
+					depth = 0
+				}
+				row[i] = depth
+			}
+			copy(e.depths[r], row)
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	e.buildFailureColumns()
 	return e, nil
+}
+
+// generateWorkers resolves the configured worker count.
+func generateWorkers(cfg EnsembleConfig) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // zonePeaks evaluates every zone's common water surface for the track.

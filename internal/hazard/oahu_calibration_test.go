@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"compoundthreat/internal/assets"
+	"compoundthreat/internal/seismic"
 	"compoundthreat/internal/surge"
 	"compoundthreat/internal/terrain"
 )
@@ -82,4 +83,82 @@ func TestOahuCalibration(t *testing.T) {
 	if nap != 0 {
 		t.Errorf("AlohaNAP flood rate = %.3f, want 0", nap)
 	}
+}
+
+// TestOahuBatchMatchesReference cross-checks the single-scan batch
+// pipeline against the retained reference path on the real case-study
+// geometry, bit for bit, across worker counts.
+func TestOahuBatchMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ensemble generation in -short mode")
+	}
+	gen, err := NewGenerator(terrain.NewOahu(), surge.DefaultParams(), assets.Oahu())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := OahuScenario()
+	cfg.Realizations = 120
+	cfg.Workers = 1
+	want, err := gen.GenerateReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		cfg.Workers = workers
+		got, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEnsemblesBitIdentical(t, "oahu batch", got, want)
+	}
+}
+
+// TestOahuEnsembleColumnParity cross-checks the engine's column-major
+// compile (AppendFailureBits) against the row-major accessor on both
+// disaster ensembles — the hurricane ensemble from the batch pipeline
+// and the earthquake ensemble with its new precomputed bit-plane.
+func TestOahuEnsembleColumnParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ensemble generation in -short mode")
+	}
+	inv := assets.Oahu()
+	gen, err := NewGenerator(terrain.NewOahu(), surge.DefaultParams(), inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcfg := OahuScenario()
+	hcfg.Realizations = 100
+	hur, err := gen.Generate(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcfg := seismic.OahuScenario()
+	qcfg.Realizations = 100
+	qk, err := seismic.Generate(qcfg, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := hur.AssetIDs()
+	check := func(name string, size int,
+		bits func([]uint64, string) ([]uint64, error),
+		vec func([]bool, int, []string) ([]bool, error)) {
+		for _, id := range ids {
+			col, err := bits(nil, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < size; r++ {
+				v, err := vec(nil, r, []string{id})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := col[r>>6]&(1<<uint(r&63)) != 0; got != v[0] {
+					t.Fatalf("%s %s realization %d: column bit %v, vector %v", name, id, r, got, v[0])
+				}
+			}
+		}
+	}
+	check("hurricane", hur.Size(), hur.AppendFailureBits, hur.AppendFailureVector)
+	check("earthquake", qk.Size(), qk.AppendFailureBits, qk.AppendFailureVector)
 }

@@ -97,6 +97,27 @@ type Ensemble struct {
 	// pga[r][a] is the peak ground acceleration (g) at asset a in
 	// realization r.
 	pga [][]float64
+	// failedBits is the asset-major, bit-packed failure plane
+	// precomputed at construction (bit r%64 of failedBits[a*words +
+	// r/64], words = ceil(realizations/64)), mirroring the hazard
+	// ensemble so the engine's column-major matrix compile takes the
+	// same contiguous-copy fast path for earthquakes.
+	failedBits []uint64
+}
+
+// buildFailureColumns precomputes the asset-major failure bitsets
+// served by AppendFailureBits, once pga rows are final.
+func (e *Ensemble) buildFailureColumns() {
+	words := (len(e.pga) + 63) / 64
+	e.failedBits = make([]uint64, len(e.assetIDs)*words)
+	for r, row := range e.pga {
+		w, bit := r>>6, uint64(1)<<uint(r&63)
+		for a, p := range row {
+			if p > e.capacity[a] {
+				e.failedBits[a*words+w] |= bit
+			}
+		}
+	}
 }
 
 // Generate runs the ensemble against the inventory.
@@ -134,6 +155,7 @@ func Generate(cfg EnsembleConfig, inv *assets.Inventory) (*Ensemble, error) {
 		}
 		e.pga[r] = row
 	}
+	e.buildFailureColumns()
 	return e, nil
 }
 
@@ -253,6 +275,20 @@ func (e *Ensemble) AppendFailureVector(dst []bool, r int, assetIDs []string) ([]
 		dst = append(dst, row[i] > e.capacity[i])
 	}
 	return dst, nil
+}
+
+// AppendFailureBits appends the asset's failure flags for every
+// realization as a little-endian bitset (bit r%64 of word r/64 is
+// realization r) — the column-major accessor the analysis engine
+// prefers for matrix compilation, with the same contract as the
+// hazard ensemble's.
+func (e *Ensemble) AppendFailureBits(dst []uint64, assetID string) ([]uint64, error) {
+	i, ok := e.assetIdx[assetID]
+	if !ok {
+		return nil, fmt.Errorf("seismic: unknown asset %q", assetID)
+	}
+	words := (len(e.pga) + 63) / 64
+	return append(dst, e.failedBits[i*words:(i+1)*words]...), nil
 }
 
 // FailureRate returns the fraction of realizations in which the asset

@@ -276,3 +276,40 @@ func TestSeismicAnalysisEndToEnd(t *testing.T) {
 		t.Errorf("probabilities sum to %v", sum)
 	}
 }
+
+// TestAppendFailureBitsParity checks the precomputed bit-plane against
+// the per-realization AppendFailureVector path, word for word — the
+// earthquake side of the accessor parity the analysis engine relies
+// on when compiling matrices column-major.
+func TestAppendFailureBitsParity(t *testing.T) {
+	cfg := OahuScenario()
+	cfg.Realizations = 130 // not a multiple of 64: exercises the tail word
+	e, err := Generate(cfg, assets.Oahu())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := e.AssetIDs()
+	words := (e.Size() + 63) / 64
+	for _, id := range ids {
+		bits, err := e.AppendFailureBits(nil, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bits) != words {
+			t.Fatalf("%s: %d words, want %d", id, len(bits), words)
+		}
+		for r := 0; r < e.Size(); r++ {
+			vec, err := e.FailureVector(r, []string{id})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := bits[r>>6]&(1<<uint(r&63)) != 0
+			if got != vec[0] {
+				t.Fatalf("%s realization %d: bit %v, vector %v", id, r, got, vec[0])
+			}
+		}
+	}
+	if _, err := e.AppendFailureBits(nil, "no-such-asset"); err == nil {
+		t.Error("AppendFailureBits with unknown asset should error")
+	}
+}

@@ -1,0 +1,153 @@
+package surge
+
+import (
+	"errors"
+
+	"compoundthreat/internal/geo"
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/wind"
+)
+
+// Region is one averaging consumer registered with a BatchEvaluator: a
+// disk over the shoreline whose member segments' instantaneous setups
+// are averaged each time step. Sites use their averaging radius;
+// inundation zones use their zone geometry.
+type Region struct {
+	Center geo.XY
+	Radius float64
+}
+
+// BatchEvaluator evaluates the peak average water-surface elevation of
+// many regions in a single scan of a storm track. It resolves the
+// union of every region's member segments once at construction, then
+// per time step evaluates each union segment exactly once into a
+// shared setup vector and accumulates every region's average from it —
+// the memoization that makes ensemble generation a single-scan
+// pipeline. Region membership, per-region summation order, the
+// average, and the peak comparison are all identical to RegionPeak and
+// Inundation, so the results are bit-identical to evaluating each
+// region independently.
+//
+// A BatchEvaluator is immutable after construction and safe for
+// concurrent use; per-call mutable state lives in a Scratch, one per
+// worker.
+type BatchEvaluator struct {
+	s *Solver
+	// union holds the distinct segment indices needed by any region, in
+	// ascending order; the shared setup vector is indexed by position in
+	// this slice.
+	union []int32
+	// CSR consumer table: region j sums setup-vector positions
+	// refs[offsets[j]:offsets[j+1]], ordered by ascending segment index
+	// to preserve the reference summation order.
+	offsets []int32
+	refs    []int32
+	// cnt[j] is float64(len(region j's segments)), the divisor of the
+	// average (kept as a divisor, not an inverse, for bit-identity).
+	cnt []float64
+
+	// Instruments resolved at construction; nil-safe no-ops when
+	// observability is disabled.
+	trackSteps *obs.Counter
+	setupEvals *obs.Counter
+	memoHits   *obs.Counter
+}
+
+// Scratch is the reusable per-worker state of PeakAverages: the shared
+// per-step setup vector. A zero Scratch is valid; after the first call
+// sized to the evaluator, subsequent calls allocate nothing.
+type Scratch struct {
+	setup []float64
+}
+
+// NewBatchEvaluator compiles the regions into a single-scan evaluator.
+func (s *Solver) NewBatchEvaluator(regions []Region) (*BatchEvaluator, error) {
+	if len(regions) == 0 {
+		return nil, errors.New("surge: NewBatchEvaluator needs at least one region")
+	}
+	b := &BatchEvaluator{
+		s:       s,
+		offsets: make([]int32, 1, len(regions)+1),
+		cnt:     make([]float64, 0, len(regions)),
+	}
+	for _, r := range regions {
+		b.refs = s.regionSegments(b.refs, r.Center, r.Radius)
+		b.offsets = append(b.offsets, int32(len(b.refs)))
+		b.cnt = append(b.cnt, float64(int(b.offsets[len(b.offsets)-1])-int(b.offsets[len(b.offsets)-2])))
+	}
+
+	// Collapse the per-region segment lists into the ascending union and
+	// rewrite refs from segment indices to setup-vector positions.
+	pos := make([]int32, len(s.segments))
+	for i := range pos {
+		pos[i] = -1
+	}
+	for _, i := range b.refs {
+		pos[i] = 0
+	}
+	for i := range pos {
+		if pos[i] == 0 {
+			pos[i] = int32(len(b.union))
+			b.union = append(b.union, int32(i))
+		}
+	}
+	for k, i := range b.refs {
+		b.refs[k] = pos[i]
+	}
+
+	rec := obs.Default()
+	b.trackSteps = rec.Counter("surge.track_steps")
+	b.setupEvals = rec.Counter("surge.setup_evals")
+	b.memoHits = rec.Counter("surge.setup_memo_hits")
+	return b, nil
+}
+
+// NumRegions returns how many regions the evaluator was compiled for.
+func (b *BatchEvaluator) NumRegions() int { return len(b.offsets) - 1 }
+
+// UnionSize returns how many distinct segments the regions reference —
+// the number of setup evaluations performed per time step.
+func (b *BatchEvaluator) UnionSize() int { return len(b.union) }
+
+// PeakAverages scans the track once and writes, for every region j,
+// the peak over time of the average instantaneous setup across the
+// region's segments into out[j]. out must have length NumRegions.
+// With a warm Scratch the call performs no allocations.
+func (b *BatchEvaluator) PeakAverages(tr *wind.Track, sc *Scratch, out []float64) error {
+	if len(out) != b.NumRegions() {
+		return errors.New("surge: PeakAverages out length must equal NumRegions")
+	}
+	if cap(sc.setup) < len(b.union) {
+		sc.setup = make([]float64, len(b.union))
+	}
+	setup := sc.setup[:len(b.union)]
+	for j := range out {
+		out[j] = 0
+	}
+	// The track scan is inlined (rather than routed through scanTrack's
+	// callback) so a warm call allocates nothing — the closure a
+	// callback would capture escapes to the heap.
+	steps := 0
+	start := tr.Start()
+	end := start + tr.Duration()
+	for t := start; t <= end; t += b.s.params.StepInterval {
+		steps++
+		ss := b.s.newStepSetup(tr.At(t))
+		for k, i := range b.union {
+			setup[k] = b.s.setupAtStep(int(i), &ss)
+		}
+		for j := range out {
+			var sum float64
+			for _, r := range b.refs[b.offsets[j]:b.offsets[j+1]] {
+				sum += setup[r]
+			}
+			if avg := sum / b.cnt[j]; avg > out[j] {
+				out[j] = avg
+			}
+		}
+	}
+	b.trackSteps.Add(int64(steps))
+	b.setupEvals.Add(int64(steps * len(b.union)))
+	b.memoHits.Add(int64(steps * (len(b.refs) - len(b.union))))
+	return nil
+}

@@ -1,0 +1,182 @@
+package surge
+
+import (
+	"math"
+
+	"compoundthreat/internal/geo"
+)
+
+// segmentGrid is a uniform spatial hash over shoreline segment
+// midpoints. It answers the two geometric queries the solver needs —
+// all segments within a radius of a point, and the nearest segment to
+// a point — in time proportional to the cells the query disk touches
+// instead of the O(segments) linear scans the solver used to do per
+// query. Both queries reproduce the linear scan exactly: radius
+// membership uses the same planar distance test, results come back in
+// ascending segment-index order, and nearest-segment ties resolve to
+// the lowest index, so every caller stays bit-identical to the
+// pre-index code.
+type segmentGrid struct {
+	mids       []geo.XY
+	minX, minY float64
+	cell       float64 // cell edge length in meters
+	nx, ny     int
+	// CSR layout: cell c holds items[start[c]:start[c+1]], ascending.
+	start []int32
+	items []int32
+}
+
+// newSegmentGrid indexes the midpoints with the given cell size.
+func newSegmentGrid(mids []geo.XY, cell float64) *segmentGrid {
+	g := &segmentGrid{mids: mids, cell: cell}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, m := range mids {
+		minX, maxX = math.Min(minX, m.X), math.Max(maxX, m.X)
+		minY, maxY = math.Min(minY, m.Y), math.Max(maxY, m.Y)
+	}
+	g.minX, g.minY = minX, minY
+	g.nx = int((maxX-minX)/cell) + 1
+	g.ny = int((maxY-minY)/cell) + 1
+
+	counts := make([]int32, g.nx*g.ny+1)
+	for _, m := range mids {
+		counts[g.cellIndex(m)+1]++
+	}
+	for c := 1; c < len(counts); c++ {
+		counts[c] += counts[c-1]
+	}
+	g.start = counts
+	g.items = make([]int32, len(mids))
+	fill := make([]int32, g.nx*g.ny)
+	// Appending in ascending segment order keeps each cell's item list
+	// ascending, which the query methods rely on.
+	for i, m := range mids {
+		c := g.cellIndex(m)
+		g.items[g.start[c]+fill[c]] = int32(i)
+		fill[c]++
+	}
+	return g
+}
+
+// cellCoords returns the clamped cell coordinates containing p.
+func (g *segmentGrid) cellCoords(p geo.XY) (int, int) {
+	cx := int((p.X - g.minX) / g.cell)
+	cy := int((p.Y - g.minY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cx, cy
+}
+
+func (g *segmentGrid) cellIndex(p geo.XY) int {
+	cx, cy := g.cellCoords(p)
+	return cy*g.nx + cx
+}
+
+// appendWithin appends the indices of all midpoints within radius of p
+// to dst, in ascending index order, and returns the extended slice.
+func (g *segmentGrid) appendWithin(dst []int32, p geo.XY, radius float64) []int32 {
+	cx0 := int(math.Floor((p.X - radius - g.minX) / g.cell))
+	cx1 := int(math.Floor((p.X + radius - g.minX) / g.cell))
+	cy0 := int(math.Floor((p.Y - radius - g.minY) / g.cell))
+	cy1 := int(math.Floor((p.Y + radius - g.minY) / g.cell))
+	cx0, cy0 = clampCell(cx0, g.nx), clampCell(cy0, g.ny)
+	cx1, cy1 = clampCell(cx1, g.nx), clampCell(cy1, g.ny)
+	base := len(dst)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			c := cy*g.nx + cx
+			for _, i := range g.items[g.start[c]:g.start[c+1]] {
+				if geo.DistanceXY(g.mids[i], p) <= radius {
+					dst = append(dst, i)
+				}
+			}
+		}
+	}
+	// Cells are visited row-major, so the gathered indices are sorted
+	// within each cell but not across cells; restore global ascending
+	// order (lists are small — insertion sort avoids an allocation).
+	insertionSortInt32(dst[base:])
+	return dst
+}
+
+// nearest returns the index of the midpoint closest to p, resolving
+// distance ties to the lowest index (matching a first-wins linear
+// scan). It expands square rings of cells outward from p's cell and
+// stops once no unvisited cell can beat the best distance found.
+func (g *segmentGrid) nearest(p geo.XY) int {
+	cx, cy := g.cellCoords(p)
+	// Distance from p to its clamped home cell (0 when p is inside the
+	// grid): ring k cells are at least (k-1)*cell beyond that, which
+	// bounds how far the search must expand.
+	homeMinX := g.minX + float64(cx)*g.cell
+	homeMinY := g.minY + float64(cy)*g.cell
+	d0 := rectDist(p, homeMinX, homeMinY, homeMinX+g.cell, homeMinY+g.cell)
+
+	best := int32(-1)
+	bestDist := math.Inf(1)
+	scan := func(c int) {
+		for _, i := range g.items[g.start[c]:g.start[c+1]] {
+			d := geo.DistanceXY(g.mids[i], p)
+			if d < bestDist || (d == bestDist && i < best) {
+				best, bestDist = i, d
+			}
+		}
+	}
+	for ring := 0; ; ring++ {
+		if best >= 0 && float64(ring-1)*g.cell-d0 > bestDist {
+			break
+		}
+		x0, x1 := cx-ring, cx+ring
+		y0, y1 := cy-ring, cy+ring
+		if x0 < 0 && y0 < 0 && x1 >= g.nx && y1 >= g.ny {
+			// The ring already covered the whole grid.
+			break
+		}
+		for cyi := max(y0, 0); cyi <= min(y1, g.ny-1); cyi++ {
+			onYEdge := cyi == y0 || cyi == y1
+			for cxi := max(x0, 0); cxi <= min(x1, g.nx-1); cxi++ {
+				if !onYEdge && cxi != x0 && cxi != x1 {
+					cxi = x1 - 1 // interior of the ring: skip to the far edge
+					continue
+				}
+				scan(cyi*g.nx + cxi)
+			}
+		}
+	}
+	return int(best)
+}
+
+// rectDist is the distance from p to the axis-aligned rectangle
+// [x0,x1]x[y0,y1] (0 when p is inside).
+func rectDist(p geo.XY, x0, y0, x1, y1 float64) float64 {
+	dx := math.Max(0, math.Max(x0-p.X, p.X-x1))
+	dy := math.Max(0, math.Max(y0-p.Y, p.Y-y1))
+	return math.Hypot(dx, dy)
+}
+
+func clampCell(c, n int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+func insertionSortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

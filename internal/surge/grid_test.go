@@ -1,0 +1,157 @@
+package surge
+
+import (
+	"math"
+	"testing"
+
+	"compoundthreat/internal/geo"
+	"compoundthreat/internal/terrain"
+)
+
+// linearWithin is the pre-index reference: every segment within radius
+// of p, ascending.
+func linearWithin(s *Solver, p geo.XY, radius float64) []int32 {
+	var out []int32
+	for i, seg := range s.segments {
+		if geo.DistanceXY(seg.Mid, p) <= radius {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// linearNearest is the pre-index reference nearest scan: first lowest
+// index wins ties.
+func linearNearest(s *Solver, p geo.XY) int {
+	nearest, nearestDist := 0, math.Inf(1)
+	for i, seg := range s.segments {
+		if d := geo.DistanceXY(seg.Mid, p); d < nearestDist {
+			nearest, nearestDist = i, d
+		}
+	}
+	return nearest
+}
+
+// gridProbes covers the interesting query geometries: inside the
+// island, on shore, offshore, far outside the grid extent, and the
+// corners.
+func gridProbes() []geo.XY {
+	probes := []geo.XY{
+		{X: 0, Y: 0},
+		{X: 0, Y: -10007},
+		{X: 123, Y: 9800},
+		{X: -9000, Y: 40},
+		{X: 60000, Y: 60000},
+		{X: -80000, Y: 0},
+		{X: 0, Y: -120000},
+		{X: 10750, Y: -9990},
+	}
+	for x := -30000.0; x <= 30000; x += 7300 {
+		for y := -30000.0; y <= 30000; y += 6100 {
+			probes = append(probes, geo.XY{X: x, Y: y})
+		}
+	}
+	return probes
+}
+
+func solversUnderTest(t *testing.T) map[string]*Solver {
+	t.Helper()
+	oahu, err := NewSolver(terrain.NewOahu(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Solver{
+		"island": newTestSolver(t),
+		"oahu":   oahu,
+	}
+}
+
+func TestGridWithinMatchesLinearScan(t *testing.T) {
+	for name, s := range solversUnderTest(t) {
+		for _, p := range gridProbes() {
+			for _, radius := range []float64{0, 100, 1500, 4000, 20000, 300000} {
+				want := linearWithin(s, p, radius)
+				got := s.grid.appendWithin(nil, p, radius)
+				if len(got) != len(want) {
+					t.Fatalf("%s: appendWithin(%v, %v): got %d segments, want %d",
+						name, p, radius, len(got), len(want))
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("%s: appendWithin(%v, %v)[%d] = %d, want %d",
+							name, p, radius, k, got[k], want[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGridNearestMatchesLinearScan(t *testing.T) {
+	for name, s := range solversUnderTest(t) {
+		for _, p := range gridProbes() {
+			if got, want := s.grid.nearest(p), linearNearest(s, p); got != want {
+				t.Fatalf("%s: nearest(%v) = %d, want %d (dist got %v, want %v)",
+					name, p, got, want,
+					geo.DistanceXY(s.segments[got].Mid, p),
+					geo.DistanceXY(s.segments[want].Mid, p))
+			}
+		}
+	}
+}
+
+// TestGridNearestSegmentMidpoints pins the exact-hit case: querying at
+// every segment midpoint must return that segment (or an exact tie at
+// a lower index, matching the linear scan).
+func TestGridNearestSegmentMidpoints(t *testing.T) {
+	for name, s := range solversUnderTest(t) {
+		for i := range s.segments {
+			p := s.segments[i].Mid
+			if got, want := s.grid.nearest(p), linearNearest(s, p); got != want {
+				t.Fatalf("%s: nearest(mid %d) = %d, want %d", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestFieldMatchesLinearNearest asserts the Field satellite: with the
+// spatial index in place, Field output on the Oahu map-rendering grid
+// (the 100x36 cell centers of cmd/hazardgen) is identical to the
+// O(points x segments) nearest-segment reference it replaced.
+func TestFieldMatchesLinearNearest(t *testing.T) {
+	tm := terrain.NewOahu()
+	s, err := NewSolver(tm, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := southTrack(t, 60)
+
+	const mapCols, mapRows = 100, 36
+	minPt, maxPt := tm.Coastline().Bounds()
+	pad := 8000.0
+	minPt = minPt.Sub(geo.XY{X: pad, Y: pad})
+	maxPt = maxPt.Add(geo.XY{X: pad, Y: pad})
+	dx := (maxPt.X - minPt.X) / mapCols
+	dy := (maxPt.Y - minPt.Y) / mapRows
+	points := make([]geo.XY, 0, mapCols*mapRows)
+	for row := 0; row < mapRows; row++ {
+		for col := 0; col < mapCols; col++ {
+			points = append(points, geo.XY{
+				X: minPt.X + (float64(col)+0.5)*dx,
+				Y: maxPt.Y - (float64(row)+0.5)*dy,
+			})
+		}
+	}
+
+	got := s.Field(tr, points)
+	peaks := s.SegmentPeaks(tr)
+	for i, p := range points {
+		eta := peaks[linearNearest(s, p)]
+		if tm.IsLand(p) {
+			eta *= math.Exp(-tm.DistanceToCoast(p) / s.params.InlandDecayMeters)
+		}
+		if got[i] != eta {
+			t.Fatalf("Field[%d] (%v) = %v, reference = %v", i, p, got[i], eta)
+		}
+	}
+}

@@ -127,6 +127,9 @@ type Solver struct {
 	// shielding[i][b] is the wind attenuation factor at segment i for
 	// wind arriving from bearing bin b (precomputed land-crossing scan).
 	shielding [][]float64
+	// grid indexes segment midpoints for radius and nearest-segment
+	// queries (segmentsNear, RegionPeak, Field, batch compilation).
+	grid *segmentGrid
 }
 
 // shieldingBins is the angular resolution of the shielding table.
@@ -147,9 +150,15 @@ func NewSolver(tm *terrain.Model, params Params) (*Solver, error) {
 	s := &Solver{tm: tm, params: params, segments: segs}
 	proj := tm.Projection()
 	s.segGeo = make([]geo.Point, len(segs))
+	mids := make([]geo.XY, len(segs))
 	for i, seg := range segs {
 		s.segGeo[i] = proj.ToPoint(seg.Mid)
+		mids[i] = seg.Mid
 	}
+	// Cell size on the order of the segment spacing keeps cells at a
+	// few segments each; the floor bounds the cell count for very fine
+	// discretizations of large domains.
+	s.grid = newSegmentGrid(mids, math.Max(2*params.MaxSegmentMeters, 500))
 	s.buildShieldingTable()
 	return s, nil
 }
@@ -200,11 +209,42 @@ func (s *Solver) NumSegments() int { return len(s.segments) }
 // Params returns the solver parameters.
 func (s *Solver) Params() Params { return s.params }
 
+// stepSetup carries the per-time-step constants shared by every
+// segment's setup evaluation at one instant: the frozen wind-field
+// sampler, the storm center in the solver's planar frame, and the
+// per-state wave-setup inputs. The batch evaluator builds one per
+// track step and reuses it across the whole segment union; the
+// per-call setupAt wrapper builds one per evaluation, matching the
+// historical slow path.
+type stepSetup struct {
+	sampler wind.Sampler
+	stormXY geo.XY  // storm center in the solver's planar frame
+	vmax    float64 // maximum sustained surface wind
+	rmax    float64 // radius of maximum winds
+}
+
+// newStepSetup freezes the per-step constants for storm state st.
+func (s *Solver) newStepSetup(st wind.State) stepSetup {
+	return stepSetup{
+		sampler: st.Sampler(),
+		stormXY: s.tm.Projection().ToXY(st.Center),
+		vmax:    st.MaxSurfaceWindMS(),
+		rmax:    st.RMaxMeters,
+	}
+}
+
 // setupAt returns the instantaneous water-surface elevation at segment
 // i for storm state st.
 func (s *Solver) setupAt(i int, st wind.State) float64 {
+	ss := s.newStepSetup(st)
+	return s.setupAtStep(i, &ss)
+}
+
+// setupAtStep is setupAt against precomputed per-step constants; the
+// two are bit-identical for the same storm state.
+func (s *Solver) setupAtStep(i int, ss *stepSetup) float64 {
 	seg := s.segments[i]
-	sample := st.SampleAt(s.segGeo[i])
+	sample := ss.sampler.SampleAt(s.segGeo[i])
 
 	// Inverse-barometer pressure setup.
 	eta := (wind.AmbientPressureHPa - sample.PressureHPa) * pressureSetupMetersPerHPa
@@ -221,22 +261,21 @@ func (s *Solver) setupAt(i int, st wind.State) float64 {
 		eta += stress * onshore * s.params.FetchMeters / (waterDensity * gravity * depth)
 	}
 
-	eta += s.waveSetupAt(i, st)
+	eta += s.waveSetupAtStep(i, ss)
 
 	return eta * seg.Amplification
 }
 
-// waveSetupAt returns the swell-driven setup at segment i: swell
+// waveSetupAtStep returns the swell-driven setup at segment i: swell
 // radiates from the storm core, decays with distance beyond the radius
 // of maximum winds, reaches only shores that face the storm, and is
 // blocked by intervening land.
-func (s *Solver) waveSetupAt(i int, st wind.State) float64 {
+func (s *Solver) waveSetupAtStep(i int, ss *stepSetup) float64 {
 	if s.params.WaveSetupCoeff == 0 {
 		return 0
 	}
 	seg := s.segments[i]
-	proj := s.tm.Projection()
-	toStorm := proj.ToXY(st.Center).Sub(seg.Mid)
+	toStorm := ss.stormXY.Sub(seg.Mid)
 	dist := toStorm.Norm()
 	if dist == 0 {
 		return 0
@@ -246,13 +285,12 @@ func (s *Solver) waveSetupAt(i int, st wind.State) float64 {
 	if facing <= 0 {
 		return 0 // shore faces away from the storm
 	}
-	excess := dist - st.RMaxMeters
+	excess := dist - ss.rmax
 	if excess < 0 {
 		excess = 0
 	}
-	vmax := st.MaxSurfaceWindMS()
 	shield := s.shieldingAt(i, u.X, u.Y)
-	return s.params.WaveSetupCoeff * vmax * vmax * facing * shield *
+	return s.params.WaveSetupCoeff * ss.vmax * ss.vmax * facing * shield *
 		math.Exp(-excess/s.params.WaveDecayMeters)
 }
 
@@ -337,25 +375,30 @@ func (s *Solver) Inundation(tr *wind.Track, sites []Site) []float64 {
 	return out
 }
 
+// regionSegments appends the ascending-ordered indices of the segments
+// within radius of center to dst, falling back to the single nearest
+// segment when the disk is empty, and returns the extended slice. This
+// is the one place averaging regions are resolved, so sites, zones, and
+// the batch evaluator all agree on membership and order.
+func (s *Solver) regionSegments(dst []int32, center geo.XY, radius float64) []int32 {
+	base := len(dst)
+	dst = s.grid.appendWithin(dst, center, radius)
+	if len(dst) == base {
+		dst = append(dst, int32(s.grid.nearest(center)))
+	}
+	return dst
+}
+
 // segmentsNear returns the indices of the shoreline segments within the
 // averaging radius of p, falling back to the single nearest segment if
 // none are within the radius.
 func (s *Solver) segmentsNear(p geo.XY) []int {
-	var within []int
-	nearest, nearestDist := 0, math.Inf(1)
-	for i, seg := range s.segments {
-		d := geo.DistanceXY(seg.Mid, p)
-		if d <= s.params.AveragingRadiusMeters {
-			within = append(within, i)
-		}
-		if d < nearestDist {
-			nearest, nearestDist = i, d
-		}
+	within := s.regionSegments(nil, p, s.params.AveragingRadiusMeters)
+	out := make([]int, len(within))
+	for k, i := range within {
+		out[k] = int(i)
 	}
-	if len(within) == 0 {
-		return []int{nearest}
-	}
-	return within
+	return out
 }
 
 // RegionPeak returns the peak (over the track) of the average
@@ -363,25 +406,12 @@ func (s *Solver) segmentsNear(p geo.XY) []int {
 // of center — the common water surface of an inundation zone. If no
 // segment lies within the radius, the nearest segment is used.
 func (s *Solver) RegionPeak(tr *wind.Track, center geo.XY, radius float64) float64 {
-	var idx []int
-	nearest, nearestDist := 0, math.Inf(1)
-	for i, seg := range s.segments {
-		d := geo.DistanceXY(seg.Mid, center)
-		if d <= radius {
-			idx = append(idx, i)
-		}
-		if d < nearestDist {
-			nearest, nearestDist = i, d
-		}
-	}
-	if len(idx) == 0 {
-		idx = []int{nearest}
-	}
+	idx := s.regionSegments(nil, center, radius)
 	var peak float64
 	s.scanTrack(tr, func(st wind.State) {
 		var sum float64
 		for _, i := range idx {
-			sum += s.setupAt(i, st)
+			sum += s.setupAt(int(i), st)
 		}
 		if avg := sum / float64(len(idx)); avg > peak {
 			peak = avg
@@ -402,13 +432,7 @@ func (s *Solver) Field(tr *wind.Track, points []geo.XY) []float64 {
 	peaks := s.SegmentPeaks(tr)
 	out := make([]float64, len(points))
 	for i, p := range points {
-		nearest, nearestDist := 0, math.Inf(1)
-		for j, seg := range s.segments {
-			if d := geo.DistanceXY(seg.Mid, p); d < nearestDist {
-				nearest, nearestDist = j, d
-			}
-		}
-		eta := peaks[nearest]
+		eta := peaks[s.grid.nearest(p)]
 		if s.tm.IsLand(p) {
 			eta *= math.Exp(-s.tm.DistanceToCoast(p) / s.params.InlandDecayMeters)
 		}

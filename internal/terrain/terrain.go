@@ -333,6 +333,23 @@ func (m *Model) ZoneName(i int) (string, error) {
 	return m.zones[i].name, nil
 }
 
+// ZoneCircle is the planar footprint of one inundation zone.
+type ZoneCircle struct {
+	Center geo.XY
+	Radius float64
+}
+
+// ZoneGeometries returns the planar center and radius of every zone in
+// index order — the bulk accessor batch consumers use to register all
+// zones in one pass instead of NumZones ZoneGeometry round trips.
+func (m *Model) ZoneGeometries() []ZoneCircle {
+	out := make([]ZoneCircle, len(m.zones))
+	for i, z := range m.zones {
+		out[i] = ZoneCircle{Center: z.center, Radius: z.radius}
+	}
+	return out
+}
+
 // ZoneGeometry returns the planar center and radius of zone i.
 func (m *Model) ZoneGeometry(i int) (center geo.XY, radius float64, err error) {
 	if i < 0 || i >= len(m.zones) {

@@ -403,3 +403,35 @@ func TestOahuZoneCoversLowlands(t *testing.T) {
 		t.Error("Kahe should be outside the south-shore zone")
 	}
 }
+
+func TestZoneGeometries(t *testing.T) {
+	m := NewOahu()
+	zones := m.ZoneGeometries()
+	if len(zones) != m.NumZones() {
+		t.Fatalf("ZoneGeometries returned %d zones, want %d", len(zones), m.NumZones())
+	}
+	for i, z := range zones {
+		center, radius, err := m.ZoneGeometry(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if z.Center != center || z.Radius != radius {
+			t.Errorf("zone %d: bulk (%v, %v) != ZoneGeometry (%v, %v)",
+				i, z.Center, z.Radius, center, radius)
+		}
+	}
+	if got := terrainWithoutZones(t).ZoneGeometries(); len(got) != 0 {
+		t.Errorf("zone-free model returned %d zones", len(got))
+	}
+}
+
+func terrainWithoutZones(t *testing.T) *Model {
+	t.Helper()
+	cfg := OahuConfig()
+	cfg.Zones = nil
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

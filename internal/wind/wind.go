@@ -113,20 +113,32 @@ type Track struct {
 
 // NewTrack builds a track from at least two time-ordered fixes.
 func NewTrack(points []TrackPoint) (*Track, error) {
+	t := &Track{}
+	if err := t.Reset(points); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Reset reinitializes the track in place from the given fixes, reusing
+// the existing backing array when it is large enough — the
+// allocation-free variant of NewTrack for callers that rebuild one
+// track per Monte-Carlo realization. Validation happens before any
+// mutation, so on error the track keeps its previous fixes.
+func (t *Track) Reset(points []TrackPoint) error {
 	if len(points) < 2 {
-		return nil, errors.New("wind: track needs at least 2 points")
+		return errors.New("wind: track needs at least 2 points")
 	}
 	for i, p := range points {
 		if err := p.validate(); err != nil {
-			return nil, fmt.Errorf("point %d: %w", i, err)
+			return fmt.Errorf("point %d: %w", i, err)
 		}
 		if i > 0 && points[i].Offset <= points[i-1].Offset {
-			return nil, fmt.Errorf("wind: track offsets not strictly increasing at point %d", i)
+			return fmt.Errorf("wind: track offsets not strictly increasing at point %d", i)
 		}
 	}
-	ps := make([]TrackPoint, len(points))
-	copy(ps, points)
-	return &Track{points: ps}, nil
+	t.points = append(t.points[:0], points...)
+	return nil
 }
 
 // Duration returns the track's total duration.
@@ -249,27 +261,74 @@ func (s Sample) VelocityNorthMS() float64 { return s.SpeedMS * s.DirNorth }
 // SampleAt evaluates the Holland wind/pressure field at a geodetic point
 // for storm state s. Northern-hemisphere (counterclockwise) rotation is
 // assumed; the paper's study region (Hawaii) is at ~21N.
+//
+// Callers sampling many points for the same state should build one
+// Sampler and reuse it: the per-state constants (storm-local
+// projection, pressure deficit, Coriolis parameter, translation speed)
+// are then computed once instead of once per point.
 func (s State) SampleAt(p geo.Point) Sample {
+	sm := s.Sampler()
+	return sm.SampleAt(p)
+}
+
+// Sampler evaluates the Holland wind/pressure field of one frozen storm
+// state at many points. It hoists every per-state constant out of the
+// per-point evaluation, so sampling N points costs N point evaluations
+// rather than N full state setups. Results are bit-identical to
+// State.SampleAt (which delegates here). A Sampler is a value: copying
+// it is cheap and it is safe for concurrent use.
+type Sampler struct {
+	st    State
+	proj  geo.Projection // storm-centered local frame
+	dpPa  float64        // pressure deficit in Pa
+	dpHPa float64        // pressure deficit in hPa
+	f     float64        // |Coriolis parameter| at the storm center
+	trans geo.XY         // translation velocity (m/s, planar)
+	tn    float64        // translation speed
+	cosIn float64        // cos of the inflow angle
+	sinIn float64        // sin of the inflow angle
+}
+
+// Sampler returns a sampler with the state's per-point constants
+// precomputed.
+func (s State) Sampler() Sampler {
+	return Sampler{
+		st:    s,
+		proj:  geo.NewProjection(s.Center),
+		dpPa:  s.PressureDeficitHPa() * 100,
+		dpHPa: s.PressureDeficitHPa(),
+		f:     math.Abs(coriolis(s.Center.Lat)),
+		trans: geo.XY{X: s.TranslationEastMS, Y: s.TranslationNorthMS},
+		tn:    geo.XY{X: s.TranslationEastMS, Y: s.TranslationNorthMS}.Norm(),
+		cosIn: math.Cos(inflowAngleDeg * math.Pi / 180),
+		sinIn: math.Sin(inflowAngleDeg * math.Pi / 180),
+	}
+}
+
+// SampleAt evaluates the field at a geodetic point.
+func (sm *Sampler) SampleAt(p geo.Point) Sample {
 	// Work in a local frame centered on the storm.
-	proj := geo.NewProjection(s.Center)
-	rel := proj.ToXY(p)
+	rel := sm.proj.ToXY(p)
 	r := rel.Norm()
 
-	dp := s.PressureDeficitHPa() * 100 // Pa
-	b := s.HollandB
+	dp := sm.dpPa
+	b := sm.st.HollandB
 
 	if r < 1 {
 		// At the storm center: calm, minimum pressure.
-		return Sample{PressureHPa: s.CentralPressureHPa}
+		return Sample{PressureHPa: sm.st.CentralPressureHPa}
 	}
 
-	// Holland pressure profile: p(r) = pc + dp * exp(-(Rmax/r)^B).
-	ratio := math.Pow(s.RMaxMeters/r, b)
-	pressure := s.CentralPressureHPa + s.PressureDeficitHPa()*math.Exp(-ratio)
+	// Holland pressure profile: p(r) = pc + dp * exp(-(Rmax/r)^B). The
+	// same exponential also appears in the gradient-wind rotation term
+	// below, so it is computed once.
+	ratio := math.Pow(sm.st.RMaxMeters/r, b)
+	expRatio := math.Exp(-ratio)
+	pressure := sm.st.CentralPressureHPa + sm.dpHPa*expRatio
 
 	// Holland gradient wind with Coriolis correction.
-	f := math.Abs(coriolis(s.Center.Lat))
-	rotTerm := b * dp / airDensity * ratio * math.Exp(-ratio)
+	f := sm.f
+	rotTerm := b * dp / airDensity * ratio * expRatio
 	corTerm := r * f / 2
 	vg := math.Sqrt(rotTerm+corTerm*corTerm) - corTerm
 	if vg < 0 {
@@ -281,21 +340,19 @@ func (s State) SampleAt(p geo.Point) Sample {
 	// the inflow angle.
 	radial := rel.Unit()
 	tangential := radial.Perp() // CCW
-	inflow := inflowAngleDeg * math.Pi / 180
 	dir := geo.XY{
-		X: tangential.X*math.Cos(inflow) - radial.X*math.Sin(inflow),
-		Y: tangential.Y*math.Cos(inflow) - radial.Y*math.Sin(inflow),
+		X: tangential.X*sm.cosIn - radial.X*sm.sinIn,
+		Y: tangential.Y*sm.cosIn - radial.Y*sm.sinIn,
 	}
 
 	// Forward-motion asymmetry: add a fraction of the translation
 	// velocity, weighted by how aligned the local rotation is with the
 	// translation (strongest on the storm's right side).
 	vel := dir.Scale(vs)
-	trans := geo.XY{X: s.TranslationEastMS, Y: s.TranslationNorthMS}
-	if tn := trans.Norm(); tn > 0 && vs > 0 {
-		align := (tangential.Dot(trans)/tn + 1) / 2 // 0 (left) .. 1 (right)
-		weight := asymmetryFraction * align * math.Exp(-math.Abs(r-s.RMaxMeters)/(4*s.RMaxMeters))
-		vel = vel.Add(trans.Scale(weight))
+	if sm.tn > 0 && vs > 0 {
+		align := (tangential.Dot(sm.trans)/sm.tn + 1) / 2 // 0 (left) .. 1 (right)
+		weight := asymmetryFraction * align * math.Exp(-math.Abs(r-sm.st.RMaxMeters)/(4*sm.st.RMaxMeters))
+		vel = vel.Add(sm.trans.Scale(weight))
 	}
 
 	speed := vel.Norm()

@@ -264,3 +264,136 @@ func TestTrackPointsDefensiveCopy(t *testing.T) {
 		t.Errorf("Points exposed internal slice: rmax = %v", got)
 	}
 }
+
+// referenceSampleAt is a verbatim retention of the pre-Sampler
+// per-call SampleAt body (per-point constant recomputation, separate
+// exponentials). The Sampler hoists and deduplicates those
+// computations; this reference pins that the results stayed
+// bit-identical.
+func referenceSampleAt(s State, p geo.Point) Sample {
+	proj := geo.NewProjection(s.Center)
+	rel := proj.ToXY(p)
+	r := rel.Norm()
+
+	dp := s.PressureDeficitHPa() * 100
+	b := s.HollandB
+
+	if r < 1 {
+		return Sample{PressureHPa: s.CentralPressureHPa}
+	}
+
+	ratio := math.Pow(s.RMaxMeters/r, b)
+	pressure := s.CentralPressureHPa + s.PressureDeficitHPa()*math.Exp(-ratio)
+
+	f := math.Abs(coriolis(s.Center.Lat))
+	rotTerm := b * dp / airDensity * ratio * math.Exp(-ratio)
+	corTerm := r * f / 2
+	vg := math.Sqrt(rotTerm+corTerm*corTerm) - corTerm
+	if vg < 0 {
+		vg = 0
+	}
+	vs := gradientToSurface * vg
+
+	radial := rel.Unit()
+	tangential := radial.Perp()
+	inflow := inflowAngleDeg * math.Pi / 180
+	dir := geo.XY{
+		X: tangential.X*math.Cos(inflow) - radial.X*math.Sin(inflow),
+		Y: tangential.Y*math.Cos(inflow) - radial.Y*math.Sin(inflow),
+	}
+
+	vel := dir.Scale(vs)
+	trans := geo.XY{X: s.TranslationEastMS, Y: s.TranslationNorthMS}
+	if tn := trans.Norm(); tn > 0 && vs > 0 {
+		align := (tangential.Dot(trans)/tn + 1) / 2
+		weight := asymmetryFraction * align * math.Exp(-math.Abs(r-s.RMaxMeters)/(4*s.RMaxMeters))
+		vel = vel.Add(trans.Scale(weight))
+	}
+
+	speed := vel.Norm()
+	sample := Sample{SpeedMS: speed, PressureHPa: pressure}
+	if speed > 0 {
+		u := vel.Scale(1 / speed)
+		sample.DirEast, sample.DirNorth = u.X, u.Y
+	}
+	return sample
+}
+
+func TestSamplerMatchesReference(t *testing.T) {
+	states := []State{
+		{
+			Center:             geo.Point{Lat: 21.3, Lon: -158},
+			CentralPressureHPa: 955, RMaxMeters: 40000, HollandB: 1.6,
+			TranslationEastMS: -5, TranslationNorthMS: 2,
+		},
+		{
+			Center:             geo.Point{Lat: 20.5, Lon: -157.2},
+			CentralPressureHPa: 975, RMaxMeters: 60000, HollandB: 1.2,
+		},
+		{
+			Center:             geo.Point{Lat: 21.9, Lon: -158.6},
+			CentralPressureHPa: 930, RMaxMeters: 25000, HollandB: 2.1,
+			TranslationEastMS: 3, TranslationNorthMS: -6,
+		},
+	}
+	for si, st := range states {
+		sm := st.Sampler()
+		for dLat := -1.0; dLat <= 1.0; dLat += 0.13 {
+			for dLon := -1.0; dLon <= 1.0; dLon += 0.17 {
+				p := geo.Point{Lat: st.Center.Lat + dLat, Lon: st.Center.Lon + dLon}
+				want := referenceSampleAt(st, p)
+				if got := st.SampleAt(p); got != want {
+					t.Fatalf("state %d SampleAt(%v) = %+v, reference %+v", si, p, got, want)
+				}
+				if got := sm.SampleAt(p); got != want {
+					t.Fatalf("state %d Sampler.SampleAt(%v) = %+v, reference %+v", si, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTrackReset(t *testing.T) {
+	pts := []TrackPoint{
+		{Offset: 0, Center: geo.Point{Lat: 20, Lon: -158}, CentralPressureHPa: 960, RMaxMeters: 40000, HollandB: 1.5},
+		{Offset: 6 * time.Hour, Center: geo.Point{Lat: 21, Lon: -158}, CentralPressureHPa: 960, RMaxMeters: 40000, HollandB: 1.5},
+	}
+	var tr Track
+	if err := tr.Reset(pts); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration() != 6*time.Hour {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+
+	// A failed Reset must leave the previous fixes intact.
+	bad := []TrackPoint{pts[0]}
+	if err := tr.Reset(bad); err == nil {
+		t.Fatal("Reset with one point should error")
+	}
+	if got := len(tr.Points()); got != 2 {
+		t.Fatalf("after failed Reset: %d points, want previous 2", got)
+	}
+
+	// Reset must reuse the backing array: steady-state rebuilds are
+	// allocation-free.
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := tr.Reset(pts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Reset allocates %v per call, want 0", allocs)
+	}
+
+	// Reset-built tracks interpolate identically to NewTrack-built ones.
+	fresh, err := NewTrack(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []time.Duration{0, time.Hour, 3 * time.Hour, 6 * time.Hour} {
+		if tr.At(off) != fresh.At(off) {
+			t.Fatalf("At(%v): Reset track %+v != NewTrack %+v", off, tr.At(off), fresh.At(off))
+		}
+	}
+}

@@ -23,6 +23,9 @@
 //	go test -run '^$' -bench Sharded -benchtime 100x ./internal/shard/ > shard.out
 //	go run ./tools/benchcheck -set shard -baseline BENCH_7.json -input shard.out
 //
+//	go test -run '^$' -bench 'Generate(Batch|Reference|Solver)' -benchtime 3x ./internal/hazard/ > generate.out
+//	go run ./tools/benchcheck -set generate -baseline BENCH_8.json -input generate.out
+//
 // The threshold is deliberately loose (3x by default): single-iteration
 // smoke runs on shared CI machines are noisy, and the gate exists to
 // catch order-of-magnitude regressions — an accidental re-lock in the
@@ -97,6 +100,16 @@ var shardToKey = map[string]string{
 	"BenchmarkShardedSweepParallel": "sharded_sweep_parallel_ns_per_op",
 }
 
+// generateToKey maps the ensemble-generation benchmarks (single-scan
+// batch pipeline vs retained reference path) to BENCH_8.json headline
+// keys — the "generate" set.
+var generateToKey = map[string]string{
+	"BenchmarkGenerateBatch":           "generate_batch_ns_per_op",
+	"BenchmarkGenerateReference":       "generate_reference_ns_per_op",
+	"BenchmarkGenerateSolverBatch":     "generate_solver_batch_ns_per_op",
+	"BenchmarkGenerateSolverReference": "generate_solver_reference_ns_per_op",
+}
+
 // benchSets names the selectable benchmark tables.
 var benchSets = map[string]map[string]string{
 	"figures":    nameToKey,
@@ -105,6 +118,7 @@ var benchSets = map[string]map[string]string{
 	"trace":      traceToKey,
 	"placement":  placementToKey,
 	"shard":      shardToKey,
+	"generate":   generateToKey,
 }
 
 // baseline is the subset of BENCH_1.json that benchcheck consumes.
