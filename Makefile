@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check fuzz-smoke bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard bench-generate bench-smoke-all bench bench-check doc-check verify
+.PHONY: all build test vet race fmt-check fuzz-smoke bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard bench-generate bench-store bench-smoke-all bench bench-check doc-check verify
 
 all: build
 
@@ -68,9 +68,16 @@ bench-shard:
 bench-generate:
 	$(GO) test -run '^$$' -bench 'Generate(Batch|Reference|Solver)' -benchtime 3x -benchmem ./internal/hazard/
 
+# The content-addressed store and write-path benchmarks: crash-safe
+# Put/Get/warm-restart over 64 KiB blobs, plus the end-to-end
+# upload → generate → sweep flow through the HTTP write API.
+bench-store:
+	$(GO) test -run '^$$' -bench 'Store(Put|Get|WarmStart)' -benchtime 100x ./internal/store/
+	$(GO) test -run '^$$' -bench 'UploadToSweep' -benchtime 3x ./internal/serve/
+
 # Every benchmark smoke in one target, so the verify gate stays one
 # line as sets accumulate.
-bench-smoke-all: bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard bench-generate
+bench-smoke-all: bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard bench-generate bench-store
 
 # Short fuzz runs over every fuzz target: the hazard ensemble codecs
 # (JSON and CSV readers) and the compressed-matrix wire codec. 30s per
@@ -81,6 +88,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzReadJSON' -fuzztime 30s ./internal/hazard/
 	$(GO) test -run '^$$' -fuzz 'FuzzReadCSV' -fuzztime 30s ./internal/hazard/
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeCompressedMatrix' -fuzztime 30s ./internal/engine/
+	$(GO) test -run '^$$' -fuzz 'FuzzTopologyUpload' -fuzztime 30s ./internal/serve/
+	$(GO) test -run '^$$' -fuzz 'FuzzEnsembleParams' -fuzztime 30s ./internal/serve/
 
 # Full benchmark sweep with allocation counts (slow: regenerates the
 # 1000-realization ensemble).
@@ -95,9 +104,10 @@ bench:
 # benchmarks against BENCH_5.json (observability cost), the
 # placement-search benchmarks against BENCH_6.json (pair kernel +
 # k-site search), the sharded-serving benchmarks against BENCH_7.json
-# (router over real worker processes), and the ensemble-generation
-# benchmarks against BENCH_8.json (single-scan batch pipeline), failing
-# on >3x slowdowns in any set.
+# (router over real worker processes), the ensemble-generation
+# benchmarks against BENCH_8.json (single-scan batch pipeline), and the
+# store/write-path benchmarks against BENCH_9.json (content-addressed
+# store + upload-to-sweep), failing on >3x slowdowns in any set.
 bench-check:
 	$(GO) test -run '^$$' -bench 'Figure' -benchtime 1x . > bench-smoke.out
 	@cat bench-smoke.out
@@ -120,11 +130,16 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'Generate(Batch|Reference|Solver)' -benchtime 3x ./internal/hazard/ > bench-generate.out
 	@cat bench-generate.out
 	$(GO) run ./tools/benchcheck -set generate -baseline BENCH_8.json -input bench-generate.out
+	$(GO) test -run '^$$' -bench 'Store(Put|Get|WarmStart)' -benchtime 100x ./internal/store/ > bench-store.out
+	$(GO) test -run '^$$' -bench 'UploadToSweep' -benchtime 3x ./internal/serve/ >> bench-store.out
+	@cat bench-store.out
+	$(GO) run ./tools/benchcheck -set store -baseline BENCH_9.json -input bench-store.out
 
-# Documentation lint: every package must carry a package comment (see
-# tools/doccheck).
+# Documentation lint: every package must carry a package comment, and
+# docs/API.md must document exactly the routes internal/serve and
+# internal/shard register (see tools/doccheck).
 doc-check:
-	$(GO) run ./tools/doccheck ./...
+	$(GO) run ./tools/doccheck -api docs/API.md -routes internal/serve,internal/shard ./...
 
 # The documented verification gate: vet, build, race-enabled tests,
 # documentation lint, and the benchmark smoke runs.

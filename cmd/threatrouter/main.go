@@ -10,11 +10,17 @@
 //	threatrouter -backends http://host:8321,http://host:8322
 //	             [-addr 127.0.0.1:8320] [-replicas N] [-timeout D]
 //	             [-hedge D] [-health-interval D] [-max-body N]
-//	             [-drain D] [-metrics report.json] [-pprof addr]
+//	             [-max-upload N] [-drain D] [-metrics report.json]
+//	             [-pprof addr]
 //
 // The router holds no ensemble data and compiles nothing: it resolves
 // ensemble names to content fingerprints from worker health responses
-// and forwards each query to the worker owning its view. Like the
+// and forwards each query to the worker owning its view. Scenario
+// uploads (POST /v1/topologies, POST /v1/ensembles, bounded by
+// -max-upload) shard by content id, so a topology and every generation
+// against it land on one worker; queries naming an uploaded ensemble
+// prefer the workers advertising its fingerprint, and GET
+// /v1/topologies aggregates every worker's listing. Like the
 // workers it always runs with a live recorder, so GET /v1/metrics
 // exposes the batching split (shard.batch_leaders vs
 // shard.batch_joined), retry/hedge counts, and per-backend traffic;
@@ -59,6 +65,7 @@ func run(args []string) (err error) {
 	hedge := fs.Duration("hedge", 0, "hedge batchable reads onto a second worker after this delay (0 = off)")
 	healthInterval := fs.Duration("health-interval", 2*time.Second, "worker health probe period")
 	maxBody := fs.Int64("max-body", 1<<20, "maximum POST body bytes")
+	maxUpload := fs.Int64("max-upload", 0, "maximum topology/ensemble upload body bytes (0 = 4 MiB)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
 	var ocli obs.CLI
 	ocli.Register(fs)
@@ -91,6 +98,7 @@ func run(args []string) (err error) {
 		Hedge:          *hedge,
 		HealthInterval: *healthInterval,
 		MaxBodyBytes:   *maxBody,
+		MaxUploadBytes: *maxUpload,
 	})
 	if err != nil {
 		return err

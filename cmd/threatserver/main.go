@@ -11,12 +11,20 @@
 //	             [-max-inflight N] [-max-body N] [-drain D]
 //	             [-handoff URL] [-handoff-views N]
 //	             [-job-timeout D] [-job-retention N]
+//	             [-store DIR] [-max-upload N] [-max-upload-realizations N]
+//	             [-quota-objects N] [-quota-bytes N]
 //	             [-trace-buffer N] [-slow-trace D] [-access-log FILE]
 //	             [-runtime-interval D] [-metrics report.json] [-pprof addr]
 //
 // The hurricane ensemble is always loaded (served as "hurricane");
 // -quake additionally loads the earthquake ensemble (served as
-// "quake"). Unlike the batch CLIs, the server always runs with a live
+// "quake"). User-uploaded scenarios (POST /v1/topologies, POST
+// /v1/ensembles — see docs/API.md "The write API") are accepted on
+// every server; with -store DIR they persist content-addressed under
+// DIR and a restarted server re-serves them warm without re-upload
+// (see docs/STORAGE.md). -max-upload bounds upload bodies,
+// -max-upload-realizations bounds one generation request, and
+// -quota-objects/-quota-bytes bound each client's stored footprint. Unlike the batch CLIs, the server always runs with a live
 // recorder so GET /v1/metrics exposes Prometheus text exposition;
 // -metrics additionally writes the JSON run report at exit. Tracing is
 // on by default (-trace-buffer 0 disables it): every request gets a
@@ -52,6 +60,7 @@ import (
 	"compoundthreat/internal/obs"
 	"compoundthreat/internal/seismic"
 	"compoundthreat/internal/serve"
+	"compoundthreat/internal/store"
 	"compoundthreat/internal/surge"
 	"compoundthreat/internal/terrain"
 )
@@ -82,8 +91,13 @@ func run(args []string) (err error) {
 	accessLog := fs.String("access-log", "", `write one JSON access-log line per request to this file ("-" = stderr)`)
 	handoff := fs.String("handoff", "", "successor base URL to stream hot views and finished jobs to after draining")
 	handoffViews := fs.Int("handoff-views", 0, "cap on views streamed at handoff, hottest first (0 = all)")
-	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-job deadline for async placement searches")
+	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-job deadline for async placement searches and ensemble generation")
 	jobRetention := fs.Int("job-retention", 0, "finished placement jobs kept pollable (0 = 64)")
+	storeDir := fs.String("store", "", "persist uploaded scenarios content-addressed under this directory (empty = memory-only uploads)")
+	maxUpload := fs.Int64("max-upload", 0, "maximum topology/ensemble upload body bytes (0 = 4 MiB)")
+	maxUploadRealizations := fs.Int("max-upload-realizations", 0, "maximum realizations per generation request (0 = 5000)")
+	quotaObjects := fs.Int("quota-objects", 0, "stored objects allowed per client (0 = 64)")
+	quotaBytes := fs.Int64("quota-bytes", 0, "stored bytes allowed per client (0 = 64 MiB)")
 	runtimeInterval := fs.Duration("runtime-interval", 10*time.Second, "runtime sampler interval for goroutine/heap/GC gauges (0 = off)")
 	var ocli obs.CLI
 	ocli.Register(fs)
@@ -176,15 +190,30 @@ func run(args []string) (err error) {
 		ensembles["quake"] = quakes
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var cleaned int
+		st, cleaned, err = store.Open(*storeDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "store %s: %d objects (%d bytes), %d invalid files cleaned\n",
+			*storeDir, st.Len(), st.Bytes(), cleaned)
+	}
 	s, err := serve.New(ensembles, inv, serve.Options{
-		Workers:      *workers,
-		MaxInflight:  *maxInflight,
-		CacheEntries: *cacheEntries,
-		Timeout:      *timeout,
-		MaxBodyBytes: *maxBody,
-		AccessLog:    accessW,
-		JobTimeout:   *jobTimeout,
-		JobRetention: *jobRetention,
+		Workers:               *workers,
+		MaxInflight:           *maxInflight,
+		CacheEntries:          *cacheEntries,
+		Timeout:               *timeout,
+		MaxBodyBytes:          *maxBody,
+		AccessLog:             accessW,
+		JobTimeout:            *jobTimeout,
+		JobRetention:          *jobRetention,
+		Store:                 st,
+		MaxUploadBytes:        *maxUpload,
+		MaxUploadRealizations: *maxUploadRealizations,
+		QuotaObjects:          *quotaObjects,
+		QuotaBytes:            *quotaBytes,
 	})
 	if err != nil {
 		return err

@@ -13,12 +13,14 @@
 package hazard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"compoundthreat/internal/assets"
@@ -117,6 +119,11 @@ type EnsembleConfig struct {
 	FloodThresholdMeters float64
 	// Workers bounds generation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Progress, when non-nil, is called after each completed
+	// realization with the number done so far and the total. It may be
+	// called concurrently from generation workers and must be cheap; it
+	// is excluded from the wire form of the config.
+	Progress func(done, total int) `json:"-"`
 }
 
 // Validate reports the first configuration problem found.
@@ -352,11 +359,12 @@ func newEnsembleShell(cfg EnsembleConfig, ids []string) *Ensemble {
 
 // runRealizations fans realization indices [0, n) out to workers. Each
 // worker gets its own job function from newWorker (so per-worker
-// scratch lives in the closure). The first error cancels the feed —
-// the producer selects on a done channel rather than blocking forever
-// on the unbuffered jobs channel after its workers have exited — and
-// is returned after all workers drain.
-func runRealizations(workers, n int, newWorker func() func(r int) error) error {
+// scratch lives in the closure). The first error — or ctx cancellation,
+// observed at realization granularity — cancels the feed; the producer
+// selects on a done channel rather than blocking forever on the
+// unbuffered jobs channel after its workers have exited. The first
+// error is returned after all workers drain.
+func runRealizations(ctx context.Context, workers, n int, newWorker func() func(r int) error) error {
 	jobs := make(chan int)
 	done := make(chan struct{})
 	var once sync.Once
@@ -387,6 +395,9 @@ feed:
 		case jobs <- r:
 		case <-done:
 			break feed
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
 		}
 	}
 	close(jobs)
@@ -408,6 +419,15 @@ feed:
 // the asset's distance to the coast. Assets outside every zone get the
 // per-site evaluation of surge.Solver.Inundation.
 func (g *Generator) Generate(cfg EnsembleConfig) (*Ensemble, error) {
+	return g.GenerateCtx(context.Background(), cfg)
+}
+
+// GenerateCtx is Generate with cancellation: when ctx is canceled the
+// realization feed stops (observed between realizations, so
+// cancellation latency is one realization per worker) and the ctx
+// error is returned. Used by the serving tier's async generation jobs
+// for timeouts and drain-aware cancel.
+func (g *Generator) GenerateCtx(ctx context.Context, cfg EnsembleConfig) (*Ensemble, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -423,8 +443,9 @@ func (g *Generator) Generate(cfg EnsembleConfig) (*Ensemble, error) {
 	setupT := rec.Timer("hazard.generate.setup")
 	zonesT := rec.Timer("hazard.generate.zones")
 	timed := rec != nil
+	var prog atomic.Int64
 
-	err = runRealizations(generateWorkers(cfg), cfg.Realizations, func() func(int) error {
+	err = runRealizations(ctx, generateWorkers(cfg), cfg.Realizations, func() func(int) error {
 		rng := rand.New(rand.NewSource(0))
 		var tp [2]wind.TrackPoint
 		var tr wind.Track
@@ -465,6 +486,9 @@ func (g *Generator) Generate(cfg EnsembleConfig) (*Ensemble, error) {
 				zonesT.Record(time.Since(t0))
 			}
 			realCtr.Inc()
+			if cfg.Progress != nil {
+				cfg.Progress(int(prog.Add(1)), cfg.Realizations)
+			}
 			return nil
 		}
 	})
@@ -492,7 +516,7 @@ func (g *Generator) GenerateReference(cfg EnsembleConfig) (*Ensemble, error) {
 		return nil, err
 	}
 	e := newEnsembleShell(cfg, p.ids)
-	err = runRealizations(generateWorkers(cfg), cfg.Realizations, func() func(int) error {
+	err = runRealizations(context.Background(), generateWorkers(cfg), cfg.Realizations, func() func(int) error {
 		return func(r int) error {
 			tr, err := realizationTrack(cfg, r)
 			if err != nil {

@@ -1,0 +1,84 @@
+package hazard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGenerateProgress(t *testing.T) {
+	gen, cfg := testSetup(t)
+	var mu sync.Mutex
+	var calls []int
+	lastTotal := 0
+	cfg.Progress = func(done, total int) {
+		mu.Lock()
+		calls = append(calls, done)
+		lastTotal = total
+		mu.Unlock()
+	}
+	e, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(calls) != cfg.Realizations {
+		t.Fatalf("Progress called %d times, want %d", len(calls), cfg.Realizations)
+	}
+	if lastTotal != cfg.Realizations {
+		t.Fatalf("Progress total = %d, want %d", lastTotal, cfg.Realizations)
+	}
+	seen := make(map[int]bool, len(calls))
+	for _, d := range calls {
+		if d < 1 || d > cfg.Realizations || seen[d] {
+			t.Fatalf("Progress done values not a permutation of 1..%d: %v", cfg.Realizations, calls)
+		}
+		seen[d] = true
+	}
+	// The Progress hook must not change the result.
+	cfg.Progress = nil
+	plain, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < cfg.Realizations; r++ {
+		for _, id := range e.AssetIDs() {
+			got, err1 := e.Depth(r, id)
+			want, err2 := plain.Depth(r, id)
+			if err1 != nil || err2 != nil || got != want {
+				t.Fatalf("depths differ at (%d, %s) with Progress set", r, id)
+			}
+		}
+	}
+}
+
+func TestGenerateCtxCancel(t *testing.T) {
+	gen, cfg := testSetup(t)
+	cfg.Realizations = 5000
+	cfg.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	cfg.Progress = func(d, total int) {
+		done.Store(int64(d))
+		if d == 10 {
+			cancel()
+		}
+	}
+	_, err := gen.GenerateCtx(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("GenerateCtx after cancel = %v, want context.Canceled", err)
+	}
+	if int(done.Load()) >= cfg.Realizations {
+		t.Fatalf("generation ran to completion (%d realizations) despite cancel", done.Load())
+	}
+}
+
+func TestGenerateCtxAlreadyCanceled(t *testing.T) {
+	gen, cfg := testSetup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := gen.GenerateCtx(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GenerateCtx with pre-canceled ctx = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTopologyUpload checks the topology decode/validate path against
+// arbitrary bodies: no panics, and every accepted document has a
+// stable content id — re-decoding its canonical form yields the same
+// id, so idempotent re-uploads can never split.
+func FuzzTopologyUpload(f *testing.F) {
+	f.Add(testTopologyJSON("seed"))
+	f.Add(`{"name": "x"}`)
+	f.Add(`{not json`)
+	f.Add(``)
+	f.Add(strings.Replace(testTopologyJSON("mut"), `"control-center"`, `"x"`, 1))
+	f.Add(testTopologyJSON("trail") + `{"more": 1}`)
+	opt := Options{}.defaults()
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, canonical, id, err := decodeTopologyDoc([]byte(input), opt)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if len(id) != 16 {
+			t.Fatalf("accepted document with id %q, want 16 hex digits", id)
+		}
+		if doc.Name == "" || len(doc.Assets) == 0 || len(doc.Terrain.Coastline) < 3 {
+			t.Fatalf("accepted document violates its own limits: %+v", doc)
+		}
+		_, canonical2, id2, err := decodeTopologyDoc(canonical, opt)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		if id2 != id {
+			t.Fatalf("canonical re-decode changed id: %s != %s", id2, id)
+		}
+		if string(canonical2) != string(canonical) {
+			t.Fatalf("canonical form is not a fixed point:\n%s\n%s", canonical2, canonical)
+		}
+	})
+}
+
+// FuzzEnsembleParams checks the generation-parameter decode path:
+// no panics, accepted parameters always validate as an
+// EnsembleConfig, and the scenario id is deterministic.
+func FuzzEnsembleParams(f *testing.F) {
+	f.Add(testEnsembleJSON(strings.Repeat("a", 16), 8, 7))
+	f.Add(`{"topology": ""}`)
+	f.Add(`{"topology": "x", "realizations": -1}`)
+	f.Add(`{not json`)
+	f.Add(``)
+	opt := Options{}.defaults()
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := decodeEnsembleParams([]byte(input), opt)
+		if err != nil {
+			return
+		}
+		if p.topologyID == "" {
+			t.Fatal("accepted parameters without a topology id")
+		}
+		if err := p.cfg.Validate(); err != nil {
+			t.Fatalf("accepted parameters fail config validation: %v", err)
+		}
+		p2, err := decodeEnsembleParams(p.canonical, opt)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		if p2.scenarioID != p.scenarioID {
+			t.Fatalf("canonical re-decode changed scenario id: %s != %s", p2.scenarioID, p.scenarioID)
+		}
+	})
+}

@@ -73,6 +73,10 @@ func (s *Server) routes() {
 	s.handle("GET /v1/placement", "placement", s.handlePlacement)
 	s.handle("POST /v1/placement/search", "placement_search", s.handlePlacementSearch)
 	s.handle("GET /v1/placement/jobs/{id}", "placement_job", s.handlePlacementJob)
+	s.handle("POST /v1/topologies", "topology_upload", s.handleTopologyUpload)
+	s.handle("GET /v1/topologies", "topology_list", s.handleTopologyList)
+	s.handle("POST /v1/ensembles", "ensemble_submit", s.handleEnsembleSubmit)
+	s.handle("GET /v1/ensembles/jobs/{id}", "ensemble_job", s.handleEnsembleJob)
 }
 
 // writeError renders an error response and returns the status it
@@ -177,6 +181,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		Assets       int    `json:"assets"`
 		Fingerprint  string `json:"fingerprint"`
 	}
+	s.mu.RLock()
 	ens := make([]ensembleJSON, 0, len(s.names))
 	for _, name := range s.names {
 		e := s.ensembles[name]
@@ -187,13 +192,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 			Fingerprint:  fmt.Sprintf("%016x", e.hash),
 		})
 	}
-	return writeJSON(w, map[string]any{
+	s.mu.RUnlock()
+	out := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"ensembles":      ens,
 		"cache":          map[string]int{"entries": s.cache.len(), "capacity": s.opt.CacheEntries},
 		"max_inflight":   s.opt.MaxInflight,
-	})
+		"topologies":     len(s.uploads.topologyList()),
+	}
+	if st := s.opt.Store; st != nil {
+		out["store"] = map[string]any{"objects": st.Len(), "bytes": st.Bytes()}
+	}
+	return writeJSON(w, out)
 }
 
 // ---- /v1/report ----

@@ -266,13 +266,15 @@ func (g *jobRegistry) close() {
 	}
 }
 
-// Close cancels all running placement jobs and rejects new
-// submissions; poll endpoints keep answering (canceled jobs report
-// their state) and /v1/readyz starts failing. Call after Run returns,
-// before process exit, so job goroutines stop deterministically.
+// Close cancels all running placement and generation jobs and rejects
+// new submissions and uploads; poll endpoints keep answering (canceled
+// jobs report their state) and /v1/readyz starts failing. Call after
+// Run returns, before process exit, so job goroutines stop
+// deterministically.
 func (s *Server) Close() {
 	s.closed.Store(true)
 	s.jobs.close()
+	s.genjobs.close()
 }
 
 // ---- POST /v1/placement/search ----

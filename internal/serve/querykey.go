@@ -165,6 +165,31 @@ func PlacementSearchShape(body []byte) (QueryShape, error) {
 	}, nil
 }
 
+// TopologyUploadKey derives the shard key of POST /v1/topologies from
+// the raw body: "upload\x1f" + the topology's content id. Ensemble
+// submissions referencing the topology share the key (see
+// EnsembleSubmitKey), so a topology and every generation against it
+// land on one worker. Decode uses the default limits — a worker with
+// tighter limits re-validates authoritatively.
+func TopologyUploadKey(body []byte) (string, error) {
+	_, _, id, err := decodeTopologyDoc(body, Options{}.defaults())
+	if err != nil {
+		return "", err
+	}
+	return "upload\x1f" + id, nil
+}
+
+// EnsembleSubmitKey derives the shard key of POST /v1/ensembles: the
+// referenced topology's id, so generation runs on the worker holding
+// the uploaded topology.
+func EnsembleSubmitKey(body []byte) (string, error) {
+	p, err := decodeEnsembleParams(body, Options{}.defaults())
+	if err != nil {
+		return "", err
+	}
+	return "upload\x1f" + p.topologyID, nil
+}
+
 // universeIdentity renders a universe as an identity string, matching
 // the universe half of the worker's cache key.
 func universeIdentity(universe []string) string {

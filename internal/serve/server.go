@@ -10,12 +10,14 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"compoundthreat/internal/analysis"
 	"compoundthreat/internal/assets"
 	"compoundthreat/internal/obs"
+	"compoundthreat/internal/store"
 )
 
 // Ensemble is what the server serves: a disaster ensemble plus its
@@ -62,6 +64,27 @@ type Options struct {
 	// views, finished-job envelopes), which are legitimately larger
 	// than query bodies. 0 = 64 MiB.
 	MaxImportBytes int64
+
+	// Store, when non-nil, persists uploaded topologies and generated
+	// ensembles content-addressed so a restarted server re-serves them
+	// warm. nil = uploads are accepted but held in memory only.
+	Store *store.Store
+	// MaxUploadBytes bounds topology/ensemble-parameter upload bodies.
+	// 0 = 4 MiB.
+	MaxUploadBytes int64
+	// MaxUploadAssets bounds the asset inventory of one uploaded
+	// topology. 0 = 256.
+	MaxUploadAssets int
+	// MaxUploadVertices bounds the coastline of one uploaded topology.
+	// 0 = 4096.
+	MaxUploadVertices int
+	// MaxUploadRealizations bounds one generation request. 0 = 5000.
+	MaxUploadRealizations int
+	// QuotaObjects bounds stored objects (topologies + ensembles) per
+	// client. 0 = 64.
+	QuotaObjects int
+	// QuotaBytes bounds stored payload bytes per client. 0 = 64 MiB.
+	QuotaBytes int64
 }
 
 // defaults materializes the documented zero-value defaults.
@@ -90,6 +113,24 @@ func (o Options) defaults() Options {
 	if o.MaxImportBytes <= 0 {
 		o.MaxImportBytes = 64 << 20
 	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 4 << 20
+	}
+	if o.MaxUploadAssets <= 0 {
+		o.MaxUploadAssets = 256
+	}
+	if o.MaxUploadVertices <= 0 {
+		o.MaxUploadVertices = 4096
+	}
+	if o.MaxUploadRealizations <= 0 {
+		o.MaxUploadRealizations = 5000
+	}
+	if o.QuotaObjects <= 0 {
+		o.QuotaObjects = 64
+	}
+	if o.QuotaBytes <= 0 {
+		o.QuotaBytes = 64 << 20
+	}
 	return o
 }
 
@@ -106,15 +147,24 @@ type ensembleEntry struct {
 // construction. It is safe for concurrent use; see the package comment
 // for the caching, coalescing, and bounded-work design.
 type Server struct {
-	opt       Options
-	inv       *assets.Inventory
+	opt Options
+	inv *assets.Inventory
+
+	// mu guards ensembles and names, which the write path mutates at
+	// runtime; read-side paths (query handlers, healthz, view-key
+	// resolution) take the read lock. The entries themselves stay
+	// immutable once registered.
+	mu        sync.RWMutex
 	ensembles map[string]*ensembleEntry
 	names     []string // sorted ensemble names
-	cache     *viewCache
-	jobs      *jobRegistry
-	slots     chan struct{}
-	start     time.Time
-	mux       *http.ServeMux
+
+	cache   *viewCache
+	jobs    *jobRegistry
+	uploads *uploadState
+	genjobs *genRegistry
+	slots   chan struct{}
+	start   time.Time
+	mux     *http.ServeMux
 
 	inflight *obs.Gauge
 	errs     *obs.Counter
@@ -152,6 +202,8 @@ func New(ensembles map[string]Ensemble, inv *assets.Inventory, opt Options) (*Se
 		ensembles: make(map[string]*ensembleEntry, len(ensembles)),
 		cache:     newViewCache(opt.CacheEntries),
 		jobs:      newJobRegistry(opt.JobRetention),
+		uploads:   newUploadState(opt),
+		genjobs:   newGenRegistry(opt.JobRetention),
 		slots:     make(chan struct{}, opt.MaxInflight),
 		start:     time.Now(),
 		inflight:  rec.Gauge("serve.inflight"),
@@ -174,22 +226,43 @@ func New(ensembles map[string]Ensemble, inv *assets.Inventory, opt Options) (*Se
 		if e == nil || e.Size() <= 0 {
 			return nil, fmt.Errorf("serve: ensemble %q is nil or empty", name)
 		}
-		entry := &ensembleEntry{name: name, e: e, assets: make(map[string]bool)}
-		for _, id := range e.AssetIDs() {
-			entry.assets[id] = true
-		}
 		h, err := fingerprint(e)
 		if err != nil {
 			return nil, fmt.Errorf("serve: fingerprint %q: %w", name, err)
 		}
-		entry.hash = h
-		s.ensembles[name] = entry
-		s.names = append(s.names, name)
+		if err := s.registerEnsemble(name, e, h); err != nil {
+			return nil, err
+		}
 	}
-	sort.Strings(s.names)
+	if err := s.loadStore(); err != nil {
+		return nil, err
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
+}
+
+// registerEnsemble adds one ensemble under name with the given content
+// hash. Re-registering the same (name, hash) is a no-op — warm restart
+// and a concurrently committing generation job may race to the same
+// content — while a different hash under an existing name is an error.
+func (s *Server) registerEnsemble(name string, e Ensemble, hash uint64) error {
+	entry := &ensembleEntry{name: name, e: e, hash: hash, assets: make(map[string]bool)}
+	for _, id := range e.AssetIDs() {
+		entry.assets[id] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.ensembles[name]; ok {
+		if prev.hash == hash {
+			return nil
+		}
+		return fmt.Errorf("serve: ensemble %q already loaded with different content", name)
+	}
+	s.ensembles[name] = entry
+	s.names = append(s.names, name)
+	sort.Strings(s.names)
+	return nil
 }
 
 // fingerprint hashes the ensemble's full failure-bit content (FNV-1a
@@ -255,6 +328,8 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // ensemble resolves the ensemble named in a query. An empty name is
 // allowed when exactly one ensemble is loaded.
 func (s *Server) ensemble(name string) (*ensembleEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if name == "" {
 		if len(s.names) == 1 {
 			return s.ensembles[s.names[0]], nil
@@ -266,6 +341,13 @@ func (s *Server) ensemble(name string) (*ensembleEntry, error) {
 		return nil, notFoundf("unknown ensemble %q (loaded: %s)", name, strings.Join(s.names, ", "))
 	}
 	return e, nil
+}
+
+// ensembleNames returns a snapshot of the loaded names, sorted.
+func (s *Server) ensembleNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.names...)
 }
 
 // viewFor returns the cached compiled view for (ensemble, universe),

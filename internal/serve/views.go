@@ -188,12 +188,14 @@ func (s *Server) resolveViewKey(key string) (*ensembleEntry, []string, error) {
 		return nil, nil, badRequestf("malformed fingerprint in view key %q", key)
 	}
 	var ens *ensembleEntry
+	s.mu.RLock()
 	for _, name := range s.names {
 		if e := s.ensembles[name]; e.hash == hash {
 			ens = e
 			break
 		}
 	}
+	s.mu.RUnlock()
 	if ens == nil {
 		return nil, nil, notFoundf("no loaded ensemble has fingerprint %s", hexPart)
 	}

@@ -31,6 +31,7 @@ import (
 	"compoundthreat/internal/hazard"
 	"compoundthreat/internal/obs"
 	"compoundthreat/internal/serve"
+	"compoundthreat/internal/store"
 	"compoundthreat/internal/surge"
 	"compoundthreat/internal/terrain"
 )
@@ -78,6 +79,7 @@ func runWorker(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:0", "listen address")
 	realizations := fs.Int("realizations", 48, "disaster realizations")
 	seed := fs.Int64("seed", 7, "ensemble seed")
+	storeDir := fs.String("store", "", "persist uploaded scenarios under this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,7 +90,15 @@ func runWorker(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := serve.New(map[string]serve.Ensemble{"hurricane": ens}, inv, serve.Options{})
+	var st *store.Store
+	if *storeDir != "" {
+		var cleaned int
+		if st, cleaned, err = store.Open(*storeDir, store.Options{}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "store cleaned %d\n", cleaned)
+	}
+	s, err := serve.New(map[string]serve.Ensemble{"hurricane": ens}, inv, serve.Options{Store: st})
 	if err != nil {
 		return err
 	}
@@ -113,10 +123,10 @@ type workerProc struct {
 }
 
 // startWorker re-executes the test binary as a worker and waits for
-// its listen address.
-func startWorker(tb testing.TB, realizations int) *workerProc {
+// its listen address; extra flags (e.g. -store DIR) pass through.
+func startWorker(tb testing.TB, realizations int, extra ...string) *workerProc {
 	tb.Helper()
-	cmd := cmdtest.Command(tb, "-realizations", fmt.Sprint(realizations))
+	cmd := cmdtest.Command(tb, append([]string{"-realizations", fmt.Sprint(realizations)}, extra...)...)
 	pipe, err := cmd.StderrPipe()
 	if err != nil {
 		tb.Fatal(err)

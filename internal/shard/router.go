@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -37,6 +38,10 @@ type Options struct {
 	HealthInterval time.Duration
 	// MaxBodyBytes bounds POST bodies (0 = 1 MiB).
 	MaxBodyBytes int64
+	// MaxUploadBytes bounds topology/ensemble upload bodies, which are
+	// legitimately larger than query bodies (0 = 4 MiB). Workers
+	// re-check against their own limit.
+	MaxUploadBytes int64
 	// MaxJobRoutes bounds the job_id→backend table (0 = 4096).
 	MaxJobRoutes int
 }
@@ -53,6 +58,9 @@ func (o Options) defaults() Options {
 	}
 	if o.MaxBodyBytes == 0 {
 		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxUploadBytes == 0 {
+		o.MaxUploadBytes = 4 << 20
 	}
 	if o.MaxJobRoutes == 0 {
 		o.MaxJobRoutes = 4096
@@ -193,7 +201,11 @@ func (rt *Router) routes() {
 	rt.handle("GET /v1/figure/{id}", "figure", rt.handleFigure)
 	rt.handle("GET /v1/placement", "placement", rt.handlePlacement)
 	rt.handle("POST /v1/placement/search", "placement_search", rt.handlePlacementSearch)
-	rt.handle("GET /v1/placement/jobs/{id}", "placement_job", rt.handlePlacementJob)
+	rt.handle("GET /v1/placement/jobs/{id}", "placement_job", rt.handleJobPoll)
+	rt.handle("POST /v1/topologies", "topology_upload", rt.handleTopologyUpload)
+	rt.handle("GET /v1/topologies", "topology_list", rt.handleTopologyList)
+	rt.handle("POST /v1/ensembles", "ensemble_submit", rt.handleEnsembleSubmit)
+	rt.handle("GET /v1/ensembles/jobs/{id}", "ensemble_job", rt.handleJobPoll)
 }
 
 // handle wraps one endpoint with the router's request machinery:
@@ -253,21 +265,67 @@ func (rt *Router) writeResponse(w http.ResponseWriter, res *response) error {
 	return err
 }
 
-// shardKey renders a query shape as a ring key. Ensemble names resolve
-// to content fingerprints learned from backend health responses, so
+// resolve renders a query shape as a ring key and, when the named
+// ensemble lives on only part of the healthy pool (an uploaded
+// scenario, learned from worker healthz), the owning backends. Names
+// resolve to content fingerprints from backend health responses, so
 // renaming an ensemble (or omitting the name where one is loaded)
 // cannot split one view across workers; an unresolvable name routes by
-// name and lets the owning worker return the authoritative 404.
-func (rt *Router) shardKey(shape serve.QueryShape) string {
+// name and lets the owning worker return the authoritative 404. A nil
+// owners slice means every healthy worker can answer (startup-loaded
+// ensembles) and plain ring routing applies.
+func (rt *Router) resolve(shape serve.QueryShape) (string, []*backend) {
+	var fp string
+	var owners []*backend
+	healthy := 0
 	for _, b := range rt.backends {
 		if !b.healthy.Load() {
 			continue
 		}
-		if fp, ok := b.fingerprint(shape.Ensemble); ok {
-			return fp + "\x1f" + shape.Identity
+		healthy++
+		f, ok := b.fingerprint(shape.Ensemble)
+		if !ok {
+			continue
+		}
+		if fp == "" {
+			fp = f
+		}
+		if f == fp {
+			owners = append(owners, b)
 		}
 	}
-	return "name\x1f" + shape.Ensemble + "\x1f" + shape.Identity
+	if fp == "" {
+		return "name\x1f" + shape.Ensemble + "\x1f" + shape.Identity, nil
+	}
+	key := fp + "\x1f" + shape.Identity
+	if len(owners) == healthy {
+		return key, nil
+	}
+	return key, owners
+}
+
+// candidatesFor orders the fetch sequence for a key: the owning
+// backends first (ring order), then the rest as failover of last
+// resort. With no owner constraint it is plain candidates ordering.
+func (rt *Router) candidatesFor(key string, owners []*backend) []*backend {
+	cands := rt.candidates(key)
+	if len(owners) == 0 {
+		return cands
+	}
+	own := make(map[*backend]bool, len(owners))
+	for _, b := range owners {
+		own[b] = true
+	}
+	first := make([]*backend, 0, len(cands))
+	var rest []*backend
+	for _, b := range cands {
+		if own[b] {
+			first = append(first, b)
+		} else {
+			rest = append(rest, b)
+		}
+	}
+	return append(first, rest...)
 }
 
 // candidates orders the key's ring sequence for fetching: healthy
@@ -356,7 +414,7 @@ func (rt *Router) fetch(ctx context.Context, cands []*backend, method, path, raw
 // serveSharded is the common read path: derive the shard key, batch
 // identical in-flight reads, fetch with failover, replay the winner.
 func (rt *Router) serveSharded(w http.ResponseWriter, r *http.Request, shape serve.QueryShape, body []byte) error {
-	cands := rt.candidates(rt.shardKey(shape))
+	cands := rt.candidatesFor(rt.resolve(shape))
 	contentType := r.Header.Get("Content-Type")
 	fetch := func() (*response, error) {
 		return rt.fetch(r.Context(), cands, r.Method, r.URL.Path, r.URL.RawQuery, contentType, body, shape.Batchable)
@@ -434,7 +492,14 @@ func (rt *Router) handlePlacementSearch(w http.ResponseWriter, r *http.Request) 
 	if err != nil {
 		return err
 	}
-	cands := rt.candidates(rt.shardKey(shape))
+	cands := rt.candidatesFor(rt.resolve(shape))
+	return rt.forwardSubmission(w, r, cands, body)
+}
+
+// forwardSubmission forwards a job-creating POST and learns the
+// resulting job's route from the 202 (created/coalesced) or 200
+// (already done) response.
+func (rt *Router) forwardSubmission(w http.ResponseWriter, r *http.Request, cands []*backend, body []byte) error {
 	res, err := rt.fetch(r.Context(), cands, r.Method, r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), body, false)
 	if err != nil {
 		return err
@@ -450,10 +515,12 @@ func (rt *Router) handlePlacementSearch(w http.ResponseWriter, r *http.Request) 
 	return rt.writeResponse(w, res)
 }
 
-// handlePlacementJob polls a job on its learned backend, falling back
-// to a broadcast across the pool for unknown or relocated jobs (a poll
-// after a warm handoff finds the job on the successor this way).
-func (rt *Router) handlePlacementJob(w http.ResponseWriter, r *http.Request) error {
+// handleJobPoll polls a job (placement search or ensemble generation —
+// both share id derivation and poll semantics) on its learned backend,
+// falling back to a broadcast across the pool for unknown or relocated
+// jobs (a poll after a warm handoff finds the job on the successor this
+// way).
+func (rt *Router) handleJobPoll(w http.ResponseWriter, r *http.Request) error {
 	id := r.PathValue("id")
 	if idx, ok := rt.jobs.lookup(id); ok {
 		b := rt.backends[idx]
@@ -489,6 +556,109 @@ func (rt *Router) handlePlacementJob(w http.ResponseWriter, r *http.Request) err
 		lastErr = errors.New("no backends configured")
 	}
 	return errNoBackend(fmt.Sprintf("job %s: %v", id, lastErr))
+}
+
+// readUploadBody buffers an upload body under the upload limit,
+// rejecting oversize bodies with the write path's typed
+// payload_too_large error (matching what a worker would answer).
+func (rt *Router) readUploadBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, rt.opt.MaxUploadBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > rt.opt.MaxUploadBytes {
+		return nil, &routerError{status: http.StatusRequestEntityTooLarge, code: "payload_too_large",
+			message: fmt.Sprintf("upload body exceeds %d bytes", rt.opt.MaxUploadBytes)}
+	}
+	return body, nil
+}
+
+// handleTopologyUpload shards an upload by its content id, so the
+// topology and every later generation against it land on one worker.
+// A document the router cannot derive a key from is still forwarded —
+// the worker owns the authoritative validation error.
+func (rt *Router) handleTopologyUpload(w http.ResponseWriter, r *http.Request) error {
+	body, err := rt.readUploadBody(r)
+	if err != nil {
+		return err
+	}
+	key := "upload\x1f"
+	if k, err := serve.TopologyUploadKey(body); err == nil {
+		key = k
+	}
+	res, err := rt.fetch(r.Context(), rt.candidates(key), r.Method, r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), body, false)
+	if err != nil {
+		return err
+	}
+	return rt.writeResponse(w, res)
+}
+
+// handleTopologyList aggregates the uploaded-topology listings of every
+// healthy worker (uploads are sharded, so no single worker has the full
+// set), deduplicated by content id.
+func (rt *Router) handleTopologyList(w http.ResponseWriter, r *http.Request) error {
+	merged := map[string]map[string]any{}
+	answered := false
+	var lastErr error
+	for _, b := range rt.backends {
+		if !b.healthy.Load() {
+			continue
+		}
+		res, err := b.forward(r.Context(), http.MethodGet, r.URL.Path, r.URL.RawQuery, "", nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if res.status != http.StatusOK {
+			lastErr = fmt.Errorf("backend %d answered %d", b.index, res.status)
+			continue
+		}
+		var out struct {
+			Topologies []map[string]any `json:"topologies"`
+		}
+		if err := json.Unmarshal(res.body, &out); err != nil {
+			lastErr = err
+			continue
+		}
+		answered = true
+		for _, t := range out.Topologies {
+			if id, _ := t["topology_id"].(string); id != "" {
+				merged[id] = t
+			}
+		}
+	}
+	if !answered {
+		if lastErr == nil {
+			lastErr = errors.New("no healthy backends")
+		}
+		return errNoBackend(fmt.Sprintf("topology list: %v", lastErr))
+	}
+	ids := make([]string, 0, len(merged))
+	for id := range merged {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	list := make([]map[string]any, 0, len(ids))
+	for _, id := range ids {
+		list = append(list, merged[id])
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(map[string]any{"topologies": list})
+}
+
+// handleEnsembleSubmit shards a generation request to the worker
+// holding the referenced topology and learns the job route from the
+// response.
+func (rt *Router) handleEnsembleSubmit(w http.ResponseWriter, r *http.Request) error {
+	body, err := rt.readUploadBody(r)
+	if err != nil {
+		return err
+	}
+	key := "upload\x1f"
+	if k, err := serve.EnsembleSubmitKey(body); err == nil {
+		key = k
+	}
+	return rt.forwardSubmission(w, r, rt.candidates(key), body)
 }
 
 // handleHealthz reports the router's own state: per-backend health,

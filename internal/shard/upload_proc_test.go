@@ -1,0 +1,341 @@
+package shard
+
+// Multi-process write-path tests: user scenarios uploaded through the
+// router must generate on one worker, become routable once its healthz
+// advertises the new fingerprint, answer bit-identically to a
+// single-process reference — and, with a store directory, survive
+// kill -9 with no torn entries.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// uploadTopologyJSON mirrors the serve package's test topology: a
+// 4-vertex synthetic island with two control-center candidates and an
+// inland data center.
+const uploadTopologyJSON = `{
+	"name": "shard-island",
+	"terrain": {
+		"origin": {"lat": 21, "lon": -158},
+		"coastline": [
+			{"lat": 20.91, "lon": -158.097},
+			{"lat": 20.91, "lon": -157.903},
+			{"lat": 21.09, "lon": -157.903},
+			{"lat": 21.09, "lon": -158.097}
+		],
+		"coastal_ramp_slope": 0.004,
+		"coastal_plain_width_meters": 3000,
+		"inland_slope": 0.02,
+		"offshore_slope": 0.02
+	},
+	"assets": [
+		{"id": "south-cc", "type": "control-center", "location": {"lat": 20.913, "lon": -158}, "ground_elevation_meters": 0.6, "control_site_candidate": true},
+		{"id": "east-cc", "type": "control-center", "location": {"lat": 21.0, "lon": -157.91}, "ground_elevation_meters": 1.2, "control_site_candidate": true},
+		{"id": "inland-dc", "type": "data-center", "location": {"lat": 21.0, "lon": -158}, "ground_elevation_meters": 60, "control_site_candidate": true}
+	]
+}`
+
+// uploadParamsJSON renders generation parameters for the test island.
+func uploadParamsJSON(topologyID string, realizations int, seed int64) string {
+	return fmt.Sprintf(`{
+		"topology": %q,
+		"realizations": %d,
+		"seed": %d,
+		"base": {
+			"reference_point": {"lat": 20.55, "lon": -158.35},
+			"heading_deg": 315,
+			"forward_speed_ms": 5,
+			"duration_hours": 24,
+			"central_pressure_hpa": 955,
+			"rmax_meters": 40000,
+			"holland_b": 1.6
+		},
+		"spread": {
+			"track_offset_sigma_meters": 30000,
+			"along_track_sigma_meters": 15000,
+			"heading_sigma_deg": 5,
+			"pressure_sigma_hpa": 8,
+			"rmax_sigma_fraction": 0.2,
+			"speed_sigma_fraction": 0.15
+		}
+	}`, topologyID, realizations, seed)
+}
+
+// runUserScenario drives the full write path through h: upload the
+// topology, submit the generation, poll the job done, and return
+// (topologyID, ensembleName).
+func runUserScenario(t *testing.T, h http.Handler, realizations int, seed int64) (string, string) {
+	t.Helper()
+	code, body, _ := roundTrip(h, http.MethodPost, "/v1/topologies", uploadTopologyJSON)
+	if code != http.StatusCreated && code != http.StatusOK {
+		t.Fatalf("topology upload = %d: %s", code, body)
+	}
+	var up struct {
+		TopologyID string `json:"topology_id"`
+	}
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ = roundTrip(h, http.MethodPost, "/v1/ensembles", uploadParamsJSON(up.TopologyID, realizations, seed))
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("ensemble submit = %d: %s", code, body)
+	}
+	var sub struct {
+		JobID    string `json:"job_id"`
+		Ensemble string `json:"ensemble"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		code, body, _ = roundTrip(h, http.MethodGet, "/v1/ensembles/jobs/"+sub.JobID, "")
+		if code != http.StatusOK {
+			t.Fatalf("poll job %s = %d: %s", sub.JobID, code, body)
+		}
+		var poll struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &poll); err != nil {
+			t.Fatal(err)
+		}
+		if poll.Status == "done" {
+			return up.TopologyID, sub.Ensemble
+		}
+		if poll.Status != "running" {
+			t.Fatalf("job %s: %s (%s)", sub.JobID, poll.Status, poll.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running after 120s", sub.JobID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// awaitRoutedSweep polls one sweep URL through the router until the
+// owning worker's new fingerprint has propagated (health probe) and
+// the sweep answers 200, returning the response bytes.
+func awaitRoutedSweep(t *testing.T, h http.Handler, url string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body, _ := roundTrip(h, http.MethodGet, url, "")
+		if code == http.StatusOK {
+			return body
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("routed sweep %s never settled: %d: %s", url, code, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestShardedUserScenario uploads a scenario through a two-worker
+// cluster: the upload and its generation shard onto one worker by
+// content id, the router learns the new fingerprint from healthz and
+// routes reads to the owner, and the routed sweep is byte-identical
+// to a single-process server driven by the same documents.
+func TestShardedUserScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster tests in -short mode")
+	}
+	enableObs(t)
+	const realizations = 48
+	c := startCluster(t, 2, realizations, Options{})
+	t.Cleanup(c.stopAll)
+
+	_, ensName := runUserScenario(t, c.rt.Handler(), 12, 7)
+
+	// Reference: the same documents through a single-process server.
+	ref := referenceServer(t, realizations)
+	refTopo, refEns := runUserScenario(t, ref.Handler(), 12, 7)
+	if refEns != ensName {
+		t.Fatalf("ensemble name diverged: router %s, reference %s", ensName, refEns)
+	}
+
+	sweep := "/v1/sweep?ensemble=" + ensName + "&primary=south-cc&second=east-cc&data_center=inland-dc"
+	got := awaitRoutedSweep(t, c.rt.Handler(), sweep)
+	wantCode, want, _ := roundTrip(ref.Handler(), http.MethodGet, sweep, "")
+	if wantCode != http.StatusOK {
+		t.Fatalf("reference sweep = %d: %s", wantCode, want)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("routed sweep over uploaded ensemble differs:\n got: %s\nwant: %s", got, want)
+	}
+
+	// The merged topology listing shows the upload exactly once even
+	// though only one worker holds it.
+	code, body, _ := roundTrip(c.rt.Handler(), http.MethodGet, "/v1/topologies", "")
+	if code != http.StatusOK {
+		t.Fatalf("routed topology list = %d: %s", code, body)
+	}
+	var list struct {
+		Topologies []struct {
+			TopologyID string `json:"topology_id"`
+		} `json:"topologies"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, e := range list.Topologies {
+		if e.TopologyID == refTopo {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("merged listing shows the upload %d times (want 1): %s", seen, body)
+	}
+
+	// Resubmission through the router coalesces onto the finished job.
+	code, body, _ = roundTrip(c.rt.Handler(), http.MethodPost, "/v1/ensembles", uploadParamsJSON(refTopo, 12, 7))
+	if code != http.StatusOK {
+		t.Fatalf("resubmit = %d: %s", code, body)
+	}
+	var re struct {
+		Status    string `json:"status"`
+		Coalesced bool   `json:"coalesced"`
+	}
+	if err := json.Unmarshal(body, &re); err != nil {
+		t.Fatal(err)
+	}
+	if re.Status != "done" || !re.Coalesced {
+		t.Fatalf("resubmit = %s, want done+coalesced", body)
+	}
+}
+
+// TestUploadDurabilityAcrossKill is the crash-safety acceptance test:
+// a worker is SIGKILLed after committing an uploaded scenario, torn
+// and corrupt files are planted in its store directory, and a restarted
+// worker over the same directory must clean the garbage and re-serve
+// the committed scenario byte-identically, without re-upload.
+func TestUploadDurabilityAcrossKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster tests in -short mode")
+	}
+	enableObs(t)
+	dir := t.TempDir()
+	const realizations = 48
+	w1 := startWorker(t, realizations, "-store", dir)
+	stopped := false
+	t.Cleanup(func() {
+		if !stopped {
+			w1.stop()
+		}
+	})
+
+	get := func(addr, url string) (int, []byte) {
+		resp, err := http.Get("http://" + addr + url)
+		if err != nil {
+			return 0, []byte(err.Error())
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+	post := func(addr, url, body string) (int, []byte) {
+		resp, err := http.Post("http://"+addr+url, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return 0, []byte(err.Error())
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	code, body := post(w1.addr, "/v1/topologies", uploadTopologyJSON)
+	if code != http.StatusCreated {
+		t.Fatalf("upload = %d: %s", code, body)
+	}
+	var up struct {
+		TopologyID string `json:"topology_id"`
+	}
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	code, body = post(w1.addr, "/v1/ensembles", uploadParamsJSON(up.TopologyID, 12, 7))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	var sub struct {
+		JobID    string `json:"job_id"`
+		Ensemble string `json:"ensemble"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		code, body = get(w1.addr, "/v1/ensembles/jobs/"+sub.JobID)
+		if code != http.StatusOK {
+			t.Fatalf("poll = %d: %s", code, body)
+		}
+		var poll struct {
+			Status string `json:"status"`
+		}
+		json.Unmarshal(body, &poll)
+		if poll.Status == "done" {
+			break
+		}
+		if poll.Status != "running" || time.Now().After(deadline) {
+			t.Fatalf("job never finished: %s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	sweep := "/v1/sweep?ensemble=" + sub.Ensemble + "&primary=south-cc&second=east-cc&data_center=inland-dc"
+	code, want := get(w1.addr, sweep)
+	if code != http.StatusOK {
+		t.Fatalf("sweep before kill = %d: %s", code, want)
+	}
+
+	// Crash hard, then simulate a torn in-flight write and a corrupted
+	// committed entry appearing in the directory.
+	w1.kill()
+	stopped = true
+	if err := os.WriteFile(filepath.Join(dir, "topology", "torn.json.tmp"), []byte("torn partial wr"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ensemble", "deadbeefdeadbeef.json"), []byte("threatstore1 deadbeefdeadbeef 3\nxyz-corrupted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := startWorker(t, realizations, "-store", dir)
+	t.Cleanup(w2.stop)
+
+	// The committed scenario is served warm: listed, and bit-identical.
+	code, body = get(w2.addr, "/v1/topologies")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(up.TopologyID)) {
+		t.Fatalf("restarted list = %d: %s, want %s", code, body, up.TopologyID)
+	}
+	code, got := get(w2.addr, sweep)
+	if code != http.StatusOK {
+		t.Fatalf("sweep after restart = %d: %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restarted sweep differs:\n got: %s\nwant: %s", got, want)
+	}
+
+	// The planted garbage is gone from disk.
+	if _, err := os.Stat(filepath.Join(dir, "topology", "torn.json.tmp")); !os.IsNotExist(err) {
+		t.Errorf("torn temp file survived the restart (err %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ensemble", "deadbeefdeadbeef.json")); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry survived the restart (err %v)", err)
+	}
+
+	// Resubmitting the identical request needs no regeneration.
+	code, body = post(w2.addr, "/v1/ensembles", uploadParamsJSON(up.TopologyID, 12, 7))
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"status":"done"`)) {
+		t.Fatalf("resubmit after restart = %d: %s, want 200 done", code, body)
+	}
+}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"testing"
+)
+
+// benchBlob builds a distinct ~64 KiB payload per index — about the
+// size of a small uploaded ensemble blob.
+func benchBlob(i int) []byte {
+	data := make([]byte, 64<<10)
+	seed := uint64(i)*0x9e3779b97f4a7c15 + 1
+	for j := range data {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		data[j] = byte(seed)
+	}
+	return data
+}
+
+// BenchmarkStorePut measures the full crash-safe commit — temp write,
+// fsync, rename, directory fsync — for distinct 64 KiB objects.
+func BenchmarkStorePut(b *testing.B) {
+	s, _, err := Open(b.TempDir(), Options{MaxEntries: 1 << 20, MaxBytes: 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blobs := make([][]byte, b.N)
+	ids := make([]string, b.N)
+	for i := range blobs {
+		blobs[i] = benchBlob(i)
+		ids[i] = ContentID(blobs[i])
+	}
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Put("ensemble", ids[i], blobs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreGet measures checksum-verified reads of 64 KiB objects.
+func BenchmarkStoreGet(b *testing.B) {
+	s, _, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		blob := benchBlob(i)
+		ids[i] = ContentID(blob)
+		if _, err := s.Put("ensemble", ids[i], blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get("ensemble", ids[i%n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreWarmStart measures Open over a populated directory —
+// the index rebuild a restarted worker pays before re-serving uploads.
+func BenchmarkStoreWarmStart(b *testing.B) {
+	dir := b.TempDir()
+	s, _, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		blob := benchBlob(i)
+		if _, err := s.Put("ensemble", ContentID(blob), blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2, _, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s2.Len() != n {
+			b.Fatalf("warm start indexed %d entries, want %d", s2.Len(), n)
+		}
+	}
+}

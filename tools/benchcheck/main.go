@@ -26,6 +26,10 @@
 //	go test -run '^$' -bench 'Generate(Batch|Reference|Solver)' -benchtime 3x ./internal/hazard/ > generate.out
 //	go run ./tools/benchcheck -set generate -baseline BENCH_8.json -input generate.out
 //
+//	go test -run '^$' -bench 'Store(Put|Get|WarmStart)' -benchtime 100x ./internal/store/ > store.out
+//	go test -run '^$' -bench UploadToSweep -benchtime 3x ./internal/serve/ >> store.out
+//	go run ./tools/benchcheck -set store -baseline BENCH_9.json -input store.out
+//
 // The threshold is deliberately loose (3x by default): single-iteration
 // smoke runs on shared CI machines are noisy, and the gate exists to
 // catch order-of-magnitude regressions — an accidental re-lock in the
@@ -110,6 +114,15 @@ var generateToKey = map[string]string{
 	"BenchmarkGenerateSolverReference": "generate_solver_reference_ns_per_op",
 }
 
+// storeToKey maps the content-addressed store and write-path
+// benchmarks to BENCH_9.json headline keys — the "store" set.
+var storeToKey = map[string]string{
+	"BenchmarkStorePut":       "store_put_ns_per_op",
+	"BenchmarkStoreGet":       "store_get_ns_per_op",
+	"BenchmarkStoreWarmStart": "store_warm_start_ns_per_op",
+	"BenchmarkUploadToSweep":  "upload_to_sweep_ns_per_op",
+}
+
 // benchSets names the selectable benchmark tables.
 var benchSets = map[string]map[string]string{
 	"figures":    nameToKey,
@@ -119,6 +132,7 @@ var benchSets = map[string]map[string]string{
 	"placement":  placementToKey,
 	"shard":      shardToKey,
 	"generate":   generateToKey,
+	"store":      storeToKey,
 }
 
 // baseline is the subset of BENCH_1.json that benchcheck consumes.
@@ -139,12 +153,12 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_1.json", "baseline JSON file with a headline section")
 	input := flag.String("input", "", "benchmark output file (default: stdin)")
 	maxRatio := flag.Float64("max-ratio", 3.0, "fail when ns/op exceeds baseline by more than this factor")
-	setName := flag.String("set", "figures", "benchmark set to gate: figures, compressed, serve, trace, placement, or shard")
+	setName := flag.String("set", "figures", "benchmark set to gate: figures, compressed, serve, trace, placement, shard, generate, or store")
 	flag.Parse()
 
 	table, ok := benchSets[*setName]
 	if !ok {
-		fatal(fmt.Errorf("unknown benchmark set %q (have: figures, compressed, serve, trace, placement)", *setName))
+		fatal(fmt.Errorf("unknown benchmark set %q (have: figures, compressed, serve, trace, placement, shard, generate, store)", *setName))
 	}
 
 	in := io.Reader(os.Stdin)

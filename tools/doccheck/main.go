@@ -4,15 +4,23 @@
 // `go doc` renders a summary; main packages need any package comment
 // (conventionally "Command <name> ..." describing the binary).
 //
+// With -api it additionally enforces docs/route parity: every HTTP
+// route registered in the -routes source directories (a
+// `handle("METHOD /path", ...)` call in a non-test file) must appear
+// on a heading line of the API document, and every route the document
+// names must still be registered — so the API reference can never
+// drift from the served surface.
+//
 // Usage:
 //
 //	go run ./tools/doccheck ./...
+//	go run ./tools/doccheck -api docs/API.md -routes internal/serve,internal/shard ./...
 //
 // Arguments are directory roots ("./..." walks recursively, a plain
 // directory checks just that package). Test files do not satisfy the
 // requirement: the doc comment must live in a non-test file so it
 // ships with the package. Exits non-zero listing every undocumented
-// package.
+// package and every drifted route.
 package main
 
 import (
@@ -23,13 +31,16 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
 
 func main() {
+	api := flag.String("api", "", "API document to hold route parity against (empty = skip the route check)")
+	routes := flag.String("routes", "internal/serve,internal/shard", "comma-separated directories whose registered routes -api must document")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "Usage: doccheck [dir|dir/...]...\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage: doccheck [-api FILE [-routes DIRS]] [dir|dir/...]...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,14 +53,100 @@ func main() {
 		fmt.Fprintln(os.Stderr, "doccheck:", err)
 		os.Exit(1)
 	}
+	if *api != "" {
+		drift, err := routeDrift(*api, strings.Split(*routes, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(1)
+		}
+		problems = append(problems, drift...)
+	}
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, p)
 	}
 	if len(problems) > 0 {
-		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented package(s)\n", len(problems))
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
 	fmt.Println("doccheck: all packages documented")
+}
+
+// routePattern matches one "METHOD /path" route token, in a handle
+// registration or on a markdown heading.
+var routePattern = regexp.MustCompile(`(GET|POST|PUT|DELETE|PATCH) /[^\s,"]+`)
+
+// handlePattern matches a route registration in source: a handle call
+// whose first argument is the ServeMux "METHOD /path" pattern.
+var handlePattern = regexp.MustCompile(`\.handle\(\s*"((?:GET|POST|PUT|DELETE|PATCH) /[^"]+)"`)
+
+// routeDrift compares the routes registered in the source dirs against
+// the routes documented on heading lines of the API document,
+// reporting each direction of drift as one problem line.
+func routeDrift(apiPath string, dirs []string) ([]string, error) {
+	registered := map[string]string{} // route -> dir first registering it
+	for _, dir := range dirs {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range handlePattern.FindAllStringSubmatch(string(src), -1) {
+				if _, ok := registered[m[1]]; !ok {
+					registered[m[1]] = dir
+				}
+			}
+		}
+	}
+	if len(registered) == 0 {
+		return nil, fmt.Errorf("no route registrations found under %s", strings.Join(dirs, ", "))
+	}
+
+	raw, err := os.ReadFile(apiPath)
+	if err != nil {
+		return nil, err
+	}
+	documented := map[string]bool{}
+	fenced := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		// Routes count as documented only on heading lines outside code
+		// fences; prose mentions and example transcripts do not.
+		if fenced || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, route := range routePattern.FindAllString(line, -1) {
+			documented[route] = true
+		}
+	}
+
+	var problems []string
+	for route, dir := range registered {
+		if !documented[route] {
+			problems = append(problems, fmt.Sprintf("%s: route %q registered in %s but missing from a heading", apiPath, route, dir))
+		}
+	}
+	for route := range documented {
+		if _, ok := registered[route]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: documents route %q which is not registered anywhere", apiPath, route))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
 }
 
 // lintRoots expands "/..." roots into directories and lints every

@@ -113,3 +113,56 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatalf("repository packages undocumented:\n%s", strings.Join(problems, "\n"))
 	}
 }
+
+func TestRouteDriftBothDirections(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"srv/routes.go": "package srv\n\nfunc routes() {\n" +
+			"\ts.handle(\"GET /v1/thing\", \"thing\", nil)\n" +
+			"\ts.handle(\"POST /v1/thing\", \"thing_post\", nil)\n" +
+			"\ts.handle(\"GET /v1/undocumented\", \"u\", nil)\n}\n",
+		// Registrations in test files do not count.
+		"srv/routes_test.go": "package srv\n\nfunc x() { s.handle(\"GET /v1/testonly\", \"t\", nil) }\n",
+		"API.md": "# API\n\n## GET /v1/thing, POST /v1/thing\n\nok\n\n## GET /v1/ghost\n\ngone\n\n" +
+			"```\n## GET /v1/fenced\n```\n\nGET /v1/prose is mentioned but not a heading.\n",
+	})
+	problems, err := routeDrift(filepath.Join(root, "API.md"), []string{filepath.Join(root, "srv")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want exactly the undocumented and ghost routes", problems)
+	}
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{`"GET /v1/undocumented" registered`, `"GET /v1/ghost" which is not registered`} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("problems missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestRouteDriftClean(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"srv/routes.go": "package srv\n\nfunc routes() { s.handle(\"GET /v1/jobs/{id}\", \"job\", nil) }\n",
+		"API.md":        "# API\n\n## GET /v1/jobs/{id}\n\nok\n",
+	})
+	problems, err := routeDrift(filepath.Join(root, "API.md"), []string{filepath.Join(root, "srv")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("problems = %v, want none", problems)
+	}
+}
+
+// TestRepoRoutesDocumented is the drift gate over this repository:
+// exactly the routes registered by internal/serve and internal/shard
+// appear on docs/API.md headings.
+func TestRepoRoutesDocumented(t *testing.T) {
+	problems, err := routeDrift("../../docs/API.md", []string{"../../internal/serve", "../../internal/shard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("API docs drifted from registered routes:\n%s", strings.Join(problems, "\n"))
+	}
+}
