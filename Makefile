@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check fuzz-smoke bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard bench-generate bench-store bench-smoke-all bench bench-check doc-check verify
+.PHONY: all build test vet race fmt-check fuzz-smoke bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard bench-generate bench-store bench-obs bench-smoke-all bench bench-check doc-check metric-check verify
 
 all: build
 
@@ -75,9 +75,17 @@ bench-store:
 	$(GO) test -run '^$$' -bench 'Store(Put|Get|WarmStart)' -benchtime 100x ./internal/store/
 	$(GO) test -run '^$$' -bench 'UploadToSweep' -benchtime 3x ./internal/serve/
 
+# The fleet-observability benchmarks: the cached sweep arriving with a
+# router-injected traceparent (tracing on vs off) and one federated
+# /v1/metrics?fleet=1 merge over two backends. -benchmem so the
+# propagation-is-free-when-disabled claim stays visible.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'Obs(RemoteTraced|PropagationOff)Sweep' -benchtime 100x -benchmem ./internal/serve/
+	$(GO) test -run '^$$' -bench 'ObsFleetMerge' -benchtime 100x -benchmem ./internal/shard/
+
 # Every benchmark smoke in one target, so the verify gate stays one
 # line as sets accumulate.
-bench-smoke-all: bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard bench-generate bench-store
+bench-smoke-all: bench-smoke bench-compress bench-serve bench-trace bench-placement bench-shard bench-generate bench-store bench-obs
 
 # Short fuzz runs over every fuzz target: the hazard ensemble codecs
 # (JSON and CSV readers) and the compressed-matrix wire codec. 30s per
@@ -90,6 +98,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeCompressedMatrix' -fuzztime 30s ./internal/engine/
 	$(GO) test -run '^$$' -fuzz 'FuzzTopologyUpload' -fuzztime 30s ./internal/serve/
 	$(GO) test -run '^$$' -fuzz 'FuzzEnsembleParams' -fuzztime 30s ./internal/serve/
+	$(GO) test -run '^$$' -fuzz 'FuzzTraceParent' -fuzztime 30s ./internal/obs/
 
 # Full benchmark sweep with allocation counts (slow: regenerates the
 # 1000-realization ensemble).
@@ -105,9 +114,11 @@ bench:
 # placement-search benchmarks against BENCH_6.json (pair kernel +
 # k-site search), the sharded-serving benchmarks against BENCH_7.json
 # (router over real worker processes), the ensemble-generation
-# benchmarks against BENCH_8.json (single-scan batch pipeline), and the
+# benchmarks against BENCH_8.json (single-scan batch pipeline), the
 # store/write-path benchmarks against BENCH_9.json (content-addressed
-# store + upload-to-sweep), failing on >3x slowdowns in any set.
+# store + upload-to-sweep), and the fleet-observability benchmarks
+# against BENCH_10.json (trace propagation + metrics federation),
+# failing on >3x slowdowns in any set.
 bench-check:
 	$(GO) test -run '^$$' -bench 'Figure' -benchtime 1x . > bench-smoke.out
 	@cat bench-smoke.out
@@ -134,6 +145,10 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'UploadToSweep' -benchtime 3x ./internal/serve/ >> bench-store.out
 	@cat bench-store.out
 	$(GO) run ./tools/benchcheck -set store -baseline BENCH_9.json -input bench-store.out
+	$(GO) test -run '^$$' -bench 'Obs(RemoteTraced|PropagationOff)Sweep' -benchtime 100x ./internal/serve/ > bench-obs.out
+	$(GO) test -run '^$$' -bench 'ObsFleetMerge' -benchtime 100x ./internal/shard/ >> bench-obs.out
+	@cat bench-obs.out
+	$(GO) run ./tools/benchcheck -set obs -baseline BENCH_10.json -input bench-obs.out
 
 # Documentation lint: every package must carry a package comment, and
 # docs/API.md must document exactly the routes internal/serve and
@@ -141,6 +156,12 @@ bench-check:
 doc-check:
 	$(GO) run ./tools/doccheck -api docs/API.md -routes internal/serve,internal/shard ./...
 
+# Metric-naming lint: every literal obs instrument registration must be
+# dotted lowercase, _total-free, and kind-consistent (see
+# tools/metriccheck).
+metric-check:
+	$(GO) run ./tools/metriccheck ./...
+
 # The documented verification gate: vet, build, race-enabled tests,
-# documentation lint, and the benchmark smoke runs.
-verify: vet build race doc-check bench-smoke-all
+# documentation and metric-naming lints, and the benchmark smoke runs.
+verify: vet build race doc-check metric-check bench-smoke-all

@@ -10,8 +10,8 @@
 //	threatrouter -backends http://host:8321,http://host:8322
 //	             [-addr 127.0.0.1:8320] [-replicas N] [-timeout D]
 //	             [-hedge D] [-health-interval D] [-max-body N]
-//	             [-max-upload N] [-drain D] [-metrics report.json]
-//	             [-pprof addr]
+//	             [-max-upload N] [-drain D] [-trace-buffer N]
+//	             [-slow-trace D] [-metrics report.json] [-pprof addr]
 //
 // The router holds no ensemble data and compiles nothing: it resolves
 // ensemble names to content fingerprints from worker health responses
@@ -24,7 +24,17 @@
 // workers it always runs with a live recorder, so GET /v1/metrics
 // exposes the batching split (shard.batch_leaders vs
 // shard.batch_joined), retry/hedge counts, and per-backend traffic;
+// GET /v1/metrics?fleet=1 additionally scrapes every healthy worker
+// and merges the fleet into one exposition with per-backend labels;
 // -metrics additionally writes the JSON run report at exit.
+//
+// Request tracing is on by default (-trace-buffer 0 disables it):
+// every routed request runs under a trace whose ID is propagated to
+// the worker via a W3C traceparent header, and GET /v1/traces/{id}
+// splices the worker's half of the trace (fetched from the worker's
+// own trace endpoint) under the router's client-call span, with the
+// per-hop network time annotated. Traces at or over -slow-trace are
+// retained in a separate slow ring.
 //
 // On SIGINT/SIGTERM the router stops accepting connections, gives
 // in-flight requests up to -drain to finish, and exits; workers drain
@@ -67,6 +77,8 @@ func run(args []string) (err error) {
 	maxBody := fs.Int64("max-body", 1<<20, "maximum POST body bytes")
 	maxUpload := fs.Int64("max-upload", 0, "maximum topology/ensemble upload body bytes (0 = 4 MiB)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
+	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained per ring for /v1/traces (0 = tracing off)")
+	slowTrace := fs.Duration("slow-trace", 250*time.Millisecond, "retain traces at or over this duration in the slow ring (0 = slow ring off)")
 	var ocli obs.CLI
 	ocli.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +102,14 @@ func run(args []string) (err error) {
 		obs.Enable(rec)
 		defer obs.Enable(nil)
 	}
+	// The tracer must be installed before shard.New: the router
+	// resolves it once at construction, like the workers.
+	var tracer *obs.Tracer
+	if *traceBuffer > 0 {
+		tracer = obs.NewTracer(*traceBuffer, *slowTrace)
+		obs.EnableTracing(tracer)
+		defer obs.EnableTracing(nil)
+	}
 
 	rt, err := shard.New(shard.Options{
 		Backends:       strings.Split(*backends, ","),
@@ -112,5 +132,11 @@ func run(args []string) (err error) {
 	fmt.Fprintf(os.Stderr, "routing %d backends, listening on %s\n", len(strings.Split(*backends, ",")), ln.Addr())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve.Run(ctx, ln, rt.Handler(), *drain, os.Stderr)
+	runErr := serve.Run(ctx, ln, rt.Handler(), *drain, os.Stderr)
+	if tracer != nil {
+		st := tracer.Stats()
+		fmt.Fprintf(os.Stderr, "trace summary: started=%d finished=%d slow=%d dropped_spans=%d retained=%d\n",
+			st.Started, st.Finished, st.Slow, st.DroppedSpans, len(tracer.Recent()))
+	}
+	return runErr
 }

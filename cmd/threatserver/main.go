@@ -28,9 +28,13 @@
 // recorder so GET /v1/metrics exposes Prometheus text exposition;
 // -metrics additionally writes the JSON run report at exit. Tracing is
 // on by default (-trace-buffer 0 disables it): every request gets a
-// trace whose spans are served at GET /v1/traces, and traces at or
-// over -slow-trace are retained in a separate slow ring. -access-log
-// writes one structured JSON line per request ("-" for stderr).
+// trace whose spans are served at GET /v1/traces, a single trace is
+// fetched by ID at GET /v1/traces/{id} (the lookup threatrouter's
+// trace stitcher uses), and traces at or over -slow-trace are retained
+// in a separate slow ring. A request arriving with a W3C traceparent
+// header (as the router injects) runs under the caller's trace ID, so
+// one trace spans the fleet. -access-log writes one structured JSON
+// line per request ("-" for stderr).
 //
 // On SIGINT/SIGTERM the server stops accepting connections
 // immediately, gives in-flight requests up to -drain to finish, then

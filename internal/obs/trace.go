@@ -143,11 +143,51 @@ func (tr *Tracer) Start(name string) *Trace {
 	if tr == nil {
 		return nil
 	}
+	return tr.start(name, tr.traceID(), 0)
+}
+
+// StartRemote begins a trace that continues an inbound trace context:
+// it adopts the caller's trace ID instead of minting one and records
+// the caller's span as the remote parent, so the caller can later
+// splice this trace's spans under that span (see TraceReport's
+// RemoteParentSpan). Returns nil on a nil tracer.
+func (tr *Tracer) StartRemote(name string, tp TraceParent) *Trace {
+	if tr == nil {
+		return nil
+	}
+	return tr.start(name, tp.TraceID, tp.SpanID)
+}
+
+func (tr *Tracer) start(name string, id, remoteParent uint64) *Trace {
 	tr.started.Add(1)
-	t := &Trace{tr: tr, id: tr.traceID(), name: name, start: tr.now()}
+	t := &Trace{tr: tr, id: id, name: name, start: tr.now(), remoteParent: remoteParent}
 	t.root = &TraceSpan{t: t, id: 1, name: name, start: t.start}
 	t.spans = append(t.spans, t.root)
 	return t
+}
+
+// Find returns the completed trace with the given 16-hex-digit ID from
+// the recent or slow ring, or nil. Linear over the rings — this backs
+// the on-demand GET /v1/traces/{id} lookup, not a hot path.
+func (tr *Tracer) Find(id string) *Trace {
+	if tr == nil || len(id) != 16 {
+		return nil
+	}
+	want, ok := parseHex64(id)
+	if !ok {
+		return nil
+	}
+	for _, t := range tr.recent.snapshot() {
+		if t.id == want {
+			return t
+		}
+	}
+	for _, t := range tr.slowly.snapshot() {
+		if t.id == want {
+			return t
+		}
+	}
+	return nil
 }
 
 // Recent returns a newest-first snapshot of the recently completed
@@ -178,6 +218,9 @@ type Trace struct {
 	name  string
 	start time.Time
 	root  *TraceSpan
+	// remoteParent is the span ID of the remote caller's span when this
+	// trace was started from an inbound trace context (0 = local root).
+	remoteParent uint64
 
 	mu       sync.Mutex
 	spans    []*TraceSpan
@@ -438,18 +481,26 @@ func (r *traceRing) snapshot() []*Trace {
 // TraceReport is one trace rendered for /v1/traces: header fields plus
 // the span tree (children nested under their parents).
 type TraceReport struct {
-	TraceID      string       `json:"trace_id"`
-	Name         string       `json:"name"`
-	StartedAt    time.Time    `json:"started_at"`
-	DurationNS   int64        `json:"duration_ns"`
-	Slow         bool         `json:"slow"`
-	DroppedSpans int64        `json:"dropped_spans,omitempty"`
-	Spans        []SpanReport `json:"spans"`
+	TraceID      string    `json:"trace_id"`
+	Name         string    `json:"name"`
+	StartedAt    time.Time `json:"started_at"`
+	DurationNS   int64     `json:"duration_ns"`
+	Slow         bool      `json:"slow"`
+	DroppedSpans int64     `json:"dropped_spans,omitempty"`
+	// RemoteParentSpan is the caller-side span ID this trace continues
+	// when it was started from an inbound trace context (StartRemote);
+	// 0 for a locally rooted trace. The caller splices this trace's
+	// spans under that span when stitching an end-to-end tree.
+	RemoteParentSpan int64        `json:"remote_parent_span_id,omitempty"`
+	Spans            []SpanReport `json:"spans"`
 }
 
 // SpanReport is one span in a TraceReport. StartNS is the offset from
-// the trace start, so a flame view needs no absolute timestamps.
+// the trace start, so a flame view needs no absolute timestamps. ID is
+// the span's 1-based position in its own trace — the value a remote
+// trace's RemoteParentSpan refers to.
 type SpanReport struct {
+	ID         int32             `json:"span_id,omitempty"`
 	Name       string            `json:"name"`
 	StartNS    int64             `json:"start_ns"`
 	DurationNS int64             `json:"duration_ns"`
@@ -467,12 +518,13 @@ func (t *Trace) Report() TraceReport {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	rep := TraceReport{
-		TraceID:      t.ID(),
-		Name:         t.name,
-		StartedAt:    t.start,
-		DurationNS:   t.dur.Nanoseconds(),
-		Slow:         t.finished && t.tr.slow > 0 && t.dur >= t.tr.slow,
-		DroppedSpans: t.dropped,
+		TraceID:          t.ID(),
+		Name:             t.name,
+		StartedAt:        t.start,
+		DurationNS:       t.dur.Nanoseconds(),
+		Slow:             t.finished && t.tr.slow > 0 && t.dur >= t.tr.slow,
+		DroppedSpans:     t.dropped,
+		RemoteParentSpan: int64(t.remoteParent),
 	}
 	// children[id] lists the span IDs whose parent is id; span IDs are
 	// 1-based positions in t.spans, so the tree rebuilds in one pass.
@@ -483,6 +535,7 @@ func (t *Trace) Report() TraceReport {
 	var render func(s *TraceSpan) SpanReport
 	render = func(s *TraceSpan) SpanReport {
 		sr := SpanReport{
+			ID:         s.id,
 			Name:       s.name,
 			StartNS:    s.start.Sub(t.start).Nanoseconds(),
 			DurationNS: s.dur.Nanoseconds(),

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTraceRingConcurrent hammers one ring with concurrent pushers and
+// snapshotters: no data race (the race detector covers this test), no
+// nil or foreign entries in any snapshot, and after the dust settles
+// the ring holds exactly the newest capacity traces.
+func TestTraceRingConcurrent(t *testing.T) {
+	tr, _ := newTestTracer(8, 0)
+	ring := newTraceRing(8)
+	const (
+		writers   = 8
+		perWriter = 500
+	)
+	traces := make([]*Trace, writers*perWriter)
+	valid := make(map[*Trace]bool, len(traces))
+	for i := range traces {
+		traces[i] = tr.Start("t")
+		valid[traces[i]] = true
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := ring.snapshot()
+				if len(snap) > 8 {
+					t.Errorf("snapshot holds %d traces, capacity is 8", len(snap))
+					return
+				}
+				for _, got := range snap {
+					if got == nil || !valid[got] {
+						t.Errorf("snapshot returned unknown trace %p", got)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var pushers sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		pushers.Add(1)
+		go func(w int) {
+			defer pushers.Done()
+			for i := 0; i < perWriter; i++ {
+				ring.push(traces[w*perWriter+i])
+			}
+		}(w)
+	}
+	pushers.Wait()
+	close(stop)
+	wg.Wait()
+
+	snap := ring.snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("final snapshot holds %d traces, want 8", len(snap))
+	}
+	seen := map[*Trace]bool{}
+	for _, got := range snap {
+		if !valid[got] {
+			t.Fatalf("final snapshot holds unknown trace %p", got)
+		}
+		if seen[got] {
+			t.Fatalf("final snapshot repeats trace %p", got)
+		}
+		seen[got] = true
+	}
+}
+
+// TestTraceRingZeroCapacity pins the degenerate ring: push is a no-op
+// and snapshot is empty, so a zero-capacity tracer cannot panic.
+func TestTraceRingZeroCapacity(t *testing.T) {
+	ring := newTraceRing(0)
+	ring.push(&Trace{})
+	if got := ring.snapshot(); got != nil {
+		t.Fatalf("zero-capacity snapshot = %v, want nil", got)
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+// W3C-style traceparent propagation. The router injects a traceparent
+// header on every proxied call and workers adopt it, so one trace ID
+// covers the whole routed request. The format is the W3C Trace Context
+// header layout:
+//
+//	00-0123456789abcdef0123456789abcdef-0123456789abcdef-01
+//	^^ ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^ ^^^^^^^^^^^^^^^^ ^^
+//	version    trace-id (32 hex)        parent-id (16h)  flags
+//
+// This package's trace IDs are 64-bit, so the emitted trace-id field is
+// the ID zero-padded to 128 bits; inbound IDs keep their low 64 bits
+// (the high bits must be hex but are otherwise ignored, so headers from
+// full-width tracers still parse). Parsing is strict — exact length,
+// lowercase hex only, version 00, non-zero IDs — and allocation-free,
+// so a hostile or garbled header costs a rejection, never a bad trace.
+
+import "errors"
+
+// Typed traceparent parse errors, one per validation stage, so callers
+// (and the fuzz target) can assert exactly why a header was rejected.
+var (
+	// ErrTraceParentLength rejects headers that are not exactly 55 bytes.
+	ErrTraceParentLength = errors.New("traceparent: not 55 bytes")
+	// ErrTraceParentVersion rejects versions other than 00 (ff is
+	// explicitly forbidden by the spec; anything else is unknown).
+	ErrTraceParentVersion = errors.New("traceparent: unsupported version")
+	// ErrTraceParentSyntax rejects misplaced separators or non-hex
+	// digits (uppercase hex is invalid per the spec).
+	ErrTraceParentSyntax = errors.New("traceparent: malformed field")
+	// ErrTraceParentZero rejects the all-zero trace ID or parent span ID,
+	// both of which the spec defines as invalid.
+	ErrTraceParentZero = errors.New("traceparent: zero trace or parent id")
+)
+
+// TraceParent is a parsed traceparent header: the (low 64 bits of the)
+// trace ID, the parent span ID, and the sampled flag.
+type TraceParent struct {
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
+}
+
+const traceParentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// ParseTraceParent strictly parses a traceparent header value. It
+// returns one of the ErrTraceParent* sentinel errors on rejection and
+// never allocates, so calling it on every request is free.
+func ParseTraceParent(s string) (TraceParent, error) {
+	var tp TraceParent
+	if len(s) != traceParentLen {
+		return tp, ErrTraceParentLength
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tp, ErrTraceParentSyntax
+	}
+	if s[0] != '0' || s[1] != '0' {
+		if !hexOK(s[0]) || !hexOK(s[1]) {
+			return tp, ErrTraceParentSyntax
+		}
+		return tp, ErrTraceParentVersion
+	}
+	// The high 64 trace-ID bits must be hex but are otherwise ignored.
+	if _, ok := parseHex64(s[3:19]); !ok {
+		return tp, ErrTraceParentSyntax
+	}
+	lo, ok := parseHex64(s[19:35])
+	if !ok {
+		return tp, ErrTraceParentSyntax
+	}
+	span, ok := parseHex64(s[36:52])
+	if !ok {
+		return tp, ErrTraceParentSyntax
+	}
+	flags, ok := parseHex64(s[53:55])
+	if !ok {
+		return tp, ErrTraceParentSyntax
+	}
+	if lo == 0 || span == 0 {
+		// The spec forbids the all-zero trace and parent IDs; this
+		// package additionally keeps only the low 64 trace-ID bits, so a
+		// zero low half is equally unusable as an identity.
+		return tp, ErrTraceParentZero
+	}
+	tp.TraceID = lo
+	tp.SpanID = span
+	tp.Sampled = flags&0x01 != 0
+	return tp, nil
+}
+
+// String renders the header value (version 00, trace ID zero-padded to
+// 128 bits, sampled flag from the struct).
+func (tp TraceParent) String() string {
+	var buf [traceParentLen]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	for i := 3; i < 19; i++ {
+		buf[i] = '0'
+	}
+	putHex64(buf[19:35], tp.TraceID)
+	buf[35] = '-'
+	putHex64(buf[36:52], tp.SpanID)
+	buf[52] = '-'
+	buf[53] = '0'
+	if tp.Sampled {
+		buf[54] = '1'
+	} else {
+		buf[54] = '0'
+	}
+	return string(buf[:])
+}
+
+// TraceParent renders the outbound header value for a proxied call made
+// under span s (nil s means the root span), so the callee's trace
+// adopts this trace's ID with s as the remote parent. Returns "" on a
+// nil trace — the disabled path injects nothing and allocates nothing.
+func (t *Trace) TraceParent(s *TraceSpan) string {
+	if t == nil {
+		return ""
+	}
+	if s == nil {
+		s = t.root
+	}
+	return TraceParent{TraceID: t.id, SpanID: uint64(s.id), Sampled: true}.String()
+}
+
+const hexDigits = "0123456789abcdef"
+
+func putHex64(dst []byte, v uint64) {
+	for i := 15; i >= 0; i-- {
+		dst[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+}
+
+// parseHex64 parses up to 16 lowercase hex digits. Uppercase is a
+// syntax error, matching the spec's lowercase-only requirement.
+func parseHex64(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint64(c-'a'+10)
+		default:
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+func hexOK(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f'
+}

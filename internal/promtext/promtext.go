@@ -35,12 +35,31 @@ type Metrics struct {
 // Get returns the value of the first sample with the given name and no
 // labels, and whether one exists.
 func (m *Metrics) Get(name string) (float64, bool) {
+	return m.GetLabeled(name, nil)
+}
+
+// GetLabeled returns the value of the first sample with the given name
+// and exactly the given label set (nil or empty means unlabeled), and
+// whether one exists.
+func (m *Metrics) GetLabeled(name string, labels map[string]string) (float64, bool) {
 	for _, s := range m.Samples {
-		if s.Name == name && len(s.Labels) == 0 {
+		if s.Name == name && labelsEqual(s.Labels, labels) {
 			return s.Value, true
 		}
 	}
 	return 0, false
+}
+
+func labelsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // Buckets returns the le -> cumulative count samples of a histogram
@@ -97,43 +116,96 @@ func Parse(text string) (*Metrics, error) {
 	return m, nil
 }
 
-// Validate runs the cross-sample checks: for every histogram family,
-// buckets are cumulative (non-decreasing toward +Inf), the +Inf bucket
-// exists, and it equals the family's _count sample.
+// Validate runs the cross-sample checks: for every histogram family
+// and every series within it (bucket samples grouped by their non-le
+// label set — a federated exposition carries one series per source
+// label plus an unlabeled aggregate), buckets are cumulative
+// (non-decreasing toward +Inf), the +Inf bucket exists, and it equals
+// the series' _count sample under the same labels.
 func (m *Metrics) Validate() error {
 	for family, typ := range m.Types {
 		if typ != "histogram" {
 			continue
 		}
-		buckets := m.Buckets(family)
-		if len(buckets) == 0 {
+		groups := make(map[string][]Sample)
+		var order []string
+		for _, s := range m.Buckets(family) {
+			k := labelKey(s.Labels)
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], s)
+		}
+		if len(groups) == 0 {
 			return fmt.Errorf("histogram %s has no buckets", family)
 		}
-		last := buckets[len(buckets)-1]
-		if last.Labels["le"] != "+Inf" {
-			return fmt.Errorf("histogram %s: last bucket le=%q, want +Inf", family, last.Labels["le"])
-		}
-		prev := -1.0
-		for _, b := range buckets {
-			if math.IsNaN(leBound(b.Labels["le"])) {
-				return fmt.Errorf("histogram %s: unparseable le=%q", family, b.Labels["le"])
+		sort.Strings(order)
+		for _, k := range order {
+			if err := m.validateSeries(family, k, groups[k]); err != nil {
+				return err
 			}
-			if b.Value < prev {
-				return fmt.Errorf("histogram %s: bucket le=%q count %v below previous %v (not cumulative)",
-					family, b.Labels["le"], b.Value, prev)
-			}
-			prev = b.Value
 		}
-		count, ok := m.Get(family + "_count")
-		if !ok {
-			return fmt.Errorf("histogram %s missing _count", family)
+	}
+	return nil
+}
+
+// labelKey canonicalizes a bucket sample's label set minus le, so
+// bucket samples group into series.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			continue
 		}
-		if count != last.Value {
-			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", family, last.Value, count)
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
 		}
-		if _, ok := m.Get(family + "_sum"); !ok {
-			return fmt.Errorf("histogram %s missing _sum", family)
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+// validateSeries checks one histogram series (one non-le label set).
+func (m *Metrics) validateSeries(family, key string, buckets []Sample) error {
+	where := family
+	if key != "" {
+		where = family + "{" + key + "}"
+	}
+	last := buckets[len(buckets)-1]
+	if last.Labels["le"] != "+Inf" {
+		return fmt.Errorf("histogram %s: last bucket le=%q, want +Inf", where, last.Labels["le"])
+	}
+	prev := -1.0
+	for _, b := range buckets {
+		if math.IsNaN(leBound(b.Labels["le"])) {
+			return fmt.Errorf("histogram %s: unparseable le=%q", where, b.Labels["le"])
 		}
+		if b.Value < prev {
+			return fmt.Errorf("histogram %s: bucket le=%q count %v below previous %v (not cumulative)",
+				where, b.Labels["le"], b.Value, prev)
+		}
+		prev = b.Value
+	}
+	want := make(map[string]string, len(last.Labels)-1)
+	for k, v := range last.Labels {
+		if k != "le" {
+			want[k] = v
+		}
+	}
+	count, ok := m.GetLabeled(family+"_count", want)
+	if !ok {
+		return fmt.Errorf("histogram %s missing _count", where)
+	}
+	if count != last.Value {
+		return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", where, last.Value, count)
+	}
+	if _, ok := m.GetLabeled(family+"_sum", want); !ok {
+		return fmt.Errorf("histogram %s missing _sum", where)
 	}
 	return nil
 }

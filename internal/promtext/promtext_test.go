@@ -1,0 +1,112 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+// fleetExposition is a miniature federated scrape: one histogram family
+// with an unlabeled aggregate series plus two backend-labeled series,
+// each cumulative on its own but interleaved in the text.
+const fleetExposition = `# TYPE req_ns histogram
+req_ns_bucket{le="2"} 3
+req_ns_bucket{le="+Inf"} 5
+req_ns_sum 70
+req_ns_count 5
+req_ns_bucket{backend="0",le="2"} 1
+req_ns_bucket{backend="0",le="+Inf"} 2
+req_ns_sum{backend="0"} 30
+req_ns_count{backend="0"} 2
+req_ns_bucket{backend="1",le="2"} 2
+req_ns_bucket{backend="1",le="+Inf"} 3
+req_ns_sum{backend="1"} 40
+req_ns_count{backend="1"} 3
+`
+
+func TestGetLabeled(t *testing.T) {
+	m, err := Parse(fleetExposition)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if v, ok := m.GetLabeled("req_ns_count", map[string]string{"backend": "1"}); !ok || v != 3 {
+		t.Errorf("GetLabeled(backend=1) = %v, %v; want 3, true", v, ok)
+	}
+	if v, ok := m.Get("req_ns_count"); !ok || v != 5 {
+		t.Errorf("Get (unlabeled) = %v, %v; want 5, true", v, ok)
+	}
+	if _, ok := m.GetLabeled("req_ns_count", map[string]string{"backend": "9"}); ok {
+		t.Error("GetLabeled(backend=9) found a sample, want none")
+	}
+}
+
+// TestValidateLabeledSeries checks that Validate groups histogram
+// buckets by their non-le label set: a federated exposition whose
+// per-backend series are each cumulative passes even though the raw
+// bucket list interleaves counts from different series.
+func TestValidateLabeledSeries(t *testing.T) {
+	m, err := Parse(fleetExposition)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+// TestValidateCatchesBrokenLabeledSeries checks each per-series rule
+// still trips when the defect hides inside one labeled series.
+func TestValidateCatchesBrokenLabeledSeries(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{
+			name: "non-cumulative labeled series",
+			text: `# TYPE h histogram
+h_bucket{backend="0",le="2"} 5
+h_bucket{backend="0",le="+Inf"} 3
+h_sum{backend="0"} 9
+h_count{backend="0"} 3
+`,
+			want: "not cumulative",
+		},
+		{
+			name: "labeled series missing +Inf",
+			text: `# TYPE h histogram
+h_bucket{backend="0",le="2"} 1
+h_sum{backend="0"} 9
+h_count{backend="0"} 1
+`,
+			want: "want +Inf",
+		},
+		{
+			name: "count under different labels",
+			text: `# TYPE h histogram
+h_bucket{backend="0",le="+Inf"} 1
+h_sum{backend="0"} 9
+h_count 1
+`,
+			want: "missing _count",
+		},
+		{
+			name: "labeled count mismatch",
+			text: `# TYPE h histogram
+h_bucket{backend="0",le="+Inf"} 1
+h_sum{backend="0"} 9
+h_count{backend="0"} 2
+`,
+			want: "!= _count",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Parse(tc.text)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			err = m.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -36,6 +36,11 @@ type genJob struct {
 	topologyID string
 	total      int // requested realizations
 	created    time.Time
+	// traceID is the generation run's own trace ID ("" with tracing
+	// off); submitTrace links back to the submitting request. Both are
+	// written once, under the registry lock, before publication.
+	traceID     string
+	submitTrace string
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -253,20 +258,25 @@ func (s *Server) handleEnsembleSubmit(w http.ResponseWriter, r *http.Request) er
 	client := clientKey(r)
 	j, coalesced, err := s.genjobs.submit(p.scenarioID, func(id string) *genJob {
 		nj := &genJob{
-			id:         id,
-			key:        p.scenarioID,
-			ensName:    ensName,
-			topologyID: p.topologyID,
-			total:      p.cfg.Realizations,
-			created:    time.Now(),
-			done:       make(chan struct{}),
-			state:      jobRunning,
+			id:          id,
+			key:         p.scenarioID,
+			ensName:     ensName,
+			topologyID:  p.topologyID,
+			total:       p.cfg.Realizations,
+			created:     time.Now(),
+			done:        make(chan struct{}),
+			state:       jobRunning,
+			submitTrace: obs.TraceFromContext(r.Context()).ID(),
 		}
 		s.startGenJob(nj, topo, p, client)
 		return nj
 	})
 	if err != nil {
 		return err
+	}
+	obs.SpanFromContext(r.Context()).Annotate("job_id", j.id)
+	if j.traceID != "" {
+		w.Header().Set(JobTraceHeader, j.traceID)
 	}
 	w.Header().Set("Location", "/v1/ensembles/jobs/"+j.id)
 	return writeJSONStatus(w, http.StatusAccepted, genSubmitResponse(j, coalesced))
@@ -292,9 +302,16 @@ func genSubmitResponse(j *genJob, coalesced bool) map[string]any {
 func (s *Server) startGenJob(j *genJob, topo *uploadedTopology, p *ensembleParams, client string) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.opt.JobTimeout)
 	j.cancel = cancel
+	// Own trace per job, linked to the submitting request's trace by
+	// annotation — see startJob for the rationale.
 	tr := s.tracer.Start("ensemble.generate")
 	if tr != nil {
 		ctx = obs.ContextWithSpan(obs.ContextWithTrace(ctx, tr), tr.Root())
+		j.traceID = tr.ID()
+		tr.Root().Annotate("job_id", j.id)
+		if j.submitTrace != "" {
+			tr.Root().Annotate("submit_trace_id", j.submitTrace)
+		}
 	}
 	cfg := p.cfg
 	cfg.Workers = s.opt.Workers
@@ -368,6 +385,9 @@ func (s *Server) handleEnsembleJob(w http.ResponseWriter, r *http.Request) error
 	j, ok := s.genjobs.get(id)
 	if !ok {
 		return notFoundf("unknown job %q", id)
+	}
+	if j.traceID != "" {
+		w.Header().Set(JobTraceHeader, j.traceID)
 	}
 	state, doneReal, assetCount, jerr := j.snapshot()
 	out := map[string]any{

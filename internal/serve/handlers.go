@@ -67,6 +67,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/report", "report", s.handleReport)
 	s.handle("GET /v1/metrics", "metrics", s.handleMetrics)
 	s.handle("GET /v1/traces", "traces", s.handleTraces)
+	s.handle("GET /v1/traces/{id}", "trace_get", s.handleTraceGet)
 	s.handle("GET /v1/sweep", "sweep", s.handleSweepGet)
 	s.handle("POST /v1/sweep", "sweep_post", s.handleSweepPost)
 	s.handle("GET /v1/figure/{id}", "figure", s.handleFigure)
@@ -275,6 +276,27 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) error {
 		"recent": render(s.tracer.Recent()),
 		"slow":   render(s.tracer.Slow()),
 	})
+}
+
+// handleTraceGet serves one completed trace by ID — the lookup the
+// router uses to splice this worker's spans into its own trace when an
+// operator asks for a stitched end-to-end tree. The trace for a routed
+// request finishes before the router's response does, so a stitching
+// fetch that follows the original request always finds it (until ring
+// eviction).
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) error {
+	if err := checkParams(r); err != nil {
+		return err
+	}
+	if s.tracer == nil {
+		return notFoundf("tracing is disabled")
+	}
+	id := r.PathValue("id")
+	t := s.tracer.Find(id)
+	if t == nil {
+		return notFoundf("unknown trace %q (completed traces are retained for the last %d requests)", id, s.tracer.Capacity())
+	}
+	return writeJSON(w, t.Report())
 }
 
 // ---- /v1/sweep ----

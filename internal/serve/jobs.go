@@ -38,6 +38,12 @@ const (
 	jobCanceled = "canceled"
 )
 
+// JobTraceHeader carries a job's execution trace ID on submit and poll
+// responses, so submit → run → poll is one navigable story: the client
+// reads the header and fetches GET /v1/traces/{id} for the job run.
+// The router forwards it verbatim.
+const JobTraceHeader = "X-Job-Trace-Id"
+
 // job is one submitted k-site search.
 type job struct {
 	id       string
@@ -48,6 +54,11 @@ type job struct {
 	k        int
 	exact    bool
 	created  time.Time
+	// traceID is the job execution's own trace ID ("" with tracing
+	// off); submitTrace links back to the request that submitted the
+	// job. Both are written once before the job is published.
+	traceID     string
+	submitTrace string
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -348,22 +359,29 @@ func (s *Server) handlePlacementSearch(w http.ResponseWriter, r *http.Request) e
 		strings.Join(cands, "\x1f"))
 	j, coalesced, err := s.jobs.submit(key, func(id string) *job {
 		nj := &job{
-			id:       id,
-			key:      key,
-			ensName:  ens.name,
-			scenario: scenario,
-			objName:  objName,
-			k:        req.K,
-			exact:    req.Exact,
-			created:  time.Now(),
-			done:     make(chan struct{}),
-			state:    jobRunning,
+			id:          id,
+			key:         key,
+			ensName:     ens.name,
+			scenario:    scenario,
+			objName:     objName,
+			k:           req.K,
+			exact:       req.Exact,
+			created:     time.Now(),
+			done:        make(chan struct{}),
+			state:       jobRunning,
+			submitTrace: obs.TraceFromContext(r.Context()).ID(),
 		}
 		s.startJob(nj, kreq)
 		return nj
 	})
 	if err != nil {
 		return err
+	}
+	// Cross-link the submitting trace and the job trace in both
+	// directions, so an operator can walk submit → run → poll.
+	obs.SpanFromContext(r.Context()).Annotate("job_id", j.id)
+	if j.traceID != "" {
+		w.Header().Set(JobTraceHeader, j.traceID)
 	}
 	state, _, _, _ := j.snapshot()
 	w.Header().Set("Location", "/v1/placement/jobs/"+j.id)
@@ -387,9 +405,18 @@ func (s *Server) handlePlacementSearch(w http.ResponseWriter, r *http.Request) e
 func (s *Server) startJob(j *job, kreq placement.KRequest) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.opt.JobTimeout)
 	j.cancel = cancel
+	// The job runs under its own trace, linked to the submitting
+	// request's trace by annotation (the submit request finishes long
+	// before the job does, so sharing one trace would tie the job's
+	// spans to an already-published tree).
 	tr := s.tracer.Start("placement.job")
 	if tr != nil {
 		ctx = obs.ContextWithSpan(obs.ContextWithTrace(ctx, tr), tr.Root())
+		j.traceID = tr.ID()
+		tr.Root().Annotate("job_id", j.id)
+		if j.submitTrace != "" {
+			tr.Root().Annotate("submit_trace_id", j.submitTrace)
+		}
 	}
 	kreq.Progress = func(p placement.KProgress) {
 		j.mu.Lock()
@@ -435,6 +462,9 @@ func (s *Server) handlePlacementJob(w http.ResponseWriter, r *http.Request) erro
 	j, ok := s.jobs.get(id)
 	if !ok {
 		return notFoundf("unknown job %q", id)
+	}
+	if j.traceID != "" {
+		w.Header().Set(JobTraceHeader, j.traceID)
 	}
 	state, progress, result, jerr := j.snapshot()
 	out := map[string]any{

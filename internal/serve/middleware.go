@@ -56,7 +56,15 @@ func (s *Server) handle(pattern, name string, fn func(http.ResponseWriter, *http
 			meta = &requestMeta{id: s.reqID.Add(1)}
 			ctx = contextWithMeta(ctx, meta)
 			w.Header().Set("X-Request-Id", strconv.FormatUint(meta.id, 10))
-			trace = s.tracer.Start(name)
+			// Adopt an inbound trace context (the router's, or any
+			// client's) instead of minting a fresh ID, so one trace ID
+			// covers the whole routed request and the caller can fetch
+			// this side's spans back via GET /v1/traces/{id}.
+			if tp, err := obs.ParseTraceParent(r.Header.Get("traceparent")); err == nil && s.tracer != nil {
+				trace = s.tracer.StartRemote(name, tp)
+			} else {
+				trace = s.tracer.Start(name)
+			}
 			if trace != nil {
 				ctx = obs.ContextWithSpan(obs.ContextWithTrace(ctx, trace), trace.Root())
 				w.Header().Set("X-Trace-Id", trace.ID())

@@ -23,6 +23,10 @@ type batchCall struct {
 	done chan struct{}
 	res  *response
 	err  error
+	// traceID is the leader's trace ID, set before the call is published
+	// so joined waiters can cross-link their traces to the one that
+	// actually carries the backend spans.
+	traceID string
 }
 
 // batcher collapses concurrent identical reads into one backend call.
@@ -55,6 +59,14 @@ func (b *batcher) do(ctx context.Context, key string, fn func() (*response, erro
 	if c, ok := b.calls[key]; ok {
 		b.mu.Unlock()
 		b.joined.Inc()
+		// A joined waiter's own trace has no backend spans — annotate it
+		// with the leader's trace ID so the two traces stay navigable.
+		if sp := obs.SpanFromContext(ctx); sp != nil {
+			sp.Annotate("joined", "true")
+			if c.traceID != "" {
+				sp.Annotate("leader_trace_id", c.traceID)
+			}
+		}
 		select {
 		case <-c.done:
 			return c.res, true, c.err
@@ -62,7 +74,7 @@ func (b *batcher) do(ctx context.Context, key string, fn func() (*response, erro
 			return nil, true, ctx.Err()
 		}
 	}
-	c := &batchCall{done: make(chan struct{})}
+	c := &batchCall{done: make(chan struct{}), traceID: obs.TraceFromContext(ctx).ID()}
 	b.calls[key] = c
 	b.mu.Unlock()
 	b.leaders.Inc()

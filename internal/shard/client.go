@@ -29,6 +29,12 @@ type backend struct {
 	base  string // "http://host:port", no trailing slash
 	hc    *http.Client
 
+	// indexStr and spanName are the index pre-rendered for trace
+	// annotations and client-call span names, so the tracing-off path
+	// never concatenates (and so never allocates).
+	indexStr string
+	spanName string
+
 	healthy   atomic.Bool
 	ensembles atomic.Pointer[map[string]string] // name → fingerprint
 
@@ -41,6 +47,8 @@ func newBackend(index int, base string, hc *http.Client, rec *obs.Recorder) *bac
 		index:    index,
 		base:     strings.TrimSuffix(base, "/"),
 		hc:       hc,
+		indexStr: strconv.Itoa(index),
+		spanName: "backend." + strconv.Itoa(index),
 		requests: rec.Counter("shard.backend_requests." + strconv.Itoa(index)),
 		errors:   rec.Counter("shard.backend_errors." + strconv.Itoa(index)),
 	}
@@ -48,6 +56,12 @@ func newBackend(index int, base string, hc *http.Client, rec *obs.Recorder) *bac
 	b.ensembles.Store(&empty)
 	return b
 }
+
+// forwardedHeaders are the backend response headers the router replays
+// to its client: the wire-codec version (so a codec mismatch is
+// diagnosable through the router) and the job trace ID (so submit/poll
+// responses stay navigable to the worker-side job trace).
+var forwardedHeaders = []string{serve.CodecVersionHeader, serve.JobTraceHeader}
 
 // forward replays one client request against this backend and buffers
 // the response. A non-nil error means the backend did not produce a
@@ -68,6 +82,13 @@ func (b *backend) forward(ctx context.Context, method, path, rawQuery, contentTy
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	// Propagate the router's trace context so the worker adopts the
+	// same trace ID, with the current (client-call) span as the remote
+	// parent. With tracing off the context carries no trace, the render
+	// returns "", and nothing is injected or allocated.
+	if tp := obs.TraceFromContext(ctx).TraceParent(obs.SpanFromContext(ctx)); tp != "" {
+		req.Header.Set("traceparent", tp)
 	}
 	b.requests.Inc()
 	resp, err := b.hc.Do(req)
@@ -94,10 +115,37 @@ func (b *backend) forward(ctx context.Context, method, path, rawQuery, contentTy
 		body:        buf,
 		backend:     b.index,
 	}
-	if v := resp.Header.Get(serve.CodecVersionHeader); v != "" {
-		res.header = map[string]string{serve.CodecVersionHeader: v}
+	for _, h := range forwardedHeaders {
+		if v := resp.Header.Get(h); v != "" {
+			if res.header == nil {
+				res.header = make(map[string]string, len(forwardedHeaders))
+			}
+			res.header[h] = v
+		}
 	}
 	return res, nil
+}
+
+// scrapeMetrics fetches this backend's Prometheus exposition for the
+// fleet-wide metrics merge.
+func (b *backend) scrapeMetrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := b.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBackendBody))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("backend %d: %s", b.index, resp.Status)
+	}
+	return string(body), nil
 }
 
 // probe refreshes the backend's health and ensemble fingerprints from

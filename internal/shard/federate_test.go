@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+
+	"compoundthreat/internal/obs"
+	"compoundthreat/internal/promtext"
+)
+
+// worker0Metrics / worker1Metrics are canned worker scrapes covering
+// every merge rule: counter sum, gauge sum vs high/min/max rules,
+// summary sum, and bucket-wise histogram merge over sparse bounds.
+const worker0Metrics = `# TYPE serve_requests_sweep_total counter
+serve_requests_sweep_total 3
+# TYPE serve_inflight gauge
+serve_inflight 1
+# TYPE serve_inflight_high gauge
+serve_inflight_high 4
+# TYPE serve_compile_ns summary
+serve_compile_ns_sum 100
+serve_compile_ns_count 2
+# TYPE serve_compile_ns_min gauge
+serve_compile_ns_min 10
+# TYPE serve_compile_ns_max gauge
+serve_compile_ns_max 50
+# TYPE serve_latency_ns_sweep histogram
+serve_latency_ns_sweep_bucket{le="1024"} 2
+serve_latency_ns_sweep_bucket{le="+Inf"} 3
+serve_latency_ns_sweep_sum 5000
+serve_latency_ns_sweep_count 3
+`
+
+const worker1Metrics = `# TYPE serve_requests_sweep_total counter
+serve_requests_sweep_total 4
+# TYPE serve_inflight gauge
+serve_inflight 2
+# TYPE serve_inflight_high gauge
+serve_inflight_high 3
+# TYPE serve_compile_ns summary
+serve_compile_ns_sum 200
+serve_compile_ns_count 3
+# TYPE serve_compile_ns_min gauge
+serve_compile_ns_min 5
+# TYPE serve_compile_ns_max gauge
+serve_compile_ns_max 80
+# TYPE serve_latency_ns_sweep histogram
+serve_latency_ns_sweep_bucket{le="2048"} 1
+serve_latency_ns_sweep_bucket{le="+Inf"} 2
+serve_latency_ns_sweep_sum 7000
+serve_latency_ns_sweep_count 2
+`
+
+// fleetScrape runs GET /v1/metrics?fleet=1 and returns the parsed,
+// validated exposition.
+func fleetScrape(t *testing.T, rt *Router) *promtext.Metrics {
+	t.Helper()
+	w := do(t, rt, http.MethodGet, "/v1/metrics?fleet=1", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("fleet scrape = %d: %s", w.Code, w.Body.String())
+	}
+	m, err := promtext.Parse(w.Body.String())
+	if err != nil {
+		t.Fatalf("fleet exposition does not parse: %v\n%s", err, w.Body.String())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fleet exposition invalid: %v\n%s", err, w.Body.String())
+	}
+	return m
+}
+
+func TestRouterFleetMetricsMerge(t *testing.T) {
+	a := newFakeWorker(t, 0)
+	a.metricsText = worker0Metrics
+	b := newFakeWorker(t, 1)
+	b.metricsText = worker1Metrics
+	rt := newTestRouter(t, Options{}, a, b)
+	m := fleetScrape(t, rt)
+
+	// Counter: aggregate is the sum; per-backend series carry the parts.
+	if v, ok := m.Get("serve_requests_sweep_total"); !ok || v != 7 {
+		t.Errorf("aggregate sweep counter = %v (ok=%v), want 7", v, ok)
+	}
+	if v, _ := m.GetLabeled("serve_requests_sweep_total", map[string]string{"backend": "0"}); v != 3 {
+		t.Errorf("backend 0 sweep counter = %v, want 3", v)
+	}
+	if v, _ := m.GetLabeled("serve_requests_sweep_total", map[string]string{"backend": "1"}); v != 4 {
+		t.Errorf("backend 1 sweep counter = %v, want 4", v)
+	}
+
+	// Gauges: levels sum, high-water marks take max, minimums min.
+	if v, _ := m.Get("serve_inflight"); v != 3 {
+		t.Errorf("serve_inflight = %v, want 3", v)
+	}
+	if v, _ := m.Get("serve_inflight_high"); v != 4 {
+		t.Errorf("serve_inflight_high = %v, want max 4", v)
+	}
+	if v, _ := m.Get("serve_compile_ns_min"); v != 5 {
+		t.Errorf("serve_compile_ns_min = %v, want min 5", v)
+	}
+	if v, _ := m.Get("serve_compile_ns_max"); v != 80 {
+		t.Errorf("serve_compile_ns_max = %v, want max 80", v)
+	}
+
+	// Summary: _sum and _count both sum.
+	if v, _ := m.Get("serve_compile_ns_sum"); v != 300 {
+		t.Errorf("serve_compile_ns_sum = %v, want 300", v)
+	}
+	if v, _ := m.Get("serve_compile_ns_count"); v != 5 {
+		t.Errorf("serve_compile_ns_count = %v, want 5", v)
+	}
+
+	// Histogram: deltas merge over the union of bounds and re-cumulate.
+	buckets := seriesBuckets(m, "serve_latency_ns_sweep", "")
+	want := []struct {
+		le  string
+		cum float64
+	}{{"1024", 2}, {"2048", 3}, {"+Inf", 5}}
+	if len(buckets) != len(want) {
+		t.Fatalf("aggregate buckets = %v, want %v", buckets, want)
+	}
+	for i, b := range buckets {
+		if b.Labels["le"] != want[i].le || b.Value != want[i].cum {
+			t.Errorf("bucket %d = le=%s %v, want le=%s %v", i, b.Labels["le"], b.Value, want[i].le, want[i].cum)
+		}
+	}
+	if v, _ := m.Get("serve_latency_ns_sweep_sum"); v != 12000 {
+		t.Errorf("histogram sum = %v, want 12000", v)
+	}
+	if v, _ := m.Get("serve_latency_ns_sweep_count"); v != 5 {
+		t.Errorf("histogram count = %v, want 5", v)
+	}
+
+	// The router's own instruments federate as source "router".
+	if _, ok := m.GetLabeled("shard_requests_metrics_total", map[string]string{"backend": "router"}); !ok {
+		t.Error("router's own counters missing from the fleet exposition")
+	}
+}
+
+// TestRouterFleetMetricsDegraded: an unscrapable backend becomes a
+// comment, and the rest of the fleet still merges.
+func TestRouterFleetMetricsDegraded(t *testing.T) {
+	a := newFakeWorker(t, 0)
+	a.metricsText = worker0Metrics
+	b := newFakeWorker(t, 1)
+	b.metricsText = "bogus exposition without a TYPE line\n"
+	rt := newTestRouter(t, Options{}, a, b)
+
+	w := do(t, rt, http.MethodGet, "/v1/metrics?fleet=1", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("fleet scrape = %d", w.Code)
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, "# fleet: backend 1") {
+		t.Errorf("no degradation comment for backend 1:\n%s", body)
+	}
+	m, err := promtext.Parse(body)
+	if err != nil {
+		t.Fatalf("degraded exposition does not parse: %v", err)
+	}
+	if v, _ := m.Get("serve_requests_sweep_total"); v != 3 {
+		t.Errorf("aggregate from surviving worker = %v, want 3", v)
+	}
+}
+
+// seriesBuckets returns one series' cumulative buckets (selected by
+// backend label; "" = the unlabeled aggregate), sorted by bound.
+func seriesBuckets(m *promtext.Metrics, family, backend string) []promtext.Sample {
+	var out []promtext.Sample
+	for _, s := range m.Samples {
+		if s.Name != family+"_bucket" || s.Labels["backend"] != backend {
+			continue
+		}
+		if backend == "" && len(s.Labels) != 1 {
+			continue
+		}
+		out = append(out, s)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return leBound(out[i].Labels["le"]) < leBound(out[j].Labels["le"])
+	})
+	return out
+}
+
+func leBound(le string) float64 {
+	if le == "+Inf" {
+		return math.Inf(1)
+	}
+	var v float64
+	for _, c := range le {
+		v = v*10 + float64(c-'0')
+	}
+	return v
+}
+
+// bucketQuantile answers "which bucket bound covers quantile q" from a
+// cumulative bucket series — the resolution a power-of-two histogram
+// actually has.
+func bucketQuantile(buckets []promtext.Sample, q float64) string {
+	total := buckets[len(buckets)-1].Value
+	rank := math.Ceil(q * total)
+	if rank < 1 {
+		rank = 1
+	}
+	for _, b := range buckets {
+		if b.Value >= rank {
+			return b.Labels["le"]
+		}
+	}
+	return "+Inf"
+}
+
+// TestFleetHistogramQuantileExactness: two workers each observe half of
+// a population into power-of-two histograms; the fleet-merged histogram
+// must equal — bucket for bucket, and therefore at every quantile — one
+// histogram that observed the whole population. This is the property
+// that makes ?fleet=1 trustworthy for latency dashboards: merging loses
+// nothing beyond the grid resolution each worker already had.
+func TestFleetHistogramQuantileExactness(t *testing.T) {
+	recA, recB, recAll := obs.New(), obs.New(), obs.New()
+	hA := recA.Histogram("test.latency_ns")
+	hB := recB.Histogram("test.latency_ns")
+	hAll := recAll.Histogram("test.latency_ns")
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		// Log-uniform latencies spanning ~9 decades, split across the
+		// two workers like a load balancer would.
+		v := int64(math.Exp(rng.Float64() * 20))
+		if i%2 == 0 {
+			hA.Observe(v)
+		} else {
+			hB.Observe(v)
+		}
+		hAll.Observe(v)
+	}
+	render := func(r *obs.Recorder) string {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a := newFakeWorker(t, 0)
+	a.metricsText = render(recA)
+	b := newFakeWorker(t, 1)
+	b.metricsText = render(recB)
+	rt := newTestRouter(t, Options{}, a, b)
+	m := fleetScrape(t, rt)
+
+	whole, err := promtext.Parse(render(recAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := seriesBuckets(m, "test_latency_ns", "")
+	want := whole.Buckets("test_latency_ns")
+	if len(merged) != len(want) {
+		t.Fatalf("merged has %d buckets, whole population %d", len(merged), len(want))
+	}
+	for i := range merged {
+		if merged[i].Labels["le"] != want[i].Labels["le"] || merged[i].Value != want[i].Value {
+			t.Errorf("bucket %d: merged le=%s %v, whole le=%s %v",
+				i, merged[i].Labels["le"], merged[i].Value, want[i].Labels["le"], want[i].Value)
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := bucketQuantile(merged, q), bucketQuantile(want, q); got != want {
+			t.Errorf("p%g: merged %s, whole population %s", q*100, got, want)
+		}
+	}
+	mergedSum, _ := m.Get("test_latency_ns_sum")
+	wholeSum, _ := whole.Get("test_latency_ns_sum")
+	if mergedSum != wholeSum {
+		t.Errorf("merged sum %v != whole-population sum %v", mergedSum, wholeSum)
+	}
+}

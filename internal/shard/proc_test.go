@@ -80,12 +80,17 @@ func runWorker(args []string) error {
 	realizations := fs.Int("realizations", 48, "disaster realizations")
 	seed := fs.Int64("seed", 7, "ensemble seed")
 	storeDir := fs.String("store", "", "persist uploaded scenarios under this directory")
+	traceBuffer := fs.Int("trace-buffer", 0, "completed traces retained per ring (0 = tracing off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rec := obs.New()
 	obs.Enable(rec)
 	defer obs.Enable(nil)
+	if *traceBuffer > 0 {
+		obs.EnableTracing(obs.NewTracer(*traceBuffer, 0))
+		defer obs.EnableTracing(nil)
+	}
 	ens, inv, err := testEnsemble(*realizations, *seed)
 	if err != nil {
 		return err
@@ -185,14 +190,15 @@ type cluster struct {
 }
 
 // startCluster boots n worker processes and an in-process router over
-// them, waiting until the router sees every worker healthy. The caller
-// owns shutdown via stopAll (tests register it as a cleanup; the
-// shared benchmark cluster defers it to TestMain).
-func startCluster(tb testing.TB, n, realizations int, opt Options) *cluster {
+// them, waiting until the router sees every worker healthy. Extra
+// worker flags (e.g. -trace-buffer 64) pass through to every worker.
+// The caller owns shutdown via stopAll (tests register it as a cleanup;
+// the shared benchmark cluster defers it to TestMain).
+func startCluster(tb testing.TB, n, realizations int, opt Options, extra ...string) *cluster {
 	tb.Helper()
 	c := &cluster{}
 	for i := 0; i < n; i++ {
-		c.workers = append(c.workers, startWorker(tb, realizations))
+		c.workers = append(c.workers, startWorker(tb, realizations, extra...))
 	}
 	for _, w := range c.workers {
 		opt.Backends = append(opt.Backends, "http://"+w.addr)

@@ -83,6 +83,11 @@ type Router struct {
 	hedges    *obs.Counter
 	noBackend *obs.Counter
 
+	// tracer is resolved once at construction (obs.DefaultTracer), like
+	// the worker's — nil means router-side tracing is off and the
+	// request path pays only nil checks.
+	tracer *obs.Tracer
+
 	stop   context.CancelFunc
 	probed sync.WaitGroup
 }
@@ -123,6 +128,7 @@ func New(opt Options) (*Router, error) {
 		retries:   rec.Counter("shard.retries"),
 		hedges:    rec.Counter("shard.hedges"),
 		noBackend: rec.Counter("shard.no_backend"),
+		tracer:    obs.DefaultTracer(),
 	}
 	seen := make(map[string]bool, len(opt.Backends))
 	for i, base := range opt.Backends {
@@ -196,6 +202,8 @@ func (rt *Router) routes() {
 	rt.handle("GET /v1/healthz", "healthz", rt.handleHealthz)
 	rt.handle("GET /v1/readyz", "readyz", rt.handleReadyz)
 	rt.handle("GET /v1/metrics", "metrics", rt.handleMetrics)
+	rt.handle("GET /v1/traces", "traces", rt.handleTraces)
+	rt.handle("GET /v1/traces/{id}", "trace_get", rt.handleTraceGet)
 	rt.handle("GET /v1/sweep", "sweep", rt.handleSweepGet)
 	rt.handle("POST /v1/sweep", "sweep_post", rt.handleSweepPost)
 	rt.handle("GET /v1/figure/{id}", "figure", rt.handleFigure)
@@ -209,8 +217,12 @@ func (rt *Router) routes() {
 }
 
 // handle wraps one endpoint with the router's request machinery:
-// request counter, latency histogram, per-request deadline, and error
-// rendering. Instruments resolve once at registration.
+// request counter, latency histogram, per-request deadline, tracing,
+// and error rendering. Instruments resolve once at registration. With
+// tracing on, the request runs under a trace whose ID every proxied
+// call propagates to the workers (see backend.forward); an inbound
+// traceparent is adopted, so a client-side tracer can span the client →
+// router → worker path under one ID too.
 func (rt *Router) handle(pattern, name string, fn func(http.ResponseWriter, *http.Request) error) {
 	rec := obs.Default()
 	reqs := rec.Counter("shard.requests." + name)
@@ -219,12 +231,23 @@ func (rt *Router) handle(pattern, name string, fn func(http.ResponseWriter, *htt
 		start := time.Now()
 		reqs.Inc()
 		ctx, cancel := context.WithTimeout(r.Context(), rt.opt.Timeout)
+		var trace *obs.Trace
+		if rt.tracer != nil {
+			if tp, perr := obs.ParseTraceParent(r.Header.Get("traceparent")); perr == nil {
+				trace = rt.tracer.StartRemote(name, tp)
+			} else {
+				trace = rt.tracer.Start(name)
+			}
+			ctx = obs.ContextWithSpan(obs.ContextWithTrace(ctx, trace), trace.Root())
+			w.Header().Set("X-Trace-Id", trace.ID())
+		}
 		err := fn(w, r.WithContext(ctx))
 		cancel()
 		lat.Observe(int64(time.Since(start)))
 		if err != nil {
 			rt.writeError(w, err)
 		}
+		trace.Finish()
 	})
 }
 
@@ -368,7 +391,7 @@ func (rt *Router) fetch(ctx context.Context, cands []*backend, method, path, raw
 		b := cands[launched]
 		launched++
 		go func() {
-			res, err := b.forward(ctx, method, path, rawQuery, contentType, body)
+			res, err := rt.forwardSpanned(ctx, b, method, path, rawQuery, contentType, body)
 			ch <- attempt{res: res, err: err}
 		}()
 	}
@@ -411,20 +434,44 @@ func (rt *Router) fetch(ctx context.Context, cands []*backend, method, path, raw
 	}
 }
 
+// forwardSpanned wraps one backend call in a client-call span named
+// after the backend ("backend.N"). The span carries the backend index
+// note the trace stitcher keys on, and its ID travels to the worker as
+// the traceparent parent, so the worker's trace splices back under
+// exactly this span. All span operations are nil no-ops with tracing
+// off, and the pre-rendered names mean the off path allocates nothing.
+func (rt *Router) forwardSpanned(ctx context.Context, b *backend, method, path, rawQuery, contentType string, body []byte) (*response, error) {
+	sp := obs.SpanFromContext(ctx).StartChild(b.spanName)
+	sp.Annotate("backend", b.indexStr)
+	res, err := b.forward(obs.ContextWithSpan(ctx, sp), method, path, rawQuery, contentType, body)
+	if sp != nil {
+		if err != nil {
+			sp.Annotate("error", "transport")
+		} else {
+			sp.Annotate("status", strconv.Itoa(res.status))
+		}
+	}
+	sp.End()
+	return res, err
+}
+
 // serveSharded is the common read path: derive the shard key, batch
 // identical in-flight reads, fetch with failover, replay the winner.
 func (rt *Router) serveSharded(w http.ResponseWriter, r *http.Request, shape serve.QueryShape, body []byte) error {
+	ctx := r.Context()
 	cands := rt.candidatesFor(rt.resolve(shape))
 	contentType := r.Header.Get("Content-Type")
-	fetch := func() (*response, error) {
-		return rt.fetch(r.Context(), cands, r.Method, r.URL.Path, r.URL.RawQuery, contentType, body, shape.Batchable)
-	}
 	var res *response
 	var err error
 	if shape.Batchable {
-		res, _, err = rt.batch.do(r.Context(), serve.BatchKey(r, body), fetch)
+		sp := obs.SpanFromContext(ctx).StartChild("batch")
+		bctx := obs.ContextWithSpan(ctx, sp)
+		res, _, err = rt.batch.do(bctx, serve.BatchKey(r, body), func() (*response, error) {
+			return rt.fetch(bctx, cands, r.Method, r.URL.Path, r.URL.RawQuery, contentType, body, true)
+		})
+		sp.End()
 	} else {
-		res, err = fetch()
+		res, err = rt.fetch(ctx, cands, r.Method, r.URL.Path, r.URL.RawQuery, contentType, body, false)
 	}
 	if err != nil {
 		return err
@@ -446,7 +493,9 @@ func (rt *Router) readBody(r *http.Request) ([]byte, error) {
 }
 
 func (rt *Router) handleSweepGet(w http.ResponseWriter, r *http.Request) error {
+	sp := obs.SpanFromContext(r.Context()).StartChild("validate")
 	shape, err := serve.SweepShape(r.URL.Query(), nil)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -458,7 +507,9 @@ func (rt *Router) handleSweepPost(w http.ResponseWriter, r *http.Request) error 
 	if err != nil {
 		return err
 	}
+	sp := obs.SpanFromContext(r.Context()).StartChild("validate")
 	shape, err := serve.SweepShape(nil, body)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -466,7 +517,9 @@ func (rt *Router) handleSweepPost(w http.ResponseWriter, r *http.Request) error 
 }
 
 func (rt *Router) handleFigure(w http.ResponseWriter, r *http.Request) error {
+	sp := obs.SpanFromContext(r.Context()).StartChild("validate")
 	shape, err := serve.FigureShape(r.PathValue("id"), r.URL.Query())
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -474,7 +527,9 @@ func (rt *Router) handleFigure(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (rt *Router) handlePlacement(w http.ResponseWriter, r *http.Request) error {
+	sp := obs.SpanFromContext(r.Context()).StartChild("validate")
 	shape, err := serve.PlacementShape(r.URL.Query())
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -488,7 +543,9 @@ func (rt *Router) handlePlacementSearch(w http.ResponseWriter, r *http.Request) 
 	if err != nil {
 		return err
 	}
+	sp := obs.SpanFromContext(r.Context()).StartChild("validate")
 	shape, err := serve.PlacementSearchShape(body)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -525,7 +582,7 @@ func (rt *Router) handleJobPoll(w http.ResponseWriter, r *http.Request) error {
 	if idx, ok := rt.jobs.lookup(id); ok {
 		b := rt.backends[idx]
 		if b.healthy.Load() {
-			res, err := b.forward(r.Context(), r.Method, r.URL.Path, r.URL.RawQuery, "", nil)
+			res, err := rt.forwardSpanned(r.Context(), b, r.Method, r.URL.Path, r.URL.RawQuery, "", nil)
 			if err == nil && serve.IsAPIErrorStatus(res.status) && res.status != http.StatusNotFound {
 				return rt.writeResponse(w, res)
 			}
@@ -534,7 +591,7 @@ func (rt *Router) handleJobPoll(w http.ResponseWriter, r *http.Request) error {
 	var notFound *response
 	var lastErr error
 	for _, b := range rt.candidates("job\x1f" + id) {
-		res, err := b.forward(r.Context(), r.Method, r.URL.Path, r.URL.RawQuery, "", nil)
+		res, err := rt.forwardSpanned(r.Context(), b, r.Method, r.URL.Path, r.URL.RawQuery, "", nil)
 		if err != nil {
 			lastErr = err
 			continue
@@ -604,7 +661,7 @@ func (rt *Router) handleTopologyList(w http.ResponseWriter, r *http.Request) err
 		if !b.healthy.Load() {
 			continue
 		}
-		res, err := b.forward(r.Context(), http.MethodGet, r.URL.Path, r.URL.RawQuery, "", nil)
+		res, err := rt.forwardSpanned(r.Context(), b, http.MethodGet, r.URL.Path, r.URL.RawQuery, "", nil)
 		if err != nil {
 			lastErr = err
 			continue
@@ -706,7 +763,15 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) error {
 
 // handleMetrics serves the router's instruments (batching split,
 // retries, hedges, per-backend traffic) in Prometheus text exposition.
+// With fleet=1 it scrapes every healthy backend and merges the whole
+// tier into one exposition (see federate.go).
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	if err := checkQueryParams(r, "fleet"); err != nil {
+		return err
+	}
+	if boolParam(r.URL.Query().Get("fleet")) {
+		return rt.writeFleetMetrics(r.Context(), w)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	return obs.Default().WritePrometheus(w)
 }

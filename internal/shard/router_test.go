@@ -24,9 +24,18 @@ type fakeWorker struct {
 	sweeps atomic.Int64
 	fail   atomic.Bool
 
-	mu   sync.Mutex
-	gate chan struct{} // non-nil: sweep blocks until closed
-	jobs map[string]bool
+	mu          sync.Mutex
+	gate        chan struct{} // non-nil: sweep blocks until closed
+	jobs        map[string]bool
+	traceparent string                        // last traceparent header seen on a sweep
+	traceFn     func(id string) (int, string) // scripts GET /v1/traces/{id}; nil = 404
+	metricsText string                        // canned GET /v1/metrics exposition
+}
+
+func (f *fakeWorker) lastTraceparent() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.traceparent
 }
 
 func (f *fakeWorker) setGate(ch chan struct{}) {
@@ -57,6 +66,7 @@ func newFakeWorker(t *testing.T, idx int) *fakeWorker {
 			return
 		}
 		f.mu.Lock()
+		f.traceparent = r.Header.Get("traceparent")
 		gate := f.gate
 		f.mu.Unlock()
 		if gate != nil {
@@ -64,6 +74,26 @@ func newFakeWorker(t *testing.T, idx int) *fakeWorker {
 		}
 		f.sweeps.Add(1)
 		fmt.Fprintf(w, `{"worker":%d}`, f.idx)
+	})
+	mux.HandleFunc("GET /v1/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		fn := f.traceFn
+		f.mu.Unlock()
+		if fn == nil {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":{"code":"not_found","message":"no trace"}}`)
+			return
+		}
+		code, body := fn(r.PathValue("id"))
+		w.WriteHeader(code)
+		fmt.Fprint(w, body)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		text := f.metricsText
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, text)
 	})
 	mux.HandleFunc("POST /v1/placement/search", func(w http.ResponseWriter, r *http.Request) {
 		if f.fail.Load() {

@@ -1,0 +1,223 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"compoundthreat/internal/obs"
+)
+
+// enableRouterTracing installs a tracer before the router is built
+// (the router resolves obs.DefaultTracer at New, like the workers).
+func enableRouterTracing(t *testing.T) *obs.Tracer {
+	t.Helper()
+	tr := obs.NewTracer(32, 0)
+	obs.EnableTracing(tr)
+	t.Cleanup(func() { obs.EnableTracing(nil) })
+	return tr
+}
+
+// findSpanNamed returns the first span with the given name, depth-first.
+func findSpanNamed(spans []obs.SpanReport, name string) *obs.SpanReport {
+	for i := range spans {
+		if spans[i].Name == name {
+			return &spans[i]
+		}
+		if s := findSpanNamed(spans[i].Children, name); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// TestRouterTracePropagation: with tracing on, a routed sweep reaches
+// the worker carrying a traceparent whose trace ID is the router's and
+// whose parent span is the client-call ("backend.N") span.
+func TestRouterTracePropagation(t *testing.T) {
+	enableRouterTracing(t)
+	f := newFakeWorker(t, 0)
+	rt := newTestRouter(t, Options{}, f)
+
+	w := do(t, rt, http.MethodGet, "/v1/sweep", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("sweep = %d: %s", w.Code, w.Body.String())
+	}
+	traceID := w.Header().Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("router did not report X-Trace-Id")
+	}
+	tp, err := obs.ParseTraceParent(f.lastTraceparent())
+	if err != nil {
+		t.Fatalf("worker received traceparent %q: %v", f.lastTraceparent(), err)
+	}
+	if got := fmt.Sprintf("%016x", tp.TraceID); got != traceID {
+		t.Errorf("propagated trace ID %s, router trace %s", got, traceID)
+	}
+	if tp.SpanID == 0 {
+		t.Error("propagated parent span ID is zero")
+	}
+}
+
+// TestRouterTraceStitch: GET /v1/traces/{id} on the router splices the
+// worker's trace (fetched from the worker's own /v1/traces/{id}) under
+// the client-call span named in the propagated traceparent, with the
+// hop's network time annotated.
+func TestRouterTraceStitch(t *testing.T) {
+	enableRouterTracing(t)
+	f := newFakeWorker(t, 0)
+	// The scripted worker renders its half from the traceparent it
+	// actually received, like a real worker would.
+	f.mu.Lock()
+	f.traceFn = func(id string) (int, string) {
+		tp, err := obs.ParseTraceParent(f.lastTraceparent())
+		if err != nil || fmt.Sprintf("%016x", tp.TraceID) != id {
+			return http.StatusNotFound, `{"error":{"code":"not_found","message":"unknown trace"}}`
+		}
+		return http.StatusOK, fmt.Sprintf(
+			`{"trace_id":%q,"name":"sweep","started_at":"2026-01-01T00:00:00Z","duration_ns":500,"remote_parent_span_id":%d,`+
+				`"spans":[{"span_id":1,"name":"sweep","start_ns":0,"duration_ns":500,`+
+				`"children":[{"span_id":2,"name":"evaluate","start_ns":10,"duration_ns":400}]}]}`,
+			id, tp.SpanID)
+	}
+	f.mu.Unlock()
+	rt := newTestRouter(t, Options{}, f)
+
+	w := do(t, rt, http.MethodGet, "/v1/sweep", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("sweep = %d", w.Code)
+	}
+	traceID := w.Header().Get("X-Trace-Id")
+
+	res := do(t, rt, http.MethodGet, "/v1/traces/"+traceID, "")
+	if res.Code != http.StatusOK {
+		t.Fatalf("stitched fetch = %d: %s", res.Code, res.Body.String())
+	}
+	var rep obs.TraceReport
+	if err := json.Unmarshal(res.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceID != traceID {
+		t.Fatalf("report trace %s, want %s", rep.TraceID, traceID)
+	}
+	call := findSpanNamed(rep.Spans, "backend.0")
+	if call == nil {
+		t.Fatalf("no backend.0 client-call span in %s", res.Body.String())
+	}
+	if call.Notes["backend"] != "0" || call.Notes["status"] != "200" {
+		t.Errorf("client-call notes = %v", call.Notes)
+	}
+	var spliced *obs.SpanReport
+	for i := range call.Children {
+		if call.Children[i].Notes["remote_backend"] == "0" {
+			spliced = &call.Children[i]
+		}
+	}
+	if spliced == nil {
+		t.Fatalf("no spliced worker span under backend.0: %s", res.Body.String())
+	}
+	if spliced.Name != "sweep" || spliced.DurationNS != 500 {
+		t.Errorf("spliced root = %s/%dns, want sweep/500ns", spliced.Name, spliced.DurationNS)
+	}
+	if findSpanNamed(spliced.Children, "evaluate") == nil {
+		t.Error("worker subtree lost its child spans")
+	}
+	net, err := time.ParseDuration(call.Notes["net_ns"] + "ns")
+	if err != nil || net.Nanoseconds() != call.DurationNS-500 {
+		t.Errorf("net_ns note = %q, want %d", call.Notes["net_ns"], call.DurationNS-500)
+	}
+}
+
+// TestRouterTraceStitchUnavailable: a worker that cannot serve its half
+// degrades to a root annotation, not an error.
+func TestRouterTraceStitchUnavailable(t *testing.T) {
+	enableRouterTracing(t)
+	f := newFakeWorker(t, 0) // traceFn nil → 404 on trace fetches
+	rt := newTestRouter(t, Options{}, f)
+
+	w := do(t, rt, http.MethodGet, "/v1/sweep", "")
+	traceID := w.Header().Get("X-Trace-Id")
+	res := do(t, rt, http.MethodGet, "/v1/traces/"+traceID, "")
+	if res.Code != http.StatusOK {
+		t.Fatalf("stitched fetch = %d", res.Code)
+	}
+	var rep obs.TraceReport
+	if err := json.Unmarshal(res.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spans[0].Notes["stitch_backend_0"] != "unavailable" {
+		t.Errorf("root notes = %v, want stitch_backend_0=unavailable", rep.Spans[0].Notes)
+	}
+	if call := findSpanNamed(rep.Spans, "backend.0"); call == nil || len(call.Children) != 0 {
+		t.Errorf("client-call span = %+v, want present with no spliced children", call)
+	}
+}
+
+// TestRouterTraceEndpointsDisabled: with tracing off the listing says
+// so and the by-ID lookup 404s — and requests carry no trace headers.
+func TestRouterTraceEndpointsDisabled(t *testing.T) {
+	f := newFakeWorker(t, 0)
+	rt := newTestRouter(t, Options{}, f)
+
+	w := do(t, rt, http.MethodGet, "/v1/sweep", "")
+	if h := w.Header().Get("X-Trace-Id"); h != "" {
+		t.Errorf("X-Trace-Id = %q with tracing off", h)
+	}
+	if tp := f.lastTraceparent(); tp != "" {
+		t.Errorf("worker received traceparent %q with tracing off", tp)
+	}
+	res := do(t, rt, http.MethodGet, "/v1/traces", "")
+	var list map[string]any
+	if err := json.Unmarshal(res.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list["enabled"] != false {
+		t.Errorf("listing = %v, want enabled=false", list)
+	}
+	if res := do(t, rt, http.MethodGet, "/v1/traces/0123456789abcdef", ""); res.Code != http.StatusNotFound {
+		t.Errorf("trace fetch with tracing off = %d, want 404", res.Code)
+	}
+}
+
+// TestRouterTraceListing: the stitched listing honors the default limit
+// and renders ring statistics.
+func TestRouterTraceListing(t *testing.T) {
+	enableRouterTracing(t)
+	f := newFakeWorker(t, 0)
+	rt := newTestRouter(t, Options{}, f)
+	for i := 0; i < 3; i++ {
+		if w := do(t, rt, http.MethodGet, "/v1/sweep", ""); w.Code != http.StatusOK {
+			t.Fatalf("sweep %d = %d", i, w.Code)
+		}
+	}
+	res := do(t, rt, http.MethodGet, "/v1/traces?stitch=1&limit=2", "")
+	if res.Code != http.StatusOK {
+		t.Fatalf("listing = %d: %s", res.Code, res.Body.String())
+	}
+	var list struct {
+		Enabled  bool              `json:"enabled"`
+		Stitched bool              `json:"stitched"`
+		Stats    map[string]int64  `json:"stats"`
+		Recent   []obs.TraceReport `json:"recent"`
+	}
+	if err := json.Unmarshal(res.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if !list.Enabled || !list.Stitched {
+		t.Errorf("enabled=%v stitched=%v", list.Enabled, list.Stitched)
+	}
+	if len(list.Recent) != 2 {
+		t.Errorf("recent = %d traces, want limit 2", len(list.Recent))
+	}
+	if list.Stats["finished"] < 3 {
+		t.Errorf("stats = %v, want >= 3 finished", list.Stats)
+	}
+	if res := do(t, rt, http.MethodGet, "/v1/traces?limit=x", ""); res.Code != http.StatusBadRequest {
+		t.Errorf("bad limit = %d, want 400", res.Code)
+	}
+	if res := do(t, rt, http.MethodGet, "/v1/traces?bogus=1", ""); res.Code != http.StatusBadRequest {
+		t.Errorf("unknown param = %d, want 400", res.Code)
+	}
+}

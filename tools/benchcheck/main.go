@@ -30,6 +30,10 @@
 //	go test -run '^$' -bench UploadToSweep -benchtime 3x ./internal/serve/ >> store.out
 //	go run ./tools/benchcheck -set store -baseline BENCH_9.json -input store.out
 //
+//	go test -run '^$' -bench 'Obs(RemoteTraced|PropagationOff)Sweep' -benchtime 100x ./internal/serve/ > obs.out
+//	go test -run '^$' -bench ObsFleetMerge -benchtime 100x ./internal/shard/ >> obs.out
+//	go run ./tools/benchcheck -set obs -baseline BENCH_10.json -input obs.out
+//
 // The threshold is deliberately loose (3x by default): single-iteration
 // smoke runs on shared CI machines are noisy, and the gate exists to
 // catch order-of-magnitude regressions — an accidental re-lock in the
@@ -123,6 +127,15 @@ var storeToKey = map[string]string{
 	"BenchmarkUploadToSweep":  "upload_to_sweep_ns_per_op",
 }
 
+// obsToKey maps the fleet-observability benchmarks (remote-parent
+// trace adoption, traceparent handling with tracing off, federated
+// metrics merge) to BENCH_10.json headline keys — the "obs" set.
+var obsToKey = map[string]string{
+	"BenchmarkObsRemoteTracedSweep":   "serve_sweep_remote_traced_ns_per_op",
+	"BenchmarkObsPropagationOffSweep": "serve_sweep_propagation_off_ns_per_op",
+	"BenchmarkObsFleetMerge":          "fleet_metrics_merge_ns_per_op",
+}
+
 // benchSets names the selectable benchmark tables.
 var benchSets = map[string]map[string]string{
 	"figures":    nameToKey,
@@ -133,6 +146,7 @@ var benchSets = map[string]map[string]string{
 	"shard":      shardToKey,
 	"generate":   generateToKey,
 	"store":      storeToKey,
+	"obs":        obsToKey,
 }
 
 // baseline is the subset of BENCH_1.json that benchcheck consumes.
@@ -153,12 +167,12 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_1.json", "baseline JSON file with a headline section")
 	input := flag.String("input", "", "benchmark output file (default: stdin)")
 	maxRatio := flag.Float64("max-ratio", 3.0, "fail when ns/op exceeds baseline by more than this factor")
-	setName := flag.String("set", "figures", "benchmark set to gate: figures, compressed, serve, trace, placement, shard, generate, or store")
+	setName := flag.String("set", "figures", "benchmark set to gate: figures, compressed, serve, trace, placement, shard, generate, store, or obs")
 	flag.Parse()
 
 	table, ok := benchSets[*setName]
 	if !ok {
-		fatal(fmt.Errorf("unknown benchmark set %q (have: figures, compressed, serve, trace, placement, shard, generate, store)", *setName))
+		fatal(fmt.Errorf("unknown benchmark set %q (have: figures, compressed, serve, trace, placement, shard, generate, store, obs)", *setName))
 	}
 
 	in := io.Reader(os.Stdin)
